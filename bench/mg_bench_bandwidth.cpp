@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Figure 8 (bottom) reproduction: bandwidth amplification and
+ * scheduling-loop latency. Configurations, relative to the 6-wide
+ * 1-cycle-scheduler baseline:
+ *   6w base / 6w mg            the reference pair
+ *   4w base / 4w mg            4-wide front and back end (1 load port)
+ *   4w+6x base / 4w+6x mg      4-wide front end, 6-wide execute
+ *                              (2 load ports)
+ *   2cyc base / 2cyc mg        6-wide with a pipelined scheduler
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+#include "workloads/suites.hh"
+
+using namespace mg;
+
+namespace {
+
+void
+narrowFrontEnd(CoreConfig &c)
+{
+    c.fetchWidth = c.renameWidth = c.commitWidth = 4;
+}
+
+void
+narrowExecute(CoreConfig &c)
+{
+    c.issueWidth = 4;
+    c.fu.issueWidth = 4;
+    c.fu.loadPorts = 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool schedOnly = argc > 1 && std::strcmp(argv[1], "--sched") == 0;
+
+    struct Variant
+    {
+        std::string name;
+        void (*tweakBase)(CoreConfig &);
+    };
+
+    std::vector<std::string> names = {"6w-base", "6w-mg",
+                                      "4w-base", "4w-mg",
+                                      "4w6x-base", "4w6x-mg",
+                                      "2cyc-base", "2cyc-mg"};
+    if (schedOnly)
+        names = {"2cyc-base", "2cyc-mg"};
+
+    std::vector<BenchRow> rows;
+    for (const BoundKernel &bk : bindAll()) {
+        BenchRow row;
+        row.bench = bk.kernel->name;
+        row.suite = bk.kernel->suite;
+        CoreStats ref = runCore(*bk.program, nullptr,
+                                SimConfig::baseline().core, bk.setup);
+        row.baselineIpc = ref.ipc();
+
+        auto push = [&](void (*tweak)(CoreConfig &)) {
+            CoreConfig baseCfg;
+            if (tweak)
+                tweak(baseCfg);
+            CoreStats b = runCore(*bk.program, nullptr, baseCfg,
+                                  bk.setup);
+            row.speedups.push_back(b.ipc() / ref.ipc());
+
+            SimConfig mgCfg = SimConfig::intMemMg();
+            if (tweak)
+                tweak(mgCfg.core);
+            CoreStats m = simulate(*bk.program, mgCfg, bk.setup);
+            row.speedups.push_back(m.ipc() / ref.ipc());
+        };
+
+        if (!schedOnly) {
+            push(nullptr);
+            push(+[](CoreConfig &c) {
+                narrowFrontEnd(c);
+                narrowExecute(c);
+            });
+            push(+[](CoreConfig &c) { narrowFrontEnd(c); });
+        }
+        push(+[](CoreConfig &c) { c.schedulerCycles = 2; });
+        rows.push_back(row);
+    }
+    printf("%s\n",
+           reportSpeedups(
+               "Figure 8 (bottom): bandwidth and scheduling-loop "
+               "amplification, relative to the 6-wide baseline",
+               names, rows)
+               .c_str());
+    return 0;
+}

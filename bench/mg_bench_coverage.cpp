@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Figure 5 reproduction: mini-graph coverage.
+ *
+ *  - top:    application-specific integer mini-graphs
+ *  - middle: application-specific integer-memory mini-graphs
+ *  - bottom: domain-specific integer-memory mini-graphs (one MGT
+ *            shared per suite)
+ *
+ * Sweeps MGT entries {32,128,512,2048} x max size {2,3,4,8}. Also
+ * regenerates the Section 6.1 input-data robustness study (train on
+ * input set 1, measure coverage on input set 0).
+ */
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "sim/simulator.hh"
+#include "workloads/suites.hh"
+
+using namespace mg;
+
+namespace {
+
+const int entrySweep[] = {32, 128, 512, 2048};
+const int sizeSweep[] = {2, 3, 4, 8};
+
+struct Prepared
+{
+    BoundKernel bk;
+    BlockProfile prof;
+    std::unique_ptr<Cfg> cfg;
+    std::unique_ptr<Liveness> live;
+};
+
+Prepared
+prepareOne(const BoundKernel &bk, int inputSet)
+{
+    Prepared p;
+    p.bk = bk;
+    p.prof = collectProfile(*bk.program, bk.setupFor(inputSet), 400000);
+    p.cfg = std::make_unique<Cfg>(*bk.program);
+    p.live = std::make_unique<Liveness>(*p.cfg);
+    return p;
+}
+
+double
+coverageFor(const Prepared &p, bool memory, int entries, int maxSize,
+            const BlockProfile &evalProf)
+{
+    SelectionPolicy policy;
+    policy.allowMemory = memory;
+    policy.maxTemplates = entries;
+    policy.maxSize = maxSize;
+    Selection sel = selectMiniGraphs(*p.cfg, *p.live, p.prof, policy,
+                                     MgtMachine{});
+    return sel.coverage(*p.cfg, evalProf);
+}
+
+void
+appSpecific(bool memory, const char *title)
+{
+    printf("== Figure 5 %s: application-specific %s mini-graphs ==\n",
+           memory ? "(middle)" : "(top)", title);
+    TextTable t;
+    t.header({"suite", "bench", "32x4", "128x4", "512x2", "512x3",
+              "512x4", "512x8", "2048x4"});
+    std::map<std::string, std::vector<double>> suiteCov;
+    for (const std::string &suite : suiteNames()) {
+        for (const Kernel *k : suiteKernels(suite)) {
+            Prepared p = prepareOne(bindKernel(*k), 0);
+            std::vector<std::string> row = {suite, k->name};
+            auto cell = [&](int e, int s) {
+                double c = coverageFor(p, memory, e, s, p.prof);
+                row.push_back(fmtPct(c));
+                return c;
+            };
+            cell(32, 4);
+            cell(128, 4);
+            cell(512, 2);
+            cell(512, 3);
+            double c512 = cell(512, 4);
+            cell(512, 8);
+            cell(2048, 4);
+            suiteCov[suite].push_back(c512);
+            t.row(row);
+        }
+    }
+    t.row({"", "", "", "", "", "", "", "", ""});
+    for (const std::string &suite : suiteNames())
+        t.row({suite, "mean(512x4)", "", "", "", "",
+               fmtPct(amean(suiteCov[suite])), "", ""});
+    printf("%s\n", t.str().c_str());
+}
+
+void
+domainSpecific()
+{
+    printf("== Figure 5 (bottom): domain-specific integer-memory "
+           "mini-graphs (shared MGT per suite) ==\n");
+    TextTable t;
+    std::vector<std::string> hdr = {"suite", "bench"};
+    for (int e : entrySweep)
+        hdr.push_back(strfmt("%dx4", e));
+    t.header(hdr);
+
+    for (const std::string &suite : suiteNames()) {
+        std::vector<Prepared> preps;
+        for (const Kernel *k : suiteKernels(suite))
+            preps.push_back(prepareOne(bindKernel(*k), 0));
+
+        // coverage[bench][entries-idx]
+        std::vector<std::vector<double>> cov(
+            preps.size(), std::vector<double>(4, 0.0));
+        for (size_t ei = 0; ei < 4; ++ei) {
+            SelectionPolicy policy;
+            policy.maxTemplates = entrySweep[ei];
+            policy.maxSize = 4;
+            std::vector<const Cfg *> cfgs;
+            std::vector<const Liveness *> lives;
+            std::vector<const BlockProfile *> profs;
+            for (const Prepared &p : preps) {
+                cfgs.push_back(p.cfg.get());
+                lives.push_back(p.live.get());
+                profs.push_back(&p.prof);
+            }
+            auto sels = selectDomainMiniGraphs(cfgs, lives, profs,
+                                               policy, MgtMachine{});
+            for (size_t b = 0; b < preps.size(); ++b)
+                cov[b][ei] = sels[b].coverage(*preps[b].cfg,
+                                              preps[b].prof);
+        }
+        for (size_t b = 0; b < preps.size(); ++b) {
+            std::vector<std::string> row = {suite,
+                                            preps[b].bk.kernel->name};
+            for (size_t ei = 0; ei < 4; ++ei)
+                row.push_back(fmtPct(cov[b][ei]));
+            t.row(row);
+        }
+    }
+    printf("%s\n", t.str().c_str());
+}
+
+void
+robustness()
+{
+    printf("== Section 6.1: input-data robustness (select on the "
+           "alternate input, measure on the reference input) ==\n");
+    TextTable t;
+    t.header({"bench", "self-trained", "cross-trained", "relative"});
+    std::vector<double> rels;
+    for (const std::string &suite :
+         {std::string("SPECint-S"), std::string("MiBench-S")}) {
+        for (const Kernel *k : suiteKernels(suite)) {
+            BoundKernel bk = bindKernel(*k);
+            Prepared self = prepareOne(bk, 0);
+            Prepared cross = prepareOne(bk, 1);
+            double c_self =
+                coverageFor(self, true, 512, 4, self.prof);
+            // Select with the alternate profile, evaluate against the
+            // reference profile.
+            SelectionPolicy policy;
+            policy.maxTemplates = 512;
+            Selection sel = selectMiniGraphs(*cross.cfg, *cross.live,
+                                             cross.prof, policy,
+                                             MgtMachine{});
+            double c_cross = sel.coverage(*self.cfg, self.prof);
+            double rel = c_self > 0 ? c_cross / c_self : 1.0;
+            rels.push_back(rel);
+            t.row({k->name, fmtPct(c_self), fmtPct(c_cross),
+                   fmtDouble(rel, 3)});
+        }
+    }
+    t.row({"mean", "", "", fmtDouble(amean(rels), 3)});
+    printf("%s\n", t.str().c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool robustnessOnly =
+        argc > 1 && std::string(argv[1]) == "--robustness";
+    if (!robustnessOnly) {
+        appSpecific(false, "integer");
+        appSpecific(true, "integer-memory");
+        domainSpecific();
+    }
+    robustness();
+    return 0;
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the library's hot operations:
+ * assembly, emulation rate, enumeration + selection, MGT lookup,
+ * cache access, branch prediction, and end-to-end cycle simulation
+ * rate. Useful when tuning the infrastructure itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "assembler/assembler.hh"
+
+#include "sim/simulator.hh"
+#include "uarch/branch_pred.hh"
+#include "workloads/suites.hh"
+
+namespace {
+
+using namespace mg;
+
+// kernelProgram caches; the microbenchmark wants the raw path.
+Program
+assembleForBench(const Kernel &k)
+{
+    return assemble(k.source, k.name);
+}
+
+void
+BM_Assemble(benchmark::State &state)
+{
+    const Kernel &k = findKernel("sha");
+    for (auto _ : state) {
+        Program p = assembleForBench(k);
+        benchmark::DoNotOptimize(p.text.size());
+    }
+}
+
+void
+BM_EmulationRate(benchmark::State &state)
+{
+    BoundKernel bk = bindKernel(findKernel("crc"));
+    std::uint64_t work = 0;
+    for (auto _ : state) {
+        Emulator emu(*bk.program);
+        bk.kernel->setup(emu, 0);
+        work += emu.run().dynWork;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(work));
+}
+
+void
+BM_EnumerateAndSelect(benchmark::State &state)
+{
+    BoundKernel bk = bindKernel(findKernel("gzip"));
+    BlockProfile prof = collectProfile(*bk.program, bk.setup, 200000);
+    Cfg cfg(*bk.program);
+    Liveness live(cfg);
+    for (auto _ : state) {
+        Selection sel = selectMiniGraphs(cfg, live, prof,
+                                         SelectionPolicy{},
+                                         MgtMachine{});
+        benchmark::DoNotOptimize(sel.instances.size());
+    }
+}
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache c({32 * 1024, 2, 32}, "bm");
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(c.access(a, false).hit);
+        a += 32;
+        if (a > 256 * 1024)
+            a = 0;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+
+void
+BM_BranchPredict(benchmark::State &state)
+{
+    BranchPredictor bp;
+    Addr pc = textBase;
+    bool taken = false;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bp.predictDirection(pc));
+        bp.updateDirection(pc, taken);
+        taken = !taken;
+        pc += 4;
+        if (pc > textBase + 4096)
+            pc = textBase;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+
+void
+BM_CycleSimRate(benchmark::State &state)
+{
+    BoundKernel bk = bindKernel(findKernel("bitcount"));
+    std::uint64_t work = 0;
+    for (auto _ : state) {
+        CoreStats st = runCore(*bk.program, nullptr, CoreConfig{},
+                               bk.setup);
+        work += st.committedWork;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(work));
+}
+
+void
+BM_CycleSimRateMiniGraph(benchmark::State &state)
+{
+    BoundKernel bk = bindKernel(findKernel("bitcount"));
+    SimConfig sc = SimConfig::intMemMg();
+    BlockProfile prof = collectProfile(*bk.program, bk.setup,
+                                       sc.profileBudget);
+    PreparedMg prep = prepareMiniGraphs(*bk.program, prof, sc.policy,
+                                        sc.machine);
+    std::uint64_t work = 0;
+    for (auto _ : state) {
+        CoreStats st = runCore(prep.program, &prep.table, sc.core,
+                               bk.setup);
+        work += st.committedWork;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(work));
+}
+
+BENCHMARK(BM_Assemble);
+BENCHMARK(BM_EmulationRate);
+BENCHMARK(BM_EnumerateAndSelect);
+BENCHMARK(BM_CacheAccess);
+BENCHMARK(BM_BranchPredict);
+BENCHMARK(BM_CycleSimRate);
+BENCHMARK(BM_CycleSimRateMiniGraph);
+
+} // namespace
+
+BENCHMARK_MAIN();

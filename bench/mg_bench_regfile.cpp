@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 8 (top) reproduction: register-file capacity amplification.
+ * For physical register files of 164 / 144 / 124 / 104 entries,
+ * performance of the baseline and the integer-memory mini-graph
+ * machine, everything relative to the 164-register baseline.
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+#include "workloads/suites.hh"
+
+using namespace mg;
+
+int
+main()
+{
+    const int regSweep[] = {164, 144, 124, 104};
+
+    std::vector<std::string> names;
+    for (int r : regSweep) {
+        names.push_back(strfmt("base%d", r));
+        names.push_back(strfmt("mg%d", r));
+    }
+
+    std::vector<BenchRow> rows;
+    for (const BoundKernel &bk : bindAll()) {
+        BenchRow row;
+        row.bench = bk.kernel->name;
+        row.suite = bk.kernel->suite;
+        CoreStats ref = runCore(*bk.program, nullptr,
+                                SimConfig::baseline().core, bk.setup);
+        row.baselineIpc = ref.ipc();
+        for (int r : regSweep) {
+            CoreConfig baseCfg;
+            baseCfg.physRegs = r;
+            CoreStats b = runCore(*bk.program, nullptr, baseCfg,
+                                  bk.setup);
+            row.speedups.push_back(b.ipc() / ref.ipc());
+
+            SimConfig mgCfg = SimConfig::intMemMg();
+            mgCfg.core.physRegs = r;
+            CoreStats m = simulate(*bk.program, mgCfg, bk.setup);
+            row.speedups.push_back(m.ipc() / ref.ipc());
+        }
+        rows.push_back(row);
+    }
+    printf("%s\n",
+           reportSpeedups(
+               "Figure 8 (top): performance with reduced register "
+               "files, relative to the 164-register baseline",
+               names, rows)
+               .c_str());
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Application-specific mini-graphs via DISE (paper Section 5): define
+ * productions whose replacement sequences express a custom idiom,
+ * compile them with the MGPP into MGT templates, and run a codeword-
+ * bearing executable both as handles and fully expanded.
+ */
+
+#include <cstdio>
+
+#include "assembler/assembler.hh"
+#include "common/logging.hh"
+#include "dise/mgpp.hh"
+#include "sim/simulator.hh"
+
+using namespace mg;
+
+int
+main()
+{
+    // A saturating-accumulate idiom the compiler emits constantly in
+    // this imaginary application: t = a + b; if (t < 0) t = 0.
+    // Production: <addq T.RS1,T.RS2,$d0 ; cmplt $d0,0... -> use a
+    // branch-free clamp: sra sign mask + bic.
+    Production clamp;
+    clamp.name = "sat-accumulate";
+    clamp.pattern.aware = true;
+    clamp.pattern.codewordId = 7;
+    clamp.replacement = {
+        {Op::ADDQ, ParamReg::rs1(), ParamReg::rs2(), ParamReg::d(0), 0,
+         false, false},
+        {Op::SRA, ParamReg::d(0), ParamReg::none(), ParamReg::d(1), 63,
+         true, false},
+        {Op::BIC, ParamReg::d(0), ParamReg::d(1), ParamReg::rd(), 0,
+         false, false},
+    };
+
+    DiseEngine engine;
+    engine.addProduction(clamp);
+
+    // The MGPP inspects and compiles the production.
+    MgppResult res = mgppCompile(clamp);
+    printf("MGPP: production '%s' %s\n", clamp.name.c_str(),
+           res.approved ? "approved as a mini-graph"
+                        : ("rejected: " + res.reason).c_str());
+
+    MgTable table;
+    Mgtt mgtt;
+    mgppProcess(engine, MgtMachine{}, table, mgtt);
+    const MgttEntry *tag = mgtt.find(7);
+    printf("MGTT[7]: pre-processed=%d approved=%d -> MGID %d\n\n",
+           tag->preProcessed, tag->approved, tag->mgid);
+    printf("%s\n", table.str().c_str());
+
+    // A program using the codeword in a hot loop.
+    Program prog = assemble(strfmt(R"(
+        .text
+main:
+        li   r16, 5000
+        clr  r1
+        li   r2, -3
+loop:
+        mg   r1, r2, r1, %d       # r1 = max(r1 + r2, 0)
+        addq r2, 1, r2
+        subq r16, 1, r16
+        bgt  r16, loop
+        stq  r1, result
+        halt
+        .data
+result: .quad 0
+    )", 7), "custom");
+
+    // Mini-graph-aware processor: execute the handle via the MGT
+    // (remap codeword id -> installed MGID).
+    Program hp = prog;
+    for (Instruction &in : hp.text) {
+        if (in.isHandle())
+            in.imm = tag->mgid;
+    }
+    Emulator aware(hp, &table);
+    aware.run();
+
+    // Legacy processor: DISE expands the codeword in line.
+    Program xp = engine.expandProgram(prog);
+    Emulator legacy(xp);
+    legacy.run();
+
+    printf("aware result  = %llu\n",
+           static_cast<unsigned long long>(
+               aware.memory().read(prog.symbol("result"), 8)));
+    printf("legacy result = %llu (same semantics, no MG hardware)\n\n",
+           static_cast<unsigned long long>(
+               legacy.memory().read(xp.symbol("result"), 8)));
+
+    // Timing difference on the mini-graph machine. DISE expansion is
+    // a decode-stage mechanism ($d registers never reach the rename
+    // map), so the timing comparison uses the equivalent compiler-
+    // visible expansion over architectural scratch registers.
+    Program manual = assemble(R"(
+        .text
+main:
+        li   r16, 5000
+        clr  r1
+        li   r2, -3
+loop:
+        addq r1, r2, r10
+        sra  r10, 63, r11
+        bic  r10, r11, r1
+        addq r2, 1, r2
+        subq r16, 1, r16
+        bgt  r16, loop
+        stq  r1, result
+        halt
+        .data
+result: .quad 0
+    )", "manual");
+    SimConfig cfg = SimConfig::intMg();
+    CoreStats h = runCore(hp, &table, cfg.core, nullptr);
+    CoreStats x = runCore(manual, nullptr, SimConfig::baseline().core,
+                          nullptr);
+    printf("handle machine : %llu cycles (IPC %.3f)\n",
+           static_cast<unsigned long long>(h.cycles), h.ipc());
+    printf("expanded run   : %llu cycles (IPC %.3f)\n",
+           static_cast<unsigned long long>(x.cycles), x.ipc());
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Design-space exploration on one kernel: how MGT capacity, maximum
+ * mini-graph size, selection policies, and collapsing pipelines trade
+ * off coverage against speedup — the knobs a user tunes when adopting
+ * the library.
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "sim/simulator.hh"
+#include "workloads/suites.hh"
+
+using namespace mg;
+
+int
+main(int argc, char **argv)
+{
+    const char *name = argc > 1 ? argv[1] : "adpcm.enc";
+    BoundKernel bk = bindKernel(findKernel(name));
+    printf("design space for kernel '%s' (%s)\n\n", bk.kernel->name,
+           bk.kernel->description);
+
+    CoreStats base = runCore(*bk.program, nullptr,
+                             SimConfig::baseline().core, bk.setup);
+    printf("baseline IPC %.3f over %llu cycles\n\n", base.ipc(),
+           static_cast<unsigned long long>(base.cycles));
+
+    BlockProfile prof = collectProfile(*bk.program, bk.setup, 400000);
+
+    TextTable t;
+    t.header({"config", "templates", "coverage", "IPC", "speedup"});
+    auto runOne = [&](const std::string &label, SimConfig cfg) {
+        PreparedMg prep = prepareMiniGraphs(*bk.program, prof,
+                                            cfg.policy, cfg.machine,
+                                            cfg.compress);
+        CoreStats st = runCore(prep.program, &prep.table, cfg.core,
+                               bk.setup);
+        t.row({label, strfmt("%zu", prep.table.size()),
+               fmtPct(prep.staticCoverage), fmtDouble(st.ipc(), 3),
+               fmtDouble(st.ipc() / base.ipc(), 3)});
+    };
+
+    for (int entries : {8, 32, 128, 512}) {
+        SimConfig cfg = SimConfig::intMemMg();
+        cfg.policy.maxTemplates = entries;
+        runOne(strfmt("int-mem, %d entries", entries), cfg);
+    }
+    for (int size : {2, 3, 4, 8}) {
+        SimConfig cfg = SimConfig::intMemMg();
+        cfg.policy.maxSize = size;
+        runOne(strfmt("int-mem, size<=%d", size), cfg);
+    }
+    {
+        SimConfig cfg = SimConfig::intMg();
+        runOne("int only", cfg);
+        cfg = SimConfig::intMg(true);
+        runOne("int + collapsing", cfg);
+        cfg = SimConfig::intMemMg(true);
+        runOne("int-mem + collapsing", cfg);
+        cfg = SimConfig::intMemMg();
+        cfg.policy.allowExternallySerial = false;
+        runOne("int-mem, no ext-serial", cfg);
+        cfg = SimConfig::intMemMg();
+        cfg.policy.allowInteriorLoads = false;
+        runOne("int-mem, no replay-vulnerable", cfg);
+        cfg = SimConfig::intMemMg();
+        cfg.compress = true;
+        runOne("int-mem, compressed layout", cfg);
+    }
+    printf("%s\n", t.str().c_str());
+    return 0;
+}

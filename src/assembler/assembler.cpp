@@ -1,0 +1,464 @@
+#include "assembler/assembler.hh"
+
+#include <optional>
+#include <unordered_map>
+
+#include "assembler/lexer.hh"
+#include "common/logging.hh"
+
+namespace mg {
+
+namespace {
+
+/** Mnemonic lookup table built once. */
+const std::unordered_map<std::string, Op> &
+mnemonics()
+{
+    static const std::unordered_map<std::string, Op> table = [] {
+        std::unordered_map<std::string, Op> m;
+        for (int i = 0; i < static_cast<int>(Op::NUM_OPS); ++i) {
+            Op op = static_cast<Op>(i);
+            m.emplace(opName(op), op);
+        }
+        return m;
+    }();
+    return table;
+}
+
+/** Streaming parser state shared by both passes. */
+class Parser
+{
+  public:
+    Parser(const std::vector<Token> &toks, const std::string &unit)
+        : toks(toks), unit(unit)
+    {}
+
+    /** Pass 1: compute label addresses. */
+    void scanLabels(Program &prog);
+
+    /** Pass 2: emit instructions and data. */
+    void emit(Program &prog);
+
+  private:
+    const std::vector<Token> &toks;
+    const std::string unit;
+    size_t pos = 0;
+    bool inText = true;
+
+    [[noreturn]] void
+    err(const std::string &msg) const
+    {
+        int line = pos < toks.size() ? toks[pos].line : 0;
+        throw AsmError(strfmt("%s:%d: %s", unit.c_str(), line, msg.c_str()));
+    }
+
+    const Token &peek() const { return toks[pos]; }
+    const Token &get() { return toks[pos++]; }
+
+    bool
+    accept(Tok k)
+    {
+        if (toks[pos].kind == k) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expect(Tok k, const char *what)
+    {
+        if (!accept(k))
+            err(strfmt("expected %s", what));
+    }
+
+    void endStmt() { expect(Tok::Newline, "end of statement"); }
+
+    RegId
+    parseReg()
+    {
+        if (peek().kind != Tok::Reg)
+            err("expected register");
+        const Token &t = get();
+        RegId r = static_cast<RegId>(t.value);
+        return t.fpReg ? static_cast<RegId>(r + fpBase) : r;
+    }
+
+    /**
+     * Immediate: INT, or IDENT (symbol), optionally followed by +INT.
+     * In pass 1 symbols may be unresolved; @p prog may be null there.
+     */
+    std::int64_t
+    parseImm(const Program *prog)
+    {
+        std::int64_t v = 0;
+        if (peek().kind == Tok::Int) {
+            v = get().value;
+        } else if (peek().kind == Tok::Ident) {
+            std::string name = get().text;
+            if (prog) {
+                auto it = prog->symbols.find(name);
+                if (it == prog->symbols.end())
+                    err(strfmt("undefined symbol '%s'", name.c_str()));
+                v = static_cast<std::int64_t>(it->second);
+            }
+        } else {
+            err("expected immediate or symbol");
+        }
+        if (accept(Tok::Plus)) {
+            if (peek().kind != Tok::Int)
+                err("expected integer after '+'");
+            v += get().value;
+        }
+        return v;
+    }
+
+    /** Count how many bytes a data directive occupies (pass 1). */
+    std::uint64_t dataSize(const std::string &dir, Addr cur);
+
+    /** Emit a data directive's bytes (pass 2). */
+    void emitData(const std::string &dir, Program &prog);
+
+    /** Parse one instruction statement into @p insn (pass 2). */
+    Instruction parseInsn(const std::string &mnem, const Program &prog);
+
+    /** Skip to end of current statement (pass 1). */
+    void
+    skipStmt()
+    {
+        while (peek().kind != Tok::Newline && peek().kind != Tok::End)
+            ++pos;
+        accept(Tok::Newline);
+    }
+};
+
+std::uint64_t
+Parser::dataSize(const std::string &dir, Addr cur)
+{
+    auto countItems = [&]() -> std::uint64_t {
+        std::uint64_t cnt = 0;
+        for (;;) {
+            if (peek().kind == Tok::Int || peek().kind == Tok::Ident) {
+                ++pos;
+                if (accept(Tok::Plus)) {
+                    if (peek().kind != Tok::Int)
+                        err("expected integer after '+'");
+                    ++pos;
+                }
+            } else {
+                err("expected data value");
+            }
+            ++cnt;
+            if (!accept(Tok::Comma))
+                break;
+        }
+        return cnt;
+    };
+    if (dir == ".quad")
+        return 8 * countItems();
+    if (dir == ".long")
+        return 4 * countItems();
+    if (dir == ".word")
+        return 2 * countItems();
+    if (dir == ".byte")
+        return 1 * countItems();
+    if (dir == ".space") {
+        if (peek().kind != Tok::Int)
+            err(".space needs a byte count");
+        return static_cast<std::uint64_t>(get().value);
+    }
+    if (dir == ".align") {
+        if (peek().kind != Tok::Int)
+            err(".align needs an alignment");
+        auto a = static_cast<std::uint64_t>(get().value);
+        if (a == 0 || (a & (a - 1)))
+            err(".align must be a power of two");
+        return (a - (cur % a)) % a;
+    }
+    if (dir == ".asciiz") {
+        if (peek().kind != Tok::Str)
+            err(".asciiz needs a string");
+        return get().text.size() + 1;
+    }
+    err(strfmt("unknown directive '%s'", dir.c_str()));
+}
+
+void
+Parser::emitData(const std::string &dir, Program &prog)
+{
+    auto push = [&](std::int64_t v, int bytes) {
+        for (int b = 0; b < bytes; ++b)
+            prog.data.push_back(
+                static_cast<std::uint8_t>((static_cast<std::uint64_t>(v) >>
+                                           (8 * b)) & 0xff));
+    };
+    auto emitItems = [&](int bytes) {
+        for (;;) {
+            push(parseImm(&prog), bytes);
+            if (!accept(Tok::Comma))
+                break;
+        }
+    };
+    if (dir == ".quad") { emitItems(8); return; }
+    if (dir == ".long") { emitItems(4); return; }
+    if (dir == ".word") { emitItems(2); return; }
+    if (dir == ".byte") { emitItems(1); return; }
+    if (dir == ".space") {
+        auto nbytes = static_cast<std::uint64_t>(get().value);
+        prog.data.insert(prog.data.end(), nbytes, 0);
+        return;
+    }
+    if (dir == ".align") {
+        auto a = static_cast<std::uint64_t>(get().value);
+        Addr cur = dataBase + prog.data.size();
+        std::uint64_t pad = (a - (cur % a)) % a;
+        prog.data.insert(prog.data.end(), pad, 0);
+        return;
+    }
+    if (dir == ".asciiz") {
+        const std::string &s = get().text;
+        for (char ch : s)
+            prog.data.push_back(static_cast<std::uint8_t>(ch));
+        prog.data.push_back(0);
+        return;
+    }
+    err(strfmt("unknown directive '%s'", dir.c_str()));
+}
+
+void
+Parser::scanLabels(Program &prog)
+{
+    pos = 0;
+    inText = true;
+    InsnIdx textIdx = 0;
+    Addr dataAddr = dataBase;
+
+    while (peek().kind != Tok::End) {
+        if (accept(Tok::Newline))
+            continue;
+        if (peek().kind != Tok::Ident)
+            err("expected label, mnemonic, or directive");
+
+        // Label?
+        if (pos + 1 < toks.size() && toks[pos + 1].kind == Tok::Colon) {
+            std::string name = get().text;
+            get(); // colon
+            Addr a = inText ? Program::pcOf(textIdx) : dataAddr;
+            if (!prog.symbols.emplace(name, a).second)
+                err(strfmt("duplicate label '%s'", name.c_str()));
+            continue;
+        }
+
+        std::string word = get().text;
+        if (word == ".text") { inText = true; endStmt(); continue; }
+        if (word == ".data") { inText = false; endStmt(); continue; }
+        if (word == ".global") { skipStmt(); continue; }
+        if (word[0] == '.') {
+            if (inText)
+                err("data directives only allowed in .data");
+            dataAddr += dataSize(word, dataAddr);
+            endStmt();
+            continue;
+        }
+        // Instruction (including pseudo): one slot.
+        if (!inText)
+            err("instructions only allowed in .text");
+        ++textIdx;
+        skipStmt();
+    }
+}
+
+Instruction
+Parser::parseInsn(const std::string &mnem, const Program &prog)
+{
+    Instruction in;
+
+    // Pseudo-instructions first.
+    if (mnem == "mov") {
+        // mov ra, rc  ->  bis ra, ra, rc
+        in.op = Op::BIS;
+        in.ra = parseReg();
+        in.rb = in.ra;
+        expect(Tok::Comma, "','");
+        in.rc = parseReg();
+        return in;
+    }
+    if (mnem == "li") {
+        // li rc, imm  ->  lda rc, imm(r31)
+        in.op = Op::LDA;
+        in.rc = parseReg();
+        expect(Tok::Comma, "','");
+        in.imm = parseImm(&prog);
+        in.ra = regZero;
+        in.useImm = true;
+        return in;
+    }
+    if (mnem == "clr") {
+        in.op = Op::BIS;
+        in.ra = regZero;
+        in.rb = regZero;
+        in.rc = parseReg();
+        return in;
+    }
+
+    auto it = mnemonics().find(mnem);
+    if (it == mnemonics().end())
+        err(strfmt("unknown mnemonic '%s'", mnem.c_str()));
+    in.op = it->second;
+
+    switch (in.cls()) {
+      case InsnClass::IntAlu:
+      case InsnClass::IntMult:
+      case InsnClass::FpAlu:
+      case InsnClass::FpDiv:
+        if (in.op == Op::LDA || in.op == Op::LDAH) {
+            // lda rc, imm(ra) | lda rc, imm | lda rc, symbol
+            in.rc = parseReg();
+            expect(Tok::Comma, "','");
+            in.imm = parseImm(&prog);
+            in.useImm = true;
+            if (accept(Tok::LParen)) {
+                in.ra = parseReg();
+                expect(Tok::RParen, "')'");
+            } else {
+                in.ra = regZero;
+            }
+            return in;
+        }
+        if (in.op == Op::SEXTB || in.op == Op::SEXTW ||
+            in.op == Op::CTPOP || in.op == Op::CTLZ || in.op == Op::CTTZ) {
+            // Unary: op ra, rc
+            in.ra = parseReg();
+            expect(Tok::Comma, "','");
+            in.rc = parseReg();
+            in.rb = regNone;
+            in.useImm = true;   // no second register source
+            in.imm = 0;
+            return in;
+        }
+        // op ra, rb_or_imm, rc
+        in.ra = parseReg();
+        expect(Tok::Comma, "','");
+        if (peek().kind == Tok::Reg) {
+            in.rb = parseReg();
+        } else {
+            in.imm = parseImm(&prog);
+            in.useImm = true;
+            in.rb = regNone;
+        }
+        expect(Tok::Comma, "','");
+        in.rc = parseReg();
+        return in;
+      case InsnClass::Load:
+      case InsnClass::Store:
+        // ld/st ra, imm(rb) | ld/st ra, symbol | ld/st ra, symbol(rb)
+        in.ra = parseReg();
+        expect(Tok::Comma, "','");
+        in.imm = parseImm(&prog);
+        if (accept(Tok::LParen)) {
+            in.rb = parseReg();
+            expect(Tok::RParen, "')'");
+        } else {
+            in.rb = regZero;
+        }
+        return in;
+      case InsnClass::CondBranch:
+        in.ra = parseReg();
+        expect(Tok::Comma, "','");
+        in.imm = parseImm(&prog);
+        return in;
+      case InsnClass::UncondBranch:
+        // br [ra,] target ; bsr [ra,] target (default link: r31 / r26)
+        if (peek().kind == Tok::Reg) {
+            in.ra = parseReg();
+            expect(Tok::Comma, "','");
+        } else {
+            in.ra = (in.op == Op::BSR) ? regRa : regZero;
+        }
+        in.imm = parseImm(&prog);
+        return in;
+      case InsnClass::IndirectJump:
+        // jmp [ra,] (rb) ; jsr [ra,] (rb) ; ret [(rb)]
+        if (in.op == Op::RET) {
+            in.ra = regZero;
+            if (accept(Tok::LParen)) {
+                in.rb = parseReg();
+                expect(Tok::RParen, "')'");
+            } else {
+                in.rb = regRa;
+            }
+            return in;
+        }
+        if (peek().kind == Tok::Reg) {
+            in.ra = parseReg();
+            expect(Tok::Comma, "','");
+        } else {
+            in.ra = (in.op == Op::JSR) ? regRa : regZero;
+        }
+        expect(Tok::LParen, "'('");
+        in.rb = parseReg();
+        expect(Tok::RParen, "')'");
+        return in;
+      case InsnClass::Handle:
+        // mg ra, rb, rc, mgid
+        in.ra = parseReg();
+        expect(Tok::Comma, "','");
+        in.rb = parseReg();
+        expect(Tok::Comma, "','");
+        in.rc = parseReg();
+        expect(Tok::Comma, "','");
+        in.imm = parseImm(&prog);
+        return in;
+      case InsnClass::Nop:
+      case InsnClass::Halt:
+        in.ra = regNone;
+        in.rb = regNone;
+        return in;
+    }
+    err("unhandled instruction class");
+}
+
+void
+Parser::emit(Program &prog)
+{
+    pos = 0;
+    inText = true;
+
+    while (peek().kind != Tok::End) {
+        if (accept(Tok::Newline))
+            continue;
+        if (pos + 1 < toks.size() && toks[pos + 1].kind == Tok::Colon) {
+            pos += 2;
+            continue;
+        }
+        std::string word = get().text;
+        if (word == ".text") { inText = true; endStmt(); continue; }
+        if (word == ".data") { inText = false; endStmt(); continue; }
+        if (word == ".global") { skipStmt(); continue; }
+        if (word[0] == '.') {
+            emitData(word, prog);
+            endStmt();
+            continue;
+        }
+        prog.text.push_back(parseInsn(word, prog));
+        endStmt();
+    }
+}
+
+} // namespace
+
+Program
+assemble(const std::string &source, const std::string &unit)
+{
+    std::vector<Token> toks = lex(source, unit);
+    Program prog;
+    Parser p1(toks, unit);
+    p1.scanLabels(prog);
+    Parser p2(toks, unit);
+    p2.emit(prog);
+    if (prog.symbols.count("main"))
+        prog.entry = prog.symbols.at("main");
+    return prog;
+}
+
+} // namespace mg

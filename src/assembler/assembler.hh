@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Two-pass MG-Alpha assembler.
+ *
+ * Pass 1 walks the token stream assigning addresses to labels (text
+ * labels advance by one instruction slot per statement, data labels by
+ * the directive's byte size). Pass 2 emits instructions and data with
+ * all symbols resolved.
+ *
+ * Supported directives: .text .data .quad .long .word .byte .space
+ * .align .asciiz .global (ignored). Pseudo instructions: mov, li, clr,
+ * nop, halt, ret, and unadorned br/bsr/jsr forms.
+ *
+ * Immediates are not range-limited to 16 bits (a deliberate simulator
+ * liberty so label addresses fit in one lda; documented in DESIGN.md).
+ */
+
+#ifndef MG_ASSEMBLER_ASSEMBLER_HH
+#define MG_ASSEMBLER_ASSEMBLER_HH
+
+#include <string>
+
+#include "isa/instruction.hh"
+
+namespace mg {
+
+/**
+ * Assemble @p source into a Program.
+ *
+ * @param source complete assembly text
+ * @param unit   name used in diagnostics
+ * @return the assembled program
+ * @throws AsmError on any syntax or semantic error
+ */
+Program assemble(const std::string &source, const std::string &unit = "asm");
+
+} // namespace mg
+
+#endif // MG_ASSEMBLER_ASSEMBLER_HH

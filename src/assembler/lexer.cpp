@@ -1,0 +1,183 @@
+#include "assembler/lexer.hh"
+
+#include <cctype>
+
+#include "common/logging.hh"
+
+namespace mg {
+
+namespace {
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.' || c == '$';
+}
+
+bool
+identCont(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.' || c == '$';
+}
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &src, const std::string &unit)
+{
+    std::vector<Token> out;
+    int line = 1;
+    size_t i = 0;
+    const size_t n = src.size();
+
+    auto err = [&](const std::string &msg) -> void {
+        throw AsmError(strfmt("%s:%d: %s", unit.c_str(), line, msg.c_str()));
+    };
+
+    auto emit = [&](Tok k) {
+        Token t;
+        t.kind = k;
+        t.line = line;
+        out.push_back(t);
+    };
+
+    while (i < n) {
+        char c = src[i];
+        if (c == '#' || c == ';') {
+            while (i < n && src[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (c == '\n') {
+            // Collapse consecutive newlines.
+            if (!out.empty() && out.back().kind != Tok::Newline)
+                emit(Tok::Newline);
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == ',') { emit(Tok::Comma); ++i; continue; }
+        if (c == '(') { emit(Tok::LParen); ++i; continue; }
+        if (c == ')') { emit(Tok::RParen); ++i; continue; }
+        if (c == ':') { emit(Tok::Colon); ++i; continue; }
+        if (c == '+') { emit(Tok::Plus); ++i; continue; }
+        if (c == '"') {
+            size_t start = ++i;
+            std::string s;
+            while (i < n && src[i] != '"') {
+                if (src[i] == '\\' && i + 1 < n) {
+                    ++i;
+                    switch (src[i]) {
+                      case 'n': s += '\n'; break;
+                      case 't': s += '\t'; break;
+                      case '0': s += '\0'; break;
+                      case '\\': s += '\\'; break;
+                      case '"': s += '"'; break;
+                      default: err("bad escape in string");
+                    }
+                } else {
+                    s += src[i];
+                }
+                ++i;
+            }
+            if (i >= n)
+                err("unterminated string");
+            ++i;
+            Token t;
+            t.kind = Tok::Str;
+            t.text = std::move(s);
+            t.line = line;
+            out.push_back(t);
+            (void)start;
+            continue;
+        }
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+            bool neg = false;
+            size_t start = i;
+            if (c == '-') {
+                neg = true;
+                ++i;
+                if (i >= n || !std::isdigit(static_cast<unsigned char>(src[i]))) {
+                    emit(Tok::Minus);
+                    continue;
+                }
+            }
+            std::uint64_t v = 0;
+            if (i + 1 < n && src[i] == '0' &&
+                (src[i + 1] == 'x' || src[i + 1] == 'X')) {
+                i += 2;
+                if (i >= n || !std::isxdigit(static_cast<unsigned char>(src[i])))
+                    err("bad hex literal");
+                while (i < n &&
+                       std::isxdigit(static_cast<unsigned char>(src[i]))) {
+                    char d = src[i];
+                    int dv = std::isdigit(static_cast<unsigned char>(d))
+                        ? d - '0'
+                        : (std::tolower(d) - 'a' + 10);
+                    v = v * 16 + static_cast<std::uint64_t>(dv);
+                    ++i;
+                }
+            } else {
+                while (i < n &&
+                       std::isdigit(static_cast<unsigned char>(src[i]))) {
+                    v = v * 10 + static_cast<std::uint64_t>(src[i] - '0');
+                    ++i;
+                }
+            }
+            (void)start;
+            Token t;
+            t.kind = Tok::Int;
+            t.value = neg ? -static_cast<std::int64_t>(v)
+                          : static_cast<std::int64_t>(v);
+            t.line = line;
+            out.push_back(t);
+            continue;
+        }
+        if (identStart(c)) {
+            size_t start = i;
+            while (i < n && identCont(src[i]))
+                ++i;
+            std::string word = src.substr(start, i - start);
+            // Register tokens: r0-r31, f0-f31 (bare, all digits after).
+            if ((word[0] == 'r' || word[0] == 'f') && word.size() <= 3 &&
+                word.size() >= 2) {
+                bool digits = true;
+                for (size_t k = 1; k < word.size(); ++k) {
+                    if (!std::isdigit(static_cast<unsigned char>(word[k])))
+                        digits = false;
+                }
+                if (digits) {
+                    int rn = std::stoi(word.substr(1));
+                    if (rn < 0 || rn > 31)
+                        err(strfmt("register %s out of range", word.c_str()));
+                    Token t;
+                    t.kind = Tok::Reg;
+                    t.value = rn;
+                    t.fpReg = (word[0] == 'f');
+                    t.line = line;
+                    out.push_back(t);
+                    continue;
+                }
+            }
+            Token t;
+            t.kind = Tok::Ident;
+            t.text = std::move(word);
+            t.line = line;
+            out.push_back(t);
+            continue;
+        }
+        err(strfmt("unexpected character '%c'", c));
+    }
+    if (!out.empty() && out.back().kind != Tok::Newline)
+        emit(Tok::Newline);
+    emit(Tok::End);
+    return out;
+}
+
+} // namespace mg

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tokenizer for MG-Alpha assembly source.
+ *
+ * Comments start with '#' or ';' and run to end of line. Newlines are
+ * significant (they terminate statements). Registers are rN / fN,
+ * directives begin with '.', and immediates may be decimal or 0x-hex
+ * with an optional leading '-'.
+ */
+
+#ifndef MG_ASSEMBLER_LEXER_HH
+#define MG_ASSEMBLER_LEXER_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mg {
+
+/** Raised for any syntactic or semantic assembly error. */
+class AsmError : public std::runtime_error
+{
+  public:
+    explicit AsmError(const std::string &what) : std::runtime_error(what) {}
+};
+
+/** Token kinds produced by the lexer. */
+enum class Tok : std::uint8_t
+{
+    Ident,      ///< mnemonic, label reference, or directive (with dot)
+    Reg,        ///< rN or fN
+    Int,        ///< integer literal
+    Str,        ///< "quoted string"
+    Comma,
+    LParen,
+    RParen,
+    Colon,
+    Plus,
+    Minus,
+    Newline,
+    End,
+};
+
+/** One lexed token. */
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;        ///< identifier / directive text
+    std::int64_t value = 0;  ///< integer value or register number
+    bool fpReg = false;      ///< register token names an fp register
+    int line = 0;            ///< 1-based source line
+};
+
+/**
+ * Lex @p src completely. The token stream always ends with a single
+ * End token. @p unit names the source in diagnostics.
+ */
+std::vector<Token> lex(const std::string &src, const std::string &unit);
+
+} // namespace mg
+
+#endif // MG_ASSEMBLER_LEXER_HH

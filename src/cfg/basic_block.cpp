@@ -1,0 +1,104 @@
+#include "cfg/basic_block.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace mg {
+
+Cfg::Cfg(const Program &p) : prog(p)
+{
+    const auto n = static_cast<InsnIdx>(prog.text.size());
+    if (n == 0)
+        fatal("cannot build CFG of an empty program");
+
+    // Leaders: entry, targets of direct control transfers, and fall-
+    // throughs after any control transfer or halt.
+    std::set<InsnIdx> leaders;
+    leaders.insert(prog.indexOf(prog.entry));
+    leaders.insert(0);
+    for (InsnIdx i = 0; i < n; ++i) {
+        const Instruction &in = prog.text[i];
+        if (in.isControl()) {
+            if (in.cls() == InsnClass::CondBranch ||
+                in.cls() == InsnClass::UncondBranch) {
+                Addr tgt = static_cast<Addr>(in.imm);
+                if (prog.validPc(tgt))
+                    leaders.insert(prog.indexOf(tgt));
+            }
+            if (i + 1 < n)
+                leaders.insert(i + 1);
+        } else if (in.op == Op::HALT && i + 1 < n) {
+            leaders.insert(i + 1);
+        }
+        if (in.isHandle() && i + 1 < n) {
+            // A handle may terminate in a branch; conservatively treat
+            // the next instruction as a leader.
+            leaders.insert(i + 1);
+        }
+    }
+
+    // Carve blocks.
+    std::vector<InsnIdx> starts(leaders.begin(), leaders.end());
+    blockOfIdx.assign(n, -1);
+    for (size_t b = 0; b < starts.size(); ++b) {
+        BasicBlock blk;
+        blk.first = starts[b];
+        blk.last = (b + 1 < starts.size()) ? starts[b + 1] : n;
+        for (InsnIdx i = blk.first; i < blk.last; ++i)
+            blockOfIdx[i] = static_cast<int>(blocks_.size());
+        blocks_.push_back(blk);
+    }
+
+    // Successor edges.
+    for (auto &blk : blocks_) {
+        const Instruction &term = prog.text[blk.last - 1];
+        auto addSucc = [&](InsnIdx idx) {
+            if (idx < n)
+                blk.succs.push_back(blockOfIdx[idx]);
+        };
+        switch (term.cls()) {
+          case InsnClass::CondBranch:
+            addSucc(blk.last);  // fall through
+            if (prog.validPc(static_cast<Addr>(term.imm)))
+                addSucc(prog.indexOf(static_cast<Addr>(term.imm)));
+            break;
+          case InsnClass::UncondBranch:
+            if (prog.validPc(static_cast<Addr>(term.imm)))
+                addSucc(prog.indexOf(static_cast<Addr>(term.imm)));
+            // A call (bsr) also returns eventually; the return edge is
+            // modelled conservatively by the indirect-exit flag on the
+            // callee's ret.
+            break;
+          case InsnClass::IndirectJump:
+            blk.hasIndirectExit = true;
+            break;
+          case InsnClass::Halt:
+            blk.endsInHalt = true;
+            break;
+          case InsnClass::Handle:
+            // Conservative: successor unknown plus fall-through.
+            blk.hasIndirectExit = true;
+            addSucc(blk.last);
+            break;
+          default:
+            addSucc(blk.last);  // plain fall-through
+            break;
+        }
+        std::sort(blk.succs.begin(), blk.succs.end());
+        blk.succs.erase(std::unique(blk.succs.begin(), blk.succs.end()),
+                        blk.succs.end());
+    }
+}
+
+int
+Cfg::blockStartingAt(InsnIdx idx) const
+{
+    if (idx >= blockOfIdx.size())
+        return -1;
+    int b = blockOfIdx[idx];
+    return (b >= 0 && blocks_[static_cast<size_t>(b)].first == idx) ? b : -1;
+}
+
+} // namespace mg

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Basic-block discovery and the control-flow graph. Mini-graphs are
+ * restricted to basic blocks (atomicity, paper Section 3.1), so every
+ * selection pass starts here.
+ */
+
+#ifndef MG_CFG_BASIC_BLOCK_HH
+#define MG_CFG_BASIC_BLOCK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace mg {
+
+/** One basic block: the half-open text-index range [first, last). */
+struct BasicBlock
+{
+    InsnIdx first = 0;
+    InsnIdx last = 0;               ///< one past the final instruction
+    std::vector<int> succs;         ///< successor block ids
+    bool hasIndirectExit = false;   ///< ends in jmp/jsr/ret (targets unknown)
+    bool endsInHalt = false;
+
+    InsnIdx size() const { return last - first; }
+};
+
+/** The CFG of a Program's text section. */
+class Cfg
+{
+  public:
+    /** Build the CFG of @p prog. */
+    explicit Cfg(const Program &prog);
+
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+
+    /** Block id containing text index @p idx. */
+    int blockOf(InsnIdx idx) const { return blockOfIdx[idx]; }
+
+    /** Block id whose first instruction is @p idx, or -1. */
+    int blockStartingAt(InsnIdx idx) const;
+
+    const Program &program() const { return prog; }
+
+  private:
+    const Program &prog;
+    std::vector<BasicBlock> blocks_;
+    std::vector<int> blockOfIdx;    ///< per text index
+};
+
+} // namespace mg
+
+#endif // MG_CFG_BASIC_BLOCK_HH

@@ -1,0 +1,76 @@
+#include "cfg/liveness.hh"
+
+namespace mg {
+
+RegSet
+Liveness::uses(const Instruction &in)
+{
+    RegSet s;
+    for (int i = 0; i < 2; ++i) {
+        RegId r = in.src(i);
+        if (r != regNone && !isZeroReg(r))
+            s.set(static_cast<size_t>(r));
+    }
+    // Conditional moves additionally read their destination.
+    if ((in.op == Op::CMOVEQ || in.op == Op::CMOVNE) &&
+        in.rc != regNone && !isZeroReg(in.rc))
+        s.set(static_cast<size_t>(in.rc));
+    return s;
+}
+
+RegSet
+Liveness::defs(const Instruction &in)
+{
+    RegSet s;
+    RegId d = in.dst();
+    if (d != regNone && !isZeroReg(d))
+        s.set(static_cast<size_t>(d));
+    return s;
+}
+
+Liveness::Liveness(const Cfg &cfg)
+{
+    const auto &blocks = cfg.blocks();
+    const Program &prog = cfg.program();
+    const size_t nb = blocks.size();
+
+    // Per-block gen (upward-exposed uses) and kill (defs).
+    std::vector<RegSet> gen(nb), kill(nb);
+    for (size_t b = 0; b < nb; ++b) {
+        RegSet defined;
+        for (InsnIdx i = blocks[b].first; i < blocks[b].last; ++i) {
+            const Instruction &in = prog.text[i];
+            gen[b] |= (uses(in) & ~defined);
+            defined |= defs(in);
+        }
+        kill[b] = defined;
+    }
+
+    liveIn_.assign(nb, RegSet());
+    liveOut_.assign(nb, RegSet());
+
+    RegSet all;
+    all.set();
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t b = nb; b-- > 0;) {
+            RegSet out;
+            if (blocks[b].hasIndirectExit) {
+                out = all;
+            } else {
+                for (int s : blocks[b].succs)
+                    out |= liveIn_[static_cast<size_t>(s)];
+            }
+            RegSet in = gen[b] | (out & ~kill[b]);
+            if (out != liveOut_[b] || in != liveIn_[b]) {
+                liveOut_[b] = out;
+                liveIn_[b] = in;
+                changed = true;
+            }
+        }
+    }
+}
+
+} // namespace mg

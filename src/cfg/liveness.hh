@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Per-block register liveness. Mini-graph legality depends on knowing
+ * which registers are dead at block exit: interior values must never be
+ * observable outside the graph (paper Section 3.1).
+ *
+ * Blocks with indirect exits (jmp/jsr/ret) conservatively treat every
+ * register as live-out, matching what a production binary rewriter
+ * without whole-program pointer analysis must assume.
+ */
+
+#ifndef MG_CFG_LIVENESS_HH
+#define MG_CFG_LIVENESS_HH
+
+#include <bitset>
+#include <vector>
+
+#include "cfg/basic_block.hh"
+
+namespace mg {
+
+/** One bit per architectural register. */
+using RegSet = std::bitset<numArchRegs>;
+
+/** Result of the iterative liveness dataflow analysis. */
+class Liveness
+{
+  public:
+    /** Run the analysis over @p cfg to a fixpoint. */
+    explicit Liveness(const Cfg &cfg);
+
+    const RegSet &liveIn(int block) const
+    {
+        return liveIn_[static_cast<size_t>(block)];
+    }
+    const RegSet &liveOut(int block) const
+    {
+        return liveOut_[static_cast<size_t>(block)];
+    }
+
+    /** Registers read by @p in (zero registers excluded). */
+    static RegSet uses(const Instruction &in);
+
+    /** Registers written by @p in (zero registers excluded). */
+    static RegSet defs(const Instruction &in);
+
+  private:
+    std::vector<RegSet> liveIn_;
+    std::vector<RegSet> liveOut_;
+};
+
+} // namespace mg
+
+#endif // MG_CFG_LIVENESS_HH

@@ -1,0 +1,3 @@
+// BlockProfile is header-only; this translation unit exists so the
+// build system has a stable object for the cfg/profile component.
+#include "cfg/profile.hh"

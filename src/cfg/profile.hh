@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Basic-block execution-frequency profiles. The selection algorithm's
+ * benefit function is coverage = (n-1) * f where f comes from a profile
+ * (paper Section 3.2).
+ */
+
+#ifndef MG_CFG_PROFILE_HH
+#define MG_CFG_PROFILE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace mg {
+
+/** Dynamic execution counts keyed by block-start text index. */
+class BlockProfile
+{
+  public:
+    /** Record one execution of the block starting at @p first. */
+    void
+    record(InsnIdx first, std::uint64_t count = 1)
+    {
+        counts_[first] += count;
+        total_ += count;
+    }
+
+    /** Executions of the block starting at @p first. */
+    std::uint64_t
+    count(InsnIdx first) const
+    {
+        auto it = counts_.find(first);
+        return it == counts_.end() ? 0 : it->second;
+    }
+
+    /** Sum of all block executions. */
+    std::uint64_t total() const { return total_; }
+
+    /** Merge another profile into this one (multi-input training). */
+    void
+    merge(const BlockProfile &other)
+    {
+        for (const auto &[idx, c] : other.counts_)
+            record(idx, c);
+    }
+
+    const std::unordered_map<InsnIdx, std::uint64_t> &
+    counts() const
+    {
+        return counts_;
+    }
+
+  private:
+    std::unordered_map<InsnIdx, std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace mg
+
+#endif // MG_CFG_PROFILE_HH

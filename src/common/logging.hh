@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 style: fatal() for user errors,
+ * panic() for internal invariant violations, warn() for suspicious but
+ * survivable conditions.
+ */
+
+#ifndef MG_COMMON_LOGGING_HH
+#define MG_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace mg {
+
+/**
+ * Terminate the process because of a user-level error (bad configuration,
+ * malformed assembly, illegal argument). Exits with status 1.
+ */
+[[noreturn]] void fatal(const char *fmt, ...);
+
+/**
+ * Terminate the process because of an internal simulator bug. Aborts so a
+ * debugger or core dump can capture the state.
+ */
+[[noreturn]] void panic(const char *fmt, ...);
+
+/** Print a warning to stderr and continue. */
+void warn(const char *fmt, ...);
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...);
+
+/** vprintf-style formatting into a std::string. */
+std::string vstrfmt(const char *fmt, va_list ap);
+
+} // namespace mg
+
+#endif // MG_COMMON_LOGGING_HH

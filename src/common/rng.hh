@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload input
+ * synthesis. SplitMix64 keeps every experiment reproducible across
+ * platforms and standard-library versions (std::mt19937 streams are
+ * portable, but distributions are not).
+ */
+
+#ifndef MG_COMMON_RNG_HH
+#define MG_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace mg {
+
+/** SplitMix64: tiny, fast, high-quality 64-bit PRNG. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace mg
+
+#endif // MG_COMMON_RNG_HH

@@ -1,0 +1,91 @@
+#include "common/stats.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace mg {
+
+double
+amean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+gmean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0)
+            panic("gmean requires positive values (got %f)", x);
+        s += std::log(x);
+    }
+    return std::exp(s / static_cast<double>(xs.size()));
+}
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+    headerRows = static_cast<int>(rows_.size());
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::str() const
+{
+    std::vector<size_t> width;
+    for (const auto &r : rows_) {
+        if (width.size() < r.size())
+            width.resize(r.size(), 0);
+        for (size_t i = 0; i < r.size(); ++i)
+            width[i] = std::max(width[i], r[i].size());
+    }
+    std::string out;
+    int rowIdx = 0;
+    for (const auto &r : rows_) {
+        for (size_t i = 0; i < r.size(); ++i) {
+            out += r[i];
+            if (i + 1 < r.size())
+                out += std::string(width[i] - r[i].size() + 2, ' ');
+        }
+        out += '\n';
+        ++rowIdx;
+        if (rowIdx == headerRows) {
+            size_t total = 0;
+            for (size_t i = 0; i < width.size(); ++i)
+                total += width[i] + (i + 1 < width.size() ? 2 : 0);
+            out += std::string(total, '-');
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+std::string
+fmtDouble(double v, int prec)
+{
+    return strfmt("%.*f", prec, v);
+}
+
+std::string
+fmtPct(double v, int prec)
+{
+    return strfmt("%.*f%%", prec, v * 100.0);
+}
+
+} // namespace mg

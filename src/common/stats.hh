@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Small statistics helpers used by the evaluation harness: arithmetic and
+ * geometric means, ratio formatting, and a fixed-width table printer used
+ * by the figure-reproduction benches.
+ */
+
+#ifndef MG_COMMON_STATS_HH
+#define MG_COMMON_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mg {
+
+/** Arithmetic mean of @p xs; 0 when empty. */
+double amean(const std::vector<double> &xs);
+
+/** Geometric mean of @p xs; 0 when empty. All values must be positive. */
+double gmean(const std::vector<double> &xs);
+
+/**
+ * Fixed-width text table used to print paper-style rows. Columns are
+ * sized to their widest cell; numeric alignment is the caller's problem.
+ */
+class TextTable
+{
+  public:
+    /** Append a header row (printed with a separator beneath it). */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render the table. */
+    std::string str() const;
+
+  private:
+    std::vector<std::vector<std::string>> rows_;
+    int headerRows = 0;
+};
+
+/** Format @p v with @p prec digits after the point. */
+std::string fmtDouble(double v, int prec = 3);
+
+/** Format a fraction as a percentage with @p prec digits. */
+std::string fmtPct(double v, int prec = 1);
+
+} // namespace mg
+
+#endif // MG_COMMON_STATS_HH

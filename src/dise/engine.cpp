@@ -1,0 +1,109 @@
+#include "dise/engine.hh"
+
+#include "common/logging.hh"
+
+namespace mg {
+
+const MgttEntry *
+Mgtt::find(std::int64_t codewordId) const
+{
+    auto it = tags.find(codewordId);
+    return it == tags.end() ? nullptr : &it->second;
+}
+
+bool
+Mgtt::install(std::int64_t codewordId, const MgttEntry &e)
+{
+    if (static_cast<int>(tags.size()) >= cap && !tags.count(codewordId))
+        return false;
+    tags[codewordId] = e;
+    return true;
+}
+
+void
+DiseEngine::addProduction(Production p)
+{
+    prods.push_back(std::move(p));
+}
+
+const Production *
+DiseEngine::match(const Instruction &in) const
+{
+    for (const Production &p : prods) {
+        if (p.pattern.matches(in))
+            return &p;
+    }
+    return nullptr;
+}
+
+std::vector<Instruction>
+DiseEngine::expand(const Instruction &in) const
+{
+    const Production *p = match(in);
+    if (!p)
+        return {in};
+    std::vector<Instruction> out;
+    if (p->keepOriginalFirst)
+        out.push_back(in);
+    for (const ReplInsn &r : p->replacement)
+        out.push_back(instantiate(r, in));
+    return out;
+}
+
+Program
+DiseEngine::expandProgram(const Program &prog) const
+{
+    // First pass: per-slot expansion sizes for re-linking.
+    std::vector<std::vector<Instruction>> expanded;
+    expanded.reserve(prog.text.size());
+    std::vector<InsnIdx> newIdx(prog.text.size());
+    InsnIdx next = 0;
+    for (const Instruction &in : prog.text) {
+        expanded.push_back(expand(in));
+        newIdx[expanded.size() - 1] = next;
+        next += static_cast<InsnIdx>(expanded.back().size());
+    }
+    auto relink = [&](Addr a) -> Addr {
+        if (a < textBase ||
+            (a - textBase) / insnBytes >= prog.text.size())
+            return a;
+        auto idx = static_cast<InsnIdx>((a - textBase) / insnBytes);
+        return Program::pcOf(newIdx[idx]);
+    };
+
+    Program out;
+    out.data = prog.data;
+    for (size_t i = 0; i < expanded.size(); ++i) {
+        const Instruction &orig = prog.text[i];
+        bool codeword = orig.op == Op::MG && expanded[i].size() > 1;
+        for (size_t j = 0; j < expanded[i].size(); ++j) {
+            Instruction in = expanded[i][j];
+            if (in.cls() == InsnClass::CondBranch ||
+                in.cls() == InsnClass::UncondBranch) {
+                if (codeword) {
+                    // Replacement branch displacements are relative to
+                    // the codeword slot (like MGT templates): compute
+                    // the original-program target, then re-link it.
+                    Addr orig_target =
+                        Program::pcOf(static_cast<InsnIdx>(i)) +
+                        static_cast<Addr>(in.imm);
+                    in.imm = static_cast<std::int64_t>(
+                        relink(orig_target));
+                } else {
+                    in.imm = static_cast<std::int64_t>(
+                        relink(static_cast<Addr>(in.imm)));
+                }
+            }
+            if (in.op == Op::LDA && in.useImm && !codeword)
+                in.imm = static_cast<std::int64_t>(
+                    relink(static_cast<Addr>(in.imm)));
+            out.text.push_back(in);
+        }
+    }
+    for (const auto &[name, a] : prog.symbols)
+        out.symbols[name] = relink(a);
+    out.entry = relink(prog.entry);
+    return out;
+}
+
+} // namespace mg

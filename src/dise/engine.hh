@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The DISE engine and the mini-graph tag table (MGTT).
+ *
+ * The engine holds the active production set and performs decode-time
+ * expansion. For mini-graph processing (an aware utility), DISE gains
+ * the option to forgo expansion and keep the codeword/handle inline:
+ * the decision is an MGTT lookup. Each MGTT entry carries two valid
+ * bits — "pre-processed" and "approved" (the MGPP accepted the
+ * replacement sequence as a legal mini-graph). On a hit with approval
+ * the handle stays un-expanded; otherwise DISE splices the replacement
+ * sequence in line, preserving correctness for productions that do
+ * not meet mini-graph criteria and portability across processors
+ * (paper Section 5).
+ */
+
+#ifndef MG_DISE_ENGINE_HH
+#define MG_DISE_ENGINE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dise/production.hh"
+
+namespace mg {
+
+/** One MGTT entry. */
+struct MgttEntry
+{
+    bool preProcessed = false;  ///< first valid bit
+    bool approved = false;      ///< second valid bit: keep un-expanded
+    MgId mgid = mgNone;         ///< MGT index assigned by the MGPP
+};
+
+/** The mini-graph tag table. */
+class Mgtt
+{
+  public:
+    explicit Mgtt(int capacity = 512) : cap(capacity) {}
+
+    /** Lookup by codeword immediate. */
+    const MgttEntry *find(std::int64_t codewordId) const;
+
+    /** Install or update an entry (evicts nothing; bounded by cap). */
+    bool install(std::int64_t codewordId, const MgttEntry &e);
+
+    int size() const { return static_cast<int>(tags.size()); }
+    int capacity() const { return cap; }
+
+  private:
+    int cap;
+    std::unordered_map<std::int64_t, MgttEntry> tags;
+};
+
+/** The DISE engine. */
+class DiseEngine
+{
+  public:
+    /** Install a production (a ".dise" section entry). */
+    void addProduction(Production p);
+
+    const std::vector<Production> &productions() const { return prods; }
+
+    /** The production matching @p in, or null. */
+    const Production *match(const Instruction &in) const;
+
+    /**
+     * Decode-time expansion of @p in. The result is the instruction
+     * sequence the execution core sees (over the architectural + DISE
+     * register space). Non-matching instructions pass through as a
+     * singleton sequence.
+     */
+    std::vector<Instruction> expand(const Instruction &in) const;
+
+    /**
+     * Expand an entire program in line (the no-mini-graph-support
+     * path): codewords are excised and replacement sequences spliced
+     * in their place, with branch targets and symbols re-linked.
+     */
+    Program expandProgram(const Program &prog) const;
+
+  private:
+    std::vector<Production> prods;
+};
+
+} // namespace mg
+
+#endif // MG_DISE_ENGINE_HH

@@ -1,0 +1,175 @@
+#include "dise/mgpp.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+
+namespace mg {
+
+namespace {
+
+/** Track which template instruction last defined each $d register. */
+struct DiseDefs
+{
+    std::array<int, numDiseRegs> def;
+    DiseDefs() { def.fill(-1); }
+};
+
+} // namespace
+
+MgppResult
+mgppCompile(const Production &prod)
+{
+    MgppResult res;
+    auto reject = [&](std::string why) {
+        res.approved = false;
+        res.reason = std::move(why);
+        return res;
+    };
+
+    if (!prod.pattern.aware)
+        return reject("transparent productions are not mini-graphs");
+    const auto &seq = prod.replacement;
+    if (seq.size() < 2 || static_cast<int>(seq.size()) > mgMaxSize)
+        return reject("replacement size outside mini-graph range");
+
+    MgTemplate t;
+    DiseDefs defs;
+    int memOps = 0;
+    bool sawRs1 = false;
+    bool sawRs2 = false;
+    int rdWriter = -1;
+
+    auto refOf = [&](const ParamReg &p, int pos,
+                     std::string *err) -> OpndRef {
+        switch (p.kind) {
+          case ParamKind::RS1:
+            sawRs1 = true;
+            return {OpndKind::E0, -1};
+          case ParamKind::RS2:
+            sawRs2 = true;
+            return {OpndKind::E1, -1};
+          case ParamKind::Dise: {
+              int d = defs.def[static_cast<size_t>(p.idx)];
+              if (d < 0) {
+                  *err = strfmt("$d%d read before write", p.idx);
+                  return {OpndKind::None, -1};
+              }
+              return {OpndKind::M, static_cast<std::int8_t>(d)};
+          }
+          case ParamKind::RD: {
+              // Reading T.RD inside the graph means the graph consumes
+              // the handle's output register as an input -- only legal
+              // when it was produced earlier inside the sequence.
+              if (rdWriter >= 0 && rdWriter < pos)
+                  return {OpndKind::M,
+                          static_cast<std::int8_t>(rdWriter)};
+              *err = "T.RD read before any writer";
+              return {OpndKind::None, -1};
+          }
+          case ParamKind::Lit:
+            if (p.lit != regNone && !isZeroReg(p.lit)) {
+                *err = "literal architectural register in replacement";
+                return {OpndKind::None, -1};
+            }
+            return {OpndKind::None, -1};
+          case ParamKind::None:
+            return {OpndKind::None, -1};
+        }
+        return {OpndKind::None, -1};
+    };
+
+    for (size_t i = 0; i < seq.size(); ++i) {
+        const ReplInsn &r = seq[i];
+        std::string err;
+        TemplateInsn ti;
+        ti.op = r.op;
+        ti.imm = r.imm;
+        ti.useImm = r.useImm;
+
+        InsnClass cls = opClass(r.op);
+        bool terminal = (i == seq.size() - 1);
+        switch (cls) {
+          case InsnClass::IntAlu:
+            if (r.op == Op::CMOVEQ || r.op == Op::CMOVNE)
+                return reject("conditional moves are not collapsible");
+            ti.a = refOf(r.ra, static_cast<int>(i), &err);
+            ti.b = r.useImm ? OpndRef{OpndKind::Imm, -1}
+                            : refOf(r.rb, static_cast<int>(i), &err);
+            break;
+          case InsnClass::Load:
+            if (++memOps > 1)
+                return reject("more than one memory operation");
+            ti.a = refOf(r.rb, static_cast<int>(i), &err);
+            ti.b = {OpndKind::Imm, -1};
+            break;
+          case InsnClass::Store:
+            if (++memOps > 1)
+                return reject("more than one memory operation");
+            ti.a = refOf(r.rb, static_cast<int>(i), &err);
+            ti.b = refOf(r.ra, static_cast<int>(i), &err);
+            break;
+          case InsnClass::CondBranch:
+            if (!terminal)
+                return reject("branch must be terminal");
+            ti.a = refOf(r.ra, static_cast<int>(i), &err);
+            ti.b = {OpndKind::Imm, -1};
+            break;
+          default:
+            return reject(strfmt("opcode %s is not collapsible",
+                                 opName(r.op)));
+        }
+        if (!err.empty())
+            return reject(err);
+
+        // Destination tracking.
+        if (cls == InsnClass::IntAlu || cls == InsnClass::Load) {
+            const ParamReg &dst =
+                (cls == InsnClass::Load) ? r.ra : r.rc;
+            if (dst.kind == ParamKind::Dise) {
+                defs.def[static_cast<size_t>(dst.idx)] =
+                    static_cast<int>(i);
+            } else if (dst.kind == ParamKind::RD) {
+                rdWriter = static_cast<int>(i);
+            } else if (dst.kind == ParamKind::Lit &&
+                       dst.lit != regNone && !isZeroReg(dst.lit)) {
+                return reject("replacement writes a literal register");
+            } else if (dst.kind == ParamKind::RS1 ||
+                       dst.kind == ParamKind::RS2) {
+                return reject("replacement writes an input parameter");
+            }
+        }
+        t.insns.push_back(ti);
+    }
+
+    if (sawRs2 && !sawRs1)
+        return reject("T.RS2 used without T.RS1");
+    t.outIdx = rdWriter;
+    res.approved = true;
+    res.tmpl = std::move(t);
+    return res;
+}
+
+int
+mgppProcess(const DiseEngine &engine, const MgtMachine &machine,
+            MgTable &table, Mgtt &mgtt)
+{
+    int approved = 0;
+    for (const Production &p : engine.productions()) {
+        if (!p.pattern.aware)
+            continue;
+        MgppResult r = mgppCompile(p);
+        MgttEntry e;
+        e.preProcessed = true;
+        if (r.approved) {
+            r.tmpl.finalize(machine);
+            e.mgid = table.add(std::move(r.tmpl));
+            e.approved = true;
+            ++approved;
+        }
+        mgtt.install(p.pattern.codewordId, e);
+    }
+    return approved;
+}
+
+} // namespace mg

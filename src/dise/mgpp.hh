@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The mini-graph pre-processor (MGPP, paper Section 5): a small unit
+ * between DISE and the MGT that scans replacement sequences and
+ * compiles them into internal MGT format. A sequence is "approved"
+ * when it meets mini-graph criteria (at most two interface inputs via
+ * T.RS1/T.RS2, one output via T.RD, one memory operation, a terminal
+ * branch only, and collapsible opcodes); approved sequences keep
+ * their handles un-expanded, others fall back to in-line expansion.
+ */
+
+#ifndef MG_DISE_MGPP_HH
+#define MG_DISE_MGPP_HH
+
+#include <optional>
+#include <string>
+
+#include "dise/engine.hh"
+#include "mg/mgt.hh"
+#include "mg/minigraph.hh"
+
+namespace mg {
+
+/** Outcome of compiling one production. */
+struct MgppResult
+{
+    bool approved = false;
+    std::string reason;         ///< rejection reason when not approved
+    MgTemplate tmpl;            ///< valid when approved (not finalized)
+};
+
+/** Compile @p prod's replacement sequence to a mini-graph template. */
+MgppResult mgppCompile(const Production &prod);
+
+/**
+ * Process every aware production of @p engine: compile, finalize for
+ * @p machine, install approved templates into @p table and tag them in
+ * @p mgtt (pre-processed; approved only when compilation succeeded).
+ *
+ * @return number of approved productions
+ */
+int mgppProcess(const DiseEngine &engine, const MgtMachine &machine,
+                MgTable &table, Mgtt &mgtt);
+
+} // namespace mg
+
+#endif // MG_DISE_MGPP_HH

@@ -1,0 +1,54 @@
+#include "dise/production.hh"
+
+#include "common/logging.hh"
+
+namespace mg {
+
+bool
+Pattern::matches(const Instruction &in) const
+{
+    if (aware)
+        return in.op == Op::MG && in.imm == codewordId;
+    return in.op == op;
+}
+
+namespace {
+
+RegId
+resolve(const ParamReg &p, const Instruction &in)
+{
+    switch (p.kind) {
+      case ParamKind::Lit:
+        return p.lit;
+      case ParamKind::RS1:
+        return in.ra;
+      case ParamKind::RS2:
+        return in.rb;
+      case ParamKind::RD:
+        return in.rc;
+      case ParamKind::Dise:
+        if (p.idx < 0 || p.idx >= numDiseRegs)
+            fatal("DISE register $d%d out of range", p.idx);
+        return diseReg(p.idx);
+      case ParamKind::None:
+        return regNone;
+    }
+    return regNone;
+}
+
+} // namespace
+
+Instruction
+instantiate(const ReplInsn &r, const Instruction &in)
+{
+    Instruction out;
+    out.op = r.op;
+    out.ra = resolve(r.ra, in);
+    out.rb = resolve(r.rb, in);
+    out.rc = resolve(r.rc, in);
+    out.imm = r.immFromCodeword ? in.imm : r.imm;
+    out.useImm = r.useImm;
+    return out;
+}
+
+} // namespace mg

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * DISE productions (paper Section 5; Corliss et al., ISCA-30).
+ *
+ * A production is a <pattern : replacement-sequence> pair. Patterns
+ * match either a reserved-opcode codeword by its immediate (aware
+ * utilities — the mini-graph use case) or any instruction by opcode
+ * (transparent utilities such as memory bounds checking). Replacement
+ * sequences are parameterised: register and immediate fields may be
+ * holes filled from the matching instruction (T.RS1, T.RS2, T.RD,
+ * T.IMM), literal values, or DISE's dedicated registers ($d0..$d3)
+ * which express mini-graph interior dataflow without touching the
+ * architectural register space.
+ */
+
+#ifndef MG_DISE_PRODUCTION_HH
+#define MG_DISE_PRODUCTION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace mg {
+
+/** Number of dedicated DISE registers. */
+constexpr int numDiseRegs = 4;
+
+/** DISE register ids live just past the architectural space. */
+constexpr RegId diseRegBase = numArchRegs;
+
+/** @return the RegId of $d<i>. */
+inline RegId
+diseReg(int i)
+{
+    return static_cast<RegId>(diseRegBase + i);
+}
+
+/** Where a replacement register field comes from. */
+enum class ParamKind : std::uint8_t
+{
+    Lit,    ///< literal register named in the production
+    RS1,    ///< matching instruction's first source (handle ra)
+    RS2,    ///< matching instruction's second source (handle rb)
+    RD,     ///< matching instruction's destination (handle rc)
+    Dise,   ///< dedicated register $d<idx>
+    None,
+};
+
+/** One parameterised register field. */
+struct ParamReg
+{
+    ParamKind kind = ParamKind::None;
+    RegId lit = regNone;    ///< for Lit
+    int idx = 0;            ///< for Dise
+
+    static ParamReg rs1() { return {ParamKind::RS1, regNone, 0}; }
+    static ParamReg rs2() { return {ParamKind::RS2, regNone, 0}; }
+    static ParamReg rd() { return {ParamKind::RD, regNone, 0}; }
+    static ParamReg d(int i) { return {ParamKind::Dise, regNone, i}; }
+    static ParamReg reg(RegId r) { return {ParamKind::Lit, r, 0}; }
+    static ParamReg none() { return {ParamKind::None, regNone, 0}; }
+};
+
+/** One instruction of a replacement sequence. */
+struct ReplInsn
+{
+    Op op = Op::NOP;
+    ParamReg ra;            ///< Alpha-style field (see Instruction)
+    ParamReg rb;
+    ParamReg rc;
+    std::int64_t imm = 0;
+    bool useImm = false;
+    bool immFromCodeword = false;   ///< T.IMM substitution
+};
+
+/** Pattern half of a production. */
+struct Pattern
+{
+    bool aware = true;      ///< match codewords (Op::MG) by immediate
+    std::int64_t codewordId = 0;    ///< aware: required MGID
+    Op op = Op::NOP;        ///< transparent: opcode to match
+
+    bool matches(const Instruction &in) const;
+};
+
+/** A complete production. */
+struct Production
+{
+    Pattern pattern;
+    std::vector<ReplInsn> replacement;
+    /** Transparent productions may splice the original instruction
+     *  first (the T.INSN idiom). */
+    bool keepOriginalFirst = false;
+    std::string name;       ///< diagnostic label
+};
+
+/**
+ * Instantiate @p r against matching instruction @p in: fill every
+ * hole, producing an executable instruction over the architectural
+ * plus DISE register space.
+ */
+Instruction instantiate(const ReplInsn &r, const Instruction &in);
+
+} // namespace mg
+
+#endif // MG_DISE_PRODUCTION_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Static instruction representation and the Program container.
+ *
+ * Operand conventions (Alpha style):
+ *  - operate:  op ra, rb_or_lit, rc     sources ra, rb; destination rc
+ *  - memory:   ld ra, imm(rb) / st ra, imm(rb)
+ *  - branch:   b-- ra, target           imm holds the absolute target PC
+ *  - br/bsr:   br ra, target            ra gets the return address
+ *  - indirect: jmp/jsr/ret ra, (rb)     target in rb, link in ra
+ *  - handle:   mg ra, rb, rc, #mgid
+ */
+
+#ifndef MG_ISA_INSTRUCTION_HH
+#define MG_ISA_INSTRUCTION_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/opcode.hh"
+
+namespace mg {
+
+/** One static MG-Alpha instruction. */
+struct Instruction
+{
+    Op op = Op::NOP;
+    RegId ra = regZero;   ///< first register field
+    RegId rb = regZero;   ///< second register field (regNone in imm form)
+    RegId rc = regNone;   ///< destination field for operates
+    std::int64_t imm = 0; ///< literal / displacement / target / MGID
+    bool useImm = false;  ///< operate second operand is the literal
+
+    /** Number of register source operands (zero registers included). */
+    int numSrcs() const;
+
+    /** Source register @p i (0 or 1), or regNone. */
+    RegId src(int i) const;
+
+    /** Destination register, or regNone. */
+    RegId dst() const;
+
+    InsnClass cls() const { return opClass(op); }
+    bool isLoad() const { return isLoadOp(op); }
+    bool isStore() const { return isStoreOp(op); }
+    bool isMem() const { return isLoad() || isStore(); }
+    bool isControl() const { return isControlOp(op); }
+    bool isCondBranch() const { return isCondBranchOp(op); }
+    bool isHandle() const { return op == Op::MG; }
+    bool isNop() const;
+
+    /**
+     * True when the instruction writes a register that is not hard-wired
+     * to zero; only such instructions allocate a physical register.
+     */
+    bool writesReg() const;
+
+    /** Assembly text of this instruction. */
+    std::string disasm() const;
+
+    /** Structural equality (used by template coalescing). */
+    bool operator==(const Instruction &o) const = default;
+};
+
+/**
+ * A complete MG-Alpha program: a text section of instructions, an
+ * initial data image, and a symbol table. PC of the instruction at
+ * text index i is textBase + i * insnBytes.
+ */
+struct Program
+{
+    std::vector<Instruction> text;
+    /** Initial bytes of the data section, loaded at dataBase. */
+    std::vector<std::uint8_t> data;
+    /** Label -> address (text labels map into the text section). */
+    std::unordered_map<std::string, Addr> symbols;
+    /** Entry point (defaults to textBase). */
+    Addr entry = textBase;
+
+    /** @return PC of text index @p idx. */
+    static Addr pcOf(InsnIdx idx) { return textBase + idx * insnBytes; }
+
+    /** @return text index of @p pc; panics when out of range. */
+    InsnIdx indexOf(Addr pc) const;
+
+    /** @return true iff @p pc addresses a text slot. */
+    bool validPc(Addr pc) const;
+
+    /** @return the instruction at @p pc. */
+    const Instruction &at(Addr pc) const { return text[indexOf(pc)]; }
+
+    /** @return the address of symbol @p name; fatal if absent. */
+    Addr symbol(const std::string &name) const;
+
+    /** Full-program disassembly listing. */
+    std::string disasm() const;
+};
+
+} // namespace mg
+
+#endif // MG_ISA_INSTRUCTION_HH

@@ -1,0 +1,132 @@
+#include "isa/opcode.hh"
+
+#include "common/logging.hh"
+
+namespace mg {
+
+namespace {
+
+struct OpInfo
+{
+    const char *name;
+    InsnClass cls;
+    int latency;
+};
+
+// Indexed by Op. Latencies follow the paper's machine model: 1-cycle
+// integer ALU, 3-cycle multiply, 4-cycle fp operate, 12-cycle fp divide.
+// Memory latencies come from the cache hierarchy, not this table; the
+// value here is the load-to-use *hit* latency used by the scheduler.
+const OpInfo opTable[] = {
+    {"addl",   InsnClass::IntAlu, 1}, {"addq",   InsnClass::IntAlu, 1},
+    {"subl",   InsnClass::IntAlu, 1}, {"subq",   InsnClass::IntAlu, 1},
+    {"mull",   InsnClass::IntMult, 3}, {"mulq",  InsnClass::IntMult, 3},
+    {"s4addl", InsnClass::IntAlu, 1}, {"s8addl", InsnClass::IntAlu, 1},
+    {"s4addq", InsnClass::IntAlu, 1}, {"s8addq", InsnClass::IntAlu, 1},
+    {"and",    InsnClass::IntAlu, 1}, {"bis",    InsnClass::IntAlu, 1},
+    {"xor",    InsnClass::IntAlu, 1}, {"bic",    InsnClass::IntAlu, 1},
+    {"ornot",  InsnClass::IntAlu, 1}, {"eqv",    InsnClass::IntAlu, 1},
+    {"sll",    InsnClass::IntAlu, 1}, {"srl",    InsnClass::IntAlu, 1},
+    {"sra",    InsnClass::IntAlu, 1},
+    {"cmpeq",  InsnClass::IntAlu, 1}, {"cmplt",  InsnClass::IntAlu, 1},
+    {"cmple",  InsnClass::IntAlu, 1}, {"cmpult", InsnClass::IntAlu, 1},
+    {"cmpule", InsnClass::IntAlu, 1},
+    {"lda",    InsnClass::IntAlu, 1}, {"ldah",   InsnClass::IntAlu, 1},
+    {"sextb",  InsnClass::IntAlu, 1}, {"sextw",  InsnClass::IntAlu, 1},
+    {"ctpop",  InsnClass::IntAlu, 1}, {"ctlz",   InsnClass::IntAlu, 1},
+    {"cttz",   InsnClass::IntAlu, 1},
+    {"zapnot", InsnClass::IntAlu, 1},
+    {"cmoveq", InsnClass::IntAlu, 1}, {"cmovne", InsnClass::IntAlu, 1},
+    {"addt",   InsnClass::FpAlu, 4}, {"subt",   InsnClass::FpAlu, 4},
+    {"mult",   InsnClass::FpAlu, 4}, {"divt",   InsnClass::FpDiv, 12},
+    {"cmpteq", InsnClass::FpAlu, 4}, {"cmptlt", InsnClass::FpAlu, 4},
+    {"cmptle", InsnClass::FpAlu, 4},
+    {"cvtqt",  InsnClass::FpAlu, 4}, {"cvttq",  InsnClass::FpAlu, 4},
+    {"cpys",   InsnClass::FpAlu, 4},
+    {"ldbu",   InsnClass::Load, 2}, {"ldwu",   InsnClass::Load, 2},
+    {"ldl",    InsnClass::Load, 2}, {"ldq",    InsnClass::Load, 2},
+    {"ldt",    InsnClass::Load, 2},
+    {"stb",    InsnClass::Store, 1}, {"stw",    InsnClass::Store, 1},
+    {"stl",    InsnClass::Store, 1}, {"stq",    InsnClass::Store, 1},
+    {"stt",    InsnClass::Store, 1},
+    {"beq",    InsnClass::CondBranch, 1}, {"bne", InsnClass::CondBranch, 1},
+    {"blt",    InsnClass::CondBranch, 1}, {"ble", InsnClass::CondBranch, 1},
+    {"bgt",    InsnClass::CondBranch, 1}, {"bge", InsnClass::CondBranch, 1},
+    {"blbc",   InsnClass::CondBranch, 1}, {"blbs", InsnClass::CondBranch, 1},
+    {"fbeq",   InsnClass::CondBranch, 1}, {"fbne", InsnClass::CondBranch, 1},
+    {"br",     InsnClass::UncondBranch, 1},
+    {"bsr",    InsnClass::UncondBranch, 1},
+    {"jmp",    InsnClass::IndirectJump, 1},
+    {"jsr",    InsnClass::IndirectJump, 1},
+    {"ret",    InsnClass::IndirectJump, 1},
+    {"mg",     InsnClass::Handle, 1},
+    {"nop",    InsnClass::Nop, 1},
+    {"halt",   InsnClass::Halt, 1},
+};
+
+static_assert(sizeof(opTable) / sizeof(opTable[0]) ==
+              static_cast<size_t>(Op::NUM_OPS),
+              "opTable out of sync with Op enum");
+
+const OpInfo &
+info(Op op)
+{
+    auto idx = static_cast<size_t>(op);
+    if (idx >= static_cast<size_t>(Op::NUM_OPS))
+        panic("bad opcode %zu", idx);
+    return opTable[idx];
+}
+
+} // namespace
+
+InsnClass
+opClass(Op op)
+{
+    return info(op).cls;
+}
+
+const char *
+opName(Op op)
+{
+    return info(op).name;
+}
+
+int
+opLatency(Op op)
+{
+    return info(op).latency;
+}
+
+bool
+isLoadOp(Op op)
+{
+    return opClass(op) == InsnClass::Load;
+}
+
+bool
+isStoreOp(Op op)
+{
+    return opClass(op) == InsnClass::Store;
+}
+
+bool
+isControlOp(Op op)
+{
+    InsnClass c = opClass(op);
+    return c == InsnClass::CondBranch || c == InsnClass::UncondBranch ||
+           c == InsnClass::IndirectJump;
+}
+
+bool
+isCondBranchOp(Op op)
+{
+    return opClass(op) == InsnClass::CondBranch;
+}
+
+bool
+isMgAluOp(Op op)
+{
+    return opClass(op) == InsnClass::IntAlu;
+}
+
+} // namespace mg

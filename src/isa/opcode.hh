@@ -1,0 +1,105 @@
+/**
+ * @file
+ * MG-Alpha opcode set. A 64-bit Alpha-flavoured RISC ISA: operate
+ * instructions take two register sources (the second may be a literal)
+ * and one destination; memory instructions use displacement addressing;
+ * conditional branches test a single register against zero.
+ */
+
+#ifndef MG_ISA_OPCODE_HH
+#define MG_ISA_OPCODE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mg {
+
+/** Every MG-Alpha opcode. */
+enum class Op : std::uint8_t
+{
+    // Integer arithmetic (longword forms operate on the low 32 bits and
+    // sign-extend the result, as on Alpha).
+    ADDL, ADDQ, SUBL, SUBQ, MULL, MULQ,
+    S4ADDL, S8ADDL, S4ADDQ, S8ADDQ,
+    // Logical.
+    AND, BIS, XOR, BIC, ORNOT, EQV,
+    // Shifts.
+    SLL, SRL, SRA,
+    // Compares (result 0/1).
+    CMPEQ, CMPLT, CMPLE, CMPULT, CMPULE,
+    // Address/immediate generation. LDA rc = ra + imm; LDAH scales by 65536.
+    LDA, LDAH,
+    // Sign extension and bit counting.
+    SEXTB, SEXTW, CTPOP, CTLZ, CTTZ,
+    // Byte zap: clear bytes of ra selected by the complement of imm mask.
+    ZAPNOT,
+    // Conditional moves: rc = ra if (rb test) else rc unchanged.
+    CMOVEQ, CMOVNE,
+    // Floating point (double precision only).
+    ADDT, SUBT, MULT, DIVT, CMPTEQ, CMPTLT, CMPTLE, CVTQT, CVTTQ, CPYS,
+    // Loads: ra = mem[rb + imm].
+    LDBU, LDWU, LDL, LDQ, LDT,
+    // Stores: mem[rb + imm] = ra.
+    STB, STW, STL, STQ, STT,
+    // Conditional branches: test ra, target in imm (absolute insn address).
+    BEQ, BNE, BLT, BLE, BGT, BGE, BLBC, BLBS, FBEQ, FBNE,
+    // Unconditional control. BR/BSR write the return address into ra.
+    BR, BSR,
+    // Indirect control: target = rb, link in ra.
+    JMP, JSR, RET,
+    // Mini-graph handle: reserved opcode, imm = MGID.
+    MG,
+    // No-op and simulation terminator.
+    NOP, HALT,
+
+    NUM_OPS
+};
+
+/** Broad instruction classes used by the pipeline and selection logic. */
+enum class InsnClass : std::uint8_t
+{
+    IntAlu,      ///< single-cycle integer operate
+    IntMult,     ///< multi-cycle integer multiply
+    FpAlu,       ///< floating-point operate
+    FpDiv,       ///< long-latency fp divide
+    Load,        ///< memory read
+    Store,       ///< memory write
+    CondBranch,  ///< conditional direct branch
+    UncondBranch,///< direct jump / call
+    IndirectJump,///< register-indirect jump / call / return
+    Handle,      ///< mini-graph handle (MG)
+    Nop,         ///< architectural no-op
+    Halt,        ///< stops simulation
+};
+
+/** @return the class of @p op. */
+InsnClass opClass(Op op);
+
+/** @return the assembler mnemonic of @p op. */
+const char *opName(Op op);
+
+/** @return true for any load opcode. */
+bool isLoadOp(Op op);
+
+/** @return true for any store opcode. */
+bool isStoreOp(Op op);
+
+/** @return true for any control-transfer opcode (branch/jump/call/ret). */
+bool isControlOp(Op op);
+
+/** @return true for conditional direct branches. */
+bool isCondBranchOp(Op op);
+
+/**
+ * @return true for opcodes eligible to appear inside an integer
+ * mini-graph body: single-cycle integer operates. Multiplies, floating
+ * point, and control transfers other than a terminal branch are excluded.
+ */
+bool isMgAluOp(Op op);
+
+/** Execution latency in cycles of @p op on its functional unit. */
+int opLatency(Op op);
+
+} // namespace mg
+
+#endif // MG_ISA_OPCODE_HH

@@ -1,0 +1,74 @@
+#include "memsys/memory.hh"
+
+#include "common/logging.hh"
+
+namespace mg {
+
+const Memory::Page *
+Memory::findPage(Addr addr) const
+{
+    auto it = pages.find(addr / pageBytes);
+    return it == pages.end() ? nullptr : it->second.get();
+}
+
+Memory::Page &
+Memory::getPage(Addr addr)
+{
+    auto &slot = pages[addr / pageBytes];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+std::uint8_t
+Memory::readByte(Addr addr) const
+{
+    const Page *p = findPage(addr);
+    return p ? (*p)[addr % pageBytes] : 0;
+}
+
+void
+Memory::writeByte(Addr addr, std::uint8_t value)
+{
+    getPage(addr)[addr % pageBytes] = value;
+}
+
+std::uint64_t
+Memory::read(Addr addr, int bytes) const
+{
+    if (bytes != 1 && bytes != 2 && bytes != 4 && bytes != 8)
+        panic("bad access size %d", bytes);
+    std::uint64_t v = 0;
+    for (int i = 0; i < bytes; ++i)
+        v |= static_cast<std::uint64_t>(readByte(addr + i)) << (8 * i);
+    return v;
+}
+
+void
+Memory::write(Addr addr, std::uint64_t value, int bytes)
+{
+    if (bytes != 1 && bytes != 2 && bytes != 4 && bytes != 8)
+        panic("bad access size %d", bytes);
+    for (int i = 0; i < bytes; ++i)
+        writeByte(addr + i, static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void
+Memory::writeBlock(Addr addr, const std::uint8_t *data, std::size_t len)
+{
+    for (std::size_t i = 0; i < len; ++i)
+        writeByte(addr + i, data[i]);
+}
+
+std::vector<std::uint8_t>
+Memory::readBlock(Addr addr, std::size_t len) const
+{
+    std::vector<std::uint8_t> out(len);
+    for (std::size_t i = 0; i < len; ++i)
+        out[i] = readByte(addr + i);
+    return out;
+}
+
+} // namespace mg

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Sparse byte-addressable simulated memory backed by 4KB pages.
+ * Unwritten bytes read as zero. Loads and stores of 1/2/4/8 bytes are
+ * little-endian and need not be aligned (the emulator enforces natural
+ * alignment separately so the policy is testable).
+ */
+
+#ifndef MG_MEMSYS_MEMORY_HH
+#define MG_MEMSYS_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mg {
+
+/** Sparse simulated physical memory. */
+class Memory
+{
+  public:
+    static constexpr Addr pageBytes = 4096;
+
+    /** Read @p bytes (1,2,4,8) little-endian at @p addr. */
+    std::uint64_t read(Addr addr, int bytes) const;
+
+    /** Write the low @p bytes of @p value at @p addr. */
+    void write(Addr addr, std::uint64_t value, int bytes);
+
+    std::uint8_t readByte(Addr addr) const;
+    void writeByte(Addr addr, std::uint8_t value);
+
+    /** Bulk-copy @p data into memory starting at @p addr. */
+    void writeBlock(Addr addr, const std::uint8_t *data, std::size_t len);
+
+    /** Bulk-read @p len bytes starting at @p addr. */
+    std::vector<std::uint8_t> readBlock(Addr addr, std::size_t len) const;
+
+    /** Number of resident pages (for tests). */
+    std::size_t residentPages() const { return pages.size(); }
+
+    /** Drop all contents. */
+    void clear() { pages.clear(); }
+
+  private:
+    using Page = std::array<std::uint8_t, pageBytes>;
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages;
+
+    const Page *findPage(Addr addr) const;
+    Page &getPage(Addr addr);
+};
+
+} // namespace mg
+
+#endif // MG_MEMSYS_MEMORY_HH

@@ -1,0 +1,207 @@
+#include "mg/enumerate.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.hh"
+#include "mg/legality.hh"
+
+namespace mg {
+
+BlockDataflow::BlockDataflow(const Program &p, const BasicBlock &b)
+    : prog(p), blk(b)
+{
+    const int n = static_cast<int>(blk.size());
+    producers.assign(static_cast<size_t>(n), {-1, -1});
+    consumers_.assign(static_cast<size_t>(n), {});
+    redef.assign(static_cast<size_t>(n), -1);
+    defs.assign(static_cast<size_t>(n), regNone);
+
+    // lastDef[r] = block position of the most recent writer of r.
+    std::array<int, numArchRegs> lastDef;
+    lastDef.fill(-1);
+
+    for (int pos = 0; pos < n; ++pos) {
+        const Instruction &in = insn(pos);
+        for (int s = 0; s < 2; ++s) {
+            RegId r = in.src(s);
+            if (r == regNone || isZeroReg(r))
+                continue;
+            int def = lastDef[static_cast<size_t>(r)];
+            producers[static_cast<size_t>(pos)][static_cast<size_t>(s)] =
+                def;
+            if (def >= 0)
+                consumers_[static_cast<size_t>(def)].push_back(pos);
+        }
+        RegId d = in.dst();
+        if (d != regNone && !isZeroReg(d)) {
+            int prev = lastDef[static_cast<size_t>(d)];
+            if (prev >= 0)
+                redef[static_cast<size_t>(prev)] = pos;
+            lastDef[static_cast<size_t>(d)] = pos;
+            defs[static_cast<size_t>(pos)] = d;
+        }
+    }
+}
+
+int
+BlockDataflow::producer(int pos, int srcIdx) const
+{
+    return producers[static_cast<size_t>(pos)][static_cast<size_t>(srcIdx)];
+}
+
+const std::vector<int> &
+BlockDataflow::consumers(int pos) const
+{
+    return consumers_[static_cast<size_t>(pos)];
+}
+
+int
+BlockDataflow::redefinedAt(int pos) const
+{
+    return redef[static_cast<size_t>(pos)];
+}
+
+namespace {
+
+/** Opcode may appear anywhere in a mini-graph body. */
+bool
+memberEligible(const Instruction &in, int pos, const BlockDataflow &df)
+{
+    if (isMgAluOp(in.op)) {
+        // cmov reads three values (ra, rb, old rc); treating it as a
+        // member would need a third input slot, so exclude it.
+        return in.op != Op::CMOVEQ && in.op != Op::CMOVNE;
+    }
+    if (in.isMem())
+        return true;
+    if (in.isCondBranch()) {
+        // Branches must terminate the block (and thus the graph).
+        return pos == df.size() - 1;
+    }
+    return false;
+}
+
+/**
+ * Recursive extension enumeration: grow connected subgraphs one node
+ * at a time, only adding nodes with a higher position than the seed to
+ * avoid duplicates, and emit every legal set of size >= 2.
+ */
+class Enumerator
+{
+  public:
+    Enumerator(const BlockDataflow &df, const Liveness &live, int block,
+               const SelectionPolicy &policy,
+               std::vector<Candidate> &out)
+        : df(df), live(live), block(block), policy(policy), out(out)
+    {
+        eligible.resize(static_cast<size_t>(df.size()));
+        for (int i = 0; i < df.size(); ++i)
+            eligible[static_cast<size_t>(i)] =
+                memberEligible(df.insn(i), i, df);
+    }
+
+    void
+    run()
+    {
+        for (int seed = 0; seed < df.size(); ++seed) {
+            if (!eligible[static_cast<size_t>(seed)])
+                continue;
+            current.assign(1, seed);
+            inSet.assign(static_cast<size_t>(df.size()), false);
+            inSet[static_cast<size_t>(seed)] = true;
+            extend(seed);
+        }
+    }
+
+  private:
+    const BlockDataflow &df;
+    const Liveness &live;
+    int block;
+    const SelectionPolicy &policy;
+    std::vector<Candidate> &out;
+    std::vector<bool> eligible;
+    std::vector<int> current;
+    std::vector<bool> inSet;
+    std::set<std::vector<int>> seen;
+
+    /** Dataflow neighbours of @p pos (producers and consumers). */
+    void
+    neighbours(int pos, std::vector<int> &nbr) const
+    {
+        for (int s = 0; s < 2; ++s) {
+            int p = df.producer(pos, s);
+            if (p >= 0)
+                nbr.push_back(p);
+        }
+        for (int c : df.consumers(pos))
+            nbr.push_back(c);
+    }
+
+    void
+    extend(int seed)
+    {
+        if (static_cast<int>(current.size()) >= 2)
+            emit();
+        if (static_cast<int>(current.size()) >=
+            std::min(policy.maxSize, mgMaxSize))
+            return;
+
+        // Frontier: eligible dataflow neighbours of the current set with
+        // position > seed (canonical order kills duplicates).
+        std::vector<int> frontier;
+        for (int m : current) {
+            std::vector<int> nbr;
+            neighbours(m, nbr);
+            for (int x : nbr) {
+                if (x > seed && !inSet[static_cast<size_t>(x)] &&
+                    eligible[static_cast<size_t>(x)])
+                    frontier.push_back(x);
+            }
+        }
+        std::sort(frontier.begin(), frontier.end());
+        frontier.erase(std::unique(frontier.begin(), frontier.end()),
+                       frontier.end());
+
+        for (int x : frontier) {
+            current.push_back(x);
+            inSet[static_cast<size_t>(x)] = true;
+            extend(seed);
+            inSet[static_cast<size_t>(x)] = false;
+            current.pop_back();
+        }
+    }
+
+    void
+    emit()
+    {
+        std::vector<int> sorted(current);
+        std::sort(sorted.begin(), sorted.end());
+        if (!seen.insert(sorted).second)
+            return;
+        Candidate cand;
+        if (checkCandidate(df, live, block, sorted, policy, &cand) ==
+            Illegal::None)
+            out.push_back(std::move(cand));
+    }
+};
+
+} // namespace
+
+std::vector<Candidate>
+enumerateCandidates(const Cfg &cfg, const Liveness &live,
+                    const SelectionPolicy &policy)
+{
+    std::vector<Candidate> out;
+    for (size_t b = 0; b < cfg.blocks().size(); ++b) {
+        const BasicBlock &blk = cfg.blocks()[b];
+        if (blk.size() < 2)
+            continue;
+        BlockDataflow df(cfg.program(), blk);
+        Enumerator e(df, live, static_cast<int>(b), policy, out);
+        e.run();
+    }
+    return out;
+}
+
+} // namespace mg

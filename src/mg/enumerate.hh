@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Candidate enumeration: all legal mini-graphs of each basic block.
+ *
+ * Enumeration grows connected dataflow subgraphs by extension, which is
+ * exponential in the worst case but cheap in practice because blocks
+ * are small (paper Section 3.2). Every enumerated candidate has already
+ * passed the full legality screen.
+ */
+
+#ifndef MG_MG_ENUMERATE_HH
+#define MG_MG_ENUMERATE_HH
+
+#include <vector>
+
+#include "cfg/basic_block.hh"
+#include "cfg/liveness.hh"
+#include "mg/minigraph.hh"
+
+namespace mg {
+
+/**
+ * Dataflow facts for one basic block, shared by enumeration and
+ * legality: intra-block def-use chains for each instruction operand.
+ */
+class BlockDataflow
+{
+  public:
+    BlockDataflow(const Program &prog, const BasicBlock &blk);
+
+    /**
+     * Producer of source operand @p srcIdx of the instruction at
+     * block-relative position @p pos, as a block-relative position;
+     * -1 when the value is block-external (or a zero register).
+     */
+    int producer(int pos, int srcIdx) const;
+
+    /** Block-relative consumers of the value defined at @p pos. */
+    const std::vector<int> &consumers(int pos) const;
+
+    /**
+     * True when the value defined at @p pos is overwritten later in the
+     * block (by the instruction at the returned position); -1 if not.
+     */
+    int redefinedAt(int pos) const;
+
+    int size() const { return static_cast<int>(defs.size()); }
+    const Program &program() const { return prog; }
+    const BasicBlock &block() const { return blk; }
+
+    const Instruction &
+    insn(int pos) const
+    {
+        return prog.text[blk.first + static_cast<InsnIdx>(pos)];
+    }
+
+  private:
+    const Program &prog;
+    const BasicBlock &blk;
+    std::vector<std::array<int, 2>> producers;  ///< per pos, per src slot
+    std::vector<std::vector<int>> consumers_;
+    std::vector<int> redef;
+    std::vector<RegId> defs;
+};
+
+/**
+ * Enumerate every legal candidate of every block of @p cfg.
+ *
+ * @param cfg      control-flow graph
+ * @param live     block liveness
+ * @param policy   structural limits (size, memory, serialization)
+ * @return all candidates, grouped in no particular order
+ */
+std::vector<Candidate> enumerateCandidates(const Cfg &cfg,
+                                           const Liveness &live,
+                                           const SelectionPolicy &policy);
+
+} // namespace mg
+
+#endif // MG_MG_ENUMERATE_HH

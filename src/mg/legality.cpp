@@ -1,0 +1,295 @@
+#include "mg/legality.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace mg {
+
+const char *
+illegalName(Illegal r)
+{
+    switch (r) {
+      case Illegal::None: return "legal";
+      case Illegal::BadOpcode: return "bad-opcode";
+      case Illegal::NotConnected: return "not-connected";
+      case Illegal::TooManyInputs: return "too-many-inputs";
+      case Illegal::TooManyOutputs: return "too-many-outputs";
+      case Illegal::TooManyMemOps: return "too-many-mem-ops";
+      case Illegal::BranchNotTerminal: return "branch-not-terminal";
+      case Illegal::InteriorLiveOut: return "interior-live-out";
+      case Illegal::AnchorInterference: return "anchor-interference";
+      case Illegal::TooBig: return "too-big";
+      case Illegal::PolicyExternal: return "policy-externally-serial";
+      case Illegal::PolicyInternal: return "policy-internally-serial";
+      case Illegal::PolicyReplay: return "policy-interior-load";
+      case Illegal::PolicyMemory: return "policy-memory";
+    }
+    return "?";
+}
+
+namespace {
+
+bool
+isMember(const std::vector<int> &members, int pos)
+{
+    return std::binary_search(members.begin(), members.end(), pos);
+}
+
+/**
+ * Anchor-collapse interference check. Members are notionally moved to
+ * the anchor position. For a member m before the anchor, every non-
+ * member instruction in (m, anchor] must neither write m's sources
+ * (value would change), nor read or write m's destination (would
+ * observe the wrong value / be clobbered). Symmetrically for members
+ * after the anchor.
+ *
+ * Memory ordering: when the graph's memory op is the anchor it never
+ * moves, but a branch-anchored graph moves its memory op to the
+ * branch position. Without alias analysis we must conservatively
+ * reject a moved load crossing any non-member store, and a moved
+ * store crossing any non-member memory operation.
+ */
+bool
+collapseInterferes(const BlockDataflow &df, const std::vector<int> &members,
+                   int anchorPos)
+{
+    for (int m : members) {
+        if (m == anchorPos)
+            continue;
+        const Instruction &mi = df.insn(m);
+        RegSet msrcs = Liveness::uses(mi);
+        RegSet mdefs = Liveness::defs(mi);
+        int lo = std::min(m, anchorPos);
+        int hi = std::max(m, anchorPos);
+        for (int x = lo; x <= hi; ++x) {
+            if (x == m || isMember(members, x))
+                continue;
+            const Instruction &xi = df.insn(x);
+            // Moved memory ops must not reorder with other memory ops.
+            if (mi.isLoad() && xi.isStore())
+                return true;
+            if (mi.isStore() && xi.isMem())
+                return true;
+            RegSet xdefs = Liveness::defs(xi);
+            RegSet xuses = Liveness::uses(xi);
+            if (m < anchorPos) {
+                // m moves down past x: x must not redefine m's inputs,
+                // and must not read or write m's output.
+                if ((xdefs & msrcs).any())
+                    return true;
+                if ((xuses & mdefs).any() || (xdefs & mdefs).any())
+                    return true;
+            } else {
+                // m moves up past x: m must not read values x defines,
+                // and x must not read or write what m writes... which is
+                // the same condition from the other side.
+                if ((xdefs & msrcs).any())
+                    return true;
+                if ((xuses & mdefs).any() || (xdefs & mdefs).any())
+                    return true;
+            }
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+Illegal
+checkCandidate(const BlockDataflow &df, const Liveness &live, int block,
+               const std::vector<int> &members,
+               const SelectionPolicy &policy, Candidate *out)
+{
+    const int n = static_cast<int>(members.size());
+    if (n < 2 || n > std::min(policy.maxSize, mgMaxSize))
+        return Illegal::TooBig;
+
+    // --- Composition ---------------------------------------------------
+    int memCount = 0;
+    int memberMemPos = -1;
+    int branchPos = -1;
+    for (int i = 0; i < n; ++i) {
+        int pos = members[static_cast<size_t>(i)];
+        const Instruction &in = df.insn(pos);
+        if (isMgAluOp(in.op)) {
+            if (in.op == Op::CMOVEQ || in.op == Op::CMOVNE)
+                return Illegal::BadOpcode;
+            continue;
+        }
+        if (in.isMem()) {
+            if (++memCount > 1)
+                return Illegal::TooManyMemOps;
+            memberMemPos = pos;
+            continue;
+        }
+        if (in.isCondBranch()) {
+            if (i != n - 1 || pos != df.size() - 1)
+                return Illegal::BranchNotTerminal;
+            branchPos = pos;
+            continue;
+        }
+        return Illegal::BadOpcode;
+    }
+    if (memCount > 0 && !policy.allowMemory)
+        return Illegal::PolicyMemory;
+
+    // --- Connectivity ---------------------------------------------------
+    {
+        std::vector<int> stack = {members[0]};
+        std::set<int> seen = {members[0]};
+        while (!stack.empty()) {
+            int cur = stack.back();
+            stack.pop_back();
+            auto push = [&](int x) {
+                if (x >= 0 && isMember(members, x) && seen.insert(x).second)
+                    stack.push_back(x);
+            };
+            for (int s = 0; s < 2; ++s)
+                push(df.producer(cur, s));
+            for (int c : df.consumers(cur))
+                push(c);
+        }
+        if (static_cast<int>(seen.size()) != n)
+            return Illegal::NotConnected;
+    }
+
+    // --- Interface: inputs ----------------------------------------------
+    // External inputs: source operands whose producer is outside the
+    // member set (block-external or a non-member earlier instruction).
+    std::vector<RegId> inputs;
+    bool firstReadsAll = true;
+    for (int i = 0; i < n; ++i) {
+        int pos = members[static_cast<size_t>(i)];
+        const Instruction &in = df.insn(pos);
+        for (int s = 0; s < 2; ++s) {
+            RegId r = in.src(s);
+            if (r == regNone || isZeroReg(r))
+                continue;
+            int prod = df.producer(pos, s);
+            if (prod >= 0 && isMember(members, prod))
+                continue;   // interior edge
+            if (std::find(inputs.begin(), inputs.end(), r) == inputs.end())
+            {
+                inputs.push_back(r);
+                if (i != 0)
+                    firstReadsAll = false;
+            }
+        }
+    }
+    if (static_cast<int>(inputs.size()) > 2)
+        return Illegal::TooManyInputs;
+
+    // --- Interface: outputs / interior escape ---------------------------
+    // A member's value escapes when a non-member consumer reads it, or
+    // when its register is live-out of the block and not redefined later
+    // in the block.
+    RegId output = regNone;
+    int outMemberPos = -1;
+    const RegSet &liveOut = live.liveOut(block);
+    for (int i = 0; i < n; ++i) {
+        int pos = members[static_cast<size_t>(i)];
+        const Instruction &in = df.insn(pos);
+        RegId d = in.dst();
+        if (d == regNone || isZeroReg(d))
+            continue;
+        bool escapes = false;
+        for (int c : df.consumers(pos)) {
+            if (!isMember(members, c)) {
+                escapes = true;
+                break;
+            }
+        }
+        if (!escapes && df.redefinedAt(pos) < 0 &&
+            liveOut.test(static_cast<size_t>(d)))
+            escapes = true;
+        if (escapes) {
+            if (output != regNone)
+                return Illegal::TooManyOutputs;
+            output = d;
+            outMemberPos = pos;
+        }
+    }
+    // Interior values whose register is redefined later are fine; but an
+    // interior value that is BOTH consumed inside and escapes was caught
+    // above (it became the output). A second escaping value is illegal.
+    // One more case: an interior member whose dst is never read at all
+    // but is live-out was handled by the liveOut test.
+
+    // --- Anchor ----------------------------------------------------------
+    int anchorPos;
+    if (branchPos >= 0)
+        anchorPos = branchPos;
+    else if (memberMemPos >= 0)
+        anchorPos = memberMemPos;
+    else
+        anchorPos = members[static_cast<size_t>(n - 1)];
+
+    if (collapseInterferes(df, members, anchorPos))
+        return Illegal::AnchorInterference;
+
+    // --- Serialization classification (policy filters) -------------------
+    // Internal serialization: the members do not form one dependence
+    // chain, i.e. some member (other than the first) has no producer
+    // among the earlier members.
+    bool chain = true;
+    for (int i = 1; i < n; ++i) {
+        int pos = members[static_cast<size_t>(i)];
+        bool fed = false;
+        for (int s = 0; s < 2; ++s) {
+            int prod = df.producer(pos, s);
+            if (prod >= 0 && isMember(members, prod))
+                fed = true;
+        }
+        if (!fed) {
+            chain = false;
+            break;
+        }
+    }
+    bool internallySerial = !chain;
+    bool externallySerial = !firstReadsAll;
+    bool interiorLoad = false;
+    for (int i = 0; i + 1 < n; ++i) {
+        if (df.insn(members[static_cast<size_t>(i)]).isLoad())
+            interiorLoad = true;
+    }
+
+    if (internallySerial && !policy.allowInternallySerial)
+        return Illegal::PolicyInternal;
+    if (externallySerial && !policy.allowExternallySerial)
+        return Illegal::PolicyExternal;
+    if (interiorLoad && !policy.allowInteriorLoads)
+        return Illegal::PolicyReplay;
+
+    // --- Fill in the candidate -------------------------------------------
+    if (out) {
+        out->block = block;
+        out->members.clear();
+        for (int pos : members)
+            out->members.push_back(df.block().first +
+                                   static_cast<InsnIdx>(pos));
+        out->inputs = inputs;
+        out->output = output;
+        out->outMember = -1;
+        for (int i = 0; i < n; ++i) {
+            if (members[static_cast<size_t>(i)] == outMemberPos)
+                out->outMember = i;
+        }
+        out->anchor = df.block().first + static_cast<InsnIdx>(anchorPos);
+        out->hasLoad = memberMemPos >= 0 && df.insn(memberMemPos).isLoad();
+        out->hasStore = memberMemPos >= 0 && df.insn(memberMemPos).isStore();
+        out->endsInBranch = branchPos >= 0;
+        out->memMember = -1;
+        for (int i = 0; i < n; ++i) {
+            if (members[static_cast<size_t>(i)] == memberMemPos)
+                out->memMember = i;
+        }
+        out->externallySerial = externallySerial;
+        out->internallySerial = internallySerial;
+        out->interiorLoad = interiorLoad;
+    }
+    return Illegal::None;
+}
+
+} // namespace mg

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Mini-graph legality: interface, composition, and collapse checks.
+ *
+ * A member set is legal when (paper Sections 3, 3.1, 3.2):
+ *  - every member is a collapsible opcode (single-cycle integer ALU op,
+ *    optionally one load or store, optionally one terminal conditional
+ *    branch); no multiplies, fp ops, calls, or indirect jumps;
+ *  - the dataflow graph over the members is connected;
+ *  - at most two distinct external register inputs (zero registers and
+ *    immediates do not count);
+ *  - at most one externally observable register output; every other
+ *    value produced inside is dead outside the graph (interior values
+ *    never get physical registers);
+ *  - at most one memory operation;
+ *  - a branch may only be the last member and must be the block
+ *    terminator;
+ *  - collapsing every member to the anchor position (branch, else
+ *    memory op, else last member) does not violate any register or
+ *    memory dependence in the displaced range.
+ */
+
+#ifndef MG_MG_LEGALITY_HH
+#define MG_MG_LEGALITY_HH
+
+#include <optional>
+#include <vector>
+
+#include "cfg/liveness.hh"
+#include "mg/enumerate.hh"
+#include "mg/minigraph.hh"
+
+namespace mg {
+
+/** Why a candidate was rejected (exposed for tests and diagnostics). */
+enum class Illegal
+{
+    None,            ///< legal
+    BadOpcode,       ///< member not collapsible
+    NotConnected,
+    TooManyInputs,
+    TooManyOutputs,
+    TooManyMemOps,
+    BranchNotTerminal,
+    InteriorLiveOut, ///< an interior value escapes the graph
+    AnchorInterference,
+    TooBig,
+    PolicyExternal,  ///< rejected by allowExternallySerial = false
+    PolicyInternal,  ///< rejected by allowInternallySerial = false
+    PolicyReplay,    ///< rejected by allowInteriorLoads = false
+    PolicyMemory,    ///< rejected by allowMemory = false
+};
+
+/** @return printable name for @p r. */
+const char *illegalName(Illegal r);
+
+/**
+ * Run the full legality screen on the member set @p members (ascending
+ * block-relative positions) of @p df's block.
+ *
+ * @param df      block dataflow facts
+ * @param live    liveness (for interior-value escape analysis)
+ * @param members ascending block-relative member positions
+ * @param policy  structural limits
+ * @param out     on success, the completed candidate
+ * @return Illegal::None and fill @p out, or the rejection reason
+ */
+Illegal checkCandidate(const BlockDataflow &df, const Liveness &live,
+                       int block, const std::vector<int> &members,
+                       const SelectionPolicy &policy, Candidate *out);
+
+} // namespace mg
+
+#endif // MG_MG_LEGALITY_HH

@@ -1,0 +1,20 @@
+#include "mg/minigraph.hh"
+
+#include "common/logging.hh"
+
+namespace mg {
+
+std::string
+candidateStr(const Candidate &c, const Program &prog)
+{
+    std::string out = strfmt("block %d {", c.block);
+    for (size_t i = 0; i < c.members.size(); ++i) {
+        out += prog.text[c.members[i]].disasm();
+        if (i + 1 < c.members.size())
+            out += "; ";
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace mg

@@ -1,0 +1,130 @@
+#include "mg/rewriter.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace mg {
+
+namespace {
+
+Instruction
+makeHandle(const Candidate &c, MgId id)
+{
+    Instruction h;
+    h.op = Op::MG;
+    h.ra = c.inputs.size() > 0 ? c.inputs[0] : regZero;
+    h.rb = c.inputs.size() > 1 ? c.inputs[1] : regZero;
+    h.rc = c.output != regNone ? c.output : regZero;
+    h.imm = id;
+    return h;
+}
+
+} // namespace
+
+Program
+rewriteNopPad(const Program &prog, const Selection &sel)
+{
+    Program out;
+    out.data = prog.data;
+    out.text = prog.text;
+    out.symbols = prog.symbols;
+    out.entry = prog.entry;
+
+    for (const SelectedInstance &si : sel.instances) {
+        const Candidate &c = si.cand;
+        for (InsnIdx m : c.members) {
+            if (m == c.anchor)
+                out.text[m] = makeHandle(c, si.mgid);
+            else
+                out.text[m] = Instruction{};  // nop pad
+        }
+    }
+    return out;
+}
+
+RewriteResult
+rewriteCompress(const Program &prog, const Selection &sel,
+                const MgtMachine &machine)
+{
+    // Mark interior slots (deleted) and remember each anchor's instance.
+    std::vector<bool> interior(prog.text.size(), false);
+    std::map<InsnIdx, const SelectedInstance *> anchorOf;
+    for (const SelectedInstance &si : sel.instances) {
+        for (InsnIdx m : si.cand.members) {
+            if (m != si.cand.anchor)
+                interior[m] = true;
+        }
+        anchorOf[si.cand.anchor] = &si;
+    }
+
+    // Compute the compacted index of every surviving slot.
+    std::vector<InsnIdx> newIdx(prog.text.size());
+    InsnIdx next = 0;
+    for (size_t i = 0; i < prog.text.size(); ++i) {
+        newIdx[i] = next;
+        if (!interior[i])
+            ++next;
+    }
+    auto relink = [&](Addr a) -> Addr {
+        if (a < textBase ||
+            (a - textBase) / insnBytes >= prog.text.size())
+            return a;   // not a text address
+        auto idx = static_cast<InsnIdx>((a - textBase) / insnBytes);
+        return Program::pcOf(newIdx[idx]);
+    };
+
+    RewriteResult out;
+    out.program.data = prog.data;
+    for (const auto &[name, a] : prog.symbols)
+        out.program.symbols[name] = relink(a);
+    out.program.entry = relink(prog.entry);
+
+    // Rebuild templates with compressed-layout branch displacements and
+    // re-coalesce (instances whose displacement diverges under the new
+    // layout split into separate MGT entries).
+    std::map<std::string, MgId> ids;
+    for (size_t i = 0; i < prog.text.size(); ++i) {
+        if (interior[i])
+            continue;
+        auto it = anchorOf.find(static_cast<InsnIdx>(i));
+        if (it == anchorOf.end()) {
+            Instruction in = prog.text[i];
+            if (in.cls() == InsnClass::CondBranch ||
+                in.cls() == InsnClass::UncondBranch)
+                in.imm = static_cast<std::int64_t>(
+                    relink(static_cast<Addr>(in.imm)));
+            if (in.op == Op::LDA && in.useImm)
+                in.imm = static_cast<std::int64_t>(
+                    relink(static_cast<Addr>(in.imm)));
+            out.program.text.push_back(in);
+            continue;
+        }
+        const SelectedInstance &si = *it->second;
+        MgTemplate t = buildTemplate(si.cand, prog);
+        // Recompute a terminal branch displacement for the new layout.
+        if (!t.insns.empty() && isCondBranchOp(t.insns.back().op)) {
+            const Instruction &orig =
+                prog.text[si.cand.members.back()];
+            Addr newTarget = relink(static_cast<Addr>(orig.imm));
+            Addr newAnchor = Program::pcOf(newIdx[si.cand.anchor]);
+            t.insns.back().imm = static_cast<std::int64_t>(newTarget) -
+                static_cast<std::int64_t>(newAnchor);
+        }
+        std::string key = t.key();
+        MgId id;
+        auto idIt = ids.find(key);
+        if (idIt != ids.end()) {
+            id = idIt->second;
+        } else {
+            t.finalize(machine);
+            id = out.table.add(std::move(t));
+            ids.emplace(key, id);
+        }
+        out.program.text.push_back(makeHandle(si.cand, id));
+    }
+    return out;
+}
+
+} // namespace mg

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Binary rewriter: replace each selected mini-graph instance with a
+ * handle at its anchor slot.
+ *
+ * Two layout modes (paper Section 6.2, "Instruction cache effects"):
+ *  - NopPad: interior slots become nops, keeping every PC unchanged.
+ *    This isolates bandwidth/capacity amplification from code
+ *    compression (the paper's default presentation). Pad nops are
+ *    squashed at fetch and consume no pipeline bandwidth.
+ *  - Compress: interior slots are deleted and all PCs, branch targets,
+ *    and symbols are re-linked, shrinking the instruction footprint
+ *    (the paper's icache study). Because template branch displacements
+ *    are handle-PC-relative, compression rebuilds and re-coalesces the
+ *    MGT against the new layout.
+ */
+
+#ifndef MG_MG_REWRITER_HH
+#define MG_MG_REWRITER_HH
+
+#include "isa/instruction.hh"
+#include "mg/select.hh"
+
+namespace mg {
+
+/** A rewritten program together with the MGT that matches its layout. */
+struct RewriteResult
+{
+    Program program;
+    MgTable table;
+};
+
+/**
+ * Produce the nop-padded handle-bearing version of @p prog for @p sel.
+ * PCs are preserved, so @p sel.table remains valid for the result.
+ *
+ * The handle encodes the interface: mg ra=E0, rb=E1, rc=output,
+ * imm=MGID. It sits at the instance's anchor slot so a terminal
+ * branch's prediction and a memory op's disambiguation keep a stable
+ * PC (the handle PC stands in for both, paper Section 4.1).
+ */
+Program rewriteNopPad(const Program &prog, const Selection &sel);
+
+/**
+ * Produce the compressed handle-bearing version of @p prog for @p sel,
+ * along with a rebuilt MGT whose branch displacements match the
+ * compressed layout.
+ *
+ * @param prog    original program
+ * @param sel     selection made on @p prog
+ * @param machine MGT schedule parameters for re-finalizing templates
+ */
+RewriteResult rewriteCompress(const Program &prog, const Selection &sel,
+                              const MgtMachine &machine);
+
+} // namespace mg
+
+#endif // MG_MG_REWRITER_HH

@@ -1,0 +1,306 @@
+#include "mg/select.hh"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace mg {
+
+MgTemplate
+buildTemplate(const Candidate &cand, const Program &prog)
+{
+    MgTemplate t;
+    t.outIdx = cand.outMember;
+
+    // Map from text index to member position for interior edges.
+    std::unordered_map<InsnIdx, int> memberAt;
+    for (size_t i = 0; i < cand.members.size(); ++i)
+        memberAt[cand.members[i]] = static_cast<int>(i);
+
+    // Interface register -> E slot.
+    auto eSlot = [&](RegId r) -> OpndRef {
+        for (size_t i = 0; i < cand.inputs.size(); ++i) {
+            if (cand.inputs[i] == r)
+                return {i == 0 ? OpndKind::E0 : OpndKind::E1, -1};
+        }
+        panic("register r%d is not an interface input", r);
+    };
+
+    // The value each source operand carries: either an interior M value
+    // (producer is a member) or an interface E register. We must track
+    // intra-graph def chains: the producer member position of each
+    // member's source operand.
+    // Recompute producers within the member set in program order.
+    std::array<int, numArchRegs> lastDef;
+    lastDef.fill(-1);
+
+    for (size_t i = 0; i < cand.members.size(); ++i) {
+        const Instruction &in = prog.text[cand.members[i]];
+        TemplateInsn ti;
+        ti.op = in.op;
+        ti.imm = in.imm;
+        ti.useImm = in.useImm;
+
+        auto refOf = [&](RegId r) -> OpndRef {
+            if (r == regNone)
+                return {OpndKind::None, -1};
+            if (isZeroReg(r))
+                return {OpndKind::None, -1};
+            int def = lastDef[static_cast<size_t>(r)];
+            if (def >= 0)
+                return {OpndKind::M, static_cast<std::int8_t>(def)};
+            return eSlot(r);
+        };
+
+        switch (in.cls()) {
+          case InsnClass::IntAlu:
+          case InsnClass::IntMult:
+            ti.a = refOf(in.ra);
+            ti.b = in.useImm ? OpndRef{OpndKind::Imm, -1} : refOf(in.rb);
+            break;
+          case InsnClass::Load:
+            ti.a = refOf(in.rb);               // base
+            ti.b = {OpndKind::Imm, -1};        // displacement
+            break;
+          case InsnClass::Store:
+            ti.a = refOf(in.rb);               // base
+            ti.b = refOf(in.ra);               // data
+            break;
+          case InsnClass::CondBranch:
+            ti.a = refOf(in.ra);
+            ti.b = {OpndKind::Imm, -1};
+            // Branch displacement is handle-PC relative so templates
+            // coalesce across sites with the same relative target.
+            ti.imm = in.imm -
+                static_cast<std::int64_t>(Program::pcOf(cand.anchor));
+            break;
+          default:
+            panic("illegal opcode %s inside mini-graph", opName(in.op));
+        }
+
+        RegId d = in.dst();
+        if (d != regNone && !isZeroReg(d))
+            lastDef[static_cast<size_t>(d)] = static_cast<int>(i);
+
+        t.insns.push_back(ti);
+    }
+    if (cand.output != regNone)
+        t.outIsFp = isFpReg(cand.output);
+    return t;
+}
+
+double
+Selection::coverage(const Cfg &cfg, const BlockProfile &prof) const
+{
+    // Total dynamic instructions = sum over blocks of size * frequency.
+    double total = 0.0;
+    for (const BasicBlock &b : cfg.blocks())
+        total += static_cast<double>(b.size()) *
+            static_cast<double>(prof.count(b.first));
+    if (total == 0.0)
+        return 0.0;
+    double removed = 0.0;
+    for (const SelectedInstance &si : instances) {
+        const BasicBlock &b =
+            cfg.blocks()[static_cast<size_t>(si.cand.block)];
+        removed += static_cast<double>(si.cand.size() - 1) *
+            static_cast<double>(prof.count(b.first));
+    }
+    return removed / total;
+}
+
+namespace {
+
+/** All instances of one coalesced template plus its running weight. */
+struct TemplateGroup
+{
+    MgTemplate tmpl;
+    std::vector<Candidate> instances;
+    double weight = 0.0;   ///< estimated coverage: sum (n-1)*f
+};
+
+/** Group candidates by template identity and weigh them. */
+std::map<std::string, TemplateGroup>
+groupCandidates(const std::vector<Candidate> &cands, const Cfg &cfg,
+                const BlockProfile &prof)
+{
+    std::map<std::string, TemplateGroup> groups;
+    for (const Candidate &c : cands) {
+        MgTemplate t = buildTemplate(c, cfg.program());
+        std::string k = t.key();
+        auto &g = groups[k];
+        if (g.instances.empty())
+            g.tmpl = std::move(t);
+        double f = static_cast<double>(
+            prof.count(cfg.blocks()[static_cast<size_t>(c.block)].first));
+        g.weight += static_cast<double>(c.size() - 1) * f;
+        g.instances.push_back(c);
+    }
+    return groups;
+}
+
+double
+instanceWeight(const Candidate &c, const Cfg &cfg, const BlockProfile &prof)
+{
+    double f = static_cast<double>(
+        prof.count(cfg.blocks()[static_cast<size_t>(c.block)].first));
+    return static_cast<double>(c.size() - 1) * f;
+}
+
+} // namespace
+
+Selection
+selectMiniGraphs(const Cfg &cfg, const Liveness &live,
+                 const BlockProfile &prof, const SelectionPolicy &policy,
+                 const MgtMachine &machine)
+{
+    std::vector<Candidate> cands = enumerateCandidates(cfg, live, policy);
+    auto groups = groupCandidates(cands, cfg, prof);
+
+    // Iterative greedy pick: take the heaviest template, claim its
+    // non-conflicting instances, drop conflicting instances everywhere,
+    // re-weigh, repeat.
+    std::vector<bool> claimed(cfg.program().text.size(), false);
+    Selection sel;
+
+    std::vector<TemplateGroup *> list;
+    for (auto &[k, g] : groups)
+        list.push_back(&g);
+
+    while (static_cast<int>(sel.table.size()) < policy.maxTemplates) {
+        // Re-weigh groups against claimed instructions.
+        TemplateGroup *best = nullptr;
+        for (TemplateGroup *g : list) {
+            double w = 0.0;
+            for (const Candidate &c : g->instances) {
+                bool free = true;
+                for (InsnIdx m : c.members) {
+                    if (claimed[m]) {
+                        free = false;
+                        break;
+                    }
+                }
+                if (free)
+                    w += instanceWeight(c, cfg, prof);
+            }
+            g->weight = w;
+            if (w > 0.0 && (!best || w > best->weight))
+                best = g;
+        }
+        if (!best)
+            break;
+
+        MgTemplate t = best->tmpl;
+        t.finalize(machine);
+        MgId id = sel.table.add(std::move(t));
+        for (const Candidate &c : best->instances) {
+            bool free = true;
+            for (InsnIdx m : c.members) {
+                if (claimed[m]) {
+                    free = false;
+                    break;
+                }
+            }
+            if (!free)
+                continue;
+            for (InsnIdx m : c.members)
+                claimed[m] = true;
+            sel.instances.push_back({c, id});
+        }
+        best->weight = 0.0;
+        best->instances.clear();   // consumed
+    }
+    return sel;
+}
+
+std::vector<Selection>
+selectDomainMiniGraphs(const std::vector<const Cfg *> &cfgs,
+                       const std::vector<const Liveness *> &lives,
+                       const std::vector<const BlockProfile *> &profs,
+                       const SelectionPolicy &policy,
+                       const MgtMachine &machine)
+{
+    if (cfgs.size() != lives.size() || cfgs.size() != profs.size())
+        fatal("domain selection: mismatched input vectors");
+    const size_t np = cfgs.size();
+
+    // Per-program candidate groups, then merge by template identity.
+    struct DomainGroup
+    {
+        MgTemplate tmpl;
+        /** per program: instances */
+        std::vector<std::vector<Candidate>> instances;
+        double weight = 0.0;
+    };
+    std::map<std::string, DomainGroup> domain;
+
+    for (size_t p = 0; p < np; ++p) {
+        auto cands = enumerateCandidates(*cfgs[p], *lives[p], policy);
+        auto groups = groupCandidates(cands, *cfgs[p], *profs[p]);
+        for (auto &[k, g] : groups) {
+            auto &d = domain[k];
+            if (d.instances.empty()) {
+                d.tmpl = std::move(g.tmpl);
+                d.instances.resize(np);
+            }
+            // Normalize per-program weight by the program's dynamic
+            // length so big programs do not drown small ones.
+            double total = 0.0;
+            for (const BasicBlock &b : cfgs[p]->blocks())
+                total += static_cast<double>(b.size()) *
+                    static_cast<double>(profs[p]->count(b.first));
+            if (total > 0.0)
+                d.weight += g.weight / total;
+            d.instances[p] = std::move(g.instances);
+        }
+    }
+
+    // Rank once by cross-suite weight and keep the top maxTemplates.
+    std::vector<DomainGroup *> ranked;
+    for (auto &[k, d] : domain)
+        ranked.push_back(&d);
+    std::sort(ranked.begin(), ranked.end(),
+              [](const DomainGroup *a, const DomainGroup *b) {
+                  return a->weight > b->weight;
+              });
+    if (static_cast<int>(ranked.size()) > policy.maxTemplates)
+        ranked.resize(static_cast<size_t>(policy.maxTemplates));
+
+    // Build per-program selections from the shared winner set. Instances
+    // are claimed greedily in ranked order, mirroring the single-program
+    // algorithm's conflict resolution.
+    std::vector<Selection> out(np);
+    std::vector<std::vector<bool>> claimed(np);
+    for (size_t p = 0; p < np; ++p)
+        claimed[p].assign(cfgs[p]->program().text.size(), false);
+
+    for (DomainGroup *d : ranked) {
+        for (size_t p = 0; p < np; ++p) {
+            MgId id = mgNone;
+            for (const Candidate &c : d->instances[p]) {
+                bool free = true;
+                for (InsnIdx m : c.members) {
+                    if (claimed[p][m]) {
+                        free = false;
+                        break;
+                    }
+                }
+                if (!free)
+                    continue;
+                if (id == mgNone) {
+                    MgTemplate t = d->tmpl;
+                    t.finalize(machine);
+                    id = out[p].table.add(std::move(t));
+                }
+                for (InsnIdx m : c.members)
+                    claimed[p][m] = true;
+                out[p].instances.push_back({c, id});
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace mg

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Greedy mini-graph selection (paper Section 3.2).
+ *
+ * Candidates are grouped into templates (identical dataflow and
+ * immediates coalesce into one MGT entry), sorted by estimated
+ * coverage (n-1)*f where f sums the profile frequencies of all of a
+ * template's static instances, and picked greedily. Selecting a
+ * template claims its instances' instructions; instances that lose an
+ * instruction to an earlier pick are dropped and their template's
+ * weight is adjusted before the next iteration. Selection stops when
+ * the candidate list is exhausted or the MGT entry budget is reached.
+ */
+
+#ifndef MG_MG_SELECT_HH
+#define MG_MG_SELECT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cfg/profile.hh"
+#include "mg/legality.hh"
+#include "mg/mgt.hh"
+#include "mg/minigraph.hh"
+
+namespace mg {
+
+/** One selected static instance of a template. */
+struct SelectedInstance
+{
+    Candidate cand;
+    MgId mgid = mgNone;
+};
+
+/** The complete result of a selection pass. */
+struct Selection
+{
+    MgTable table;                          ///< finalized templates
+    std::vector<SelectedInstance> instances;
+
+    /**
+     * Dynamic coverage of the selection against @p prof: the fraction
+     * of dynamic instructions removed from the pipeline, i.e.
+     * sum over instances of (n-1)*f divided by total dynamic
+     * instructions.
+     */
+    double coverage(const Cfg &cfg, const BlockProfile &prof) const;
+};
+
+/**
+ * Build a template (MGST program) from a concrete candidate.
+ * Machine-independent; the caller finalizes it for a machine.
+ */
+MgTemplate buildTemplate(const Candidate &cand, const Program &prog);
+
+/**
+ * Run enumeration + greedy selection.
+ *
+ * @param cfg     the program's CFG
+ * @param live    liveness for the same CFG
+ * @param prof    basic-block frequency profile
+ * @param policy  structural and policy limits
+ * @param machine MGT schedule parameters
+ * @return selected templates and instances
+ */
+Selection selectMiniGraphs(const Cfg &cfg, const Liveness &live,
+                           const BlockProfile &prof,
+                           const SelectionPolicy &policy,
+                           const MgtMachine &machine);
+
+/**
+ * Domain-specific selection: one shared MGT for several programs
+ * (paper Figure 5 bottom). Enumerates per program, coalesces templates
+ * across programs by identity, ranks by summed coverage, then selects
+ * instances per program from the shared winner set.
+ *
+ * @param cfgs     one CFG per program
+ * @param lives    matching liveness analyses
+ * @param profs    matching profiles
+ * @param policy   structural limits
+ * @param machine  MGT schedule parameters
+ * @return per-program selections that share template identities
+ */
+std::vector<Selection> selectDomainMiniGraphs(
+    const std::vector<const Cfg *> &cfgs,
+    const std::vector<const Liveness *> &lives,
+    const std::vector<const BlockProfile *> &profs,
+    const SelectionPolicy &policy, const MgtMachine &machine);
+
+} // namespace mg
+
+#endif // MG_MG_SELECT_HH

@@ -1,0 +1,58 @@
+#include "sim/report.hh"
+
+#include <map>
+
+namespace mg {
+
+std::string
+reportSpeedups(const std::string &title,
+               const std::vector<std::string> &configs,
+               const std::vector<BenchRow> &rows,
+               const std::vector<std::string> &extraCols)
+{
+    std::string out = "== " + title + " ==\n";
+    TextTable t;
+    std::vector<std::string> hdr = {"suite", "bench", "base-IPC"};
+    for (const auto &c : configs)
+        hdr.push_back(c);
+    for (const auto &e : extraCols)
+        hdr.push_back(e);
+    t.header(hdr);
+
+    // Group rows by suite preserving first-seen order.
+    std::vector<std::string> suiteOrder;
+    std::map<std::string, std::vector<const BenchRow *>> bySuite;
+    for (const BenchRow &r : rows) {
+        if (!bySuite.count(r.suite))
+            suiteOrder.push_back(r.suite);
+        bySuite[r.suite].push_back(&r);
+    }
+
+    for (const std::string &s : suiteOrder) {
+        std::vector<std::vector<double>> colVals(configs.size());
+        for (const BenchRow *r : bySuite[s]) {
+            std::vector<std::string> cells = {r->suite, r->bench,
+                                              fmtDouble(r->baselineIpc, 3)};
+            for (size_t c = 0; c < configs.size(); ++c) {
+                double v = c < r->speedups.size() ? r->speedups[c] : 0.0;
+                cells.push_back(fmtDouble(v, 3));
+                if (v > 0)
+                    colVals[c].push_back(v);
+            }
+            for (size_t e = 0; e < extraCols.size(); ++e)
+                cells.push_back(e < r->extra.size()
+                                ? fmtDouble(r->extra[e], 3) : "-");
+            t.row(cells);
+        }
+        std::vector<std::string> mean = {s, "gmean", ""};
+        for (size_t c = 0; c < configs.size(); ++c)
+            mean.push_back(fmtDouble(gmean(colVals[c]), 3));
+        for (size_t e = 0; e < extraCols.size(); ++e)
+            mean.push_back("");
+        t.row(mean);
+    }
+    out += t.str();
+    return out;
+}
+
+} // namespace mg

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Result formatting for the figure-reproduction benches: per-benchmark
+ * rows with IPC, speedup, and coverage, plus per-suite geometric means
+ * in the paper's style.
+ */
+
+#ifndef MG_SIM_REPORT_HH
+#define MG_SIM_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "uarch/core.hh"
+
+namespace mg {
+
+/** One benchmark's results across a set of configurations. */
+struct BenchRow
+{
+    std::string bench;
+    std::string suite;
+    double baselineIpc = 0;
+    std::vector<double> speedups;   ///< per configuration
+    std::vector<double> extra;      ///< per-experiment annotations
+};
+
+/**
+ * Render rows grouped by suite with per-suite gmean speedup lines,
+ * mirroring the layout of the paper's Figure 6.
+ *
+ * @param title     table caption
+ * @param configs   names of the speedup columns
+ * @param rows      per-benchmark results
+ * @param extraCols names for the annotation columns (may be empty)
+ */
+std::string reportSpeedups(const std::string &title,
+                           const std::vector<std::string> &configs,
+                           const std::vector<BenchRow> &rows,
+                           const std::vector<std::string> &extraCols = {});
+
+} // namespace mg
+
+#endif // MG_SIM_REPORT_HH

@@ -1,0 +1,64 @@
+#include "sim/simulator.hh"
+
+#include "cfg/liveness.hh"
+
+namespace mg {
+
+BlockProfile
+collectProfile(const Program &prog, const SetupFn &setup,
+               std::uint64_t budget)
+{
+    Emulator emu(prog);
+    if (setup)
+        setup(emu);
+    EmuResult r = emu.run(budget);
+    return r.profile;
+}
+
+PreparedMg
+prepareMiniGraphs(const Program &prog, const BlockProfile &prof,
+                  const SelectionPolicy &policy, const MgtMachine &machine,
+                  bool compress)
+{
+    Cfg cfg(prog);
+    Liveness live(cfg);
+    Selection sel = selectMiniGraphs(cfg, live, prof, policy, machine);
+
+    PreparedMg out;
+    out.staticCoverage = sel.coverage(cfg, prof);
+    if (compress) {
+        RewriteResult rr = rewriteCompress(prog, sel, machine);
+        out.program = std::move(rr.program);
+        out.table = std::move(rr.table);
+    } else {
+        out.program = rewriteNopPad(prog, sel);
+        out.table = sel.table;
+    }
+    out.selection = std::move(sel);
+    return out;
+}
+
+CoreStats
+runCore(const Program &prog, const MgTable *mgt, const CoreConfig &coreCfg,
+        const SetupFn &setup, std::uint64_t maxWork)
+{
+    Core core(prog, mgt, coreCfg);
+    if (setup)
+        setup(core.oracle());
+    return core.run(maxWork);
+}
+
+CoreStats
+simulate(const Program &prog, const SimConfig &cfg, const SetupFn &setup)
+{
+    if (!cfg.useMiniGraphs)
+        return runCore(prog, nullptr, cfg.core, setup, cfg.runBudget);
+
+    BlockProfile prof = collectProfile(prog, setup, cfg.profileBudget);
+    PreparedMg prep = prepareMiniGraphs(prog, prof, cfg.policy,
+                                        cfg.machine, cfg.compress);
+    return runCore(prep.program, &prep.table, cfg.core, setup,
+                   cfg.runBudget);
+}
+
+} // namespace mg

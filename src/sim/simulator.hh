@@ -1,0 +1,54 @@
+/**
+ * @file
+ * High-level experiment driver: profile a program, select mini-graphs,
+ * rewrite, and run the timing core — the complete paper flow in four
+ * calls (or one).
+ */
+
+#ifndef MG_SIM_SIMULATOR_HH
+#define MG_SIM_SIMULATOR_HH
+
+#include <functional>
+
+#include "cfg/profile.hh"
+#include "mg/rewriter.hh"
+#include "sim/config.hh"
+#include "uarch/core.hh"
+
+namespace mg {
+
+/** Callback that plants workload inputs into a fresh emulator. */
+using SetupFn = std::function<void(Emulator &)>;
+
+/** Rewritten program plus everything needed to execute it. */
+struct PreparedMg
+{
+    Program program;
+    MgTable table;
+    Selection selection;        ///< against the original program
+    double staticCoverage = 0;  ///< estimated from the profile
+};
+
+/** Profile @p prog by functional execution. */
+BlockProfile collectProfile(const Program &prog, const SetupFn &setup,
+                            std::uint64_t budget);
+
+/** Select + rewrite @p prog for the given policy/machine/layout. */
+PreparedMg prepareMiniGraphs(const Program &prog,
+                             const BlockProfile &prof,
+                             const SelectionPolicy &policy,
+                             const MgtMachine &machine,
+                             bool compress = false);
+
+/** Run the timing core over (@p prog, @p mgt). */
+CoreStats runCore(const Program &prog, const MgTable *mgt,
+                  const CoreConfig &coreCfg, const SetupFn &setup,
+                  std::uint64_t maxWork = ~0ull);
+
+/** One-call flow: returns the end-to-end stats for @p cfg. */
+CoreStats simulate(const Program &prog, const SimConfig &cfg,
+                   const SetupFn &setup);
+
+} // namespace mg
+
+#endif // MG_SIM_SIMULATOR_HH

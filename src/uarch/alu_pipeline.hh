@@ -1,0 +1,73 @@
+/**
+ * @file
+ * ALU pipeline model (paper Section 4.2): a single-entry, single-exit
+ * pipelined chain of ALUs. To the scheduler it looks like a pipelined
+ * multi-cycle functional unit: one operation may enter per cycle, the
+ * output is selected among the unlatched per-stage outputs, and the
+ * single output port creates "writeback" conflicts that the scheduler
+ * avoids using the header's output latency (LAT).
+ *
+ * Singleton integer operations execute on stage 0 with no penalty, so
+ * ALU pipelines substitute for plain ALUs transparently.
+ */
+
+#ifndef MG_UARCH_ALU_PIPELINE_HH
+#define MG_UARCH_ALU_PIPELINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mg {
+
+/** Output-port and entry-slot tracker for one ALU pipeline. */
+class AluPipeline
+{
+  public:
+    /**
+     * @param depth stages in the chain (paper evaluates 4)
+     */
+    explicit AluPipeline(int depth = 4);
+
+    /**
+     * Try to accept an operation entering at @p now whose register
+     * output emerges @p outLat cycles later (singletons: 1). Checks
+     * the entry slot at @p now and the output port at @p now+outLat.
+     *
+     * @return true and reserve both on success
+     */
+    bool tryIssue(Cycle now, int outLat);
+
+    /** True when the entry slot at @p now is free. */
+    bool entryFree(Cycle now) const;
+
+    /** True when the output port at @p cycle is free. */
+    bool outputFree(Cycle cycle) const;
+
+    /** Advance the ring buffers to @p now (call at cycle start so
+     *  const probes never see stale wrapped slots). */
+    void advanceTo(Cycle now) { slideTo(now); }
+
+    int depth() const { return depth_; }
+    std::uint64_t accepted() const { return accepted_; }
+
+  private:
+    int depth_;
+    /** Ring buffers over future cycles, sized to cover depth + slack. */
+    static constexpr int window = 64;
+    std::vector<bool> entryBusy;
+    std::vector<bool> outputBusy;
+    Cycle lastSlide = 0;
+    std::uint64_t accepted_ = 0;
+
+    void slideTo(Cycle now);
+    std::size_t slot(Cycle c) const
+    {
+        return static_cast<std::size_t>(c % window);
+    }
+};
+
+} // namespace mg
+
+#endif // MG_UARCH_ALU_PIPELINE_HH

@@ -1,0 +1,809 @@
+#include "uarch/core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mg {
+
+Core::Core(const Program &p, const MgTable *t, const CoreConfig &c)
+    : prog(p), mgt(t), cfg(c),
+      emu(p, t),
+      mem(c.mem),
+      bp(c.bp),
+      ss(c.ss),
+      regs(c.physRegs, numArchRegs),
+      rob(c.robSize),
+      iq(c.iqSize),
+      lsq(c.lsqSize),
+      fu(c.fu),
+      seqs(c.sequencers),
+      window(WindowResources{c.fu.intAlus, 1, c.fu.loadPorts,
+                             c.fu.storePorts, c.fu.aluPipes})
+{}
+
+Addr
+Core::lineOf(Addr pc) const
+{
+    return pc / cfg.mem.l1i.lineBytes;
+}
+
+std::unique_ptr<DynInst>
+Core::pullOracle()
+{
+    // Replay queue first (squash recovery), then the live oracle.
+    if (!replayQueue.empty()) {
+        auto d = std::move(replayQueue.front());
+        replayQueue.pop_front();
+        return d;
+    }
+    if (oracleDone)
+        return nullptr;
+    for (;;) {
+        ExecRecord rec;
+        bool more = emu.step(&rec);
+        if (rec.insn == nullptr) {
+            oracleDone = true;
+            return nullptr;
+        }
+        if (rec.insn->isNop()) {
+            // Pad nops are squashed pre-decode: they consume no slot
+            // but still advance the fetch PC (their icache footprint
+            // is modelled in doFetch via the line walk).
+            if (!more) {
+                oracleDone = true;
+                return nullptr;
+            }
+            continue;
+        }
+        auto d = std::make_unique<DynInst>();
+        d->pc = rec.pc;
+        d->insn = *rec.insn;
+        d->rec = rec;
+        d->rec.insn = nullptr;      // records outlive emulator views
+        if (d->insn.isHandle()) {
+            d->tmpl = &mgt->at(static_cast<MgId>(d->insn.imm));
+            d->work = d->tmpl->size();
+            d->isLoadKind = d->tmpl->hdr.hasLoad;
+            d->isStoreKind = d->tmpl->hdr.hasStore;
+            d->isCtrl = d->tmpl->hdr.endsInBranch;
+        } else {
+            d->work = 1;
+            d->isLoadKind = d->insn.isLoad();
+            d->isStoreKind = d->insn.isStore();
+            d->isCtrl = d->insn.isControl();
+        }
+        if (!more)
+            oracleDone = true;
+        return d;
+    }
+}
+
+void
+Core::predictControl(DynInst *d)
+{
+    ++stats_.branches;
+    bool actualTaken = d->rec.taken;
+    Addr actualTarget = d->rec.nextPc;
+    InsnClass cls = d->insn.cls();
+    bool condLike = cls == InsnClass::CondBranch ||
+        (d->isHandle() && d->tmpl->hdr.endsInBranch);
+
+    if (condLike) {
+        bool predTaken = bp.predictDirection(d->pc);
+        bp.updateDirection(d->pc, actualTaken);
+        if (predTaken != actualTaken) {
+            d->mispredicted = true;
+        } else if (actualTaken) {
+            Addr predTarget = bp.predictTarget(d->pc);
+            if (predTarget != actualTarget) {
+                // Direct target: computable at decode (misfetch).
+                fetchStalledUntil = std::max(
+                    fetchStalledUntil,
+                    now + static_cast<Cycle>(cfg.misfetchPenalty));
+                ++stats_.misfetches;
+            }
+            bp.updateTarget(d->pc, actualTarget);
+        }
+        return;
+    }
+
+    switch (d->insn.op) {
+      case Op::BR:
+      case Op::BSR: {
+          if (d->insn.op == Op::BSR)
+              bp.pushReturn(d->pc + insnBytes);
+          Addr predTarget = bp.predictTarget(d->pc);
+          if (predTarget != actualTarget) {
+              fetchStalledUntil = std::max(
+                  fetchStalledUntil,
+                  now + static_cast<Cycle>(cfg.misfetchPenalty));
+              ++stats_.misfetches;
+              bp.updateTarget(d->pc, actualTarget);
+          }
+          return;
+      }
+      case Op::RET: {
+          Addr predTarget = bp.popReturn();
+          if (predTarget != actualTarget)
+              d->mispredicted = true;
+          return;
+      }
+      case Op::JSR:
+      case Op::JMP: {
+          if (d->insn.op == Op::JSR)
+              bp.pushReturn(d->pc + insnBytes);
+          Addr predTarget = bp.predictTarget(d->pc);
+          if (predTarget != actualTarget)
+              d->mispredicted = true;
+          bp.updateTarget(d->pc, actualTarget);
+          return;
+      }
+      default:
+        return;
+    }
+}
+
+void
+Core::doFetch()
+{
+    if (fetchBlockedBySeq != 0 || now < fetchStalledUntil)
+        return;
+
+    int fetched = 0;
+    int linesTouched = 0;
+    while (fetched < cfg.fetchWidth &&
+           static_cast<int>(fetchQueue.size()) < cfg.fetchQueueSize) {
+        auto d = pullOracle();
+        if (!d)
+            return;
+
+        // Instruction cache: touch the line; charge misses.
+        Addr line = lineOf(d->pc);
+        if (line != lastFetchLine) {
+            ++linesTouched;
+            if (linesTouched > 2) {
+                // Third line this cycle: defer to next cycle.
+                replayQueue.push_front(std::move(d));
+                return;
+            }
+            MemAccess acc = mem.instAccess(d->pc, now);
+            lastFetchLine = line;
+            if (!acc.l1Hit) {
+                ++stats_.icacheMisses;
+                fetchStalledUntil = std::max(fetchStalledUntil,
+                                             acc.readyAt);
+                replayQueue.push_front(std::move(d));
+                return;
+            }
+        }
+
+        d->seq = nextSeq++;
+        d->fetchAt = now;
+        d->dispatchReadyAt = now +
+            static_cast<Cycle>(cfg.frontendDepth);
+        ++stats_.fetchedSlots;
+        ++fetched;
+
+        bool taken = false;
+        if (d->isCtrl) {
+            predictControl(d.get());
+            taken = d->rec.taken;
+            if (d->mispredicted)
+                fetchBlockedBySeq = d->seq;
+        }
+        fetchQueue.push_back(std::move(d));
+        if (taken || fetchBlockedBySeq != 0)
+            return;   // taken branches end the fetch cycle
+    }
+}
+
+void
+Core::doDispatch()
+{
+    int moved = 0;
+    while (moved < cfg.renameWidth && !fetchQueue.empty()) {
+        DynInst *d = fetchQueue.front().get();
+        if (d->dispatchReadyAt > now)
+            break;
+        if (rob.full()) {
+            ++stats_.robFullStalls;
+            break;
+        }
+        if (iq.full()) {
+            ++stats_.iqFullStalls;
+            break;
+        }
+        if ((d->isLoadKind || d->isStoreKind) && lsq.full()) {
+            ++stats_.lsqFullStalls;
+            break;
+        }
+
+        // Rename: two source lookups, at most one allocation. DISE's
+        // dedicated registers never reach renaming (expansion is a
+        // decode-stage mechanism); reject them loudly.
+        if (d->insn.src(0) >= numArchRegs ||
+            d->insn.src(1) >= numArchRegs ||
+            d->insn.dst() >= numArchRegs)
+            fatal("DISE register reached rename at PC 0x%llx; run "
+                  "expanded programs through the emulator",
+                  static_cast<unsigned long long>(d->pc));
+        RegId s0, s1, dst;
+        if (d->isHandle()) {
+            s0 = d->insn.ra;
+            s1 = d->insn.rb;
+            dst = (d->tmpl->outIdx >= 0 && !isZeroReg(d->insn.rc))
+                ? d->insn.rc : regNone;
+        } else {
+            s0 = d->insn.src(0);
+            s1 = d->insn.src(1);
+            dst = d->insn.writesReg() ? d->insn.dst() : regNone;
+        }
+        PhysReg np = physNone;
+        if (dst != regNone) {
+            np = regs.alloc();
+            if (np == physNone) {
+                ++stats_.regFullStalls;
+                break;
+            }
+        }
+        d->srcPhys[0] = rmap.lookup(s0);
+        d->srcPhys[1] = rmap.lookup(s1);
+        if (dst != regNone) {
+            d->archDst = dst;
+            d->dstPhys = np;
+            d->prevPhys = rmap.rename(dst, np);
+            regs.markPending(np);
+        }
+
+        // Memory dependence prediction by (handle) PC.
+        if (d->isStoreKind)
+            d->depStoreSeq = ss.dispatchStore(d->pc, d->seq);
+        else if (d->isLoadKind)
+            d->depStoreSeq = ss.dispatchLoad(d->pc);
+
+        d->dispatched = true;
+        rob.push(d);
+        iq.insert(d);
+        if (d->isLoadKind)
+            lsq.insertLoad(d);
+        else if (d->isStoreKind)
+            lsq.insertStore(d);
+        inflight[d->seq] = d;
+        arena.push_back(std::move(fetchQueue.front()));
+        fetchQueue.pop_front();
+        ++moved;
+    }
+}
+
+bool
+Core::depStoreSatisfied(const DynInst *d) const
+{
+    if (d->depStoreSeq == 0)
+        return true;
+    auto it = inflight.find(d->depStoreSeq);
+    if (it == inflight.end())
+        return true;    // store committed or squashed
+    return it->second->memDone;
+}
+
+int
+Core::neededReadPorts(const DynInst *d) const
+{
+    // Values still in the bypass network need no register read port.
+    int n = 0;
+    for (PhysReg s : d->srcPhys) {
+        if (s == physNone)
+            continue;
+        Cycle v = regs.valueAt(s);
+        if (v + static_cast<Cycle>(cfg.bypassWindow) < now)
+            ++n;
+    }
+    return n;
+}
+
+void
+Core::publishDest(DynInst *d, int effLat, Cycle value)
+{
+    if (d->dstPhys == physNone)
+        return;
+    Cycle sched = static_cast<Cycle>(
+        std::max(effLat, cfg.schedulerCycles));
+    regs.setTimes(d->dstPhys, d->issueAt + sched, value);
+}
+
+bool
+Core::issueSingleton(DynInst *d)
+{
+    InsnClass cls = d->insn.cls();
+    FuKind kind;
+    int effLat = opLatency(d->insn.op);
+    switch (cls) {
+      case InsnClass::IntAlu:
+      case InsnClass::CondBranch:
+      case InsnClass::UncondBranch:
+      case InsnClass::IndirectJump:
+        kind = FuKind::IntAlu;
+        effLat = 1;
+        break;
+      case InsnClass::IntMult:
+        kind = FuKind::IntMult;
+        break;
+      case InsnClass::FpAlu:
+      case InsnClass::FpDiv:
+        kind = FuKind::FpAlu;
+        break;
+      case InsnClass::Load:
+        kind = FuKind::LoadPort;
+        effLat = 1 + static_cast<int>(cfg.mem.l1dLat);
+        break;
+      case InsnClass::Store:
+        kind = FuKind::StorePort;
+        break;
+      case InsnClass::Halt:
+      case InsnClass::Nop:
+        kind = FuKind::IntAlu;
+        break;
+      default:
+        panic("issueSingleton on a handle");
+    }
+
+    // Probe every resource before claiming any: a failed claim after
+    // a successful one would waste slots and skew saturation points.
+    FuKind slotKind = (kind == FuKind::IntMult) ? FuKind::IntAlu : kind;
+    int ports = neededReadPorts(d);
+    Cycle completion = now + static_cast<Cycle>(cfg.regReadLat) +
+        static_cast<Cycle>(effLat);
+    if (fu.readPortsFree() < ports)
+        return false;
+    if (!fu.canIssueSingleton(slotKind))
+        return false;
+    if (d->dstPhys != physNone && !fu.writePortFree(completion))
+        return false;
+    if (!fu.tryIssueSingleton(slotKind))
+        return false;
+    if (d->dstPhys != physNone)
+        fu.claimWritePort(completion);
+    fu.claimReadPorts(ports);
+
+    d->issued = true;
+    d->issueAt = now;
+    iq.remove(d);
+
+    switch (cls) {
+      case InsnClass::Load:
+        d->memExecAt = now + static_cast<Cycle>(cfg.regReadLat) + 1;
+        publishDest(d, effLat, completion);   // optimistic (hit)
+        d->completeAt = completion;           // revised on miss
+        break;
+      case InsnClass::Store:
+        d->memExecAt = now + static_cast<Cycle>(cfg.regReadLat) + 1;
+        d->completeAt = d->memExecAt;
+        break;
+      case InsnClass::CondBranch:
+      case InsnClass::UncondBranch:
+      case InsnClass::IndirectJump:
+        d->resolveAt = now + static_cast<Cycle>(cfg.regReadLat) + 1;
+        d->completeAt = d->resolveAt;
+        publishDest(d, effLat, completion);   // link register
+        break;
+      default:
+        publishDest(d, effLat, completion);
+        d->completeAt = completion;
+        break;
+    }
+    return true;
+}
+
+bool
+Core::issueHandle(DynInst *d)
+{
+    const MgTemplate &t = *d->tmpl;
+    const MgHeader &h = t.hdr;
+
+    int ports = neededReadPorts(d);
+    if (fu.readPortsFree() < ports)
+        return false;
+
+    Cycle outReady = now + static_cast<Cycle>(cfg.regReadLat) +
+        static_cast<Cycle>(h.lat);
+    bool intOnly = !h.hasLoad && !h.hasStore;
+    if (intOnly) {
+        // Whole graph rides one ALU pipeline. Probe, then claim.
+        if (cfg.fu.aluPipes == 0)
+            fatal("integer mini-graph handle but no ALU pipelines "
+                  "configured");
+        if (!fu.canIssueAluPipe(h.lat))
+            return false;
+        if (seqs.freeAt(now) == 0)
+            return false;
+        if (d->dstPhys != physNone && !fu.writePortFree(outReady))
+            return false;
+        fu.tryIssueAluPipe(h.lat);
+        seqs.tryStart(now, h.totalLat);
+    } else {
+        // Integer-memory handle: sliding-window scheduler.
+        if (!cfg.slidingWindow)
+            fatal("integer-memory handle but the sliding-window "
+                  "scheduler is disabled");
+        if (intMemIssuedThisCycle >= cfg.maxIntMemHandlesPerCycle) {
+            ++stats_.intMemIssueConflicts;
+            return false;
+        }
+        if (window.conflicts(h.fubmp, now)) {
+            ++stats_.intMemIssueConflicts;
+            return false;
+        }
+        FuKind fu0 = h.fu0;
+        bool fu0Pipe = fu0 == FuKind::AluPipe;
+        if (fu0 == FuKind::IntMult)
+            fu0 = FuKind::IntAlu;
+        bool fu0Ok = fu0Pipe ? fu.canIssueAluPipe(h.lat)
+                             : fu.canIssueSingleton(fu0);
+        if (!fu0Ok)
+            return false;
+        if (seqs.freeAt(now) == 0)
+            return false;
+        if (d->dstPhys != physNone && !fu.writePortFree(outReady))
+            return false;
+        if (fu0Pipe)
+            fu.tryIssueAluPipe(h.lat);
+        else
+            fu.tryIssueSingleton(fu0);
+        seqs.tryStart(now, h.totalLat);
+        window.reserve(h.fubmp, now);
+        ++intMemIssuedThisCycle;
+    }
+
+    if (d->dstPhys != physNone)
+        fu.claimWritePort(outReady);
+    fu.claimReadPorts(ports);
+
+    d->issued = true;
+    d->issueAt = now;
+    // The scheduler entry is freed by the sequencer at the terminal
+    // bank (paper Section 4.1); model by removing at issue + totalLat.
+    // We keep it in the IQ container but it no longer competes; remove
+    // now and account the extra occupancy via heldUntil bookkeeping.
+    iq.remove(d);
+
+    publishDest(d, h.lat, outReady);
+    d->completeAt = now + static_cast<Cycle>(cfg.regReadLat) +
+        static_cast<Cycle>(h.totalLat);
+    if (d->isLoadKind || d->isStoreKind) {
+        int b = 0;
+        int mi = t.memIdx();
+        if (mi >= 0)
+            b = t.startCycle[static_cast<size_t>(mi)];
+        d->memExecAt = now + static_cast<Cycle>(cfg.regReadLat) +
+            static_cast<Cycle>(b);
+    }
+    if (d->isCtrl)
+        d->resolveAt = d->completeAt;
+    return true;
+}
+
+bool
+Core::tryIssueOne(DynInst *d)
+{
+    // Both interface inputs (or both sources) must be ready: this is
+    // exactly the paper's external serialization.
+    for (PhysReg s : d->srcPhys) {
+        if (s != physNone && !regs.readyForIssue(s, now))
+            return false;
+    }
+    // Store-set ordering: loads wait for their predicted store.
+    if (d->isLoadKind && !depStoreSatisfied(d))
+        return false;
+    // Stores wait like loads do when ordered behind another store.
+    if (d->isStoreKind && d->depStoreSeq != 0 && !depStoreSatisfied(d))
+        return false;
+
+    if (d->isHandle())
+        return issueHandle(d);
+    return issueSingleton(d);
+}
+
+void
+Core::doIssue()
+{
+    fu.beginCycle(now);
+    if (cfg.slidingWindow) {
+        // FUBMP reservations made by in-flight integer-memory handles
+        // claim their units in the cycle they fire.
+        for (FuKind k : {FuKind::IntAlu, FuKind::LoadPort,
+                         FuKind::StorePort, FuKind::AluPipe}) {
+            int n = window.usedAt(k, now);
+            if (n > 0)
+                fu.preClaim(k, n);
+        }
+    }
+    intMemIssuedThisCycle = 0;
+    // Snapshot the age-ordered candidates first: issuing removes
+    // entries from the queue, which would invalidate live iterators.
+    std::vector<DynInst *> ready;
+    ready.reserve(static_cast<size_t>(iq.size()));
+    for (DynInst *d : iq) {
+        if (!d->issued && d->dispatchReadyAt <= now)
+            ready.push_back(d);
+    }
+    int issued = 0;
+    for (DynInst *d : ready) {
+        if (issued >= cfg.issueWidth)
+            break;
+        if (tryIssueOne(d))
+            ++issued;
+    }
+}
+
+void
+Core::executeLoad(DynInst *d)
+{
+    // Store-to-load forwarding: youngest older store with a known
+    // overlapping address supplies the value in one cycle.
+    DynInst *fwd = lsq.forwardingStore(d);
+    Cycle dataAt;
+    if (fwd) {
+        dataAt = now + 1;
+    } else {
+        MemAccess acc = mem.dataAccess(d->rec.memAddr, false, now);
+        if (!acc.l1Hit)
+            ++stats_.dcacheMisses;
+        dataAt = acc.readyAt;
+    }
+
+    // The bank/pipeline schedule planned for a hit completing
+    // l1dLat cycles after the access (now == d->memExecAt).
+    Cycle plannedData = d->memExecAt + cfg.mem.l1dLat;
+
+    if (d->isHandle()) {
+        const MgTemplate &t = *d->tmpl;
+        int mi = t.memIdx();
+        bool terminal = (mi == t.size() - 1);
+        if (dataAt > plannedData) {
+            Cycle delta = dataAt - plannedData;
+            if (!terminal) {
+                // Interior-load miss: replay the whole mini-graph
+                // (paper Section 4.3). The graph re-executes once the
+                // fill returns; everything shifts by the miss delta
+                // plus one replay pass through the sequencer.
+                ++stats_.handleReplays;
+                ++d->handleReplays;
+                Cycle shift = delta + static_cast<Cycle>(t.hdr.totalLat);
+                d->completeAt += shift;
+                if (d->dstPhys != physNone) {
+                    regs.setTimes(d->dstPhys,
+                                  regs.readyForIssueAt(d->dstPhys) + shift,
+                                  regs.valueAt(d->dstPhys) + shift);
+                }
+                if (d->isCtrl)
+                    d->resolveAt = d->completeAt;
+                seqs.tryStart(now, t.hdr.totalLat);   // replay walk
+            } else {
+                // Terminal load miss: behaves like a singleton miss.
+                d->completeAt += delta;
+                if (t.outIdx == mi && d->dstPhys != physNone) {
+                    regs.setTimes(d->dstPhys,
+                                  dataAt -
+                                      static_cast<Cycle>(cfg.regReadLat),
+                                  dataAt);
+                }
+                if (d->isCtrl)
+                    d->resolveAt = d->completeAt;
+            }
+        }
+    } else {
+        if (dataAt != plannedData) {
+            if (dataAt > plannedData)
+                ++stats_.loadReplays;
+            d->completeAt = dataAt;
+            if (d->dstPhys != physNone) {
+                regs.setTimes(d->dstPhys,
+                              dataAt - static_cast<Cycle>(cfg.regReadLat),
+                              dataAt);
+            }
+        }
+    }
+    d->memDone = true;
+}
+
+void
+Core::executeStore(DynInst *d)
+{
+    d->memDone = true;
+    // Ordering check: a younger load that already ran with an
+    // overlapping address used stale data.
+    DynInst *viol = lsq.violatingLoad(d);
+    if (viol) {
+        ++stats_.ordViolations;
+        ss.recordViolation(viol->pc, d->pc);
+        squashFrom(viol->seq);
+    }
+}
+
+void
+Core::doMemAndResolve()
+{
+    // Memory operations whose address resolves this cycle. Collect
+    // first: violation squashes mutate the queues.
+    std::vector<DynInst *> memOps;
+    for (DynInst *l : lsq.loadQueue()) {
+        if (l->issued && !l->memDone && l->memExecAt <= now)
+            memOps.push_back(l);
+    }
+    for (DynInst *s : lsq.storeQueue()) {
+        if (s->issued && !s->memDone && s->memExecAt <= now)
+            memOps.push_back(s);
+    }
+    std::sort(memOps.begin(), memOps.end(),
+              [](DynInst *a, DynInst *b) { return a->seq < b->seq; });
+    for (DynInst *d : memOps) {
+        if (d->squashed)
+            continue;
+        if (d->isLoadKind)
+            executeLoad(d);
+        else
+            executeStore(d);
+    }
+
+    // Control resolution: unblock fetch.
+    if (fetchBlockedBySeq != 0) {
+        auto it = inflight.find(fetchBlockedBySeq);
+        if (it == inflight.end()) {
+            fetchBlockedBySeq = 0;   // squashed away
+        } else {
+            DynInst *b = it->second;
+            if (b->issued && b->resolveAt <= now) {
+                fetchBlockedBySeq = 0;
+                ++stats_.mispredicts;
+                bp.countMispredict();
+            }
+        }
+    }
+}
+
+void
+Core::retire(DynInst *d)
+{
+    ++stats_.committedSlots;
+    stats_.committedWork += static_cast<std::uint64_t>(d->work);
+    if (d->isHandle())
+        ++stats_.committedHandles;
+    if (d->isStoreKind) {
+        // The retiring store (or the mini-graph's one store queue
+        // entry) drains to the data cache.
+        mem.dataAccess(d->rec.memAddr, true, now);
+        ss.completeStore(d->pc, d->seq);
+    }
+    if (d->prevPhys != physNone)
+        regs.free(d->prevPhys);
+    inflight.erase(d->seq);
+}
+
+void
+Core::doCommit()
+{
+    int n = 0;
+    while (n < cfg.commitWidth && !rob.empty()) {
+        DynInst *d = rob.head();
+        bool done = d->issued && d->completeAt <= now &&
+            (!d->isLoadKind || d->memDone) &&
+            (!d->isStoreKind || d->memDone);
+        if (!done)
+            break;
+        retire(d);
+        rob.popHead();
+        lsq.remove(d);
+        // Handles hold their scheduler entry until the terminal bank;
+        // both paths removed the entry at issue, so nothing to do.
+        ++n;
+        // Reclaim arena storage lazily.
+        while (!arena.empty() && arena.front()->seq < d->seq &&
+               arena.front()->squashed)
+            arena.pop_front();
+        while (!arena.empty() && arena.front().get() == d) {
+            arena.pop_front();
+            break;
+        }
+    }
+}
+
+void
+Core::squashFrom(std::uint64_t fromSeq)
+{
+    // Remove young entries from the back of the ROB, restoring the
+    // rename map and freeing their registers; then re-feed their
+    // records to fetch via the replay queue.
+    std::vector<DynInst *> gone = rob.squashFrom(fromSeq);
+    iq.squashFrom(fromSeq);
+    lsq.squashFrom(fromSeq);
+
+    // Also squash not-yet-dispatched fetched slots (they are younger
+    // than anything in the ROB).
+    std::vector<std::unique_ptr<DynInst>> refetch;
+    while (!fetchQueue.empty() && fetchQueue.back()->seq >= fromSeq) {
+        refetch.push_back(std::move(fetchQueue.back()));
+        fetchQueue.pop_back();
+    }
+
+    for (DynInst *d : gone) {
+        // Youngest first: undo rename in reverse order.
+        if (d->archDst != regNone) {
+            rmap.restore(d->archDst, d->prevPhys);
+            if (d->dstPhys != physNone)
+                regs.free(d->dstPhys);
+        }
+        d->squashed = true;
+        inflight.erase(d->seq);
+        ++stats_.squashedSlots;
+    }
+
+    if (fetchBlockedBySeq >= fromSeq)
+        fetchBlockedBySeq = 0;
+
+    // Rebuild replay records oldest-first at the front of the queue.
+    // `gone` is youngest-first; fetchQueue leftovers are younger than
+    // everything in `gone`... no: fetchQueue holds the youngest slots.
+    // Final order must be: gone (reversed) then refetch (reversed).
+    for (auto &u : refetch) {
+        u->squashed = true;
+        ++stats_.squashedSlots;
+    }
+    std::vector<std::unique_ptr<DynInst>> replay;
+    for (auto it = gone.rbegin(); it != gone.rend(); ++it) {
+        auto fresh = std::make_unique<DynInst>();
+        fresh->pc = (*it)->pc;
+        fresh->insn = (*it)->insn;
+        fresh->rec = (*it)->rec;
+        fresh->tmpl = (*it)->tmpl;
+        fresh->work = (*it)->work;
+        fresh->isLoadKind = (*it)->isLoadKind;
+        fresh->isStoreKind = (*it)->isStoreKind;
+        fresh->isCtrl = (*it)->isCtrl;
+        replay.push_back(std::move(fresh));
+    }
+    for (auto it = refetch.rbegin(); it != refetch.rend(); ++it) {
+        auto fresh = std::make_unique<DynInst>();
+        fresh->pc = (*it)->pc;
+        fresh->insn = (*it)->insn;
+        fresh->rec = (*it)->rec;
+        fresh->tmpl = (*it)->tmpl;
+        fresh->work = (*it)->work;
+        fresh->isLoadKind = (*it)->isLoadKind;
+        fresh->isStoreKind = (*it)->isStoreKind;
+        fresh->isCtrl = (*it)->isCtrl;
+        replay.push_back(std::move(fresh));
+    }
+    for (auto it = replay.rbegin(); it != replay.rend(); ++it)
+        replayQueue.push_front(std::move(*it));
+
+    // Refetch restarts after the squash resolves (next cycle) with a
+    // cold line tracker.
+    fetchStalledUntil = std::max(fetchStalledUntil, now + 1);
+    lastFetchLine = ~Addr(0);
+}
+
+CoreStats
+Core::run(std::uint64_t maxWork)
+{
+    stats_ = CoreStats();
+    for (;;) {
+        doMemAndResolve();
+        doCommit();
+        doIssue();
+        doDispatch();
+        doFetch();
+        ++now;
+        stats_.cycles = now;
+        if (stats_.committedWork >= maxWork)
+            break;
+        if (oracleDone && replayQueue.empty() && fetchQueue.empty() &&
+            rob.empty())
+            break;
+        if (now > (1ull << 40))
+            panic("simulation did not terminate");
+    }
+    return stats_;
+}
+
+} // namespace mg

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * The cycle-level out-of-order core.
+ *
+ * The model follows the SimpleScalar sim-outorder methodology the
+ * paper used: a functional oracle (the Emulator) executes the program
+ * in fetch order while this core models timing — branch prediction,
+ * renaming, the issue queue, functional-unit and register-port
+ * structural hazards, the load/store queue with store-sets scheduling
+ * and ordering-violation squashes, cache latencies, and retirement.
+ *
+ * Mini-graph awareness (paper Section 4):
+ *  - a handle is one slot at fetch/rename/dispatch/issue/commit;
+ *  - integer handles issue to ALU pipelines; integer-memory handles
+ *    issue through the sliding-window scheduler (<= 1 per cycle);
+ *  - issuing a handle claims one MGST sequencer for its total latency;
+ *  - interior values never allocate physical registers;
+ *  - a handle's scheduler entry is held until its terminal bank;
+ *  - interior-load misses replay the entire mini-graph.
+ */
+
+#ifndef MG_UARCH_CORE_HH
+#define MG_UARCH_CORE_HH
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "emu/emulator.hh"
+#include "memsys/hierarchy.hh"
+#include "uarch/branch_pred.hh"
+#include "uarch/dyninst.hh"
+#include "uarch/fu_pool.hh"
+#include "uarch/issue_queue.hh"
+#include "uarch/lsq.hh"
+#include "uarch/regfile.hh"
+#include "uarch/rename.hh"
+#include "uarch/rob.hh"
+#include "uarch/sequencer.hh"
+#include "uarch/sliding_window.hh"
+#include "uarch/store_sets.hh"
+
+namespace mg {
+
+/** Machine configuration (defaults = the paper's baseline). */
+struct CoreConfig
+{
+    // Bandwidths.
+    int fetchWidth = 6;
+    int renameWidth = 6;
+    int issueWidth = 6;
+    int commitWidth = 6;
+
+    // Capacities.
+    int robSize = 128;
+    int iqSize = 50;
+    int lsqSize = 64;
+    int physRegs = 164;
+    int fetchQueueSize = 24;
+
+    // Latencies.
+    int frontendDepth = 8;      ///< fetch-to-dispatch stages
+    int regReadLat = 2;
+    int schedulerCycles = 1;    ///< 1 = single-cycle, 2 = pipelined
+    int misfetchPenalty = 3;    ///< BTB-miss-on-taken bubble
+    int bypassWindow = 3;       ///< cycles a value rides the bypass
+
+    // Execution resources.
+    FuPoolConfig fu;            ///< 4 int ALUs baseline
+
+    // Mini-graph machinery.
+    bool mgEnabled = false;
+    bool slidingWindow = false; ///< integer-memory handles issue
+    int sequencers = 6;
+    int maxIntMemHandlesPerCycle = 1;
+
+    HierarchyConfig mem;
+    BranchPredConfig bp;
+    StoreSetsConfig ss;
+
+    /** Derive the paper's mini-graph configuration: two of the four
+     *  integer ALUs become ALU pipelines. */
+    void
+    enableMiniGraphs(bool intMem, int pipeDepth = 4)
+    {
+        mgEnabled = true;
+        slidingWindow = intMem;
+        fu.intAlus = 2;
+        fu.aluPipes = 2;
+        fu.aluPipeDepth = pipeDepth;
+    }
+};
+
+/** End-of-run statistics. */
+struct CoreStats
+{
+    Cycle cycles = 0;
+    std::uint64_t committedSlots = 0;   ///< handles count once
+    std::uint64_t committedWork = 0;    ///< constituent instructions
+    std::uint64_t committedHandles = 0;
+    std::uint64_t fetchedSlots = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t misfetches = 0;
+    std::uint64_t loadReplays = 0;      ///< singleton load-miss waits
+    std::uint64_t handleReplays = 0;    ///< interior-load mini-graph
+                                        ///< replays
+    std::uint64_t ordViolations = 0;
+    std::uint64_t squashedSlots = 0;
+    std::uint64_t icacheMisses = 0;
+    std::uint64_t dcacheMisses = 0;
+    std::uint64_t iqFullStalls = 0;
+    std::uint64_t robFullStalls = 0;
+    std::uint64_t regFullStalls = 0;
+    std::uint64_t lsqFullStalls = 0;
+    std::uint64_t intMemIssueConflicts = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(committedWork) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    /** Fraction of committed work removed from pipeline slots. */
+    double
+    dynamicCoverage() const
+    {
+        return committedWork
+            ? 1.0 - static_cast<double>(committedSlots) /
+                  static_cast<double>(committedWork)
+            : 0.0;
+    }
+};
+
+/** The core. */
+class Core
+{
+  public:
+    /**
+     * @param prog program (handles allowed when @p mgt is given)
+     * @param mgt  mini-graph table or null
+     * @param cfg  machine configuration
+     */
+    Core(const Program &prog, const MgTable *mgt, const CoreConfig &cfg);
+
+    /**
+     * Run until the oracle halts (and the pipeline drains) or
+     * @p maxWork constituent instructions have committed.
+     */
+    CoreStats run(std::uint64_t maxWork = ~0ull);
+
+    /** Access the oracle (for architectural state checks in tests). */
+    Emulator &oracle() { return emu; }
+
+    const CoreStats &stats() const { return stats_; }
+
+  private:
+    const Program &prog;
+    const MgTable *mgt;
+    CoreConfig cfg;
+
+    Emulator emu;
+    Hierarchy mem;
+    BranchPredictor bp;
+    StoreSets ss;
+    PhysRegFile regs;
+    RenameMap rmap;
+    Rob rob;
+    IssueQueue iq;
+    Lsq lsq;
+    FuPool fu;
+    SequencerPool seqs;
+    SlidingWindow window;
+
+    Cycle now = 0;
+    std::uint64_t nextSeq = 1;
+    CoreStats stats_;
+
+    // Oracle stream with squash-replay support.
+    std::deque<std::unique_ptr<DynInst>> replayQueue;
+    bool oracleDone = false;
+
+    // Fetch state.
+    std::deque<std::unique_ptr<DynInst>> fetchQueue;
+    std::uint64_t fetchBlockedBySeq = 0;  ///< unresolved mispredict
+    Cycle fetchStalledUntil = 0;          ///< misfetch / icache miss
+    Addr lastFetchLine = ~Addr(0);
+
+    // In-flight bookkeeping.
+    std::unordered_map<std::uint64_t, DynInst *> inflight;
+    std::deque<std::unique_ptr<DynInst>> arena;
+
+    // Per-cycle mini-graph issue throttle.
+    int intMemIssuedThisCycle = 0;
+
+    // --- pipeline stages (called youngest-stage-last each cycle) ---
+    void doMemAndResolve();
+    void doCommit();
+    void doIssue();
+    void doDispatch();
+    void doFetch();
+
+    // --- helpers ---
+    std::unique_ptr<DynInst> pullOracle();
+    void predictControl(DynInst *d);
+    bool tryIssueOne(DynInst *d);
+    bool issueHandle(DynInst *d);
+    bool issueSingleton(DynInst *d);
+    void publishDest(DynInst *d, int effLat, Cycle value);
+    int neededReadPorts(const DynInst *d) const;
+    void executeLoad(DynInst *d);
+    void executeStore(DynInst *d);
+    void squashFrom(std::uint64_t fromSeq);
+    void retire(DynInst *d);
+    bool depStoreSatisfied(const DynInst *d) const;
+    Addr lineOf(Addr pc) const;
+};
+
+} // namespace mg
+
+#endif // MG_UARCH_CORE_HH

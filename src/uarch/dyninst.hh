@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Dynamic instruction state shared by every back-end structure. One
+ * DynInst represents one pipeline *slot*: a singleton instruction or a
+ * complete mini-graph handle (whose `work` is its template size).
+ */
+
+#ifndef MG_UARCH_DYNINST_HH
+#define MG_UARCH_DYNINST_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "emu/emulator.hh"
+#include "isa/instruction.hh"
+#include "mg/mgt.hh"
+
+namespace mg {
+
+/** One in-flight pipeline slot. */
+struct DynInst
+{
+    std::uint64_t seq = 0;          ///< global age (1-based)
+    Addr pc = 0;
+    Instruction insn;
+    ExecRecord rec;                 ///< oracle-observed effects
+    const MgTemplate *tmpl = nullptr;
+    int work = 1;                   ///< constituent instructions
+
+    // --- rename state ---
+    PhysReg srcPhys[2] = {physNone, physNone};
+    PhysReg dstPhys = physNone;
+    PhysReg prevPhys = physNone;
+    RegId archDst = regNone;
+
+    // --- memory state ---
+    bool isLoadKind = false;
+    bool isStoreKind = false;
+    std::uint64_t depStoreSeq = 0;  ///< store-sets predicted dependence
+    bool memDone = false;           ///< address resolved (stores: +data)
+    Cycle memExecAt = 0;
+
+    // --- control state ---
+    bool isCtrl = false;
+    bool mispredicted = false;      ///< blocks fetch until resolve
+    Cycle resolveAt = 0;
+
+    // --- pipeline timing ---
+    Cycle fetchAt = 0;
+    Cycle dispatchReadyAt = 0;
+    Cycle issueAt = 0;
+    Cycle completeAt = 0;
+    bool dispatched = false;
+    bool issued = false;
+    bool completed = false;
+    bool squashed = false;
+    int handleReplays = 0;          ///< interior-load miss replays
+
+    bool isHandle() const { return insn.isHandle(); }
+};
+
+} // namespace mg
+
+#endif // MG_UARCH_DYNINST_HH

@@ -1,0 +1,200 @@
+#include "uarch/fu_pool.hh"
+
+#include "common/logging.hh"
+
+namespace mg {
+
+FuPool::FuPool(const FuPoolConfig &c) : cfg(c)
+{
+    for (int i = 0; i < cfg.aluPipes; ++i)
+        pipes_.emplace_back(cfg.aluPipeDepth);
+    writeUsed.assign(window, 0);
+}
+
+void
+FuPool::slideTo(Cycle c)
+{
+    if (c <= lastSlide)
+        return;
+    Cycle steps = c - lastSlide;
+    if (steps >= window) {
+        std::fill(writeUsed.begin(), writeUsed.end(), 0);
+    } else {
+        for (Cycle s = 0; s < steps; ++s)
+            writeUsed[static_cast<size_t>((lastSlide + s) % window)] = 0;
+    }
+    lastSlide = c;
+}
+
+void
+FuPool::beginCycle(Cycle c)
+{
+    now = c;
+    slideTo(c);
+    for (AluPipeline &p : pipes_)
+        p.advanceTo(c);
+    totalUsed = intUsed = fpUsed = loadUsed = storeUsed = multUsed = 0;
+    readUsed = 0;
+}
+
+void
+FuPool::preClaim(FuKind fu, int n)
+{
+    switch (fu) {
+      case FuKind::IntAlu:
+      case FuKind::IntMult:
+      case FuKind::AluPipe:
+        intUsed += n;
+        break;
+      case FuKind::LoadPort:
+        loadUsed += n;
+        break;
+      case FuKind::StorePort:
+        storeUsed += n;
+        break;
+      default:
+        break;
+    }
+}
+
+bool
+FuPool::tryIssueSingleton(FuKind fu)
+{
+    if (!issueSlotFree())
+        return false;
+    switch (fu) {
+      case FuKind::IntAlu:
+      case FuKind::IntMult: {
+          // The paper's composition limit groups all integer ops.
+          int intCap = cfg.intAlus + cfg.aluPipes;
+          if (intUsed >= intCap)
+              return false;
+          if (intUsed < cfg.intAlus) {
+              ++intUsed;
+              ++totalUsed;
+              return true;
+          }
+          // Spill onto an ALU pipeline stage 0 (no penalty).
+          for (AluPipeline &p : pipes_) {
+              if (p.tryIssue(now, 1)) {
+                  ++intUsed;
+                  ++totalUsed;
+                  return true;
+              }
+          }
+          return false;
+      }
+      case FuKind::FpAlu:
+        if (fpUsed >= cfg.fpUnits)
+            return false;
+        ++fpUsed;
+        ++totalUsed;
+        return true;
+      case FuKind::LoadPort:
+        if (loadUsed >= cfg.loadPorts)
+            return false;
+        ++loadUsed;
+        ++totalUsed;
+        return true;
+      case FuKind::StorePort:
+        if (storeUsed >= cfg.storePorts)
+            return false;
+        ++storeUsed;
+        ++totalUsed;
+        return true;
+      default:
+        panic("tryIssueSingleton: bad FU kind");
+    }
+}
+
+bool
+FuPool::tryIssueAluPipe(int outLat)
+{
+    if (!issueSlotFree())
+        return false;
+    int intCap = cfg.intAlus + cfg.aluPipes;
+    if (intUsed >= intCap)
+        return false;
+    for (AluPipeline &p : pipes_) {
+        if (p.tryIssue(now, outLat)) {
+            ++intUsed;
+            ++totalUsed;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+FuPool::canIssueSingleton(FuKind fu) const
+{
+    if (!issueSlotFree())
+        return false;
+    switch (fu) {
+      case FuKind::IntAlu:
+      case FuKind::IntMult: {
+          int intCap = cfg.intAlus + cfg.aluPipes;
+          if (intUsed >= intCap)
+              return false;
+          if (intUsed < cfg.intAlus)
+              return true;
+          for (const AluPipeline &p : pipes_) {
+              if (p.entryFree(now) && p.outputFree(now + 1))
+                  return true;
+          }
+          return false;
+      }
+      case FuKind::FpAlu:
+        return fpUsed < cfg.fpUnits;
+      case FuKind::LoadPort:
+        return loadUsed < cfg.loadPorts;
+      case FuKind::StorePort:
+        return storeUsed < cfg.storePorts;
+      default:
+        return false;
+    }
+}
+
+bool
+FuPool::canIssueAluPipe(int outLat) const
+{
+    if (!issueSlotFree())
+        return false;
+    if (intUsed >= cfg.intAlus + cfg.aluPipes)
+        return false;
+    for (const AluPipeline &p : pipes_) {
+        if (p.entryFree(now) &&
+            p.outputFree(now + static_cast<Cycle>(outLat)))
+            return true;
+    }
+    return false;
+}
+
+bool
+FuPool::writePortFree(Cycle cycle) const
+{
+    return writeUsed[static_cast<size_t>(cycle % window)] <
+        cfg.regWritePorts;
+}
+
+bool
+FuPool::claimReadPorts(int n)
+{
+    if (readUsed + n > cfg.regReadPorts)
+        return false;
+    readUsed += n;
+    return true;
+}
+
+bool
+FuPool::claimWritePort(Cycle cycle)
+{
+    slideTo(now);
+    auto s = static_cast<size_t>(cycle % window);
+    if (writeUsed[s] >= cfg.regWritePorts)
+        return false;
+    ++writeUsed[s];
+    return true;
+}
+
+} // namespace mg

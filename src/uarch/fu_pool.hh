@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Per-cycle functional-unit and register-port budgets. The paper's
+ * baseline executes up to 6 operations per cycle with composition
+ * limits of 4 integer, 2 floating-point, 2 load, and 1 store, backed
+ * by a 5-read/4-write-port register file. Mini-graph configurations
+ * replace two plain integer ALUs with ALU pipelines (Section 6.2).
+ */
+
+#ifndef MG_UARCH_FU_POOL_HH
+#define MG_UARCH_FU_POOL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "mg/mgt.hh"
+#include "uarch/alu_pipeline.hh"
+
+namespace mg {
+
+/** Static FU pool configuration. */
+struct FuPoolConfig
+{
+    int intAlus = 4;        ///< plain single-cycle integer ALUs
+    int aluPipes = 0;       ///< ALU pipelines (each replaces one ALU)
+    int aluPipeDepth = 4;
+    int fpUnits = 2;
+    int loadPorts = 2;
+    int storePorts = 1;
+    int issueWidth = 6;     ///< total ops per cycle
+    int regReadPorts = 5;
+    int regWritePorts = 4;
+};
+
+/**
+ * Cycle-granular issue-slot arbiter. All units are fully pipelined:
+ * each accepts one new operation per cycle.
+ */
+class FuPool
+{
+  public:
+    explicit FuPool(const FuPoolConfig &cfg);
+
+    /** Start a new cycle: reset per-cycle slot counters. */
+    void beginCycle(Cycle now);
+
+    /**
+     * Pre-claim @p n units of @p fu for this cycle without consuming
+     * issue slots — used to honour sliding-window FUBMP reservations
+     * made by earlier integer-memory handles.
+     */
+    void preClaim(FuKind fu, int n);
+
+    /** Issue slots still available this cycle. */
+    bool issueSlotFree() const { return totalUsed < cfg.issueWidth; }
+
+    /**
+     * Try to claim a singleton-op slot of kind @p fu. Integer ops
+     * fall back to an ALU pipeline stage-0 slot when the plain ALUs
+     * are exhausted (outLat = 1, no pipeline penalty).
+     */
+    bool tryIssueSingleton(FuKind fu);
+
+    /** Probe: would tryIssueSingleton(@p fu) succeed right now? */
+    bool canIssueSingleton(FuKind fu) const;
+
+    /**
+     * Try to claim an ALU pipeline for a whole integer mini-graph
+     * whose output emerges after @p outLat cycles.
+     */
+    bool tryIssueAluPipe(int outLat);
+
+    /** Probe: would tryIssueAluPipe(@p outLat) succeed right now? */
+    bool canIssueAluPipe(int outLat) const;
+
+    /** Probe: is a write port free at completion cycle @p cycle? */
+    bool writePortFree(Cycle cycle) const;
+
+    /** Register read ports remaining this cycle. */
+    int readPortsFree() const { return cfg.regReadPorts - readUsed; }
+
+    /** Claim @p n read ports; @return false if unavailable. */
+    bool claimReadPorts(int n);
+
+    /**
+     * Claim a write port at completion cycle @p cycle (write-port
+     * arbitration happens at issue using the known latency).
+     */
+    bool claimWritePort(Cycle cycle);
+
+    const FuPoolConfig &config() const { return cfg; }
+    std::vector<AluPipeline> &pipes() { return pipes_; }
+
+  private:
+    FuPoolConfig cfg;
+    Cycle now = 0;
+    int totalUsed = 0;
+    int intUsed = 0;
+    int fpUsed = 0;
+    int loadUsed = 0;
+    int storeUsed = 0;
+    int multUsed = 0;
+    int readUsed = 0;
+    std::vector<AluPipeline> pipes_;
+
+    /** Write-port reservations over a future window. */
+    static constexpr int window = 64;
+    std::vector<int> writeUsed;
+    Cycle lastSlide = 0;
+    void slideTo(Cycle c);
+};
+
+} // namespace mg
+
+#endif // MG_UARCH_FU_POOL_HH

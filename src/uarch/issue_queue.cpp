@@ -1,0 +1,3 @@
+// IssueQueue is header-only; this translation unit anchors the
+// component in the build.
+#include "uarch/issue_queue.hh"

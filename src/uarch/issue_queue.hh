@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Issue queue (scheduler): age-ordered select over waiting slots. A
+ * handle holds one entry until its terminal MGST bank executes (paper
+ * Section 4.1), versus one entry per instruction for singletons —
+ * the scheduler-capacity amplification of Figure 8.
+ */
+
+#ifndef MG_UARCH_ISSUE_QUEUE_HH
+#define MG_UARCH_ISSUE_QUEUE_HH
+
+#include <algorithm>
+#include <vector>
+
+#include "uarch/dyninst.hh"
+
+namespace mg {
+
+/** The scheduler's entry pool. */
+class IssueQueue
+{
+  public:
+    explicit IssueQueue(int capacity) : cap(capacity) {}
+
+    bool full() const { return static_cast<int>(q.size()) >= cap; }
+    int size() const { return static_cast<int>(q.size()); }
+    int capacity() const { return cap; }
+
+    /** Insert at dispatch (age order is insertion order). */
+    void insert(DynInst *d) { q.push_back(d); }
+
+    /** Remove a specific entry (issue or squash). */
+    void
+    remove(DynInst *d)
+    {
+        q.erase(std::remove(q.begin(), q.end(), d), q.end());
+    }
+
+    /** Remove every entry with seq >= @p fromSeq. */
+    void
+    squashFrom(std::uint64_t fromSeq)
+    {
+        q.erase(std::remove_if(q.begin(), q.end(),
+                               [&](DynInst *d) {
+                                   return d->seq >= fromSeq;
+                               }),
+                q.end());
+    }
+
+    auto begin() { return q.begin(); }
+    auto end() { return q.end(); }
+
+  private:
+    int cap;
+    std::vector<DynInst *> q;
+};
+
+} // namespace mg
+
+#endif // MG_UARCH_ISSUE_QUEUE_HH

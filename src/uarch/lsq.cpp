@@ -1,0 +1,65 @@
+#include "uarch/lsq.hh"
+
+#include <algorithm>
+
+namespace mg {
+
+void
+Lsq::remove(DynInst *d)
+{
+    loads.erase(std::remove(loads.begin(), loads.end(), d), loads.end());
+    stores.erase(std::remove(stores.begin(), stores.end(), d),
+                 stores.end());
+}
+
+void
+Lsq::squashFrom(std::uint64_t fromSeq)
+{
+    auto pred = [&](DynInst *d) { return d->seq >= fromSeq; };
+    loads.erase(std::remove_if(loads.begin(), loads.end(), pred),
+                loads.end());
+    stores.erase(std::remove_if(stores.begin(), stores.end(), pred),
+                 stores.end());
+}
+
+bool
+Lsq::overlaps(const DynInst *a, const DynInst *b)
+{
+    Addr aLo = a->rec.memAddr;
+    Addr aHi = aLo + static_cast<Addr>(a->rec.memBytes);
+    Addr bLo = b->rec.memAddr;
+    Addr bHi = bLo + static_cast<Addr>(b->rec.memBytes);
+    return aLo < bHi && bLo < aHi;
+}
+
+DynInst *
+Lsq::forwardingStore(const DynInst *load) const
+{
+    DynInst *best = nullptr;
+    for (DynInst *s : stores) {
+        if (s->seq >= load->seq)
+            break;
+        if (s->memDone && overlaps(s, load)) {
+            if (!best || s->seq > best->seq)
+                best = s;
+        }
+    }
+    return best;
+}
+
+DynInst *
+Lsq::violatingLoad(const DynInst *store) const
+{
+    DynInst *oldest = nullptr;
+    for (DynInst *l : loads) {
+        if (l->seq <= store->seq)
+            continue;
+        if (l->memDone && overlaps(store, l)) {
+            if (!oldest || l->seq < oldest->seq)
+                oldest = l;
+        }
+    }
+    return oldest;
+}
+
+} // namespace mg

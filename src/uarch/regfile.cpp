@@ -1,0 +1,62 @@
+#include "uarch/regfile.hh"
+
+#include "common/logging.hh"
+
+namespace mg {
+
+PhysRegFile::PhysRegFile(int totalRegs, int archRegs)
+    : total(totalRegs), archCount(archRegs)
+{
+    if (totalRegs <= archRegs)
+        fatal("physical register file (%d) must exceed architected "
+              "state (%d)", totalRegs, archRegs);
+    readyForIssueAt_.assign(static_cast<size_t>(total), 0);
+    valueAt_.assign(static_cast<size_t>(total), 0);
+    // Registers [0, archCount) hold the initial architected state;
+    // the rest start free. Allocation pops from the back.
+    for (int r = total - 1; r >= archCount; --r)
+        freeList.push_back(static_cast<PhysReg>(r));
+}
+
+std::size_t
+PhysRegFile::checked(PhysReg r) const
+{
+    if (r < 0 || r >= total)
+        panic("bad physical register %d", r);
+    return static_cast<std::size_t>(r);
+}
+
+PhysReg
+PhysRegFile::alloc()
+{
+    if (freeList.empty())
+        return physNone;
+    PhysReg r = freeList.back();
+    freeList.pop_back();
+    int inflight = (total - archCount) -
+        static_cast<int>(freeList.size());
+    if (inflight > peak)
+        peak = inflight;
+    return r;
+}
+
+void
+PhysRegFile::free(PhysReg r)
+{
+    checked(r);
+    freeList.push_back(r);
+    if (static_cast<int>(freeList.size()) > total - archCount)
+        panic("physical register double-free (free list %zu > %d)",
+              freeList.size(), total - archCount);
+}
+
+void
+PhysRegFile::markPending(PhysReg r)
+{
+    if (r == physNone)
+        return;
+    readyForIssueAt_[checked(r)] = ~Cycle(0);
+    valueAt_[checked(r)] = ~Cycle(0);
+}
+
+} // namespace mg

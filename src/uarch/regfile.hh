@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Physical register file state: free list plus per-register timing.
+ *
+ * Two timestamps per register drive the scheduler:
+ *  - readyForIssueAt: the earliest cycle a consumer may *issue* (this
+ *    folds in the scheduling-loop constraint: with a pipelined 2-cycle
+ *    scheduler, single-cycle producers delay consumers an extra cycle,
+ *    paper Section 6.3);
+ *  - valueAt: the cycle the value physically exists (used to decide
+ *    whether a consumer reads it from the bypass network or needs a
+ *    register file read port).
+ *
+ * Mini-graph interior values never pass through here — that is the
+ * capacity amplification the paper measures (Figure 8 top).
+ */
+
+#ifndef MG_UARCH_REGFILE_HH
+#define MG_UARCH_REGFILE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mg {
+
+/** Physical register file with an explicit free list. */
+class PhysRegFile
+{
+  public:
+    /**
+     * @param totalRegs total physical registers (paper baseline: 164)
+     * @param archRegs  registers holding architected state (64)
+     */
+    PhysRegFile(int totalRegs, int archRegs);
+
+    /** Allocate a register; physNone when the free list is empty. */
+    PhysReg alloc();
+
+    /** Return @p r to the free list. */
+    void free(PhysReg r);
+
+    /** Registers currently available for renaming. */
+    int freeCount() const { return static_cast<int>(freeList.size()); }
+
+    int totalRegs() const { return total; }
+
+    bool
+    readyForIssue(PhysReg r, Cycle now) const
+    {
+        return r == physNone || readyForIssueAt_[checked(r)] <= now;
+    }
+
+    Cycle
+    readyForIssueAt(PhysReg r) const
+    {
+        return r == physNone ? 0 : readyForIssueAt_[checked(r)];
+    }
+
+    Cycle
+    valueAt(PhysReg r) const
+    {
+        return r == physNone ? 0 : valueAt_[checked(r)];
+    }
+
+    /** Producer issued: publish both timestamps. */
+    void
+    setTimes(PhysReg r, Cycle readyForIssue, Cycle value)
+    {
+        if (r == physNone)
+            return;
+        readyForIssueAt_[checked(r)] = readyForIssue;
+        valueAt_[checked(r)] = value;
+    }
+
+    /** Mark not-ready (used at allocation). */
+    void markPending(PhysReg r);
+
+    /** Peak in-flight occupancy statistic. */
+    int peakInFlight() const { return peak; }
+
+  private:
+    int total;
+    int archCount;
+    std::vector<PhysReg> freeList;
+    std::vector<Cycle> readyForIssueAt_;
+    std::vector<Cycle> valueAt_;
+    int peak = 0;
+
+    std::size_t checked(PhysReg r) const;
+};
+
+} // namespace mg
+
+#endif // MG_UARCH_REGFILE_HH

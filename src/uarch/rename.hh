@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Register rename map: architectural -> physical, with a history-based
+ * squash path. A handle renames exactly like a singleton instruction —
+ * two source lookups, one destination allocation — which is what makes
+ * rename-bandwidth amplification possible (paper Section 3.1).
+ */
+
+#ifndef MG_UARCH_RENAME_HH
+#define MG_UARCH_RENAME_HH
+
+#include <array>
+#include <vector>
+
+#include "common/types.hh"
+#include "uarch/regfile.hh"
+
+namespace mg {
+
+/** The speculative rename map. */
+class RenameMap
+{
+  public:
+    /** Identity-map arch registers onto physical [0, numArchRegs). */
+    RenameMap();
+
+    /** Current mapping of @p arch (physNone for zero/none regs). */
+    PhysReg lookup(RegId arch) const;
+
+    /**
+     * Rename a destination: @p arch now maps to @p phys.
+     * @return the previous mapping (to free at commit or restore at
+     *         squash)
+     */
+    PhysReg rename(RegId arch, PhysReg phys);
+
+    /** Squash path: restore @p arch to @p prevPhys. */
+    void restore(RegId arch, PhysReg prevPhys);
+
+  private:
+    std::array<PhysReg, numArchRegs> map;
+};
+
+} // namespace mg
+
+#endif // MG_UARCH_RENAME_HH

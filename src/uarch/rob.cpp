@@ -1,0 +1,16 @@
+#include "uarch/rob.hh"
+
+namespace mg {
+
+std::vector<DynInst *>
+Rob::squashFrom(std::uint64_t fromSeq)
+{
+    std::vector<DynInst *> removed;
+    while (!q.empty() && q.back()->seq >= fromSeq) {
+        removed.push_back(q.back());
+        q.pop_back();
+    }
+    return removed;
+}
+
+} // namespace mg

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reorder buffer: an age-ordered queue of in-flight slots. A handle
+ * occupies exactly one entry — the capacity amplification the paper
+ * reports for the instruction window.
+ */
+
+#ifndef MG_UARCH_ROB_HH
+#define MG_UARCH_ROB_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "uarch/dyninst.hh"
+
+namespace mg {
+
+/** The reorder buffer. */
+class Rob
+{
+  public:
+    explicit Rob(int capacity) : cap(capacity) {}
+
+    bool full() const { return static_cast<int>(q.size()) >= cap; }
+    bool empty() const { return q.empty(); }
+    int size() const { return static_cast<int>(q.size()); }
+    int capacity() const { return cap; }
+
+    void push(DynInst *d) { q.push_back(d); }
+
+    DynInst *head() { return q.empty() ? nullptr : q.front(); }
+
+    void popHead() { q.pop_front(); }
+
+    /**
+     * Remove every entry with seq >= @p fromSeq, youngest first.
+     * @return the removed entries in removal (youngest-first) order
+     */
+    std::vector<DynInst *> squashFrom(std::uint64_t fromSeq);
+
+    /** Iteration support (age order). */
+    auto begin() { return q.begin(); }
+    auto end() { return q.end(); }
+
+  private:
+    int cap;
+    std::deque<DynInst *> q;
+};
+
+} // namespace mg
+
+#endif // MG_UARCH_ROB_HH

@@ -1,0 +1,36 @@
+#include "uarch/sequencer.hh"
+
+#include <cstddef>
+
+namespace mg {
+
+SequencerPool::SequencerPool(int count)
+{
+    busyUntil.assign(static_cast<size_t>(count > 0 ? count : 1), 0);
+}
+
+bool
+SequencerPool::tryStart(Cycle now, int cycles)
+{
+    for (Cycle &b : busyUntil) {
+        if (b <= now) {
+            b = now + static_cast<Cycle>(cycles);
+            ++walks_;
+            return true;
+        }
+    }
+    return false;
+}
+
+int
+SequencerPool::freeAt(Cycle now) const
+{
+    int n = 0;
+    for (Cycle b : busyUntil) {
+        if (b <= now)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace mg

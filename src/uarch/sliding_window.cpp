@@ -1,0 +1,136 @@
+#include "uarch/sliding_window.hh"
+
+#include "mg/minigraph.hh"
+
+#include "common/logging.hh"
+
+namespace mg {
+
+SlidingWindow::SlidingWindow(const WindowResources &r, int depth)
+    : res(r), depth_(depth)
+{
+    if (depth < static_cast<int>(2 * mgMaxSize))
+        depth_ = 2 * mgMaxSize;
+    used.assign(6, std::vector<int>(static_cast<size_t>(depth_), 0));
+}
+
+int
+SlidingWindow::kindIdx(FuKind fu) const
+{
+    switch (fu) {
+      case FuKind::IntAlu: return 0;
+      case FuKind::IntMult: return 1;
+      case FuKind::FpAlu: return 2;
+      case FuKind::LoadPort: return 3;
+      case FuKind::StorePort: return 4;
+      case FuKind::AluPipe: return 5;
+      case FuKind::None: break;
+    }
+    panic("no window lane for FU kind");
+}
+
+int
+SlidingWindow::capacity(FuKind fu) const
+{
+    switch (fu) {
+      case FuKind::IntAlu: return res.intAlu;
+      case FuKind::IntMult: return res.intMult;
+      case FuKind::FpAlu: return 0;
+      case FuKind::LoadPort: return res.loadPorts;
+      case FuKind::StorePort: return res.storePorts;
+      case FuKind::AluPipe: return res.aluPipes;
+      case FuKind::None: break;
+    }
+    return 0;
+}
+
+void
+SlidingWindow::slideTo(Cycle now)
+{
+    if (now <= lastSlide)
+        return;
+    Cycle steps = now - lastSlide;
+    if (steps >= static_cast<Cycle>(depth_)) {
+        for (auto &lane : used)
+            std::fill(lane.begin(), lane.end(), 0);
+    } else {
+        for (Cycle s = 1; s <= steps; ++s) {
+            auto line = static_cast<size_t>((lastSlide + s - 1) %
+                                            static_cast<Cycle>(depth_));
+            for (auto &lane : used)
+                lane[line] = 0;
+        }
+    }
+    lastSlide = now;
+}
+
+bool
+SlidingWindow::conflicts(const std::vector<FuKind> &fubmp, Cycle now) const
+{
+    slideToConst(now);
+    for (size_t i = 0; i < fubmp.size(); ++i) {
+        FuKind fu = fubmp[i];
+        if (fu == FuKind::None)
+            continue;
+        int offset = static_cast<int>(i) + 1;   // FUBMP starts at cycle 1
+        if (offset >= depth_)
+            return true;
+        auto line = static_cast<size_t>((now + static_cast<Cycle>(offset))
+                                        % static_cast<Cycle>(depth_));
+        if (used[static_cast<size_t>(kindIdx(fu))][line] + 1 >
+            capacity(fu))
+            return true;
+    }
+    return false;
+}
+
+void
+SlidingWindow::reserve(const std::vector<FuKind> &fubmp, Cycle now)
+{
+    slideTo(now);
+    for (size_t i = 0; i < fubmp.size(); ++i) {
+        FuKind fu = fubmp[i];
+        if (fu == FuKind::None)
+            continue;
+        int offset = static_cast<int>(i) + 1;
+        auto line = static_cast<size_t>((now + static_cast<Cycle>(offset))
+                                        % static_cast<Cycle>(depth_));
+        ++used[static_cast<size_t>(kindIdx(fu))][line];
+    }
+}
+
+bool
+SlidingWindow::reserveOne(FuKind fu, int offset, Cycle now)
+{
+    slideTo(now);
+    if (offset >= depth_)
+        return false;
+    auto line = static_cast<size_t>((now + static_cast<Cycle>(offset)) %
+                                    static_cast<Cycle>(depth_));
+    auto lane = static_cast<size_t>(kindIdx(fu));
+    if (used[lane][line] + 1 > capacity(fu))
+        return false;
+    ++used[lane][line];
+    return true;
+}
+
+int
+SlidingWindow::available(FuKind fu, int offset, Cycle now) const
+{
+    slideToConst(now);
+    if (offset >= depth_)
+        return 0;
+    auto line = static_cast<size_t>((now + static_cast<Cycle>(offset)) %
+                                    static_cast<Cycle>(depth_));
+    return capacity(fu) - used[static_cast<size_t>(kindIdx(fu))][line];
+}
+
+int
+SlidingWindow::usedAt(FuKind fu, Cycle now) const
+{
+    slideToConst(now);
+    auto line = static_cast<size_t>(now % static_cast<Cycle>(depth_));
+    return used[static_cast<size_t>(kindIdx(fu))][line];
+}
+
+} // namespace mg

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Sliding-window scheduler reservation bitmap (paper Section 4.3).
+ *
+ * Logically a two-dimensional bitmap: one dimension is functional-unit
+ * resources, the other is future cycles, extended far enough to cover
+ * the longest mini-graph. An integer-memory handle issues only when
+ * ANDing its FUBMP against the window comes up empty; on issue the
+ * FUBMP is ORed in to make the reservations. The window slides by one
+ * line per cycle.
+ */
+
+#ifndef MG_UARCH_SLIDING_WINDOW_HH
+#define MG_UARCH_SLIDING_WINDOW_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "mg/mgt.hh"
+
+namespace mg {
+
+/** Per-cycle resource capacities tracked by the window. */
+struct WindowResources
+{
+    int intAlu = 2;
+    int intMult = 1;
+    int loadPorts = 2;
+    int storePorts = 1;
+    int aluPipes = 2;
+};
+
+/** The reservation window. */
+class SlidingWindow
+{
+  public:
+    /**
+     * @param res   per-cycle capacities
+     * @param depth future cycles covered (>= max mini-graph latency)
+     */
+    SlidingWindow(const WindowResources &res, int depth = 16);
+
+    /**
+     * Would reserving @p fubmp starting at cycle offset 1 conflict
+     * with existing reservations or capacity, as of cycle @p now?
+     */
+    bool conflicts(const std::vector<FuKind> &fubmp, Cycle now) const;
+
+    /** Make the reservations (call only after a conflict check). */
+    void reserve(const std::vector<FuKind> &fubmp, Cycle now);
+
+    /**
+     * Singleton-path reservation: claim one unit of @p fu at offset
+     * @p offset cycles ahead. @return false on conflict.
+     */
+    bool reserveOne(FuKind fu, int offset, Cycle now);
+
+    /** Units of @p fu still available @p offset cycles after @p now. */
+    int available(FuKind fu, int offset, Cycle now) const;
+
+    /** Units of @p fu already reserved for cycle @p now itself. */
+    int usedAt(FuKind fu, Cycle now) const;
+
+    int depth() const { return depth_; }
+
+  private:
+    WindowResources res;
+    int depth_;
+    /** reservations[kind][(now + offset) % depth] = units in use. */
+    std::vector<std::vector<int>> used;
+    Cycle lastSlide = 0;
+
+    int capacity(FuKind fu) const;
+    int kindIdx(FuKind fu) const;
+
+    /** Advance the window to @p now, clearing passed lines. */
+    void slideTo(Cycle now);
+
+    // slideTo mutates lazily; conflicts() is logically const.
+    friend class SlidingWindowTestPeer;
+    void slideToConst(Cycle now) const
+    {
+        const_cast<SlidingWindow *>(this)->slideTo(now);
+    }
+};
+
+} // namespace mg
+
+#endif // MG_UARCH_SLIDING_WINDOW_HH

@@ -1,0 +1,68 @@
+#include "workloads/kernel.hh"
+
+#include <map>
+#include <mutex>
+
+#include "assembler/assembler.hh"
+#include "common/logging.hh"
+
+namespace mg {
+
+const std::vector<Kernel> &
+allKernels()
+{
+    static const std::vector<Kernel> all = [] {
+        std::vector<Kernel> v;
+        for (auto &&group : {specintKernels(), mediaKernels(),
+                             commKernels(), mibenchKernels()}) {
+            for (const Kernel &k : group)
+                v.push_back(k);
+        }
+        return v;
+    }();
+    return all;
+}
+
+const Kernel &
+findKernel(const std::string &name)
+{
+    for (const Kernel &k : allKernels()) {
+        if (name == k.name)
+            return k;
+    }
+    fatal("unknown kernel '%s'", name.c_str());
+}
+
+std::vector<const Kernel *>
+suiteKernels(const std::string &suite)
+{
+    std::vector<const Kernel *> out;
+    for (const Kernel &k : allKernels()) {
+        if (suite == k.suite)
+            out.push_back(&k);
+    }
+    return out;
+}
+
+const std::vector<std::string> &
+suiteNames()
+{
+    static const std::vector<std::string> names = {
+        "SPECint-S", "MediaBench-S", "CommBench-S", "MiBench-S",
+    };
+    return names;
+}
+
+const Program &
+kernelProgram(const Kernel &k)
+{
+    static std::map<std::string, Program> cache;
+    static std::mutex lock;
+    std::lock_guard<std::mutex> g(lock);
+    auto it = cache.find(k.name);
+    if (it == cache.end())
+        it = cache.emplace(k.name, assemble(k.source, k.name)).first;
+    return it->second;
+}
+
+} // namespace mg

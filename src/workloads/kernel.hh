@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Benchmark kernels: hand-written MG-Alpha assembly implementations of
+ * the algorithms the paper's four suites are known for, each paired
+ * with a deterministic input generator and a C++ reference validator.
+ *
+ * These stand in for SPEC2000 / MediaBench / CommBench / MiBench
+ * binaries, which are proprietary or unobtainable (see DESIGN.md's
+ * substitution table). Every kernel writes a final checksum to its
+ * `<name>_out` symbol; validation recomputes the checksum with a C++
+ * mirror of the same algorithm over the same inputs.
+ */
+
+#ifndef MG_WORKLOADS_KERNEL_HH
+#define MG_WORKLOADS_KERNEL_HH
+
+#include <string>
+#include <vector>
+
+#include "emu/emulator.hh"
+#include "isa/instruction.hh"
+
+namespace mg {
+
+/** One benchmark kernel. */
+struct Kernel
+{
+    const char *name;           ///< short id, e.g. "crc"
+    const char *suite;          ///< SPECint-S, MediaBench-S, ...
+    const char *description;
+    const char *source;         ///< MG-Alpha assembly text
+
+    /**
+     * Write inputs into @p emu's memory (call after reset).
+     * @param inputSet 0 = reference inputs, 1+ = alternate sets for
+     *        the profile-robustness study
+     */
+    void (*setup)(Emulator &emu, int inputSet);
+
+    /** Check outputs against the C++ reference implementation. */
+    bool (*validate)(const Emulator &emu, int inputSet);
+};
+
+/** Every registered kernel, all suites. */
+const std::vector<Kernel> &allKernels();
+
+/** Lookup by name; fatal when unknown. */
+const Kernel &findKernel(const std::string &name);
+
+/** Kernels belonging to @p suite (in registration order). */
+std::vector<const Kernel *> suiteKernels(const std::string &suite);
+
+/** The four suite names in presentation order. */
+const std::vector<std::string> &suiteNames();
+
+/** Assemble a kernel's source (cached per kernel). */
+const Program &kernelProgram(const Kernel &k);
+
+// Registration hooks used by the per-suite translation units.
+std::vector<Kernel> specintKernels();
+std::vector<Kernel> mediaKernels();
+std::vector<Kernel> commKernels();
+std::vector<Kernel> mibenchKernels();
+
+} // namespace mg
+
+#endif // MG_WORKLOADS_KERNEL_HH

@@ -1,0 +1,57 @@
+#include "workloads/suites.hh"
+
+#include "common/logging.hh"
+
+namespace mg {
+
+SetupFn
+BoundKernel::setupFor(int inputSet) const
+{
+    const Kernel *k = kernel;
+    return [k, inputSet](Emulator &emu) { k->setup(emu, inputSet); };
+}
+
+BoundKernel
+bindKernel(const Kernel &k)
+{
+    BoundKernel bk;
+    bk.kernel = &k;
+    bk.program = &kernelProgram(k);
+    bk.setup = bk.setupFor(0);
+    return bk;
+}
+
+std::vector<BoundKernel>
+bindSuite(const std::string &suite)
+{
+    std::vector<BoundKernel> out;
+    for (const Kernel *k : suiteKernels(suite))
+        out.push_back(bindKernel(*k));
+    return out;
+}
+
+std::vector<BoundKernel>
+bindAll()
+{
+    std::vector<BoundKernel> out;
+    for (const std::string &s : suiteNames()) {
+        for (BoundKernel &bk : bindSuite(s))
+            out.push_back(std::move(bk));
+    }
+    return out;
+}
+
+std::uint64_t
+checkKernel(const BoundKernel &bk, int inputSet)
+{
+    Emulator emu(*bk.program);
+    bk.kernel->setup(emu, inputSet);
+    EmuResult r = emu.run(100000000ull);
+    if (r.stop != StopReason::Halted)
+        fatal("kernel %s did not halt within budget", bk.kernel->name);
+    if (!bk.kernel->validate(emu, inputSet))
+        fatal("kernel %s failed output validation", bk.kernel->name);
+    return r.dynWork;
+}
+
+} // namespace mg

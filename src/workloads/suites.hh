@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Convenience layer tying kernels to the simulation flow: assemble,
+ * set up inputs, profile, and run configurations — the common loop of
+ * every figure-reproduction bench.
+ */
+
+#ifndef MG_WORKLOADS_SUITES_HH
+#define MG_WORKLOADS_SUITES_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "workloads/kernel.hh"
+
+namespace mg {
+
+/** A kernel bound to its program and setup closure. */
+struct BoundKernel
+{
+    const Kernel *kernel = nullptr;
+    const Program *program = nullptr;
+    SetupFn setup;                  ///< inputSet 0
+
+    /** Setup closure for an alternate input set. */
+    SetupFn setupFor(int inputSet) const;
+};
+
+/** Bind @p k (assembling its source on first use). */
+BoundKernel bindKernel(const Kernel &k);
+
+/** Bind every kernel of @p suite. */
+std::vector<BoundKernel> bindSuite(const std::string &suite);
+
+/** Bind all kernels of all suites (presentation order). */
+std::vector<BoundKernel> bindAll();
+
+/**
+ * Emulate @p bk to completion and verify its checksum against the C++
+ * reference; fatal on mismatch. @return dynamic work executed.
+ */
+std::uint64_t checkKernel(const BoundKernel &bk, int inputSet = 0);
+
+} // namespace mg
+
+#endif // MG_WORKLOADS_SUITES_HH

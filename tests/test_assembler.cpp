@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Assembler unit tests: syntax forms, directives, labels, pseudo-ops,
+ * diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hh"
+#include "assembler/lexer.hh"
+
+namespace mg {
+namespace {
+
+TEST(Lexer, TokenKinds)
+{
+    auto toks = lex("addl r1, 0x10, r2 # comment\nlabel:", "t");
+    ASSERT_GE(toks.size(), 8u);
+    EXPECT_EQ(toks[0].kind, Tok::Ident);
+    EXPECT_EQ(toks[0].text, "addl");
+    EXPECT_EQ(toks[1].kind, Tok::Reg);
+    EXPECT_EQ(toks[1].value, 1);
+    EXPECT_EQ(toks[3].kind, Tok::Int);
+    EXPECT_EQ(toks[3].value, 0x10);
+}
+
+TEST(Lexer, NegativeAndHexLiterals)
+{
+    // Tokens: lda r1 , -42 NL lda r2 , 0xff NL End
+    auto toks = lex("lda r1, -42\nlda r2, 0xff", "t");
+    EXPECT_EQ(toks[3].value, -42);
+    EXPECT_EQ(toks[8].value, 0xff);
+}
+
+TEST(Lexer, FpRegisters)
+{
+    auto toks = lex("addt f1, f2, f3", "t");
+    EXPECT_TRUE(toks[1].fpReg);
+    EXPECT_EQ(toks[1].value, 1);
+}
+
+TEST(Lexer, RejectsBadRegister)
+{
+    EXPECT_THROW(lex("addl r32, r1, r2", "t"), AsmError);
+}
+
+TEST(Lexer, StringEscapes)
+{
+    auto toks = lex(".asciiz \"a\\nb\"", "t");
+    EXPECT_EQ(toks[1].kind, Tok::Str);
+    EXPECT_EQ(toks[1].text, "a\nb");
+}
+
+TEST(Assembler, OperateForms)
+{
+    Program p = assemble(R"(
+        .text
+main:
+        addl r1, r2, r3
+        subq r4, 15, r5
+        halt
+    )");
+    ASSERT_EQ(p.text.size(), 3u);
+    EXPECT_EQ(p.text[0].op, Op::ADDL);
+    EXPECT_EQ(p.text[0].ra, 1);
+    EXPECT_EQ(p.text[0].rb, 2);
+    EXPECT_EQ(p.text[0].rc, 3);
+    EXPECT_FALSE(p.text[0].useImm);
+    EXPECT_TRUE(p.text[1].useImm);
+    EXPECT_EQ(p.text[1].imm, 15);
+}
+
+TEST(Assembler, MemoryAndBranchForms)
+{
+    Program p = assemble(R"(
+        .text
+main:
+loop:
+        ldq r1, 8(r2)
+        stl r3, -4(r4)
+        bne r1, loop
+        halt
+    )");
+    EXPECT_EQ(p.text[0].op, Op::LDQ);
+    EXPECT_EQ(p.text[0].ra, 1);
+    EXPECT_EQ(p.text[0].rb, 2);
+    EXPECT_EQ(p.text[0].imm, 8);
+    EXPECT_EQ(p.text[1].imm, -4);
+    // Branch target resolved to the absolute PC of 'loop'.
+    EXPECT_EQ(static_cast<Addr>(p.text[2].imm), Program::pcOf(0));
+}
+
+TEST(Assembler, DataDirectivesAndSymbols)
+{
+    Program p = assemble(R"(
+        .text
+main:
+        ldq r1, tbl
+        halt
+        .data
+val:
+        .quad 7
+tbl:
+        .long 1, 2
+        .byte 3
+        .align 8
+aligned:
+        .space 16
+str:
+        .asciiz "hi"
+    )");
+    EXPECT_EQ(p.symbol("val"), dataBase);
+    EXPECT_EQ(p.symbol("tbl"), dataBase + 8);
+    EXPECT_EQ(p.symbol("aligned") % 8, 0u);
+    // .quad 7 little-endian
+    EXPECT_EQ(p.data[0], 7);
+    // string content + NUL
+    Addr str = p.symbol("str") - dataBase;
+    EXPECT_EQ(p.data[str], 'h');
+    EXPECT_EQ(p.data[str + 2], 0);
+    // ldq of a symbol becomes an absolute-addressed load off r31.
+    EXPECT_EQ(p.text[0].rb, regZero);
+    EXPECT_EQ(static_cast<Addr>(p.text[0].imm), p.symbol("tbl"));
+}
+
+TEST(Assembler, PseudoOps)
+{
+    Program p = assemble(R"(
+        .text
+main:
+        mov r1, r2
+        li r3, 100
+        clr r4
+        halt
+    )");
+    EXPECT_EQ(p.text[0].op, Op::BIS);
+    EXPECT_EQ(p.text[0].ra, 1);
+    EXPECT_EQ(p.text[0].rb, 1);
+    EXPECT_EQ(p.text[1].op, Op::LDA);
+    EXPECT_EQ(p.text[1].imm, 100);
+    EXPECT_EQ(p.text[2].rc, 4);
+}
+
+TEST(Assembler, CallAndReturnForms)
+{
+    Program p = assemble(R"(
+        .text
+main:
+        bsr r26, fn
+        halt
+fn:
+        ret
+    )");
+    EXPECT_EQ(p.text[0].op, Op::BSR);
+    EXPECT_EQ(p.text[0].ra, regRa);
+    EXPECT_EQ(p.text[2].op, Op::RET);
+    EXPECT_EQ(p.text[2].rb, regRa);
+}
+
+TEST(Assembler, EntryDefaultsToMain)
+{
+    Program p = assemble(R"(
+        .text
+start:
+        nop
+main:
+        halt
+    )");
+    EXPECT_EQ(p.entry, Program::pcOf(1));
+}
+
+TEST(Assembler, SymbolPlusOffset)
+{
+    Program p = assemble(R"(
+        .text
+main:
+        ldq r1, buf+16
+        halt
+        .data
+buf:    .space 32
+    )");
+    EXPECT_EQ(static_cast<Addr>(p.text[0].imm), p.symbol("buf") + 16);
+}
+
+TEST(Assembler, Diagnostics)
+{
+    EXPECT_THROW(assemble("bogus r1, r2\n"), AsmError);
+    EXPECT_THROW(assemble(".text\nmain:\n ldq r1, undefined_sym\nhalt\n"),
+                 AsmError);
+    EXPECT_THROW(assemble(".text\nx:\nx:\n halt\n"), AsmError);
+    EXPECT_THROW(assemble(".text\n .quad 1\n"), AsmError);
+    EXPECT_THROW(assemble(".data\n addl r1, r2, r3\n"), AsmError);
+}
+
+TEST(Assembler, DisasmRoundTrips)
+{
+    Program p = assemble(R"(
+        .text
+main:
+        s8addl r7, r0, r7
+        cmplt r18, r5, r7
+        bne r7, main
+        mg r4, r31, r17, 34
+        halt
+    )");
+    EXPECT_EQ(p.text[0].disasm(), "s8addl r7,r0,r7");
+    EXPECT_EQ(p.text[1].disasm(), "cmplt r18,r5,r7");
+    EXPECT_EQ(p.text[3].disasm(), "mg r4,r31,r17,34");
+}
+
+} // namespace
+} // namespace mg

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * CFG and liveness unit tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hh"
+#include "cfg/basic_block.hh"
+#include "cfg/liveness.hh"
+
+namespace mg {
+namespace {
+
+TEST(CfgTest, BlockSplitting)
+{
+    Program p = assemble(R"(
+        .text
+main:
+        li r1, 3
+loop:
+        subq r1, 1, r1
+        bgt r1, loop
+        li r2, 1
+        halt
+    )");
+    Cfg cfg(p);
+    // Blocks: [main..li], [loop..bgt], [li r2, halt]? halt splits too.
+    ASSERT_GE(cfg.blocks().size(), 3u);
+    int loop_blk = cfg.blockStartingAt(1);
+    ASSERT_GE(loop_blk, 0);
+    const BasicBlock &b = cfg.blocks()[static_cast<size_t>(loop_blk)];
+    EXPECT_EQ(b.size(), 2u);
+    // Loop block has two successors: itself and fall-through.
+    EXPECT_EQ(b.succs.size(), 2u);
+}
+
+TEST(CfgTest, IndirectExitFlag)
+{
+    Program p = assemble(R"(
+        .text
+main:
+        bsr r26, f
+        halt
+f:
+        ret
+    )");
+    Cfg cfg(p);
+    bool found = false;
+    for (const auto &b : cfg.blocks()) {
+        if (p.text[b.last - 1].op == Op::RET) {
+            EXPECT_TRUE(b.hasIndirectExit);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(LivenessTest, UseDefSets)
+{
+    Instruction add;
+    add.op = Op::ADDL;
+    add.ra = 1;
+    add.rb = 2;
+    add.rc = 3;
+    EXPECT_TRUE(Liveness::uses(add).test(1));
+    EXPECT_TRUE(Liveness::uses(add).test(2));
+    EXPECT_FALSE(Liveness::uses(add).test(3));
+    EXPECT_TRUE(Liveness::defs(add).test(3));
+
+    Instruction st;
+    st.op = Op::STQ;
+    st.ra = 4;
+    st.rb = 5;
+    EXPECT_TRUE(Liveness::uses(st).test(4));
+    EXPECT_TRUE(Liveness::uses(st).test(5));
+    EXPECT_TRUE(Liveness::defs(st).none());
+}
+
+TEST(LivenessTest, DeadAfterRedefinition)
+{
+    Program p = assemble(R"(
+        .text
+main:
+        addq r1, r2, r3    # r3 defined
+        addq r3, r3, r4    # r3 used, r4 defined
+        li r3, 0           # r3 redefined
+        bgt r4, main
+        halt
+    )");
+    Cfg cfg(p);
+    Liveness live(cfg);
+    int entry = cfg.blockStartingAt(0);
+    // r1, r2 are live-in (upward-exposed); r4 is not (defined first).
+    EXPECT_TRUE(live.liveIn(entry).test(1));
+    EXPECT_TRUE(live.liveIn(entry).test(2));
+    EXPECT_FALSE(live.liveIn(entry).test(4));
+}
+
+TEST(LivenessTest, LoopCarriedLiveness)
+{
+    Program p = assemble(R"(
+        .text
+main:
+        li r1, 10
+loop:
+        subq r1, 1, r1
+        bgt r1, loop
+        halt
+    )");
+    Cfg cfg(p);
+    Liveness live(cfg);
+    int loop_blk = cfg.blockStartingAt(1);
+    // r1 is live around the loop.
+    EXPECT_TRUE(live.liveIn(loop_blk).test(1));
+    EXPECT_TRUE(live.liveOut(loop_blk).test(1));
+}
+
+TEST(LivenessTest, ZeroRegisterNeverLive)
+{
+    Program p = assemble(R"(
+        .text
+main:
+        addq r31, r1, r2
+        halt
+    )");
+    Cfg cfg(p);
+    Liveness live(cfg);
+    EXPECT_FALSE(live.liveIn(0).test(static_cast<size_t>(regZero)));
+}
+
+} // namespace
+} // namespace mg

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * DISE unit tests: pattern matching, parameter substitution, codeword
+ * expansion, MGTT behaviour, and MGPP compilation of replacement
+ * sequences to MGT templates (paper Section 5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hh"
+#include "common/logging.hh"
+#include "dise/mgpp.hh"
+#include "emu/emulator.hh"
+
+namespace mg {
+namespace {
+
+/** The paper's first example production:
+ *  <addl T.RS1,2,T.RD; cmplt T.RD,T.RS2,$d0; bne $d0,disp>. */
+Production
+branchProduction(std::int64_t codeword, std::int64_t disp)
+{
+    Production p;
+    p.name = "addl-cmplt-bne";
+    p.pattern.aware = true;
+    p.pattern.codewordId = codeword;
+    p.replacement = {
+        {Op::ADDL, ParamReg::rs1(), ParamReg::none(), ParamReg::rd(),
+         2, true, false},
+        {Op::CMPLT, ParamReg::rd(), ParamReg::rs2(), ParamReg::d(0), 0,
+         false, false},
+        {Op::BNE, ParamReg::d(0), ParamReg::none(), ParamReg::none(),
+         disp, false, false},
+    };
+    return p;
+}
+
+/** The paper's second example:
+ *  <ldq $d0,16(T.RS1); srl $d0,14,$d0; and $d0,1,T.RD>. */
+Production
+loadProduction(std::int64_t codeword)
+{
+    Production p;
+    p.name = "ldq-srl-and";
+    p.pattern.aware = true;
+    p.pattern.codewordId = codeword;
+    p.replacement = {
+        {Op::LDQ, ParamReg::d(0), ParamReg::rs1(), ParamReg::none(),
+         16, false, false},
+        {Op::SRL, ParamReg::d(0), ParamReg::none(), ParamReg::d(0), 14,
+         true, false},
+        {Op::AND, ParamReg::d(0), ParamReg::none(), ParamReg::rd(), 1,
+         true, false},
+    };
+    return p;
+}
+
+TEST(DisePattern, AwareMatchesCodewordById)
+{
+    Production p = branchProduction(12, 8);
+    Instruction cw;
+    cw.op = Op::MG;
+    cw.imm = 12;
+    EXPECT_TRUE(p.pattern.matches(cw));
+    cw.imm = 13;
+    EXPECT_FALSE(p.pattern.matches(cw));
+    cw.op = Op::ADDL;
+    cw.imm = 12;
+    EXPECT_FALSE(p.pattern.matches(cw));
+}
+
+TEST(DiseExpand, SubstitutesParameters)
+{
+    DiseEngine e;
+    e.addProduction(branchProduction(12, 8));
+    Instruction cw;
+    cw.op = Op::MG;
+    cw.ra = 18;
+    cw.rb = 5;
+    cw.rc = 18;
+    cw.imm = 12;
+    auto seq = e.expand(cw);
+    ASSERT_EQ(seq.size(), 3u);
+    EXPECT_EQ(seq[0].op, Op::ADDL);
+    EXPECT_EQ(seq[0].ra, 18);
+    EXPECT_EQ(seq[0].rc, 18);
+    EXPECT_EQ(seq[1].ra, 18);
+    EXPECT_EQ(seq[1].rb, 5);
+    EXPECT_EQ(seq[1].rc, diseReg(0));
+    EXPECT_EQ(seq[2].ra, diseReg(0));
+}
+
+TEST(DiseExpand, NonMatchingPassesThrough)
+{
+    DiseEngine e;
+    e.addProduction(branchProduction(12, 8));
+    Instruction add;
+    add.op = Op::ADDQ;
+    auto seq = e.expand(add);
+    ASSERT_EQ(seq.size(), 1u);
+    EXPECT_EQ(seq[0].op, Op::ADDQ);
+}
+
+TEST(DiseExpand, TransparentUtilityKeepsOriginal)
+{
+    // The toy production from the paper: after every add, clear all
+    // but the least-significant byte of the result.
+    Production p;
+    p.pattern.aware = false;
+    p.pattern.op = Op::ADDQ;
+    p.keepOriginalFirst = true;
+    p.replacement = {{Op::AND, ParamReg::rd(), ParamReg::none(),
+                      ParamReg::rd(), 0xff, true, false}};
+    DiseEngine e;
+    e.addProduction(p);
+    Instruction add;
+    add.op = Op::ADDQ;
+    add.ra = 2;
+    add.rb = 4;
+    add.rc = 2;
+    auto seq = e.expand(add);
+    ASSERT_EQ(seq.size(), 2u);
+    EXPECT_EQ(seq[0].op, Op::ADDQ);
+    EXPECT_EQ(seq[1].op, Op::AND);
+    EXPECT_EQ(seq[1].ra, 2);
+    EXPECT_EQ(seq[1].rc, 2);
+}
+
+TEST(Mgpp, CompilesPaperProductions)
+{
+    MgppResult r1 = mgppCompile(branchProduction(12, 8));
+    ASSERT_TRUE(r1.approved) << r1.reason;
+    EXPECT_EQ(r1.tmpl.size(), 3);
+    EXPECT_EQ(r1.tmpl.outIdx, 0);   // T.RD written by the addl
+    EXPECT_EQ(r1.tmpl.insns[1].a.kind, OpndKind::M);
+    EXPECT_EQ(r1.tmpl.insns[1].b.kind, OpndKind::E1);
+
+    MgppResult r2 = mgppCompile(loadProduction(34));
+    ASSERT_TRUE(r2.approved) << r2.reason;
+    EXPECT_EQ(r2.tmpl.outIdx, 2);
+    EXPECT_EQ(r2.tmpl.insns[0].a.kind, OpndKind::E0);
+}
+
+TEST(Mgpp, RejectsIllegalSequences)
+{
+    // Two memory operations.
+    Production twoMem;
+    twoMem.pattern.aware = true;
+    twoMem.pattern.codewordId = 1;
+    twoMem.replacement = {
+        {Op::LDQ, ParamReg::d(0), ParamReg::rs1(), ParamReg::none(), 0,
+         false, false},
+        {Op::LDQ, ParamReg::rd(), ParamReg::d(0), ParamReg::none(), 0,
+         false, false},
+    };
+    EXPECT_FALSE(mgppCompile(twoMem).approved);
+
+    // $d read before write.
+    Production uninit;
+    uninit.pattern.aware = true;
+    uninit.pattern.codewordId = 2;
+    uninit.replacement = {
+        {Op::ADDL, ParamReg::d(0), ParamReg::none(), ParamReg::rd(), 1,
+         true, false},
+        {Op::ADDL, ParamReg::rd(), ParamReg::none(), ParamReg::rd(), 1,
+         true, false},
+    };
+    EXPECT_FALSE(mgppCompile(uninit).approved);
+
+    // Non-collapsible opcode.
+    Production mult;
+    mult.pattern.aware = true;
+    mult.pattern.codewordId = 3;
+    mult.replacement = {
+        {Op::MULQ, ParamReg::rs1(), ParamReg::rs2(), ParamReg::d(0), 0,
+         false, false},
+        {Op::ADDL, ParamReg::d(0), ParamReg::none(), ParamReg::rd(), 1,
+         true, false},
+    };
+    EXPECT_FALSE(mgppCompile(mult).approved);
+
+    // Transparent productions are not mini-graphs.
+    Production transparent;
+    transparent.pattern.aware = false;
+    transparent.pattern.op = Op::ADDQ;
+    transparent.replacement = {
+        {Op::ADDL, ParamReg::rs1(), ParamReg::none(), ParamReg::rd(), 1,
+         true, false},
+        {Op::ADDL, ParamReg::rd(), ParamReg::none(), ParamReg::rd(), 1,
+         true, false},
+    };
+    EXPECT_FALSE(mgppCompile(transparent).approved);
+}
+
+TEST(Mgpp, ProcessInstallsApprovedIntoMgtAndMgtt)
+{
+    DiseEngine e;
+    e.addProduction(branchProduction(12, 8));
+    e.addProduction(loadProduction(34));
+    MgTable table;
+    Mgtt mgtt;
+    int n = mgppProcess(e, MgtMachine{}, table, mgtt);
+    EXPECT_EQ(n, 2);
+    EXPECT_EQ(table.size(), 2u);
+    const MgttEntry *t12 = mgtt.find(12);
+    ASSERT_NE(t12, nullptr);
+    EXPECT_TRUE(t12->preProcessed);
+    EXPECT_TRUE(t12->approved);
+    EXPECT_TRUE(table.contains(t12->mgid));
+    EXPECT_EQ(mgtt.find(99), nullptr);   // miss -> DISE would expand
+}
+
+TEST(DiseEndToEnd, HandleAndExpansionAgree)
+{
+    // Execute a codeword both ways: as a handle through the MGPP-
+    // compiled MGT, and expanded in line to singletons. Results must
+    // be identical (paper: "a processor can always expand a
+    // mini-graph it doesn't understand").
+    DiseEngine e;
+    e.addProduction(loadProduction(34));
+    MgTable table;
+    Mgtt mgtt;
+    mgppProcess(e, MgtMachine{}, table, mgtt);
+    MgId id = mgtt.find(34)->mgid;
+
+    std::string src = strfmt(R"(
+        .text
+main:
+        lda r4, buf
+        mg r4, r31, r17, %d
+        stq r17, out
+        halt
+        .data
+buf:    .space 8
+        .quad 0
+out:    .space 8
+    )", 34);
+    Program p = assemble(src);
+    // Seed memory so the load reads something interesting.
+    // Handle path: MGID 34 lives in the table at `id`; rewrite the
+    // handle immediate to the installed id.
+    Program hp = p;
+    for (Instruction &in : hp.text) {
+        if (in.isHandle())
+            in.imm = id;
+    }
+    Emulator h(hp, &table);
+    h.memory().write(p.symbol("buf") + 16, 0xABCD1234u << 10, 8);
+    h.run();
+
+    // Expansion path.
+    Program xp = e.expandProgram(p);
+    Emulator x(xp);
+    x.memory().write(xp.symbol("buf") + 16, 0xABCD1234u << 10, 8);
+    x.run();
+
+    EXPECT_EQ(h.memory().read(p.symbol("out"), 8),
+              x.memory().read(xp.symbol("out"), 8));
+}
+
+TEST(MgttTest, CapacityBound)
+{
+    Mgtt mgtt(2);
+    MgttEntry e;
+    e.preProcessed = true;
+    EXPECT_TRUE(mgtt.install(1, e));
+    EXPECT_TRUE(mgtt.install(2, e));
+    EXPECT_FALSE(mgtt.install(3, e));   // full
+    EXPECT_TRUE(mgtt.install(1, e));    // update in place is fine
+}
+
+} // namespace
+} // namespace mg

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Emulator unit tests: instruction semantics (golden values per op),
+ * control flow, memory access, profiling, and handle execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hh"
+#include "common/logging.hh"
+#include "emu/emulator.hh"
+
+namespace mg {
+namespace {
+
+/** Assemble, run to halt, return the emulator for inspection. */
+Emulator
+runAsm(const std::string &body, const MgTable *mgt = nullptr)
+{
+    static std::vector<std::unique_ptr<Program>> keep;
+    keep.push_back(std::make_unique<Program>(
+        assemble(".text\nmain:\n" + body + "\n halt\n")));
+    Emulator emu(*keep.back(), mgt);
+    EXPECT_EQ(emu.run().stop, StopReason::Halted);
+    return emu;
+}
+
+TEST(EmuSemantics, LongwordSignExtension)
+{
+    Emulator e = runAsm(R"(
+        li r1, 0x7fffffff
+        addl r1, 1, r2        # wraps to int32 min, sign-extends
+        addq r1, 1, r3        # plain 64-bit add
+    )");
+    EXPECT_EQ(e.reg(2), 0xffffffff80000000ull);
+    EXPECT_EQ(e.reg(3), 0x80000000ull);
+}
+
+TEST(EmuSemantics, ScaledAdds)
+{
+    Emulator e = runAsm(R"(
+        li r1, 5
+        li r2, 100
+        s4addl r1, r2, r3
+        s8addq r1, r2, r4
+    )");
+    EXPECT_EQ(e.reg(3), 120u);
+    EXPECT_EQ(e.reg(4), 140u);
+}
+
+TEST(EmuSemantics, LogicalAndShift)
+{
+    Emulator e = runAsm(R"(
+        li r1, 0xf0f0
+        li r2, 0x0ff0
+        and r1, r2, r3
+        bis r1, r2, r4
+        xor r1, r2, r5
+        bic r1, r2, r6
+        ornot r31, r2, r7
+        sll r1, 4, r8
+        srl r1, 4, r9
+        li r10, -16
+        sra r10, 2, r11
+    )");
+    EXPECT_EQ(e.reg(3), 0x00f0u);   // and
+    EXPECT_EQ(e.reg(4), 0xfff0u);   // bis
+    EXPECT_EQ(e.reg(5), 0xff00u);   // xor
+    EXPECT_EQ(e.reg(6), 0xf000u);   // bic
+    EXPECT_EQ(e.reg(7), ~0x0ff0ull);
+    EXPECT_EQ(e.reg(8), 0xf0f00u);
+    EXPECT_EQ(e.reg(9), 0xf0fu);
+    EXPECT_EQ(e.reg(11), static_cast<std::uint64_t>(-4));
+}
+
+TEST(EmuSemantics, Compares)
+{
+    Emulator e = runAsm(R"(
+        li r1, -5
+        li r2, 3
+        cmplt r1, r2, r3
+        cmple r2, r2, r4
+        cmpult r1, r2, r5     # unsigned: -5 is huge
+        cmpeq r2, 3, r6
+    )");
+    EXPECT_EQ(e.reg(3), 1u);
+    EXPECT_EQ(e.reg(4), 1u);
+    EXPECT_EQ(e.reg(5), 0u);
+    EXPECT_EQ(e.reg(6), 1u);
+}
+
+TEST(EmuSemantics, BitCountsAndZapnot)
+{
+    Emulator e = runAsm(R"(
+        li r1, 0xff00ff
+        ctpop r1, r2
+        cttz r1, r3
+        li r4, 0x1122334455667788
+        zapnot r4, 15, r5
+        sextb r4, r6
+        sextw r4, r7
+    )");
+    EXPECT_EQ(e.reg(2), 16u);
+    EXPECT_EQ(e.reg(3), 0u);
+    EXPECT_EQ(e.reg(5), 0x55667788u);
+    EXPECT_EQ(e.reg(6), 0xffffffffffffff88ull);
+    EXPECT_EQ(e.reg(7), 0x7788u);
+}
+
+TEST(EmuSemantics, LoadStoreSizes)
+{
+    static Program p = assemble(R"(
+        .text
+main:
+        li r1, 0x8081828384858687
+        stq r1, buf
+        ldbu r2, buf
+        ldwu r3, buf
+        ldl r4, buf
+        ldq r5, buf
+        halt
+        .data
+buf:    .space 8
+    )");
+    Emulator e(p);
+    EXPECT_EQ(e.run().stop, StopReason::Halted);
+    EXPECT_EQ(e.reg(2), 0x87u);
+    EXPECT_EQ(e.reg(3), 0x8687u);
+    EXPECT_EQ(e.reg(4), 0xffffffff84858687ull);   // ldl sign-extends
+    EXPECT_EQ(e.reg(5), 0x8081828384858687ull);
+}
+
+TEST(EmuSemantics, ZeroRegisterIgnoresWrites)
+{
+    Emulator e = runAsm(R"(
+        li r31, 55
+        addq r31, 1, r1
+    )");
+    EXPECT_EQ(e.reg(regZero), 0u);
+    EXPECT_EQ(e.reg(1), 1u);
+}
+
+TEST(EmuControl, LoopAndConditions)
+{
+    Emulator e = runAsm(R"(
+        li r1, 10
+        clr r2
+loop:
+        addq r2, r1, r2
+        subq r1, 1, r1
+        bgt r1, loop
+    )");
+    EXPECT_EQ(e.reg(2), 55u);
+}
+
+TEST(EmuControl, CallReturn)
+{
+    Emulator e = runAsm(R"(
+        li r16, 5
+        bsr r26, double
+        mov r0, r1
+        br end
+double:
+        addq r16, r16, r0
+        ret
+end:
+        nop
+    )");
+    EXPECT_EQ(e.reg(1), 10u);
+}
+
+TEST(EmuControl, IndirectJump)
+{
+    Emulator e = runAsm(R"(
+        lda r1, target
+        jmp (r1)
+        li r2, 1          # skipped
+target:
+        li r3, 7
+    )");
+    EXPECT_EQ(e.reg(2), 0u);
+    EXPECT_EQ(e.reg(3), 7u);
+}
+
+TEST(EmuProfile, BlockCounts)
+{
+    Program p = assemble(R"(
+        .text
+main:
+        li r1, 3
+loop:
+        subq r1, 1, r1
+        bgt r1, loop
+        halt
+    )");
+    Emulator emu(p);
+    emu.run();
+    // Block at 'loop' (index 1) executes 3 times; entry block once.
+    EXPECT_EQ(emu.profile().count(0), 1u);
+    EXPECT_EQ(emu.profile().count(1), 3u);
+}
+
+TEST(EmuHandle, ExecutesTemplateAtomically)
+{
+    // Template for: addl E0,2 -> M0; cmplt M0,E1 -> M1 (output M0).
+    MgTemplate t;
+    t.insns.push_back({Op::ADDL, {OpndKind::E0, -1},
+                       {OpndKind::Imm, -1}, 2, true});
+    t.insns.push_back({Op::CMPLT, {OpndKind::M, 0},
+                       {OpndKind::E1, -1}, 0, false});
+    t.outIdx = 0;
+    t.finalize(MgtMachine{});
+    MgTable table;
+    MgId id = table.add(t);
+
+    Program p = assemble(strfmt(R"(
+        .text
+main:
+        li r18, 10
+        li r5, 100
+        mg r18, r5, r18, %d
+        halt
+    )", id));
+    Emulator emu(p, &table);
+    emu.run();
+    EXPECT_EQ(emu.reg(18), 12u);    // output = addl result
+    // Interior value (cmplt result) must not touch any register.
+    EXPECT_EQ(emu.reg(7), 0u);
+}
+
+TEST(EmuHandle, TerminalBranchTaken)
+{
+    // addl E0,2; bne M0 with displacement +8 (skip one slot).
+    MgTemplate t;
+    t.insns.push_back({Op::ADDL, {OpndKind::E0, -1},
+                       {OpndKind::Imm, -1}, 2, true});
+    t.insns.push_back({Op::BNE, {OpndKind::M, 0},
+                       {OpndKind::Imm, -1}, 8, false});
+    t.outIdx = 0;
+    t.finalize(MgtMachine{});
+    MgTable table;
+    MgId id = table.add(t);
+
+    Program p = assemble(strfmt(R"(
+        .text
+main:
+        li r1, 1
+        mg r1, r31, r1, %d
+        li r2, 5          # skipped when branch taken
+        li r3, 9
+        halt
+    )", id));
+    Emulator emu(p, &table);
+    emu.run();
+    EXPECT_EQ(emu.reg(1), 3u);
+    EXPECT_EQ(emu.reg(2), 0u);
+    EXPECT_EQ(emu.reg(3), 9u);
+}
+
+TEST(EmuHandle, WorkCountsConstituents)
+{
+    MgTemplate t;
+    t.insns.push_back({Op::ADDL, {OpndKind::E0, -1},
+                       {OpndKind::Imm, -1}, 1, true});
+    t.insns.push_back({Op::ADDL, {OpndKind::M, 0},
+                       {OpndKind::Imm, -1}, 1, true});
+    t.outIdx = 1;
+    t.finalize(MgtMachine{});
+    MgTable table;
+    MgId id = table.add(t);
+
+    Program p = assemble(strfmt(
+        ".text\nmain:\n mg r31, r31, r1, %d\n halt\n", id));
+    Emulator emu(p, &table);
+    EmuResult r = emu.run();
+    EXPECT_EQ(r.dynInsns, 2u);   // handle + halt
+    EXPECT_EQ(r.dynWork, 3u);    // 2 constituents + halt
+}
+
+} // namespace
+} // namespace mg

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * ISA unit tests: opcode classification, operand extraction, and the
+ * nop/zero-register conventions the rest of the stack relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hh"
+
+namespace mg {
+namespace {
+
+TEST(Opcode, Classification)
+{
+    EXPECT_EQ(opClass(Op::ADDL), InsnClass::IntAlu);
+    EXPECT_EQ(opClass(Op::MULQ), InsnClass::IntMult);
+    EXPECT_EQ(opClass(Op::LDQ), InsnClass::Load);
+    EXPECT_EQ(opClass(Op::STB), InsnClass::Store);
+    EXPECT_EQ(opClass(Op::BNE), InsnClass::CondBranch);
+    EXPECT_EQ(opClass(Op::BSR), InsnClass::UncondBranch);
+    EXPECT_EQ(opClass(Op::RET), InsnClass::IndirectJump);
+    EXPECT_EQ(opClass(Op::MG), InsnClass::Handle);
+    EXPECT_TRUE(isMgAluOp(Op::S8ADDL));
+    EXPECT_FALSE(isMgAluOp(Op::MULL));
+    EXPECT_FALSE(isMgAluOp(Op::LDQ));
+}
+
+TEST(Opcode, EveryOpcodeHasNameAndLatency)
+{
+    for (int i = 0; i < static_cast<int>(Op::NUM_OPS); ++i) {
+        Op op = static_cast<Op>(i);
+        EXPECT_NE(opName(op), nullptr);
+        EXPECT_GE(opLatency(op), 1);
+    }
+}
+
+TEST(Instruction, OperateOperands)
+{
+    Instruction in;
+    in.op = Op::ADDL;
+    in.ra = 1;
+    in.rb = 2;
+    in.rc = 3;
+    EXPECT_EQ(in.src(0), 1);
+    EXPECT_EQ(in.src(1), 2);
+    EXPECT_EQ(in.dst(), 3);
+    EXPECT_TRUE(in.writesReg());
+
+    in.useImm = true;
+    in.rb = regNone;
+    EXPECT_EQ(in.src(1), regNone);
+    EXPECT_EQ(in.numSrcs(), 1);
+}
+
+TEST(Instruction, MemoryOperands)
+{
+    Instruction ld;
+    ld.op = Op::LDQ;
+    ld.ra = 5;   // dest
+    ld.rb = 6;   // base
+    EXPECT_EQ(ld.src(0), 6);
+    EXPECT_EQ(ld.dst(), 5);
+
+    Instruction st;
+    st.op = Op::STQ;
+    st.ra = 5;   // data
+    st.rb = 6;   // base
+    EXPECT_EQ(st.src(0), 6);
+    EXPECT_EQ(st.src(1), 5);
+    EXPECT_EQ(st.dst(), regNone);
+    EXPECT_FALSE(st.writesReg());
+}
+
+TEST(Instruction, ZeroRegisterConventions)
+{
+    Instruction in;
+    in.op = Op::BIS;
+    in.ra = regZero;
+    in.rb = regZero;
+    in.rc = regZero;
+    EXPECT_TRUE(in.isNop());       // bis r31,r31,r31
+    EXPECT_FALSE(in.writesReg());
+
+    in.rc = 4;
+    EXPECT_FALSE(in.isNop());
+    EXPECT_TRUE(in.writesReg());
+}
+
+TEST(Instruction, HandleOperands)
+{
+    Instruction h;
+    h.op = Op::MG;
+    h.ra = 18;
+    h.rb = 5;
+    h.rc = 18;
+    h.imm = 12;
+    EXPECT_TRUE(h.isHandle());
+    EXPECT_EQ(h.src(0), 18);
+    EXPECT_EQ(h.src(1), 5);
+    EXPECT_EQ(h.dst(), 18);
+}
+
+TEST(ProgramTest, PcMapping)
+{
+    Program p;
+    p.text.resize(4);
+    EXPECT_EQ(Program::pcOf(0), textBase);
+    EXPECT_EQ(p.indexOf(textBase + 8), 2u);
+    EXPECT_TRUE(p.validPc(textBase + 12));
+    EXPECT_FALSE(p.validPc(textBase + 16));
+    EXPECT_FALSE(p.validPc(textBase + 2));
+}
+
+} // namespace
+} // namespace mg

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Golden tests for every workload kernel: the emulated assembly must
+ * reproduce the C++ reference checksum on the primary and alternate
+ * input sets, and each kernel must have a sane dynamic length.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/suites.hh"
+
+namespace mg {
+namespace {
+
+class KernelGolden : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(KernelGolden, ValidatesOnPrimaryInput)
+{
+    BoundKernel bk = bindKernel(findKernel(GetParam()));
+    Emulator emu(*bk.program);
+    bk.kernel->setup(emu, 0);
+    EmuResult r = emu.run(100000000ull);
+    ASSERT_EQ(r.stop, StopReason::Halted)
+        << bk.kernel->name << " did not halt";
+    EXPECT_TRUE(bk.kernel->validate(emu, 0))
+        << bk.kernel->name << " checksum mismatch";
+    // Kernels are sized for cycle-level simulation: long enough to be
+    // meaningful, short enough to sweep configurations.
+    EXPECT_GT(r.dynWork, 20000u) << bk.kernel->name << " too short";
+    EXPECT_LT(r.dynWork, 2000000u) << bk.kernel->name << " too long";
+}
+
+TEST_P(KernelGolden, ValidatesOnAlternateInput)
+{
+    BoundKernel bk = bindKernel(findKernel(GetParam()));
+    Emulator emu(*bk.program);
+    bk.kernel->setup(emu, 1);
+    EmuResult r = emu.run(100000000ull);
+    ASSERT_EQ(r.stop, StopReason::Halted);
+    EXPECT_TRUE(bk.kernel->validate(emu, 1))
+        << bk.kernel->name << " checksum mismatch on input set 1";
+}
+
+const char *const kernelNames[] = {
+    "gzip", "mcf", "parser", "twolf", "gap", "crafty",
+    "adpcm.enc", "adpcm.dec", "g721.enc", "jpeg.dct", "mpeg2.idct",
+    "gsm.lpc",
+    "crc", "drr", "frag", "rtr", "reed",
+    "bitcount", "sha", "dijkstra", "stringsearch", "blowfish",
+    "rgb2gray",
+};
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelGolden,
+                         ::testing::ValuesIn(kernelNames),
+                         [](const auto &info) {
+                             std::string n = info.param;
+                             for (char &c : n) {
+                                 if (c == '.')
+                                     c = '_';
+                             }
+                             return n;
+                         });
+
+TEST(KernelRegistry, FourSuitesRegistered)
+{
+    EXPECT_EQ(suiteNames().size(), 4u);
+    for (const std::string &s : suiteNames())
+        EXPECT_GE(suiteKernels(s).size(), 5u) << s;
+    EXPECT_EQ(allKernels().size(), 23u);
+}
+
+TEST(KernelRegistry, AllProgramsAssemble)
+{
+    for (const Kernel &k : allKernels()) {
+        const Program &p = kernelProgram(k);
+        EXPECT_GT(p.text.size(), 10u) << k.name;
+        EXPECT_TRUE(p.symbols.count("main")) << k.name;
+    }
+}
+
+} // namespace
+} // namespace mg

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Selection unit tests: coverage weighting, greedy conflict
+ * resolution, template coalescing, MGT budget, and domain-specific
+ * (shared-MGT) selection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hh"
+#include "mg/select.hh"
+
+namespace mg {
+namespace {
+
+struct World
+{
+    Program prog;
+    std::unique_ptr<Cfg> cfg;
+    std::unique_ptr<Liveness> live;
+    BlockProfile prof;
+};
+
+World
+makeWorld(const std::string &src)
+{
+    World w;
+    w.prog = assemble(src);
+    w.cfg = std::make_unique<Cfg>(w.prog);
+    w.live = std::make_unique<Liveness>(*w.cfg);
+    return w;
+}
+
+// Two sites with the same idiom in differently-hot blocks.
+const char *twoSites = R"(
+    .text
+main:
+        addq r1, 1, r2
+        addq r2, 1, r3
+        stq r3, out
+        addq r4, 1, r5
+        addq r5, 1, r6
+        stq r6, out+8
+        halt
+        .data
+out:    .space 16
+)";
+
+TEST(Select, CoalescesIdenticalTemplates)
+{
+    // Integer-only policy: with memory allowed, the two three-insn
+    // store graphs win instead (their stq displacements differ, so
+    // they cannot coalesce).
+    World w = makeWorld(twoSites);
+    w.prof.record(0, 100);
+    SelectionPolicy intOnly;
+    intOnly.allowMemory = false;
+    Selection sel = selectMiniGraphs(*w.cfg, *w.live, w.prof, intOnly,
+                                     MgtMachine{});
+    // Both addq/addq pairs share one MGT entry.
+    ASSERT_GE(sel.instances.size(), 2u);
+    bool sharedId = false;
+    for (size_t i = 0; i < sel.instances.size(); ++i) {
+        for (size_t j = i + 1; j < sel.instances.size(); ++j) {
+            if (sel.instances[i].mgid == sel.instances[j].mgid)
+                sharedId = true;
+        }
+    }
+    EXPECT_TRUE(sharedId);
+}
+
+TEST(Select, InstancesNeverOverlap)
+{
+    World w = makeWorld(twoSites);
+    w.prof.record(0, 10);
+    Selection sel = selectMiniGraphs(*w.cfg, *w.live, w.prof,
+                                     SelectionPolicy{}, MgtMachine{});
+    std::vector<bool> used(w.prog.text.size(), false);
+    for (const auto &si : sel.instances) {
+        for (InsnIdx m : si.cand.members) {
+            EXPECT_FALSE(used[m]) << "instruction claimed twice";
+            used[m] = true;
+        }
+    }
+}
+
+TEST(Select, PrefersHotterTemplates)
+{
+    // Same structure, but one block is 100x hotter. With a one-entry
+    // budget, selection must pick a template covering the hot loop.
+    World w = makeWorld(R"(
+        .text
+main:
+        li r9, 100
+hot:
+        addq r1, 1, r2
+        addq r2, 3, r3
+        stq r3, out
+        subq r9, 1, r9
+        bgt r9, hot
+        addq r4, 2, r5
+        addq r5, 7, r6
+        stq r6, out+8
+        halt
+        .data
+out:    .space 16
+    )");
+    int hot_blk = w.cfg->blockStartingAt(1);
+    ASSERT_GE(hot_blk, 0);
+    w.prof.record(0, 1);
+    w.prof.record(1, 100);
+    w.prof.record(w.cfg->blocks()[static_cast<size_t>(
+                      w.cfg->blockOf(6))].first, 1);
+
+    SelectionPolicy budget1;
+    budget1.maxTemplates = 1;
+    Selection sel = selectMiniGraphs(*w.cfg, *w.live, w.prof, budget1,
+                                     MgtMachine{});
+    ASSERT_EQ(sel.table.size(), 1u);
+    ASSERT_GE(sel.instances.size(), 1u);
+    // Every selected instance must lie in the hot loop block.
+    for (const auto &si : sel.instances)
+        EXPECT_EQ(si.cand.block, w.cfg->blockOf(1));
+}
+
+TEST(Select, RespectsTemplateBudget)
+{
+    World w = makeWorld(twoSites);
+    w.prof.record(0, 10);
+    SelectionPolicy policy;
+    policy.maxTemplates = 1;
+    Selection sel = selectMiniGraphs(*w.cfg, *w.live, w.prof, policy,
+                                     MgtMachine{});
+    EXPECT_LE(sel.table.size(), 1u);
+}
+
+TEST(Select, CoverageMatchesDefinition)
+{
+    World w = makeWorld(twoSites);
+    w.prof.record(0, 10);
+    SelectionPolicy intOnly;
+    intOnly.allowMemory = false;
+    Selection sel = selectMiniGraphs(*w.cfg, *w.live, w.prof, intOnly,
+                                     MgtMachine{});
+    // Program: one block of 7 insns executed 10 times = 70 dynamic.
+    // Two 2-insn graphs remove (2-1)*10 each = 20 -> 2/7.
+    EXPECT_NEAR(sel.coverage(*w.cfg, w.prof), 2.0 / 7.0, 1e-9);
+
+    // With memory graphs allowed, the three-instruction store graphs
+    // win: (3-1)*10*2 / 70 = 4/7.
+    Selection mem = selectMiniGraphs(*w.cfg, *w.live, w.prof,
+                                     SelectionPolicy{}, MgtMachine{});
+    EXPECT_NEAR(mem.coverage(*w.cfg, w.prof), 4.0 / 7.0, 1e-9);
+}
+
+TEST(Select, ZeroProfileSelectsNothingUseful)
+{
+    World w = makeWorld(twoSites);
+    Selection sel = selectMiniGraphs(*w.cfg, *w.live, w.prof,
+                                     SelectionPolicy{}, MgtMachine{});
+    EXPECT_EQ(sel.coverage(*w.cfg, w.prof), 0.0);
+}
+
+TEST(SelectDomain, SharedTemplatesAcrossPrograms)
+{
+    World a = makeWorld(twoSites);
+    World b = makeWorld(twoSites);
+    a.prof.record(0, 10);
+    b.prof.record(0, 30);
+
+    auto sels = selectDomainMiniGraphs(
+        {a.cfg.get(), b.cfg.get()}, {a.live.get(), b.live.get()},
+        {&a.prof, &b.prof}, SelectionPolicy{}, MgtMachine{});
+    ASSERT_EQ(sels.size(), 2u);
+    EXPECT_GE(sels[0].instances.size(), 1u);
+    EXPECT_GE(sels[1].instances.size(), 1u);
+}
+
+TEST(SelectDomain, BudgetSharedAcrossSuite)
+{
+    World a = makeWorld(twoSites);
+    // A second program with a different idiom.
+    World b = makeWorld(R"(
+        .text
+main:
+        srl r1, 3, r2
+        and r2, 7, r3
+        stq r3, out
+        halt
+        .data
+out:    .space 8
+    )");
+    a.prof.record(0, 10);
+    b.prof.record(0, 10);
+
+    SelectionPolicy policy;
+    policy.maxTemplates = 1;   // room for only one shared template
+    auto sels = selectDomainMiniGraphs(
+        {a.cfg.get(), b.cfg.get()}, {a.live.get(), b.live.get()},
+        {&a.prof, &b.prof}, policy, MgtMachine{});
+    // Exactly one of the programs gets coverage.
+    size_t covered = (sels[0].instances.empty() ? 0 : 1) +
+        (sels[1].instances.empty() ? 0 : 1);
+    EXPECT_EQ(covered, 1u);
+}
+
+} // namespace
+} // namespace mg

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Store-sets unit tests: violation-driven set formation, load-store
+ * pairing through the LFST, set merging, and store completion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/store_sets.hh"
+
+namespace mg {
+namespace {
+
+TEST(StoreSetsTest, UnknownLoadIsUnconstrained)
+{
+    StoreSets ss;
+    EXPECT_EQ(ss.dispatchLoad(0x1000), 0u);
+}
+
+TEST(StoreSetsTest, ViolationCreatesDependence)
+{
+    StoreSets ss;
+    Addr load = 0x1000, store = 0x2000;
+    ss.recordViolation(load, store);
+    EXPECT_EQ(ss.violations(), 1u);
+    // Next store at that PC registers in the LFST...
+    EXPECT_EQ(ss.dispatchStore(store, 42), 0u);
+    // ...and the paired load must now wait for it.
+    EXPECT_EQ(ss.dispatchLoad(load), 42u);
+}
+
+TEST(StoreSetsTest, StoresInOneSetOrderBehindEachOther)
+{
+    StoreSets ss;
+    ss.recordViolation(0x1000, 0x2000);
+    ss.recordViolation(0x1000, 0x3000);   // merges sets
+    ss.dispatchStore(0x2000, 10);
+    // The second store of the set must order behind the first.
+    EXPECT_EQ(ss.dispatchStore(0x3000, 11), 10u);
+    EXPECT_EQ(ss.dispatchLoad(0x1000), 11u);
+}
+
+TEST(StoreSetsTest, CompleteStoreClearsLfst)
+{
+    StoreSets ss;
+    ss.recordViolation(0x1000, 0x2000);
+    ss.dispatchStore(0x2000, 7);
+    ss.completeStore(0x2000, 7);
+    EXPECT_EQ(ss.dispatchLoad(0x1000), 0u);
+}
+
+TEST(StoreSetsTest, CompleteOnlyClearsMatchingSeq)
+{
+    StoreSets ss;
+    ss.recordViolation(0x1000, 0x2000);
+    ss.dispatchStore(0x2000, 7);
+    ss.dispatchStore(0x2000, 9);    // newer store in the set
+    ss.completeStore(0x2000, 7);    // stale completion: keep 9
+    EXPECT_EQ(ss.dispatchLoad(0x1000), 9u);
+}
+
+TEST(StoreSetsTest, PeriodicClearForgetsPairings)
+{
+    StoreSetsConfig cfg;
+    cfg.clearInterval = 4;
+    StoreSets ss(cfg);
+    ss.recordViolation(0x1000, 0x2000);
+    ss.dispatchStore(0x2000, 5);
+    // Drive enough accesses to cross the clear interval.
+    for (int i = 0; i < 8; ++i)
+        ss.dispatchLoad(0x9000);
+    EXPECT_EQ(ss.dispatchLoad(0x1000), 0u);
+}
+
+} // namespace
+} // namespace mg
