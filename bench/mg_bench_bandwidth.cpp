@@ -8,13 +8,14 @@
  *   4w+6x base / 4w+6x mg      4-wide front end, 6-wide execute
  *                              (2 load ports)
  *   2cyc base / 2cyc mg        6-wide with a pipelined scheduler
+ * Runs on the ExperimentEngine (`--jobs N`, `--sched` for the
+ * scheduler pair only) and writes BENCH_bandwidth.json.
  */
 
 #include <cstdio>
-#include <cstring>
 
+#include "engine/cli.hh"
 #include "sim/report.hh"
-#include "sim/simulator.hh"
 #include "workloads/suites.hh"
 
 using namespace mg;
@@ -35,66 +36,53 @@ narrowExecute(CoreConfig &c)
     c.fu.loadPorts = 1;
 }
 
+/** The base/mg column pair for one machine-width variant. */
+void
+addPair(std::vector<SweepColumn> &cols, const std::string &tag,
+        void (*tweak)(CoreConfig &))
+{
+    SimConfig base = SimConfig::baseline();
+    if (tweak)
+        tweak(base.core);
+    cols.push_back({tag + "-base", base, true});
+
+    SimConfig mg = SimConfig::intMemMg();
+    if (tweak)
+        tweak(mg.core);
+    cols.push_back({tag + "-mg", mg, true});
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    bool schedOnly = argc > 1 && std::strcmp(argv[1], "--sched") == 0;
+    CliOptions cli = parseCli(argc, argv);
+    bool schedOnly = cli.has("--sched");
+    ExperimentEngine engine(cli.jobs);
 
-    struct Variant
-    {
-        std::string name;
-        void (*tweakBase)(CoreConfig &);
-    };
-
-    std::vector<std::string> names = {"6w-base", "6w-mg",
-                                      "4w-base", "4w-mg",
-                                      "4w6x-base", "4w6x-mg",
-                                      "2cyc-base", "2cyc-mg"};
-    if (schedOnly)
-        names = {"2cyc-base", "2cyc-mg"};
-
-    std::vector<BenchRow> rows;
-    for (const BoundKernel &bk : bindAll()) {
-        BenchRow row;
-        row.bench = bk.kernel->name;
-        row.suite = bk.kernel->suite;
-        CoreStats ref = runCore(*bk.program, nullptr,
-                                SimConfig::baseline().core, bk.setup);
-        row.baselineIpc = ref.ipc();
-
-        auto push = [&](void (*tweak)(CoreConfig &)) {
-            CoreConfig baseCfg;
-            if (tweak)
-                tweak(baseCfg);
-            CoreStats b = runCore(*bk.program, nullptr, baseCfg,
-                                  bk.setup);
-            row.speedups.push_back(b.ipc() / ref.ipc());
-
-            SimConfig mgCfg = SimConfig::intMemMg();
-            if (tweak)
-                tweak(mgCfg.core);
-            CoreStats m = simulate(*bk.program, mgCfg, bk.setup);
-            row.speedups.push_back(m.ipc() / ref.ipc());
-        };
-
-        if (!schedOnly) {
-            push(nullptr);
-            push(+[](CoreConfig &c) {
-                narrowFrontEnd(c);
-                narrowExecute(c);
-            });
-            push(+[](CoreConfig &c) { narrowFrontEnd(c); });
-        }
-        push(+[](CoreConfig &c) { c.schedulerCycles = 2; });
-        rows.push_back(row);
+    SweepSpec spec;
+    spec.title = "Figure 8 (bottom): bandwidth and scheduling-loop "
+                 "amplification, relative to the 6-wide baseline";
+    spec.workloads = suiteWorkloads();
+    spec.columns.push_back({"baseline", SimConfig::baseline(), true});
+    spec.baselineColumn = 0;
+    if (!schedOnly) {
+        addPair(spec.columns, "6w", nullptr);
+        addPair(spec.columns, "4w", +[](CoreConfig &c) {
+            narrowFrontEnd(c);
+            narrowExecute(c);
+        });
+        addPair(spec.columns, "4w6x",
+                +[](CoreConfig &c) { narrowFrontEnd(c); });
     }
-    printf("%s\n",
-           reportSpeedups(
-               "Figure 8 (bottom): bandwidth and scheduling-loop "
-               "amplification, relative to the 6-wide baseline",
-               names, rows)
-               .c_str());
+    addPair(spec.columns, "2cyc",
+            +[](CoreConfig &c) { c.schedulerCycles = 2; });
+
+    SweepResult r = engine.sweep(spec);
+    printf("%s\n", sweepTable(r).c_str());
+    std::string json = writeSweepJson(r, "bandwidth", cli.jsonPath);
+    if (!json.empty())
+        printf("wrote %s\n", json.c_str());
     return 0;
 }

@@ -10,134 +10,171 @@
  * Sweeps MGT entries {32,128,512,2048} x max size {2,3,4,8}. Also
  * regenerates the Section 6.1 input-data robustness study (train on
  * input set 1, measure coverage on input set 0).
+ *
+ * The app-specific tables are untimed engine sweeps (profile + select
+ * only); the domain and robustness studies share the same cached
+ * profiles. `--jobs N` parallelises everything; the int-mem table is
+ * written as BENCH_coverage.json.
  */
 
 #include <cstdio>
 #include <map>
 #include <string>
 
+#include "cfg/liveness.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
-#include "sim/simulator.hh"
+#include "engine/cli.hh"
+#include "engine/thread_pool.hh"
+#include "sim/report.hh"
 #include "workloads/suites.hh"
 
 using namespace mg;
 
 namespace {
 
+constexpr std::uint64_t profBudget = 400000;
 const int entrySweep[] = {32, 128, 512, 2048};
-const int sizeSweep[] = {2, 3, 4, 8};
 
-struct Prepared
-{
-    BoundKernel bk;
-    BlockProfile prof;
-    std::unique_ptr<Cfg> cfg;
-    std::unique_ptr<Liveness> live;
+/** The (entries, maxSize) combos of the app-specific tables. */
+const struct { int entries, maxSize; } comboSweep[] = {
+    {32, 4}, {128, 4}, {512, 2}, {512, 3}, {512, 4}, {512, 8},
+    {2048, 4},
 };
 
-Prepared
-prepareOne(const BoundKernel &bk, int inputSet)
+SimConfig
+coverageConfig(bool memory, int entries, int maxSize)
 {
-    Prepared p;
-    p.bk = bk;
-    p.prof = collectProfile(*bk.program, bk.setupFor(inputSet), 400000);
-    p.cfg = std::make_unique<Cfg>(*bk.program);
-    p.live = std::make_unique<Liveness>(*p.cfg);
-    return p;
+    SimConfig cfg;                      // default machine, as Figure 5
+    cfg.useMiniGraphs = true;
+    cfg.policy.allowMemory = memory;
+    cfg.policy.maxTemplates = entries;
+    cfg.policy.maxSize = maxSize;
+    cfg.profileBudget = profBudget;
+    return cfg;
 }
 
-double
-coverageFor(const Prepared &p, bool memory, int entries, int maxSize,
-            const BlockProfile &evalProf)
+SweepResult
+appSpecific(ExperimentEngine &engine, bool memory, const char *title)
 {
-    SelectionPolicy policy;
-    policy.allowMemory = memory;
-    policy.maxTemplates = entries;
-    policy.maxSize = maxSize;
-    Selection sel = selectMiniGraphs(*p.cfg, *p.live, p.prof, policy,
-                                     MgtMachine{});
-    return sel.coverage(*p.cfg, evalProf);
-}
-
-void
-appSpecific(bool memory, const char *title)
-{
-    printf("== Figure 5 %s: application-specific %s mini-graphs ==\n",
-           memory ? "(middle)" : "(top)", title);
-    TextTable t;
-    t.header({"suite", "bench", "32x4", "128x4", "512x2", "512x3",
-              "512x4", "512x8", "2048x4"});
-    std::map<std::string, std::vector<double>> suiteCov;
-    for (const std::string &suite : suiteNames()) {
-        for (const Kernel *k : suiteKernels(suite)) {
-            Prepared p = prepareOne(bindKernel(*k), 0);
-            std::vector<std::string> row = {suite, k->name};
-            auto cell = [&](int e, int s) {
-                double c = coverageFor(p, memory, e, s, p.prof);
-                row.push_back(fmtPct(c));
-                return c;
-            };
-            cell(32, 4);
-            cell(128, 4);
-            cell(512, 2);
-            cell(512, 3);
-            double c512 = cell(512, 4);
-            cell(512, 8);
-            cell(2048, 4);
-            suiteCov[suite].push_back(c512);
-            t.row(row);
-        }
+    SweepSpec spec;
+    spec.title = strfmt("Figure 5 %s: application-specific %s "
+                        "mini-graphs",
+                        memory ? "(middle)" : "(top)", title);
+    spec.workloads = suiteWorkloads();
+    for (const auto &c : comboSweep) {
+        spec.columns.push_back({strfmt("%dx%d", c.entries, c.maxSize),
+                                coverageConfig(memory, c.entries,
+                                               c.maxSize),
+                                false});
     }
-    t.row({"", "", "", "", "", "", "", "", ""});
-    for (const std::string &suite : suiteNames())
-        t.row({suite, "mean(512x4)", "", "", "", "",
-               fmtPct(amean(suiteCov[suite])), "", ""});
+    SweepResult r = engine.sweep(spec);
+
+    printf("== %s ==\n", spec.title.c_str());
+    TextTable t;
+    std::vector<std::string> hdr = {"suite", "bench"};
+    for (const std::string &c : r.columns)
+        hdr.push_back(c);
+    t.header(hdr);
+    std::size_t meanCol = 0;
+    for (std::size_t col = 0; col < r.columns.size(); ++col) {
+        if (r.columns[col] == "512x4")
+            meanCol = col;
+    }
+    std::map<std::string, std::vector<double>> suiteCov;
+    for (std::size_t row = 0; row < r.rows.size(); ++row) {
+        std::vector<std::string> cells = {r.suites[row], r.rows[row]};
+        for (std::size_t col = 0; col < r.columns.size(); ++col)
+            cells.push_back(fmtPct(r.at(row, col).staticCoverage));
+        suiteCov[r.suites[row]].push_back(
+            r.at(row, meanCol).staticCoverage);
+        t.row(cells);
+    }
+    t.row(std::vector<std::string>(hdr.size(), ""));
+    for (const std::string &suite : suiteNames()) {
+        std::vector<std::string> mean(hdr.size(), "");
+        mean[0] = suite;
+        mean[1] = "mean(512x4)";
+        mean[2 + meanCol] = fmtPct(amean(suiteCov[suite]));
+        t.row(mean);
+    }
     printf("%s\n", t.str().c_str());
+    return r;
+}
+
+/** Per-kernel analyses the cross-kernel studies share. */
+struct SuiteData
+{
+    std::vector<BoundKernel> kernels;
+    std::vector<std::shared_ptr<const BlockProfile>> profs;
+    std::vector<std::unique_ptr<Cfg>> cfgs;
+    std::vector<std::unique_ptr<Liveness>> lives;
+};
+
+SuiteData
+analyzeSuite(ExperimentEngine &engine, const std::string &suite)
+{
+    SuiteData d;
+    d.kernels = bindSuite(suite);
+    for (const BoundKernel &bk : d.kernels) {
+        d.profs.push_back(engine.profile(workload(bk), profBudget));
+        d.cfgs.push_back(std::make_unique<Cfg>(*bk.program));
+        d.lives.push_back(std::make_unique<Liveness>(*d.cfgs.back()));
+    }
+    return d;
 }
 
 void
-domainSpecific()
+domainSpecific(ExperimentEngine &engine)
 {
     printf("== Figure 5 (bottom): domain-specific integer-memory "
            "mini-graphs (shared MGT per suite) ==\n");
-    TextTable t;
-    std::vector<std::string> hdr = {"suite", "bench"};
-    for (int e : entrySweep)
-        hdr.push_back(strfmt("%dx4", e));
-    t.header(hdr);
 
-    for (const std::string &suite : suiteNames()) {
-        std::vector<Prepared> preps;
-        for (const Kernel *k : suiteKernels(suite))
-            preps.push_back(prepareOne(bindKernel(*k), 0));
+    const std::vector<std::string> &suites = suiteNames();
+    std::vector<SuiteData> data;
+    for (const std::string &s : suites)
+        data.push_back(analyzeSuite(engine, s));
 
-        // coverage[bench][entries-idx]
-        std::vector<std::vector<double>> cov(
-            preps.size(), std::vector<double>(4, 0.0));
-        for (size_t ei = 0; ei < 4; ++ei) {
+    // coverage[suite][bench][entries-idx], scattered in parallel over
+    // the suite×entries grid, gathered in order below.
+    std::vector<std::vector<std::vector<double>>> cov(data.size());
+    for (std::size_t s = 0; s < data.size(); ++s)
+        cov[s].assign(data[s].kernels.size(),
+                      std::vector<double>(4, 0.0));
+
+    ThreadPool::parallelFor(
+        engine.jobs(), data.size() * 4, [&](std::size_t i) {
+            const SuiteData &d = data[i / 4];
+            std::size_t ei = i % 4;
             SelectionPolicy policy;
             policy.maxTemplates = entrySweep[ei];
             policy.maxSize = 4;
             std::vector<const Cfg *> cfgs;
             std::vector<const Liveness *> lives;
             std::vector<const BlockProfile *> profs;
-            for (const Prepared &p : preps) {
-                cfgs.push_back(p.cfg.get());
-                lives.push_back(p.live.get());
-                profs.push_back(&p.prof);
+            for (std::size_t b = 0; b < d.kernels.size(); ++b) {
+                cfgs.push_back(d.cfgs[b].get());
+                lives.push_back(d.lives[b].get());
+                profs.push_back(d.profs[b].get());
             }
             auto sels = selectDomainMiniGraphs(cfgs, lives, profs,
                                                policy, MgtMachine{});
-            for (size_t b = 0; b < preps.size(); ++b)
-                cov[b][ei] = sels[b].coverage(*preps[b].cfg,
-                                              preps[b].prof);
-        }
-        for (size_t b = 0; b < preps.size(); ++b) {
-            std::vector<std::string> row = {suite,
-                                            preps[b].bk.kernel->name};
-            for (size_t ei = 0; ei < 4; ++ei)
-                row.push_back(fmtPct(cov[b][ei]));
+            for (std::size_t b = 0; b < d.kernels.size(); ++b)
+                cov[i / 4][b][ei] =
+                    sels[b].coverage(*d.cfgs[b], *d.profs[b]);
+        });
+
+    TextTable t;
+    std::vector<std::string> hdr = {"suite", "bench"};
+    for (int e : entrySweep)
+        hdr.push_back(strfmt("%dx4", e));
+    t.header(hdr);
+    for (std::size_t s = 0; s < data.size(); ++s) {
+        for (std::size_t b = 0; b < data[s].kernels.size(); ++b) {
+            std::vector<std::string> row = {
+                suites[s], data[s].kernels[b].kernel->name};
+            for (std::size_t ei = 0; ei < 4; ++ei)
+                row.push_back(fmtPct(cov[s][b][ei]));
             t.row(row);
         }
     }
@@ -145,34 +182,51 @@ domainSpecific()
 }
 
 void
-robustness()
+robustness(ExperimentEngine &engine)
 {
     printf("== Section 6.1: input-data robustness (select on the "
            "alternate input, measure on the reference input) ==\n");
+
+    std::vector<BoundKernel> kernels;
+    for (const char *suite : {"SPECint-S", "MiBench-S"}) {
+        for (BoundKernel &bk : bindSuite(suite))
+            kernels.push_back(std::move(bk));
+    }
+
+    struct Row
+    {
+        double self = 0, cross = 0, rel = 1;
+    };
+    std::vector<Row> rows(kernels.size());
+    ThreadPool::parallelFor(
+        engine.jobs(), kernels.size(), [&](std::size_t i) {
+            const BoundKernel &bk = kernels[i];
+            auto self = engine.profile(workload(bk, 0), profBudget);
+            auto cross = engine.profile(workload(bk, 1), profBudget);
+            Cfg cfg(*bk.program);
+            Liveness live(cfg);
+            SelectionPolicy policy;
+            policy.maxTemplates = 512;
+            Selection selfSel = selectMiniGraphs(cfg, live, *self,
+                                                 policy, MgtMachine{});
+            // Select with the alternate profile, evaluate against the
+            // reference profile.
+            Selection crossSel = selectMiniGraphs(cfg, live, *cross,
+                                                  policy, MgtMachine{});
+            rows[i].self = selfSel.coverage(cfg, *self);
+            rows[i].cross = crossSel.coverage(cfg, *self);
+            rows[i].rel = rows[i].self > 0
+                              ? rows[i].cross / rows[i].self
+                              : 1.0;
+        });
+
     TextTable t;
     t.header({"bench", "self-trained", "cross-trained", "relative"});
     std::vector<double> rels;
-    for (const std::string &suite :
-         {std::string("SPECint-S"), std::string("MiBench-S")}) {
-        for (const Kernel *k : suiteKernels(suite)) {
-            BoundKernel bk = bindKernel(*k);
-            Prepared self = prepareOne(bk, 0);
-            Prepared cross = prepareOne(bk, 1);
-            double c_self =
-                coverageFor(self, true, 512, 4, self.prof);
-            // Select with the alternate profile, evaluate against the
-            // reference profile.
-            SelectionPolicy policy;
-            policy.maxTemplates = 512;
-            Selection sel = selectMiniGraphs(*cross.cfg, *cross.live,
-                                             cross.prof, policy,
-                                             MgtMachine{});
-            double c_cross = sel.coverage(*self.cfg, self.prof);
-            double rel = c_self > 0 ? c_cross / c_self : 1.0;
-            rels.push_back(rel);
-            t.row({k->name, fmtPct(c_self), fmtPct(c_cross),
-                   fmtDouble(rel, 3)});
-        }
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        rels.push_back(rows[i].rel);
+        t.row({kernels[i].kernel->name, fmtPct(rows[i].self),
+               fmtPct(rows[i].cross), fmtDouble(rows[i].rel, 3)});
     }
     t.row({"mean", "", "", fmtDouble(amean(rels), 3)});
     printf("%s\n", t.str().c_str());
@@ -183,13 +237,18 @@ robustness()
 int
 main(int argc, char **argv)
 {
-    bool robustnessOnly =
-        argc > 1 && std::string(argv[1]) == "--robustness";
-    if (!robustnessOnly) {
-        appSpecific(false, "integer");
-        appSpecific(true, "integer-memory");
-        domainSpecific();
+    CliOptions cli = parseCli(argc, argv);
+    ExperimentEngine engine(cli.jobs);
+    if (!cli.has("--robustness")) {
+        appSpecific(engine, false, "integer");
+        SweepResult intMem =
+            appSpecific(engine, true, "integer-memory");
+        domainSpecific(engine);
+        std::string json = writeSweepJson(intMem, "coverage",
+                                          cli.jsonPath);
+        if (!json.empty())
+            printf("wrote %s\n", json.c_str());
     }
-    robustness();
+    robustness(engine);
     return 0;
 }

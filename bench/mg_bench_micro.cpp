@@ -1,9 +1,10 @@
 /**
  * @file
  * google-benchmark microbenchmarks of the library's hot operations:
- * assembly, emulation rate, enumeration + selection, MGT lookup,
- * cache access, branch prediction, and end-to-end cycle simulation
- * rate. Useful when tuning the infrastructure itself.
+ * assembly, emulation rate, enumeration + selection, cache access,
+ * branch prediction, end-to-end cycle simulation rate, and the
+ * experiment engine's artifact-cache and sweep paths. Useful when
+ * tuning the infrastructure itself.
  */
 
 #include <benchmark/benchmark.h>
@@ -112,19 +113,45 @@ BM_CycleSimRate(benchmark::State &state)
 void
 BM_CycleSimRateMiniGraph(benchmark::State &state)
 {
-    BoundKernel bk = bindKernel(findKernel("bitcount"));
+    ExperimentEngine engine;
+    EngineWorkload w = workload(bindKernel(findKernel("bitcount")));
     SimConfig sc = SimConfig::intMemMg();
-    BlockProfile prof = collectProfile(*bk.program, bk.setup,
-                                       sc.profileBudget);
-    PreparedMg prep = prepareMiniGraphs(*bk.program, prof, sc.policy,
-                                        sc.machine);
+    auto prep = engine.prepare(w, sc);     // amortised, as in a sweep
     std::uint64_t work = 0;
     for (auto _ : state) {
-        CoreStats st = runCore(prep.program, &prep.table, sc.core,
-                               bk.setup);
+        CoreStats st = runCell(*w.program, prep.get(), sc, w.setup);
         work += st.committedWork;
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(work));
+}
+
+/** Artifact-cache hit path: the per-cell overhead of a warm sweep. */
+void
+BM_EngineCacheHit(benchmark::State &state)
+{
+    ExperimentEngine engine;
+    EngineWorkload w = workload(bindKernel(findKernel("crc")));
+    SimConfig sc = SimConfig::intMemMg();
+    benchmark::DoNotOptimize(engine.prepare(w, sc));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(engine.prepare(w, sc));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+
+/** One-kernel standard sweep, parallel cells, warm artifact caches. */
+void
+BM_EngineSweep(benchmark::State &state)
+{
+    ExperimentEngine engine(static_cast<int>(state.range(0)));
+    SweepSpec spec;
+    spec.workloads = {workload(bindKernel(findKernel("bitcount")))};
+    spec.columns = standardColumns();
+    spec.baselineColumn = 0;
+    for (auto _ : state) {
+        SweepResult r = engine.sweep(spec);
+        benchmark::DoNotOptimize(r.cells.size());
+    }
 }
 
 BENCHMARK(BM_Assemble);
@@ -134,6 +161,8 @@ BENCHMARK(BM_CacheAccess);
 BENCHMARK(BM_BranchPredict);
 BENCHMARK(BM_CycleSimRate);
 BENCHMARK(BM_CycleSimRateMiniGraph);
+BENCHMARK(BM_EngineCacheHit);
+BENCHMARK(BM_EngineSweep)->Arg(1)->Arg(4);
 
 } // namespace
 

@@ -6,49 +6,44 @@
  *   int+coll       + pair-wise collapsing pipelines
  *   int-mem        integer-memory mini-graphs + sliding-window
  *   int-mem+coll   + pair-wise collapsing
- * Baseline IPCs are printed per benchmark, as in the figure.
+ * Baseline IPCs are printed per benchmark, as in the figure. The
+ * matrix runs on the ExperimentEngine (`--jobs N` parallelises it) and
+ * is also written as BENCH_performance.json.
  */
 
 #include <cstdio>
 
+#include "engine/cli.hh"
 #include "sim/report.hh"
-#include "sim/simulator.hh"
 #include "workloads/suites.hh"
 
 using namespace mg;
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::vector<SimConfig> cfgs = {
-        SimConfig::intMg(false),
-        SimConfig::intMg(true),
-        SimConfig::intMemMg(false),
-        SimConfig::intMemMg(true),
-    };
-    std::vector<std::string> names = {"int", "int+coll", "int-mem",
-                                      "int-mem+coll"};
+    CliOptions cli = parseCli(argc, argv);
+    ExperimentEngine engine(cli.jobs);
 
-    std::vector<BenchRow> rows;
-    for (const BoundKernel &bk : bindAll()) {
-        BenchRow row;
-        row.bench = bk.kernel->name;
-        row.suite = bk.kernel->suite;
-        CoreStats base = runCore(*bk.program, nullptr,
-                                 SimConfig::baseline().core, bk.setup);
-        row.baselineIpc = base.ipc();
-        for (const SimConfig &cfg : cfgs) {
-            CoreStats st = simulate(*bk.program, cfg, bk.setup);
-            row.speedups.push_back(st.ipc() / base.ipc());
-            if (&cfg == &cfgs[2])
-                row.extra.push_back(st.dynamicCoverage());
-        }
-        rows.push_back(row);
-    }
+    SweepSpec spec;
+    spec.title = "Figure 6: mini-graph speedup over the 6-wide baseline";
+    spec.workloads = suiteWorkloads();
+    spec.columns = standardColumns();
+    spec.baselineColumn = 0;
+    SweepResult r = engine.sweep(spec);
+
+    // The figure annotates each bar group with int-mem's dynamic
+    // coverage (the fraction of work executed inside handles).
+    std::vector<BenchRow> rows = benchRows(r);
+    for (std::size_t row = 0; row < rows.size(); ++row)
+        rows[row].extra.push_back(r.at(row, 3).stats.dynamicCoverage());
+
     printf("%s\n",
-           reportSpeedups(
-               "Figure 6: mini-graph speedup over the 6-wide baseline",
-               names, rows, {"covg(int-mem)"})
+           reportSpeedups(spec.title, speedupColumns(r), rows,
+                          {"covg(int-mem)"})
                .c_str());
+    std::string json = writeSweepJson(r, "performance", cli.jsonPath);
+    if (!json.empty())
+        printf("wrote %s\n", json.c_str());
     return 0;
 }

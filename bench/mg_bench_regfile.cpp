@@ -3,56 +3,45 @@
  * Figure 8 (top) reproduction: register-file capacity amplification.
  * For physical register files of 164 / 144 / 124 / 104 entries,
  * performance of the baseline and the integer-memory mini-graph
- * machine, everything relative to the 164-register baseline.
+ * machine, everything relative to the 164-register baseline. Runs on
+ * the ExperimentEngine (`--jobs N`) and writes BENCH_regfile.json.
  */
 
 #include <cstdio>
 
 #include "common/logging.hh"
+#include "engine/cli.hh"
 #include "sim/report.hh"
-#include "sim/simulator.hh"
 #include "workloads/suites.hh"
 
 using namespace mg;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const int regSweep[] = {164, 144, 124, 104};
+    CliOptions cli = parseCli(argc, argv);
+    ExperimentEngine engine(cli.jobs);
 
-    std::vector<std::string> names;
-    for (int r : regSweep) {
-        names.push_back(strfmt("base%d", r));
-        names.push_back(strfmt("mg%d", r));
+    SweepSpec spec;
+    spec.title = "Figure 8 (top): performance with reduced register "
+                 "files, relative to the 164-register baseline";
+    spec.workloads = suiteWorkloads();
+    spec.columns.push_back({"baseline", SimConfig::baseline(), true});
+    spec.baselineColumn = 0;
+    for (int regs : {164, 144, 124, 104}) {
+        SimConfig base = SimConfig::baseline();
+        base.core.physRegs = regs;
+        spec.columns.push_back({strfmt("base%d", regs), base, true});
+
+        SimConfig mg = SimConfig::intMemMg();
+        mg.core.physRegs = regs;
+        spec.columns.push_back({strfmt("mg%d", regs), mg, true});
     }
 
-    std::vector<BenchRow> rows;
-    for (const BoundKernel &bk : bindAll()) {
-        BenchRow row;
-        row.bench = bk.kernel->name;
-        row.suite = bk.kernel->suite;
-        CoreStats ref = runCore(*bk.program, nullptr,
-                                SimConfig::baseline().core, bk.setup);
-        row.baselineIpc = ref.ipc();
-        for (int r : regSweep) {
-            CoreConfig baseCfg;
-            baseCfg.physRegs = r;
-            CoreStats b = runCore(*bk.program, nullptr, baseCfg,
-                                  bk.setup);
-            row.speedups.push_back(b.ipc() / ref.ipc());
-
-            SimConfig mgCfg = SimConfig::intMemMg();
-            mgCfg.core.physRegs = r;
-            CoreStats m = simulate(*bk.program, mgCfg, bk.setup);
-            row.speedups.push_back(m.ipc() / ref.ipc());
-        }
-        rows.push_back(row);
-    }
-    printf("%s\n",
-           reportSpeedups(
-               "Figure 8 (top): performance with reduced register "
-               "files, relative to the 164-register baseline",
-               names, rows)
-               .c_str());
+    SweepResult r = engine.sweep(spec);
+    printf("%s\n", sweepTable(r).c_str());
+    std::string json = writeSweepJson(r, "regfile", cli.jsonPath);
+    if (!json.empty())
+        printf("wrote %s\n", json.c_str());
     return 0;
 }

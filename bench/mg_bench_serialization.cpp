@@ -11,15 +11,16 @@
  *   int-mem -replay   additionally disallow interior loads
  *
  * With --best, also prints the per-benchmark best-of-policies gmean
- * (Section 6.2's selective-policy result).
+ * (Section 6.2's selective-policy result). Runs on the
+ * ExperimentEngine (`--jobs N`) and writes BENCH_serialization.json.
  */
 
 #include <algorithm>
 #include <cstdio>
-#include <cstring>
 
+#include "common/stats.hh"
+#include "engine/cli.hh"
 #include "sim/report.hh"
-#include "sim/simulator.hh"
 #include "workloads/suites.hh"
 
 using namespace mg;
@@ -41,50 +42,44 @@ makePolicy(bool memory, bool ext, bool inte, bool replay)
 int
 main(int argc, char **argv)
 {
-    bool best = argc > 1 && std::strcmp(argv[1], "--best") == 0;
+    CliOptions cli = parseCli(argc, argv);
+    bool best = cli.has("--best");
+    ExperimentEngine engine(cli.jobs);
 
-    std::vector<SimConfig> cfgs = {
-        makePolicy(false, true, true, true),
-        makePolicy(false, false, true, true),
-        makePolicy(false, true, false, true),
-        makePolicy(false, false, false, true),
-        makePolicy(true, true, true, true),
-        makePolicy(true, false, false, true),
-        makePolicy(true, false, false, false),
+    SweepSpec spec;
+    spec.title = "Figure 7: serialization and replay policy isolation "
+                 "(speedup over baseline)";
+    spec.workloads = suiteWorkloads();
+    spec.columns = {
+        {"baseline", SimConfig::baseline(), true},
+        {"int", makePolicy(false, true, true, true), true},
+        {"int-ext", makePolicy(false, false, true, true), true},
+        {"int-int", makePolicy(false, true, false, true), true},
+        {"int-both", makePolicy(false, false, false, true), true},
+        {"intmem", makePolicy(true, true, true, true), true},
+        {"intmem-both", makePolicy(true, false, false, true), true},
+        {"intmem-replay", makePolicy(true, false, false, false), true},
     };
-    std::vector<std::string> names = {
-        "int", "int-ext", "int-int", "int-both",
-        "intmem", "intmem-both", "intmem-replay",
-    };
+    spec.baselineColumn = 0;
 
-    std::vector<BenchRow> rows;
+    SweepResult r = engine.sweep(spec);
+    std::vector<BenchRow> rows = benchRows(r);
     std::vector<double> bests;
-    for (const BoundKernel &bk : bindAll()) {
-        BenchRow row;
-        row.bench = bk.kernel->name;
-        row.suite = bk.kernel->suite;
-        CoreStats base = runCore(*bk.program, nullptr,
-                                 SimConfig::baseline().core, bk.setup);
-        row.baselineIpc = base.ipc();
-        double bestSpeedup = 0.0;
-        for (const SimConfig &cfg : cfgs) {
-            CoreStats st = simulate(*bk.program, cfg, bk.setup);
-            double sp = st.ipc() / base.ipc();
-            row.speedups.push_back(sp);
-            bestSpeedup = std::max(bestSpeedup, sp);
-        }
-        bests.push_back(bestSpeedup);
-        row.extra.push_back(bestSpeedup);
-        rows.push_back(row);
+    for (BenchRow &row : rows) {
+        double b = *std::max_element(row.speedups.begin(),
+                                     row.speedups.end());
+        row.extra.push_back(b);
+        bests.push_back(b);
     }
     printf("%s\n",
-           reportSpeedups("Figure 7: serialization and replay policy "
-                          "isolation (speedup over baseline)",
-                          names, rows, {"best"})
+           reportSpeedups(spec.title, speedupColumns(r), rows, {"best"})
                .c_str());
     if (best) {
         printf("Best-of-policies gmean over all benchmarks: %.3f\n",
                gmean(bests));
     }
+    std::string json = writeSweepJson(r, "serialization", cli.jsonPath);
+    if (!json.empty())
+        printf("wrote %s\n", json.c_str());
     return 0;
 }

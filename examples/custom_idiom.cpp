@@ -114,9 +114,14 @@ loop:
         .data
 result: .quad 0
     )", "manual");
+    // A DISE-produced table plugs into the same runCell primitive the
+    // experiment engine drives: pack it as a PreparedMg cell artifact.
     SimConfig cfg = SimConfig::intMg();
-    CoreStats h = runCore(hp, &table, cfg.core, nullptr);
-    CoreStats x = runCore(manual, nullptr, SimConfig::baseline().core,
+    PreparedMg prep;
+    prep.program = hp;
+    prep.table = table;
+    CoreStats h = runCell(hp, &prep, cfg, nullptr);
+    CoreStats x = runCell(manual, nullptr, SimConfig::baseline(),
                           nullptr);
     printf("handle machine : %llu cycles (IPC %.3f)\n",
            static_cast<unsigned long long>(h.cycles), h.ipc());

@@ -3,14 +3,16 @@
  * Design-space exploration on one kernel: how MGT capacity, maximum
  * mini-graph size, selection policies, and collapsing pipelines trade
  * off coverage against speedup — the knobs a user tunes when adopting
- * the library.
+ * the library. The whole space is one ExperimentEngine sweep: the
+ * kernel is profiled once, every configuration cell runs in parallel
+ * under `--jobs N`, and the cache counters show the dedup at work.
  */
 
 #include <cstdio>
 
 #include "common/logging.hh"
 #include "common/stats.hh"
-#include "sim/simulator.hh"
+#include "engine/cli.hh"
 #include "workloads/suites.hh"
 
 using namespace mg;
@@ -18,58 +20,74 @@ using namespace mg;
 int
 main(int argc, char **argv)
 {
-    const char *name = argc > 1 ? argv[1] : "adpcm.enc";
+    CliOptions cli = parseCli(argc, argv);
+    const char *name =
+        cli.rest.empty() ? "adpcm.enc" : cli.rest[0].c_str();
     BoundKernel bk = bindKernel(findKernel(name));
     printf("design space for kernel '%s' (%s)\n\n", bk.kernel->name,
            bk.kernel->description);
 
-    CoreStats base = runCore(*bk.program, nullptr,
-                             SimConfig::baseline().core, bk.setup);
-    printf("baseline IPC %.3f over %llu cycles\n\n", base.ipc(),
-           static_cast<unsigned long long>(base.cycles));
-
-    BlockProfile prof = collectProfile(*bk.program, bk.setup, 400000);
-
-    TextTable t;
-    t.header({"config", "templates", "coverage", "IPC", "speedup"});
-    auto runOne = [&](const std::string &label, SimConfig cfg) {
-        PreparedMg prep = prepareMiniGraphs(*bk.program, prof,
-                                            cfg.policy, cfg.machine,
-                                            cfg.compress);
-        CoreStats st = runCore(prep.program, &prep.table, cfg.core,
-                               bk.setup);
-        t.row({label, strfmt("%zu", prep.table.size()),
-               fmtPct(prep.staticCoverage), fmtDouble(st.ipc(), 3),
-               fmtDouble(st.ipc() / base.ipc(), 3)});
-    };
-
+    SweepSpec spec;
+    spec.workloads = {workload(bk)};
+    spec.columns.push_back({"baseline", SimConfig::baseline(), true});
+    spec.baselineColumn = 0;
     for (int entries : {8, 32, 128, 512}) {
         SimConfig cfg = SimConfig::intMemMg();
         cfg.policy.maxTemplates = entries;
-        runOne(strfmt("int-mem, %d entries", entries), cfg);
+        spec.columns.push_back(
+            {strfmt("int-mem, %d entries", entries), cfg, true});
     }
     for (int size : {2, 3, 4, 8}) {
         SimConfig cfg = SimConfig::intMemMg();
         cfg.policy.maxSize = size;
-        runOne(strfmt("int-mem, size<=%d", size), cfg);
+        spec.columns.push_back(
+            {strfmt("int-mem, size<=%d", size), cfg, true});
     }
     {
-        SimConfig cfg = SimConfig::intMg();
-        runOne("int only", cfg);
-        cfg = SimConfig::intMg(true);
-        runOne("int + collapsing", cfg);
-        cfg = SimConfig::intMemMg(true);
-        runOne("int-mem + collapsing", cfg);
-        cfg = SimConfig::intMemMg();
+        spec.columns.push_back({"int only", SimConfig::intMg(), true});
+        spec.columns.push_back(
+            {"int + collapsing", SimConfig::intMg(true), true});
+        spec.columns.push_back(
+            {"int-mem + collapsing", SimConfig::intMemMg(true), true});
+        SimConfig cfg = SimConfig::intMemMg();
         cfg.policy.allowExternallySerial = false;
-        runOne("int-mem, no ext-serial", cfg);
+        spec.columns.push_back({"int-mem, no ext-serial", cfg, true});
         cfg = SimConfig::intMemMg();
         cfg.policy.allowInteriorLoads = false;
-        runOne("int-mem, no replay-vulnerable", cfg);
+        spec.columns.push_back(
+            {"int-mem, no replay-vulnerable", cfg, true});
         cfg = SimConfig::intMemMg();
         cfg.compress = true;
-        runOne("int-mem, compressed layout", cfg);
+        spec.columns.push_back(
+            {"int-mem, compressed layout", cfg, true});
+    }
+
+    ExperimentEngine engine(cli.jobs);
+    SweepResult r = engine.sweep(spec);
+
+    const SweepCell &base = r.at(0, 0);
+    printf("baseline IPC %.3f over %llu cycles\n\n", base.stats.ipc(),
+           static_cast<unsigned long long>(base.stats.cycles));
+
+    TextTable t;
+    t.header({"config", "templates", "coverage", "IPC", "speedup"});
+    for (std::size_t col = 1; col < r.columns.size(); ++col) {
+        const SweepCell &c = r.at(0, col);
+        t.row({r.columns[col], strfmt("%llu",
+                                      static_cast<unsigned long long>(
+                                          c.templates)),
+               fmtPct(c.staticCoverage), fmtDouble(c.stats.ipc(), 3),
+               fmtDouble(r.speedup(0, col), 3)});
     }
     printf("%s\n", t.str().c_str());
+
+    EngineCounters ec = engine.counters();
+    printf("engine: %d jobs; profiles %llu computed / %llu reused, "
+           "prepares %llu computed / %llu reused\n",
+           engine.jobs(),
+           static_cast<unsigned long long>(ec.profileComputes),
+           static_cast<unsigned long long>(ec.profileHits),
+           static_cast<unsigned long long>(ec.prepareComputes),
+           static_cast<unsigned long long>(ec.prepareHits));
     return 0;
 }

@@ -16,17 +16,25 @@ using namespace mg;
 
 namespace {
 
+/**
+ * Time one machine through the simulator's single-cell primitive: a
+ * pre-built PreparedMg (here hand-assembled rather than selected)
+ * plugs straight into the same runCell the experiment engine uses.
+ */
 CoreStats
 runIt(const Program &p, const MgTable *t, const char *label)
 {
-    CoreConfig cfg;
+    SimConfig cfg;
+    PreparedMg prep;
     if (t) {
-        cfg.mgEnabled = true;
-        cfg.fu.intAlus = 2;
-        cfg.fu.aluPipes = 2;
+        cfg.useMiniGraphs = true;
+        cfg.core.mgEnabled = true;
+        cfg.core.fu.intAlus = 2;
+        cfg.core.fu.aluPipes = 2;
+        prep.program = p;
+        prep.table = *t;
     }
-    Core core(p, t, cfg);
-    CoreStats st = core.run();
+    CoreStats st = runCell(p, t ? &prep : nullptr, cfg, nullptr);
     printf("%-22s cycles=%-6llu slots=%-6llu work=%-6llu ipc=%.3f\n",
            label, static_cast<unsigned long long>(st.cycles),
            static_cast<unsigned long long>(st.committedSlots),

@@ -1,0 +1,44 @@
+#include "engine/cli.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace mg {
+
+bool
+CliOptions::has(const std::string &flag) const
+{
+    for (const std::string &a : rest) {
+        if (a == flag)
+            return true;
+    }
+    return false;
+}
+
+CliOptions
+parseCli(int argc, char **argv)
+{
+    CliOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--jobs" || a == "-j") {
+            if (i + 1 >= argc)
+                fatal("%s requires a count", a.c_str());
+            char *end = nullptr;
+            long v = std::strtol(argv[++i], &end, 10);
+            if (!end || *end || v < 0)
+                fatal("bad job count '%s'", argv[i]);
+            opt.jobs = static_cast<int>(v);
+        } else if (a == "--json") {
+            if (i + 1 >= argc)
+                fatal("--json requires a path");
+            opt.jsonPath = argv[++i];
+        } else {
+            opt.rest.push_back(std::move(a));
+        }
+    }
+    return opt;
+}
+
+} // namespace mg

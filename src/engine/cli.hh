@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Tiny shared command line for the sweep drivers: every bench accepts
+ * `--jobs N` (parallel cells, 0 = all hardware threads) and
+ * `--json PATH` (override the default BENCH_<name>.json location);
+ * anything unrecognised is passed through for bench-specific flags.
+ */
+
+#ifndef MG_ENGINE_CLI_HH
+#define MG_ENGINE_CLI_HH
+
+#include <string>
+#include <vector>
+
+namespace mg {
+
+/** Parsed common bench options. */
+struct CliOptions
+{
+    int jobs = 1;               ///< --jobs N / -j N (0 = hardware)
+    std::string jsonPath;       ///< --json PATH ("" = default name)
+    std::vector<std::string> rest;  ///< unconsumed arguments
+
+    /** @return true when @p flag appears among the leftover args. */
+    bool has(const std::string &flag) const;
+};
+
+/** Parse argv; fatal() on malformed --jobs/--json. */
+CliOptions parseCli(int argc, char **argv);
+
+} // namespace mg
+
+#endif // MG_ENGINE_CLI_HH

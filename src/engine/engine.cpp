@@ -1,0 +1,108 @@
+#include "engine/engine.hh"
+
+#include <thread>
+
+#include "common/logging.hh"
+#include "engine/fingerprint.hh"
+#include "engine/thread_pool.hh"
+
+namespace mg {
+
+ExperimentEngine::ExperimentEngine(int jobs)
+{
+    if (jobs == 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        jobs = hw ? static_cast<int>(hw) : 1;
+    }
+    jobs_ = jobs < 1 ? 1 : jobs;
+}
+
+std::shared_ptr<const BlockProfile>
+ExperimentEngine::profile(const EngineWorkload &w, std::uint64_t budget)
+{
+    std::string key = profileFingerprint(w.id, budget);
+    return profiles.get(key, [&] {
+        return collectProfile(*w.program, w.setup, budget);
+    });
+}
+
+std::shared_ptr<const PreparedMg>
+ExperimentEngine::prepare(const EngineWorkload &w, const SimConfig &cfg)
+{
+    std::string profKey = profileFingerprint(w.id, cfg.profileBudget);
+    std::string key = prepareFingerprint(profKey, cfg.policy, cfg.machine,
+                                         cfg.compress);
+    return prepared.get(key, [&] {
+        auto prof = profile(w, cfg.profileBudget);
+        return prepareMiniGraphs(*w.program, *prof, cfg.policy,
+                                 cfg.machine, cfg.compress);
+    });
+}
+
+CoreStats
+ExperimentEngine::cell(const EngineWorkload &w, const SimConfig &cfg)
+{
+    std::string key = cellFingerprint(w.id, cfg);
+    return *runs.get(key, [&]() -> CoreStats {
+        if (!cfg.useMiniGraphs)
+            return runCell(*w.program, nullptr, cfg, w.setup);
+        auto prep = prepare(w, cfg);
+        return runCell(*w.program, prep.get(), cfg, w.setup);
+    });
+}
+
+SweepCell
+ExperimentEngine::runOne(const EngineWorkload &w, const SweepColumn &col)
+{
+    SweepCell out;
+    if (col.config.useMiniGraphs) {
+        auto prep = prepare(w, col.config);
+        out.staticCoverage = prep->staticCoverage;
+        out.templates = prep->table.size();
+        out.textSlots = prep->program.text.size();
+    } else {
+        out.textSlots = w.program->text.size();
+    }
+    if (col.timing) {
+        out.stats = cell(w, col.config);
+        out.timed = true;
+    }
+    return out;
+}
+
+SweepResult
+ExperimentEngine::sweep(const SweepSpec &spec)
+{
+    SweepResult out;
+    out.title = spec.title;
+    out.baselineColumn = spec.baselineColumn;
+    for (const EngineWorkload &w : spec.workloads) {
+        out.rows.push_back(w.id);
+        out.suites.push_back(w.suite);
+    }
+    for (const SweepColumn &c : spec.columns)
+        out.columns.push_back(c.name);
+
+    std::size_t cols = spec.columns.size();
+    out.cells.resize(spec.workloads.size() * cols);
+    ThreadPool::parallelFor(jobs_, out.cells.size(), [&](std::size_t i) {
+        out.cells[i] = runOne(spec.workloads[i / cols],
+                              spec.columns[i % cols]);
+    });
+    return out;
+}
+
+EngineCounters
+ExperimentEngine::counters() const
+{
+    EngineCounters c;
+    c.profileComputes = profiles.computes();
+    c.profileHits = profiles.hits();
+    c.prepareComputes = prepared.computes();
+    c.prepareHits = prepared.hits();
+    c.runComputes = runs.computes();
+    c.runHits = runs.hits();
+    return c;
+}
+
+} // namespace mg

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The ExperimentEngine: the one driver every bench and example runs
+ * through. It owns thread-safe caches of the immutable experiment
+ * artifacts (BlockProfile, PreparedMg, CoreStats) keyed by canonical
+ * fingerprints, and executes kernel×configuration matrices on a worker
+ * pool with deterministic, ordered aggregation — a parallel sweep is
+ * bit-identical to a serial one because every cell is a pure function
+ * of its (workload, config) key and results land in pre-assigned
+ * row-major slots.
+ *
+ * Concurrency contract (audited across emu/uarch/mg): a cell touches
+ * only its own Emulator/Core plus shared *const* artifacts; the only
+ * process-global mutable state in the library is the assembly cache in
+ * workloads/kernel.cpp, which serialises behind its own mutex. Setup
+ * closures must be deterministic and must not capture mutable shared
+ * state.
+ */
+
+#ifndef MG_ENGINE_ENGINE_HH
+#define MG_ENGINE_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/artifact_cache.hh"
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+
+namespace mg {
+
+/** One unit of work a cell can run: a program plus its inputs. */
+struct EngineWorkload
+{
+    std::string id;       ///< cache identity; unique per (program, setup)
+    std::string suite;    ///< reporting label (may be empty)
+    const Program *program = nullptr;
+    SetupFn setup;        ///< deterministic input planting
+};
+
+/** One configuration column of a sweep matrix. */
+struct SweepColumn
+{
+    std::string name;
+    SimConfig config;
+    /** false = compute profile/prepare artifacts only (coverage
+     *  studies); the cell's stats stay zero. */
+    bool timing = true;
+};
+
+/** A kernel×configuration matrix request. */
+struct SweepSpec
+{
+    std::string title;
+    std::vector<EngineWorkload> workloads;   ///< rows
+    std::vector<SweepColumn> columns;
+    int baselineColumn = -1;                 ///< speedup reference
+};
+
+/** Cache effectiveness counters for one engine. */
+struct EngineCounters
+{
+    std::uint64_t profileComputes = 0;
+    std::uint64_t profileHits = 0;
+    std::uint64_t prepareComputes = 0;
+    std::uint64_t prepareHits = 0;
+    std::uint64_t runComputes = 0;
+    std::uint64_t runHits = 0;
+};
+
+/** The parallel, caching experiment driver. */
+class ExperimentEngine
+{
+  public:
+    /** @param jobs worker threads per sweep; <=1 serial, 0 = all
+     *         hardware threads. */
+    explicit ExperimentEngine(int jobs = 1);
+
+    /** Profile @p w (cached). */
+    std::shared_ptr<const BlockProfile>
+    profile(const EngineWorkload &w, std::uint64_t budget);
+
+    /** Select + rewrite @p w for @p cfg (cached; profiles on demand). */
+    std::shared_ptr<const PreparedMg>
+    prepare(const EngineWorkload &w, const SimConfig &cfg);
+
+    /** End-to-end timing of one cell (cached). */
+    CoreStats cell(const EngineWorkload &w, const SimConfig &cfg);
+
+    /**
+     * Execute the full matrix. Cells are distributed over the worker
+     * pool; the result layout and every cell value are independent of
+     * the job count.
+     */
+    SweepResult sweep(const SweepSpec &spec);
+
+    int jobs() const { return jobs_; }
+    EngineCounters counters() const;
+
+  private:
+    SweepCell runOne(const EngineWorkload &w, const SweepColumn &col);
+
+    int jobs_;
+    ArtifactCache<BlockProfile> profiles;
+    ArtifactCache<PreparedMg> prepared;
+    ArtifactCache<CoreStats> runs;
+};
+
+} // namespace mg
+
+#endif // MG_ENGINE_ENGINE_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Canonical fingerprints for experiment inputs. The artifact caches
+ * key on these strings, so two cells share a profile / prepared
+ * program / timing result exactly when every field that influences
+ * that artifact is identical. Display names (SimConfig::name) are
+ * deliberately excluded: two columns with the same underlying machine
+ * dedupe to one computation.
+ */
+
+#ifndef MG_ENGINE_FINGERPRINT_HH
+#define MG_ENGINE_FINGERPRINT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/config.hh"
+
+namespace mg {
+
+/** Accumulates tag=value pairs into a canonical string. */
+class Fingerprint
+{
+  public:
+    Fingerprint &add(const char *tag, std::uint64_t v);
+    Fingerprint &add(const char *tag, int v);
+    Fingerprint &add(const char *tag, bool v);
+    Fingerprint &add(const char *tag, const std::string &v);
+
+    const std::string &str() const { return text; }
+
+  private:
+    std::string text;
+};
+
+/**
+ * Everything that shapes a functional profiling run of the workload
+ * identified by @p workload (a unique id covering program + inputs).
+ */
+std::string profileFingerprint(const std::string &workload,
+                               std::uint64_t budget);
+
+/** Everything that shapes selection + rewrite (includes the profile). */
+std::string prepareFingerprint(const std::string &profileFp,
+                               const SelectionPolicy &policy,
+                               const MgtMachine &machine, bool compress);
+
+/** Everything that shapes a timing run (profile/prepare included). */
+std::string cellFingerprint(const std::string &workload,
+                            const SimConfig &cfg);
+
+} // namespace mg
+
+#endif // MG_ENGINE_FINGERPRINT_HH

@@ -1,0 +1,96 @@
+#include "engine/thread_pool.hh"
+
+#include <atomic>
+
+namespace mg {
+
+ThreadPool::ThreadPool(int threads)
+{
+    if (threads <= 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        threads = hw ? static_cast<int>(hw) : 1;
+    }
+    workers.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> g(lock);
+        stopping = true;
+    }
+    wakeWorker.notify_all();
+    for (std::thread &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> g(lock);
+        queue.push_back(std::move(task));
+        ++inFlight;
+    }
+    wakeWorker.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> g(lock);
+    idle.wait(g, [this] { return inFlight == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> g(lock);
+            wakeWorker.wait(g,
+                            [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return;         // stopping and drained
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        task();
+        {
+            std::unique_lock<std::mutex> g(lock);
+            if (--inFlight == 0)
+                idle.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(int jobs, std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (jobs <= 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    ThreadPool pool(static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(jobs), n)));
+    std::atomic<std::size_t> next{0};
+    for (int w = 0; w < pool.threads(); ++w) {
+        pool.submit([&] {
+            for (;;) {
+                std::size_t i = next.fetch_add(1);
+                if (i >= n)
+                    return;
+                fn(i);
+            }
+        });
+    }
+    pool.wait();
+}
+
+} // namespace mg

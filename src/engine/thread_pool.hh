@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fixed-size worker pool for the experiment engine. Tasks are plain
+ * closures; wait() blocks until every submitted task has finished, so
+ * a sweep can scatter cells and then gather results deterministically
+ * (results land in caller-owned slots indexed by cell, never in
+ * submission-completion order).
+ */
+
+#ifndef MG_ENGINE_THREAD_POOL_HH
+#define MG_ENGINE_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mg {
+
+/** A fixed set of workers draining one FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads worker count; 0 picks the hardware concurrency
+     *        (at least 1)
+     */
+    explicit ThreadPool(int threads = 0);
+
+    /** Drains the queue, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p task for execution on some worker. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has completed. */
+    void wait();
+
+    int threads() const { return static_cast<int>(workers.size()); }
+
+    /**
+     * Run @p fn(0..n-1), spreading indices over @p jobs workers.
+     * With jobs <= 1 (or n <= 1) everything runs on the calling
+     * thread — the serial reference a parallel sweep must match.
+     * Exceptions escape from index 0 only (workers terminate on
+     * throw; library code reports errors via fatal()).
+     */
+    static void parallelFor(int jobs, std::size_t n,
+                            const std::function<void(std::size_t)> &fn);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> queue;
+    std::mutex lock;
+    std::condition_variable wakeWorker;
+    std::condition_variable idle;
+    std::size_t inFlight = 0;
+    bool stopping = false;
+};
+
+} // namespace mg
+
+#endif // MG_ENGINE_THREAD_POOL_HH

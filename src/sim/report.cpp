@@ -1,6 +1,9 @@
 #include "sim/report.hh"
 
+#include <cstdio>
 #include <map>
+
+#include "common/logging.hh"
 
 namespace mg {
 
@@ -53,6 +56,150 @@ reportSpeedups(const std::string &title,
     }
     out += t.str();
     return out;
+}
+
+const SweepCell &
+SweepResult::at(std::size_t row, std::size_t col) const
+{
+    return cells[row * columns.size() + col];
+}
+
+double
+SweepResult::speedup(std::size_t row, std::size_t col, int ref) const
+{
+    if (ref < 0 && col < columnBaseline.size())
+        ref = columnBaseline[col];
+    if (ref < 0)
+        ref = baselineColumn;
+    if (ref < 0)
+        return 0.0;
+    const SweepCell &c = at(row, col);
+    const SweepCell &r = at(row, static_cast<std::size_t>(ref));
+    if (!c.timed || !r.timed || r.stats.ipc() <= 0)
+        return 0.0;
+    return c.stats.ipc() / r.stats.ipc();
+}
+
+std::vector<BenchRow>
+benchRows(const SweepResult &r)
+{
+    std::vector<BenchRow> out;
+    for (std::size_t row = 0; row < r.rows.size(); ++row) {
+        BenchRow br;
+        br.bench = r.rows[row];
+        br.suite = r.suites[row];
+        if (r.baselineColumn >= 0) {
+            br.baselineIpc =
+                r.at(row, static_cast<std::size_t>(r.baselineColumn))
+                    .stats.ipc();
+        }
+        for (std::size_t col = 0; col < r.columns.size(); ++col) {
+            if (static_cast<int>(col) == r.baselineColumn)
+                continue;
+            br.speedups.push_back(r.speedup(row, col));
+        }
+        out.push_back(std::move(br));
+    }
+    return out;
+}
+
+std::vector<std::string>
+speedupColumns(const SweepResult &r)
+{
+    std::vector<std::string> out;
+    for (std::size_t col = 0; col < r.columns.size(); ++col) {
+        if (static_cast<int>(col) != r.baselineColumn)
+            out.push_back(r.columns[col]);
+    }
+    return out;
+}
+
+std::string
+sweepTable(const SweepResult &r)
+{
+    return reportSpeedups(r.title, speedupColumns(r), benchRows(r));
+}
+
+namespace {
+
+/** Minimal JSON string escape (names here are plain identifiers). */
+std::string
+jsonStr(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out + "\"";
+}
+
+std::string
+jsonNum(double v, int prec = 6)
+{
+    return strfmt("%.*f", prec, v);
+}
+
+} // namespace
+
+std::string
+sweepJson(const SweepResult &r, const std::string &bench)
+{
+    std::string out = "{\n";
+    out += "  \"bench\": " + jsonStr(bench) + ",\n";
+    out += "  \"title\": " + jsonStr(r.title) + ",\n";
+    out += "  \"columns\": [";
+    for (std::size_t c = 0; c < r.columns.size(); ++c)
+        out += (c ? ", " : "") + jsonStr(r.columns[c]);
+    out += "],\n";
+    out += strfmt("  \"baseline_column\": %d,\n", r.baselineColumn);
+    out += "  \"cells\": [\n";
+    for (std::size_t row = 0; row < r.rows.size(); ++row) {
+        for (std::size_t col = 0; col < r.columns.size(); ++col) {
+            const SweepCell &c = r.at(row, col);
+            std::string rec = "    {\"kernel\": " + jsonStr(r.rows[row]) +
+                              ", \"suite\": " + jsonStr(r.suites[row]) +
+                              ", \"config\": " + jsonStr(r.columns[col]);
+            if (c.timed) {
+                rec += ", \"ipc\": " + jsonNum(c.stats.ipc());
+                rec += ", \"amplification\": " +
+                       jsonNum(r.speedup(row, col));
+                rec += strfmt(", \"cycles\": %llu, \"work\": %llu",
+                              static_cast<unsigned long long>(
+                                  c.stats.cycles),
+                              static_cast<unsigned long long>(
+                                  c.stats.committedWork));
+                rec += ", \"dynamic_coverage\": " +
+                       jsonNum(c.stats.dynamicCoverage());
+            }
+            rec += ", \"coverage\": " + jsonNum(c.staticCoverage);
+            rec += strfmt(", \"templates\": %llu, \"text_slots\": %llu}",
+                          static_cast<unsigned long long>(c.templates),
+                          static_cast<unsigned long long>(c.textSlots));
+            bool last = row + 1 == r.rows.size() &&
+                        col + 1 == r.columns.size();
+            out += rec + (last ? "\n" : ",\n");
+        }
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+std::string
+writeSweepJson(const SweepResult &r, const std::string &bench,
+               const std::string &path)
+{
+    std::string file = path.empty() ? "BENCH_" + bench + ".json" : path;
+    std::string body = sweepJson(r, bench);
+    FILE *f = std::fopen(file.c_str(), "w");
+    if (!f) {
+        warn("cannot write %s", file.c_str());
+        return "";
+    }
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    return file;
 }
 
 } // namespace mg

@@ -1,13 +1,15 @@
 /**
  * @file
- * Result formatting for the figure-reproduction benches: per-benchmark
- * rows with IPC, speedup, and coverage, plus per-suite geometric means
- * in the paper's style.
+ * The unified result model and formatting for the figure-reproduction
+ * benches: the SweepResult every experiment sweep produces (one cell
+ * per kernel×configuration), paper-style speedup tables with per-suite
+ * geometric means, and the machine-readable BENCH_*.json reports.
  */
 
 #ifndef MG_SIM_REPORT_HH
 #define MG_SIM_REPORT_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -25,6 +27,74 @@ struct BenchRow
     std::vector<double> speedups;   ///< per configuration
     std::vector<double> extra;      ///< per-experiment annotations
 };
+
+/** One cell of a kernel×configuration sweep. */
+struct SweepCell
+{
+    CoreStats stats;                ///< timing run (when timed)
+    bool timed = false;             ///< stats hold a real timing run
+    double staticCoverage = 0;      ///< estimated from the profile
+    std::uint64_t templates = 0;    ///< MGT entries selected
+    std::uint64_t textSlots = 0;    ///< program text size (insns)
+};
+
+/**
+ * Ordered results of a complete sweep. Cells are row-major
+ * (`cells[row * columns.size() + col]`); the layout is deterministic
+ * regardless of how many threads computed it.
+ */
+struct SweepResult
+{
+    std::string title;
+    std::vector<std::string> rows;      ///< kernel names
+    std::vector<std::string> suites;    ///< parallel to rows
+    std::vector<std::string> columns;   ///< configuration names
+    std::vector<SweepCell> cells;       ///< row-major
+    int baselineColumn = -1;            ///< speedup reference column
+    /** Optional per-column reference override (parallel to columns;
+     *  -1 entries fall back to baselineColumn). Lets one sweep carry
+     *  several matched base/variant groups, e.g. the icache study's
+     *  full-size and 2KB halves. */
+    std::vector<int> columnBaseline;
+
+    const SweepCell &at(std::size_t row, std::size_t col) const;
+
+    /**
+     * IPC of (row, col) over (row, ref); @p ref of -1 uses
+     * columnBaseline[col] when set, else baselineColumn. 0 when
+     * either cell is untimed or stalled.
+     */
+    double speedup(std::size_t row, std::size_t col, int ref = -1) const;
+};
+
+/**
+ * Convert @p r into paper-style rows: baselineColumn provides the
+ * base-IPC column, every other column one speedup value (in column
+ * order). Extra annotation columns are the caller's to append.
+ */
+std::vector<BenchRow> benchRows(const SweepResult &r);
+
+/** Names of @p r's non-baseline columns (benchRows column order). */
+std::vector<std::string> speedupColumns(const SweepResult &r);
+
+/** Render @p r through benchRows + reportSpeedups. */
+std::string sweepTable(const SweepResult &r);
+
+/**
+ * Machine-readable report: one JSON object with the sweep metadata and
+ * a flat "cells" array of {kernel, suite, config, ipc, amplification,
+ * cycles, work, coverage, templates} records (amplification is the
+ * speedup over baselineColumn; untimed cells carry coverage only).
+ */
+std::string sweepJson(const SweepResult &r, const std::string &bench);
+
+/**
+ * Write sweepJson to @p path, or to "BENCH_<bench>.json" in the
+ * working directory when @p path is empty. @return the path written,
+ * or "" on I/O failure (reported via warn()).
+ */
+std::string writeSweepJson(const SweepResult &r, const std::string &bench,
+                           const std::string &path = "");
 
 /**
  * Render rows grouped by suite with per-suite gmean speedup lines,

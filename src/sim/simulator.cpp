@@ -49,16 +49,25 @@ runCore(const Program &prog, const MgTable *mgt, const CoreConfig &coreCfg,
 }
 
 CoreStats
-simulate(const Program &prog, const SimConfig &cfg, const SetupFn &setup)
+runCell(const Program &prog, const PreparedMg *prep, const SimConfig &cfg,
+        const SetupFn &setup)
 {
     if (!cfg.useMiniGraphs)
         return runCore(prog, nullptr, cfg.core, setup, cfg.runBudget);
+    return runCore(prep->program, &prep->table, cfg.core, setup,
+                   cfg.runBudget);
+}
+
+CoreStats
+simulate(const Program &prog, const SimConfig &cfg, const SetupFn &setup)
+{
+    if (!cfg.useMiniGraphs)
+        return runCell(prog, nullptr, cfg, setup);
 
     BlockProfile prof = collectProfile(prog, setup, cfg.profileBudget);
     PreparedMg prep = prepareMiniGraphs(prog, prof, cfg.policy,
                                         cfg.machine, cfg.compress);
-    return runCore(prep.program, &prep.table, cfg.core, setup,
-                   cfg.runBudget);
+    return runCell(prog, &prep, cfg, setup);
 }
 
 } // namespace mg

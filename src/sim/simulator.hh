@@ -45,6 +45,18 @@ CoreStats runCore(const Program &prog, const MgTable *mgt,
                   const CoreConfig &coreCfg, const SetupFn &setup,
                   std::uint64_t maxWork = ~0ull);
 
+/**
+ * The experiment engine's single-cell primitive: time one
+ * (program, config) cell from already-computed artifacts. For a
+ * mini-graph config @p prep must be the PreparedMg derived from
+ * (@p prog, @p cfg) — its rewritten program and table are what run;
+ * for a baseline config @p prep is null and @p prog runs unmodified.
+ * Reads only const state, so concurrent cells may share @p prog and
+ * @p prep freely.
+ */
+CoreStats runCell(const Program &prog, const PreparedMg *prep,
+                  const SimConfig &cfg, const SetupFn &setup);
+
 /** One-call flow: returns the end-to-end stats for @p cfg. */
 CoreStats simulate(const Program &prog, const SimConfig &cfg,
                    const SetupFn &setup);

@@ -116,6 +116,9 @@ struct CoreStats
     std::uint64_t lsqFullStalls = 0;
     std::uint64_t intMemIssueConflicts = 0;
 
+    /** Bit-identical comparison (the engine's determinism contract). */
+    bool operator==(const CoreStats &) const = default;
+
     double
     ipc() const
     {

@@ -41,6 +41,41 @@ bindAll()
     return out;
 }
 
+EngineWorkload
+workload(const BoundKernel &bk, int inputSet)
+{
+    EngineWorkload w;
+    w.id = bk.kernel->name;
+    if (inputSet != 0)
+        w.id += strfmt("#%d", inputSet);
+    w.suite = bk.kernel->suite;
+    w.program = bk.program;
+    w.setup = bk.setupFor(inputSet);
+    return w;
+}
+
+std::vector<EngineWorkload>
+suiteWorkloads(const std::string &suite, int inputSet)
+{
+    std::vector<EngineWorkload> out;
+    for (const BoundKernel &bk :
+         suite == "all" ? bindAll() : bindSuite(suite))
+        out.push_back(workload(bk, inputSet));
+    return out;
+}
+
+std::vector<SweepColumn>
+standardColumns()
+{
+    return {
+        {"baseline", SimConfig::baseline(), true},
+        {"int", SimConfig::intMg(false), true},
+        {"int+coll", SimConfig::intMg(true), true},
+        {"int-mem", SimConfig::intMemMg(false), true},
+        {"int-mem+coll", SimConfig::intMemMg(true), true},
+    };
+}
+
 std::uint64_t
 checkKernel(const BoundKernel &bk, int inputSet)
 {

@@ -1,8 +1,9 @@
 /**
  * @file
- * Convenience layer tying kernels to the simulation flow: assemble,
- * set up inputs, profile, and run configurations — the common loop of
- * every figure-reproduction bench.
+ * Convenience layer tying kernels to the experiment engine: binding a
+ * kernel assembles its source and packages its input-planting closure;
+ * the suite-matrix helpers expose whole suites (and the paper's
+ * standard configuration columns) as engine sweep axes.
  */
 
 #ifndef MG_WORKLOADS_SUITES_HH
@@ -11,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/engine.hh"
 #include "sim/simulator.hh"
 #include "workloads/kernel.hh"
 
@@ -41,6 +43,27 @@ std::vector<BoundKernel> bindAll();
  * reference; fatal on mismatch. @return dynamic work executed.
  */
 std::uint64_t checkKernel(const BoundKernel &bk, int inputSet = 0);
+
+/**
+ * Engine workload for @p bk's input set @p inputSet. The workload id
+ * is the kernel name (suffixed "#<set>" for alternate inputs), which
+ * is what the artifact caches key on.
+ */
+EngineWorkload workload(const BoundKernel &bk, int inputSet = 0);
+
+/**
+ * A sweep row axis: every kernel of @p suite ("all" = all suites in
+ * presentation order) as an engine workload.
+ */
+std::vector<EngineWorkload> suiteWorkloads(const std::string &suite = "all",
+                                           int inputSet = 0);
+
+/**
+ * The paper's standard column axis: the 6-wide baseline followed by
+ * the four Figure 6 mini-graph machines (int, int+coll, int-mem,
+ * int-mem+coll).
+ */
+std::vector<SweepColumn> standardColumns();
 
 } // namespace mg
 
