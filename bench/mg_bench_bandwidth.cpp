@@ -79,6 +79,7 @@ main(int argc, char **argv)
     addPair(spec.columns, "2cyc",
             +[](CoreConfig &c) { c.schedulerCycles = 2; });
 
+    cli.applySampling(spec);
     SweepResult r = engine.sweep(spec);
     printf("%s\n", sweepTable(r).c_str());
     std::string json = writeSweepJson(r, "bandwidth", cli.jsonPath);

@@ -58,6 +58,7 @@ main(int argc, char **argv)
     }
     spec.baselineColumn = 0;
 
+    cli.applySampling(spec);
     SweepResult r = engine.sweep(spec);
     // Mini-graph columns are measured against the baseline with the
     // matching icache (column 0 or 3) everywhere, JSON included.

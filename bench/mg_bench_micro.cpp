@@ -125,6 +125,29 @@ BM_CycleSimRateMiniGraph(benchmark::State &state)
     state.SetItemsProcessed(static_cast<std::int64_t>(work));
 }
 
+/** Sampled-cell rate against BM_CycleSimRate: the raw win of
+ *  fast-forward + measurement intervals on one kernel. */
+void
+BM_SampledSimRate(benchmark::State &state)
+{
+    ExperimentEngine engine;
+    EngineWorkload w = workload(bindKernel(findKernel("bitcount")));
+    SimConfig sc = SimConfig::baseline();
+    sc.sampling.enabled = true;
+    sc.sampling.interval = static_cast<std::uint64_t>(state.range(0));
+    sc.sampling.period = 10 * sc.sampling.interval;
+    sc.sampling.warmup = sc.sampling.interval / 4;
+    sc.sampling.ffWarm = 2 * sc.sampling.interval;
+    auto sum = engine.summary(w, sc);      // amortised, as in a sweep
+    std::uint64_t work = 0;
+    for (auto _ : state) {
+        SampledStats st = runCellSampled(*w.program, nullptr, sc,
+                                         w.setup, *sum);
+        work += st.totalWork;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(work));
+}
+
 /** Artifact-cache hit path: the per-cell overhead of a warm sweep. */
 void
 BM_EngineCacheHit(benchmark::State &state)
@@ -161,6 +184,7 @@ BENCHMARK(BM_CacheAccess);
 BENCHMARK(BM_BranchPredict);
 BENCHMARK(BM_CycleSimRate);
 BENCHMARK(BM_CycleSimRateMiniGraph);
+BENCHMARK(BM_SampledSimRate)->Arg(1000)->Arg(4000);
 BENCHMARK(BM_EngineCacheHit);
 BENCHMARK(BM_EngineSweep)->Arg(1)->Arg(4);
 

@@ -30,6 +30,7 @@ main(int argc, char **argv)
     spec.workloads = suiteWorkloads();
     spec.columns = standardColumns();
     spec.baselineColumn = 0;
+    cli.applySampling(spec);
     SweepResult r = engine.sweep(spec);
 
     // The figure annotates each bar group with int-mem's dynamic

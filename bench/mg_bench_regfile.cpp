@@ -38,6 +38,7 @@ main(int argc, char **argv)
         spec.columns.push_back({strfmt("mg%d", regs), mg, true});
     }
 
+    cli.applySampling(spec);
     SweepResult r = engine.sweep(spec);
     printf("%s\n", sweepTable(r).c_str());
     std::string json = writeSweepJson(r, "regfile", cli.jsonPath);

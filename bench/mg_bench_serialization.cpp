@@ -62,6 +62,7 @@ main(int argc, char **argv)
     };
     spec.baselineColumn = 0;
 
+    cli.applySampling(spec);
     SweepResult r = engine.sweep(spec);
     std::vector<BenchRow> rows = benchRows(r);
     std::vector<double> bests;

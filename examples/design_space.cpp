@@ -63,6 +63,7 @@ main(int argc, char **argv)
     }
 
     ExperimentEngine engine(cli.jobs);
+    cli.applySampling(spec);
     SweepResult r = engine.sweep(spec);
 
     const SweepCell &base = r.at(0, 0);

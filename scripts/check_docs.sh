@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Documentation checks run by the CI docs job (and locally):
+#  1. markdown lint basics over docs/ and README.md: no trailing
+#     whitespace, no hard tabs, every file ends with a newline;
+#  2. every src/<module>/ directory is mentioned in docs/ARCHITECTURE.md;
+#  3. every bench binary is mentioned in docs/EXPERIMENTS.md.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+err() { echo "check_docs: $*" >&2; fail=1; }
+
+md_files=(README.md docs/*.md)
+
+for f in "${md_files[@]}"; do
+    [ -f "$f" ] || { err "missing markdown file $f"; continue; }
+    if grep -nE ' +$' "$f" >/dev/null; then
+        err "$f has trailing whitespace:"
+        grep -nE ' +$' "$f" | head -5 >&2
+    fi
+    if grep -nP '\t' "$f" >/dev/null; then
+        err "$f contains hard tabs:"
+        grep -nP '\t' "$f" | head -5 >&2
+    fi
+    if [ -n "$(tail -c 1 "$f")" ]; then
+        err "$f does not end with a newline"
+    fi
+done
+
+for d in src/*/; do
+    mod=$(basename "$d")
+    if ! grep -q "$mod" docs/ARCHITECTURE.md; then
+        err "src/$mod is not mentioned in docs/ARCHITECTURE.md"
+    fi
+done
+
+for b in bench/*.cpp; do
+    name=$(basename "$b" .cpp)
+    if ! grep -q "$name" docs/EXPERIMENTS.md; then
+        err "$name is not mentioned in docs/EXPERIMENTS.md"
+    fi
+done
+
+if [ "$fail" -eq 0 ]; then
+    echo "check_docs: OK"
+fi
+exit "$fail"

@@ -1,5 +1,6 @@
 #include "emu/emulator.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/logging.hh"
@@ -402,6 +403,35 @@ Emulator::step(ExecRecord *rec)
     }
     pc_ += insnBytes;
     return true;
+}
+
+EmuCheckpoint
+Emulator::checkpoint() const
+{
+    EmuCheckpoint c;
+    c.regs.assign(regs.begin(), regs.end());
+    c.pc = pc_;
+    c.halted = halted_;
+    c.slots = count_;
+    c.work = work_;
+    c.profile = prof;
+    c.mem = mem;
+    return c;
+}
+
+void
+Emulator::restore(const EmuCheckpoint &c)
+{
+    if (c.regs.size() != regs.size())
+        fatal("checkpoint register file size %zu does not match the "
+              "emulator's %zu", c.regs.size(), regs.size());
+    std::copy(c.regs.begin(), c.regs.end(), regs.begin());
+    pc_ = c.pc;
+    halted_ = c.halted;
+    count_ = c.slots;
+    work_ = c.work;
+    prof = c.profile;
+    mem = c.mem;
 }
 
 EmuResult

@@ -51,6 +51,26 @@ struct ExecRecord
     std::uint64_t memData = 0;  ///< value loaded or stored
 };
 
+/**
+ * Snapshot of the complete functional state: architectural registers,
+ * PC, the memory image, the dynamic counters, and the block profile
+ * accumulated so far. Because functional execution is independent of
+ * any timing model, a checkpoint captured at dynamic position N is
+ * valid for *every* machine configuration that runs the same program
+ * and inputs — which is what lets the experiment engine share
+ * checkpoints across sweep columns (see docs/ARCHITECTURE.md).
+ */
+struct EmuCheckpoint
+{
+    std::vector<std::uint64_t> regs;
+    Addr pc = 0;
+    bool halted = false;
+    std::uint64_t slots = 0;    ///< dynamic slots executed
+    std::uint64_t work = 0;     ///< constituent work executed
+    BlockProfile profile;
+    Memory mem;
+};
+
 /** Result of a complete run. */
 struct EmuResult
 {
@@ -84,6 +104,12 @@ class Emulator
 
     /** Run until halt or @p maxInsns dynamic slots. */
     EmuResult run(std::uint64_t maxInsns = ~0ull);
+
+    /** Capture the complete functional state. */
+    EmuCheckpoint checkpoint() const;
+
+    /** Restore state captured by checkpoint() (same program). */
+    void restore(const EmuCheckpoint &c);
 
     Addr pc() const { return pc_; }
     bool halted() const { return halted_; }

@@ -16,29 +16,85 @@ CliOptions::has(const std::string &flag) const
     return false;
 }
 
+namespace {
+
+std::uint64_t
+parseCount(const char *flag, const char *value)
+{
+    // strtoull would wrap negatives and accept empty strings.
+    if (!value || !*value || *value == '-' || *value == '+')
+        fatal("bad %s value '%s'", flag, value ? value : "");
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(value, &end, 10);
+    if (!end || *end)
+        fatal("bad %s value '%s'", flag, value);
+    return v;
+}
+
+} // namespace
+
 CliOptions
 parseCli(int argc, char **argv)
 {
     CliOptions opt;
+    auto next = [&](const std::string &flag, int &i) -> const char * {
+        if (i + 1 >= argc)
+            fatal("%s requires a value", flag.c_str());
+        return argv[++i];
+    };
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         if (a == "--jobs" || a == "-j") {
-            if (i + 1 >= argc)
-                fatal("%s requires a count", a.c_str());
             char *end = nullptr;
-            long v = std::strtol(argv[++i], &end, 10);
+            long v = std::strtol(next(a, i), &end, 10);
             if (!end || *end || v < 0)
                 fatal("bad job count '%s'", argv[i]);
             opt.jobs = static_cast<int>(v);
         } else if (a == "--json") {
-            if (i + 1 >= argc)
-                fatal("--json requires a path");
-            opt.jsonPath = argv[++i];
+            opt.jsonPath = next(a, i);
+        } else if (a == "--sample-interval") {
+            opt.sampleInterval = parseCount("--sample-interval",
+                                            next(a, i));
+            if (opt.sampleInterval == 0)
+                fatal("--sample-interval must be positive");
+        } else if (a == "--sample-period") {
+            opt.samplePeriod = parseCount("--sample-period", next(a, i));
+        } else if (a == "--warmup") {
+            opt.sampleWarmup = parseCount("--warmup", next(a, i));
+        } else if (a == "--full") {
+            opt.full = true;
         } else {
             opt.rest.push_back(std::move(a));
         }
     }
     return opt;
+}
+
+SamplingParams
+CliOptions::samplingParams() const
+{
+    SamplingParams sp;
+    if (full || sampleInterval == 0)
+        return sp;   // disabled: full cycle-accurate simulation
+    sp.enabled = true;
+    sp.interval = sampleInterval;
+    sp.period = samplePeriod ? samplePeriod : 12 * sampleInterval;
+    sp.warmup = sampleWarmup != ~0ull ? sampleWarmup
+                                      : 2 * sampleInterval;
+    sp.ffWarm = 2 * sampleInterval;
+    return sp;
+}
+
+void
+CliOptions::applySampling(SweepSpec &spec) const
+{
+    SamplingParams sp = samplingParams();
+    if (!sp.enabled)
+        return;
+    for (SweepColumn &col : spec.columns) {
+        if (col.timing)
+            col.config.sampling = sp;
+    }
 }
 
 } // namespace mg

@@ -1,9 +1,14 @@
 /**
  * @file
  * Tiny shared command line for the sweep drivers: every bench accepts
- * `--jobs N` (parallel cells, 0 = all hardware threads) and
- * `--json PATH` (override the default BENCH_<name>.json location);
- * anything unrecognised is passed through for bench-specific flags.
+ * `--jobs N` (parallel cells, 0 = all hardware threads), `--json PATH`
+ * (override the default BENCH_<name>.json location), and the sampled
+ * simulation flags `--sample-interval N` (measure N work units per
+ * period; enables sampling), `--sample-period N` (work between
+ * measurement starts, default 12× interval), `--warmup N` (detailed
+ * pre-measurement warmup work), and `--full` (force full cycle-accurate
+ * simulation, overriding the sampling flags); anything unrecognised is
+ * passed through for bench-specific flags.
  */
 
 #ifndef MG_ENGINE_CLI_HH
@@ -12,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "engine/engine.hh"
+
 namespace mg {
 
 /** Parsed common bench options. */
@@ -19,13 +26,23 @@ struct CliOptions
 {
     int jobs = 1;               ///< --jobs N / -j N (0 = hardware)
     std::string jsonPath;       ///< --json PATH ("" = default name)
+    std::uint64_t sampleInterval = 0;   ///< --sample-interval N (0 = off)
+    std::uint64_t samplePeriod = 0;     ///< --sample-period N (0 = 12×)
+    std::uint64_t sampleWarmup = ~0ull; ///< --warmup N (~0 = default)
+    bool full = false;                  ///< --full wins over sampling
     std::vector<std::string> rest;  ///< unconsumed arguments
 
     /** @return true when @p flag appears among the leftover args. */
     bool has(const std::string &flag) const;
+
+    /** Sampling parameters these flags resolve to (may be disabled). */
+    SamplingParams samplingParams() const;
+
+    /** Apply samplingParams() to every timed column of @p spec. */
+    void applySampling(SweepSpec &spec) const;
 };
 
-/** Parse argv; fatal() on malformed --jobs/--json. */
+/** Parse argv; fatal() on malformed options. */
 CliOptions parseCli(int argc, char **argv);
 
 } // namespace mg

@@ -51,6 +51,48 @@ ExperimentEngine::cell(const EngineWorkload &w, const SimConfig &cfg)
     });
 }
 
+std::shared_ptr<const SampleSummary>
+ExperimentEngine::summary(const EngineWorkload &w, const SimConfig &cfg)
+{
+    // The summary depends on the executed binary, not on the machine:
+    // identify it by the workload plus (for mini-graph configs) the
+    // prepare fingerprint of the rewrite that produced the binary.
+    std::string variant = w.id;
+    if (cfg.useMiniGraphs) {
+        variant += "|" +
+            prepareFingerprint(
+                profileFingerprint(w.id, cfg.profileBudget), cfg.policy,
+                cfg.machine, cfg.compress);
+    }
+    std::string key = summaryFingerprint(variant, cfg.sampling,
+                                         cfg.runBudget);
+    return summaries.get(key, [&]() -> SampleSummary {
+        const Program *prog = w.program;
+        const MgTable *mgt = nullptr;
+        std::shared_ptr<const PreparedMg> prep;
+        if (cfg.useMiniGraphs) {
+            prep = prepare(w, cfg);
+            prog = &prep->program;
+            mgt = &prep->table;
+        }
+        return collectSampleSummary(*prog, mgt, w.setup, cfg.sampling,
+                                    cfg.runBudget);
+    });
+}
+
+SampledStats
+ExperimentEngine::cellSampled(const EngineWorkload &w, const SimConfig &cfg)
+{
+    std::string key = cellFingerprint(w.id, cfg);
+    return *sampledRuns.get(key, [&]() -> SampledStats {
+        auto sum = summary(w, cfg);
+        if (!cfg.useMiniGraphs)
+            return runCellSampled(*w.program, nullptr, cfg, w.setup, *sum);
+        auto prep = prepare(w, cfg);
+        return runCellSampled(*w.program, prep.get(), cfg, w.setup, *sum);
+    });
+}
+
 SweepCell
 ExperimentEngine::runOne(const EngineWorkload &w, const SweepColumn &col)
 {
@@ -64,7 +106,13 @@ ExperimentEngine::runOne(const EngineWorkload &w, const SweepColumn &col)
         out.textSlots = w.program->text.size();
     }
     if (col.timing) {
-        out.stats = cell(w, col.config);
+        if (col.config.sampling.enabled) {
+            out.sampled = cellSampled(w, col.config);
+            out.stats = out.sampled.est;
+            out.sampledRun = true;
+        } else {
+            out.stats = cell(w, col.config);
+        }
         out.timed = true;
     }
     return out;
@@ -102,6 +150,10 @@ ExperimentEngine::counters() const
     c.prepareHits = prepared.hits();
     c.runComputes = runs.computes();
     c.runHits = runs.hits();
+    c.summaryComputes = summaries.computes();
+    c.summaryHits = summaries.hits();
+    c.sampledComputes = sampledRuns.computes();
+    c.sampledHits = sampledRuns.hits();
     return c;
 }
 

@@ -68,6 +68,10 @@ struct EngineCounters
     std::uint64_t prepareHits = 0;
     std::uint64_t runComputes = 0;
     std::uint64_t runHits = 0;
+    std::uint64_t summaryComputes = 0;
+    std::uint64_t summaryHits = 0;
+    std::uint64_t sampledComputes = 0;
+    std::uint64_t sampledHits = 0;
 };
 
 /** The parallel, caching experiment driver. */
@@ -90,6 +94,18 @@ class ExperimentEngine
     CoreStats cell(const EngineWorkload &w, const SimConfig &cfg);
 
     /**
+     * Functional sample summary for the binary @p cfg executes on
+     * @p w (cached). Keyed by binary + sampling grid only, so every
+     * column sharing that binary reuses one summary — and with it the
+     * fast-forward checkpoints.
+     */
+    std::shared_ptr<const SampleSummary>
+    summary(const EngineWorkload &w, const SimConfig &cfg);
+
+    /** Sampled end-to-end timing of one cell (cached). */
+    SampledStats cellSampled(const EngineWorkload &w, const SimConfig &cfg);
+
+    /**
      * Execute the full matrix. Cells are distributed over the worker
      * pool; the result layout and every cell value are independent of
      * the job count.
@@ -106,6 +122,8 @@ class ExperimentEngine
     ArtifactCache<BlockProfile> profiles;
     ArtifactCache<PreparedMg> prepared;
     ArtifactCache<CoreStats> runs;
+    ArtifactCache<SampleSummary> summaries;
+    ArtifactCache<SampledStats> sampledRuns;
 };
 
 } // namespace mg

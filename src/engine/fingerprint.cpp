@@ -111,6 +111,18 @@ addCore(Fingerprint &fp, const CoreConfig &c)
         .add("ssclr", c.ss.clearInterval);
 }
 
+void
+addSampling(Fingerprint &fp, const SamplingParams &s)
+{
+    fp.add("sInt", s.interval)
+        .add("sPer", s.period)
+        .add("sWup", s.warmup)
+        .add("sFfw", s.ffWarm)
+        .add("sPre", s.prefix)
+        .add("sCi", static_cast<std::uint64_t>(s.targetCi * 1e6))
+        .add("sDuty", static_cast<std::uint64_t>(s.maxDuty * 1e6));
+}
+
 } // namespace
 
 std::string
@@ -148,6 +160,22 @@ cellFingerprint(const std::string &workload, const SimConfig &cfg)
         addPolicy(fp, cfg.policy);
         addMachine(fp, cfg.machine);
     }
+    // Gated so full-simulation keys match the pre-sampling engine
+    // byte-for-byte.
+    if (cfg.sampling.enabled) {
+        fp.add("sampled", true);
+        addSampling(fp, cfg.sampling);
+    }
+    return fp.str();
+}
+
+std::string
+summaryFingerprint(const std::string &variant, const SamplingParams &sp,
+                   std::uint64_t runBudget)
+{
+    Fingerprint fp;
+    fp.add("summary", variant).add("runBudget", runBudget);
+    addSampling(fp, sp);
     return fp.str();
 }
 

@@ -49,6 +49,17 @@ std::string prepareFingerprint(const std::string &profileFp,
 std::string cellFingerprint(const std::string &workload,
                             const SimConfig &cfg);
 
+/**
+ * Everything that shapes a functional sample summary: the executed
+ * binary (@p variant is the workload id, suffixed with the prepare
+ * fingerprint for mini-graph configs), the sampling grid, and the work
+ * cap. Deliberately excludes the machine configuration — that is what
+ * makes summaries shareable across sweep columns.
+ */
+std::string summaryFingerprint(const std::string &variant,
+                               const SamplingParams &sp,
+                               std::uint64_t runBudget);
+
 } // namespace mg
 
 #endif // MG_ENGINE_FINGERPRINT_HH

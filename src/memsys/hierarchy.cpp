@@ -71,6 +71,20 @@ Hierarchy::instAccess(Addr addr, Cycle now)
 }
 
 void
+Hierarchy::warmData(Addr addr, bool write)
+{
+    if (!l1dCache.access(addr, write).hit)
+        l2Cache.access(addr, false);
+}
+
+void
+Hierarchy::warmInst(Addr addr)
+{
+    if (!l1iCache.access(addr, false).hit)
+        l2Cache.access(addr, false);
+}
+
+void
 Hierarchy::flush()
 {
     l1iCache.flush();

@@ -4,6 +4,14 @@
 
 namespace mg {
 
+void
+Memory::copyPages(const Memory &other)
+{
+    pages.reserve(other.pages.size());
+    for (const auto &[idx, page] : other.pages)
+        pages.emplace(idx, std::make_unique<Page>(*page));
+}
+
 const Memory::Page *
 Memory::findPage(Addr addr) const
 {

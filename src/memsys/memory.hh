@@ -25,6 +25,21 @@ class Memory
   public:
     static constexpr Addr pageBytes = 4096;
 
+    Memory() = default;
+    Memory(Memory &&) = default;
+    Memory &operator=(Memory &&) = default;
+    /** Deep copies (checkpoint capture/restore duplicate the image). */
+    Memory(const Memory &other) { copyPages(other); }
+    Memory &
+    operator=(const Memory &other)
+    {
+        if (this != &other) {
+            pages.clear();
+            copyPages(other);
+        }
+        return *this;
+    }
+
     /** Read @p bytes (1,2,4,8) little-endian at @p addr. */
     std::uint64_t read(Addr addr, int bytes) const;
 
@@ -52,6 +67,7 @@ class Memory
 
     const Page *findPage(Addr addr) const;
     Page &getPage(Addr addr);
+    void copyPages(const Memory &other);
 };
 
 } // namespace mg

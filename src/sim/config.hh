@@ -28,6 +28,7 @@ struct SimConfig
     bool compress = false;          ///< icache-study layout
     std::uint64_t profileBudget = 400000;   ///< profiling-run slots
     std::uint64_t runBudget = ~0ull;        ///< timing-run work cap
+    SamplingParams sampling;        ///< disabled = full simulation
 
     /** The paper's 6-wide baseline. */
     static SimConfig baseline();

@@ -172,6 +172,21 @@ sweepJson(const SweepResult &r, const std::string &bench)
                                   c.stats.committedWork));
                 rec += ", \"dynamic_coverage\": " +
                        jsonNum(c.stats.dynamicCoverage());
+                // Sampling metadata only for sampled cells, so full
+                // runs stay byte-identical to the pre-sampling engine.
+                if (c.sampledRun) {
+                    rec += strfmt(", \"sampled\": true, "
+                                  "\"intervals\": %u, "
+                                  "\"measured_work\": %llu, "
+                                  "\"ff_work\": %llu",
+                                  c.sampled.intervals,
+                                  static_cast<unsigned long long>(
+                                      c.sampled.measuredWork),
+                                  static_cast<unsigned long long>(
+                                      c.sampled.ffWork));
+                    rec += ", \"ipc_ci95_rel\": " +
+                           jsonNum(c.sampled.ipcRelCi95);
+                }
             }
             rec += ", \"coverage\": " + jsonNum(c.staticCoverage);
             rec += strfmt(", \"templates\": %llu, \"text_slots\": %llu}",

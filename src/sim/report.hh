@@ -31,11 +31,14 @@ struct BenchRow
 /** One cell of a kernel×configuration sweep. */
 struct SweepCell
 {
-    CoreStats stats;                ///< timing run (when timed)
+    CoreStats stats;                ///< timing run (when timed); for a
+                                    ///< sampled cell, sampled.est
     bool timed = false;             ///< stats hold a real timing run
     double staticCoverage = 0;      ///< estimated from the profile
     std::uint64_t templates = 0;    ///< MGT entries selected
     std::uint64_t textSlots = 0;    ///< program text size (insns)
+    SampledStats sampled;           ///< error bounds etc. (sampledRun)
+    bool sampledRun = false;        ///< stats were extrapolated
 };
 
 /**

@@ -1,6 +1,11 @@
 #include "sim/simulator.hh"
 
+#include <array>
+#include <cmath>
+#include <map>
+
 #include "cfg/liveness.hh"
+#include "common/rng.hh"
 
 namespace mg {
 
@@ -56,6 +61,147 @@ runCell(const Program &prog, const PreparedMg *prep, const SimConfig &cfg,
         return runCore(prog, nullptr, cfg.core, setup, cfg.runBudget);
     return runCore(prep->program, &prep->table, cfg.core, setup,
                    cfg.runBudget);
+}
+
+namespace {
+
+/** Normalized-L1 distance between two chunk signatures. */
+double
+sigDistance(const std::array<double, sampleSigDims> &a,
+            const std::array<double, sampleSigDims> &b)
+{
+    double d = 0;
+    for (int i = 0; i < sampleSigDims; ++i)
+        d += std::abs(a[i] - b[i]);
+    return d;
+}
+
+} // namespace
+
+SampleSummary
+collectSampleSummary(const Program &prog, const MgTable *mgt,
+                     const SetupFn &setup, const SamplingParams &sp,
+                     std::uint64_t maxWork)
+{
+    Emulator emu(prog, mgt);
+    if (setup)
+        setup(emu);
+
+    SampleSummary sum;
+    if (sp.degenerate()) {
+        while (!emu.halted() && emu.dynWork() < maxWork) {
+            if (!emu.step())
+                break;
+        }
+        sum.totalWork = emu.dynWork();
+        sum.totalSlots = emu.dynInsns();
+        return sum;
+    }
+
+    // Deterministic per-instruction signature bucket (the PC-histogram
+    // sketch phase clustering runs on).
+    std::vector<std::uint8_t> bucket(prog.text.size());
+    for (std::size_t i = 0; i < bucket.size(); ++i)
+        bucket[i] = static_cast<std::uint8_t>(
+            Rng(0x5151u ^ static_cast<std::uint64_t>(i)).next() %
+            sampleSigDims);
+
+    const std::uint64_t period = sp.period;
+    const std::uint64_t prefixChunks = sp.prefixChunks();
+    std::vector<std::array<double, sampleSigDims>> leaders;
+    std::vector<std::uint32_t> postCount;   ///< post-prefix chunks seen
+    std::array<std::uint64_t, sampleSigDims> sig{};
+    std::uint64_t sigSlots = 0;
+    std::uint64_t chunkIdx = 0;
+    std::uint64_t chunkStart = 0;
+    // Checkpoints are captured tentatively at every chunk's jump
+    // target and kept only if the finished chunk turns out to be one
+    // of its cluster's first two post-prefix members.
+    std::map<std::uint64_t, EmuCheckpoint> pending;
+    std::uint64_t nextCkptChunk = 1;
+
+    auto finishChunk = [&](std::uint64_t endWork) {
+        std::array<double, sampleSigDims> norm{};
+        if (sigSlots) {
+            for (int i = 0; i < sampleSigDims; ++i)
+                norm[i] = static_cast<double>(sig[i]) /
+                    static_cast<double>(sigSlots);
+        }
+        std::uint32_t cid = 0;
+        bool found = false;
+        for (std::size_t c = 0; c < leaders.size(); ++c) {
+            if (sigDistance(norm, leaders[c]) < sampleClusterTheta) {
+                cid = static_cast<std::uint32_t>(c);
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            cid = static_cast<std::uint32_t>(leaders.size());
+            leaders.push_back(norm);
+            postCount.push_back(0);
+        }
+        sum.chunks.push_back({chunkStart, endWork - chunkStart, cid});
+        bool post = chunkIdx >= prefixChunks;
+        auto it = pending.find(chunkIdx);
+        // Keep the checkpoint for every chunk the sampled run might
+        // measure: the first two of each cluster always, later
+        // occurrences (adaptive refinement) while the budget lasts.
+        if (post && it != pending.end() &&
+            (postCount[cid] < 2 || sum.ckpts.size() < 48))
+            sum.ckpts.push_back(std::move(it->second));
+        if (it != pending.end())
+            pending.erase(it);
+        if (post)
+            ++postCount[cid];
+        sig.fill(0);
+        sigSlots = 0;
+        ++chunkIdx;
+        chunkStart = endWork;
+    };
+
+    ExecRecord rec;
+    while (!emu.halted() && emu.dynWork() < maxWork) {
+        std::uint64_t w = emu.dynWork();
+        while (w >= (chunkIdx + 1) * period)
+            finishChunk((chunkIdx + 1) * period);
+        // Once the retention budget is full, only a brand-new cluster
+        // could still keep a checkpoint; stop paying for the deep
+        // copies and let such rare chunks fast-forward functionally.
+        if (nextCkptChunk >= prefixChunks && sum.ckpts.size() < 48 &&
+            w >= sp.jumpTarget(nextCkptChunk) &&
+            sp.jumpTarget(nextCkptChunk) > 0)
+            pending.emplace(nextCkptChunk, emu.checkpoint());
+        while (w >= sp.jumpTarget(nextCkptChunk) ||
+               sp.jumpTarget(nextCkptChunk) == 0)
+            ++nextCkptChunk;
+        if (!emu.step(&rec))
+            break;
+        if (rec.insn && prog.validPc(rec.pc)) {
+            sig[bucket[prog.indexOf(rec.pc)]] +=
+                emu.dynWork() - w;
+            sigSlots += emu.dynWork() - w;
+        }
+    }
+    if (emu.dynWork() > chunkStart)
+        finishChunk(emu.dynWork());
+    sum.totalWork = emu.dynWork();
+    sum.totalSlots = emu.dynInsns();
+    sum.clusters = static_cast<std::uint32_t>(leaders.size());
+    return sum;
+}
+
+SampledStats
+runCellSampled(const Program &prog, const PreparedMg *prep,
+               const SimConfig &cfg, const SetupFn &setup,
+               const SampleSummary &sum)
+{
+    const Program &p = prep ? prep->program : prog;
+    const MgTable *mgt = prep ? &prep->table : nullptr;
+    Core core(p, mgt, cfg.core);
+    if (setup)
+        setup(core.oracle());
+    return core.runSampled(cfg.sampling, sum, cfg.runBudget);
 }
 
 CoreStats

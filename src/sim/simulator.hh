@@ -57,6 +57,31 @@ CoreStats runCore(const Program &prog, const MgTable *mgt,
 CoreStats runCell(const Program &prog, const PreparedMg *prep,
                   const SimConfig &cfg, const SetupFn &setup);
 
+/**
+ * Functional pre-pass for sampled cells: run the executed binary (the
+ * rewritten program for a mini-graph config) to completion once,
+ * recording total work/slots and capturing an EmuCheckpoint at every
+ * fast-forward grid position of @p sp. The result depends only on the
+ * binary, the inputs, and the sampling grid — never on the machine
+ * configuration — so the engine shares it across all sweep columns
+ * that execute the same binary.
+ */
+SampleSummary collectSampleSummary(const Program &prog, const MgTable *mgt,
+                                   const SetupFn &setup,
+                                   const SamplingParams &sp,
+                                   std::uint64_t maxWork = ~0ull);
+
+/**
+ * Sampled counterpart of runCell: alternate checkpoint-jump /
+ * functionally-warmed fast-forward with cycle-accurate measurement
+ * intervals and extrapolate whole-run statistics (see
+ * Core::runSampled). @p sum must come from collectSampleSummary for
+ * the same binary, inputs, and sampling grid.
+ */
+SampledStats runCellSampled(const Program &prog, const PreparedMg *prep,
+                            const SimConfig &cfg, const SetupFn &setup,
+                            const SampleSummary &sum);
+
 /** One-call flow: returns the end-to-end stats for @p cfg. */
 CoreStats simulate(const Program &prog, const SimConfig &cfg,
                    const SetupFn &setup);

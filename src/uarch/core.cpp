@@ -1,6 +1,7 @@
 #include "uarch/core.hh"
 
 #include <algorithm>
+#include <set>
 
 #include "common/logging.hh"
 
@@ -37,7 +38,7 @@ Core::pullOracle()
         replayQueue.pop_front();
         return d;
     }
-    if (oracleDone)
+    if (oracleDone || draining)
         return nullptr;
     for (;;) {
         ExecRecord rec;
@@ -783,19 +784,24 @@ Core::squashFrom(std::uint64_t fromSeq)
     lastFetchLine = ~Addr(0);
 }
 
-CoreStats
-Core::run(std::uint64_t maxWork)
+void
+Core::stepCycle()
 {
-    stats_ = CoreStats();
+    doMemAndResolve();
+    doCommit();
+    doIssue();
+    doDispatch();
+    doFetch();
+    ++now;
+    stats_.cycles = now;
+}
+
+void
+Core::runDetailedUntil(std::uint64_t targetWork)
+{
     for (;;) {
-        doMemAndResolve();
-        doCommit();
-        doIssue();
-        doDispatch();
-        doFetch();
-        ++now;
-        stats_.cycles = now;
-        if (stats_.committedWork >= maxWork)
+        stepCycle();
+        if (stats_.committedWork >= targetWork)
             break;
         if (oracleDone && replayQueue.empty() && fetchQueue.empty() &&
             rob.empty())
@@ -803,7 +809,413 @@ Core::run(std::uint64_t maxWork)
         if (now > (1ull << 40))
             panic("simulation did not terminate");
     }
+}
+
+CoreStats
+Core::run(std::uint64_t maxWork)
+{
+    stats_ = CoreStats();
+    runDetailedUntil(maxWork);
     return stats_;
+}
+
+bool
+Core::pipelineEmpty() const
+{
+    return replayQueue.empty() && fetchQueue.empty() && rob.empty();
+}
+
+void
+Core::drainPipeline()
+{
+    // Retire everything in flight without admitting new oracle slots
+    // (pullOracle serves only the replay queue while draining), so the
+    // subsequent fast-forward starts from a committed boundary.
+    draining = true;
+    while (!pipelineEmpty()) {
+        stepCycle();
+        if (now > (1ull << 40))
+            panic("pipeline did not drain");
+    }
+    draining = false;
+}
+
+void
+Core::warmControl(const Instruction &in, const ExecRecord &rec)
+{
+    // Functional-warming mirror of predictControl's *training* effects:
+    // same tables, same PCs, but no penalties and no stats.
+    InsnClass cls = in.cls();
+    bool condLike = cls == InsnClass::CondBranch ||
+        (in.isHandle() && mgt &&
+         mgt->at(static_cast<MgId>(in.imm)).hdr.endsInBranch);
+    if (condLike) {
+        bp.updateDirection(rec.pc, rec.taken);
+        if (rec.taken)
+            bp.updateTarget(rec.pc, rec.nextPc);
+        return;
+    }
+    switch (in.op) {
+      case Op::BSR:
+        bp.pushReturn(rec.pc + insnBytes);
+        [[fallthrough]];
+      case Op::BR:
+        bp.updateTarget(rec.pc, rec.nextPc);
+        break;
+      case Op::RET:
+        bp.popReturn();
+        break;
+      case Op::JSR:
+        bp.pushReturn(rec.pc + insnBytes);
+        [[fallthrough]];
+      case Op::JMP:
+        bp.updateTarget(rec.pc, rec.nextPc);
+        break;
+      default:
+        break;
+    }
+}
+
+void
+Core::fastForward(std::uint64_t workTarget, bool warm, double ipcEst)
+{
+    if (!pipelineEmpty())
+        panic("fastForward with a non-empty pipeline");
+    ExecRecord rec;
+    double cycleAccum = 0;
+    Cycle base = now;
+    std::uint64_t work0 = emu.dynWork();
+    while (!emu.halted() && emu.dynWork() < workTarget) {
+        if (!emu.step(&rec))
+            break;
+        if (ipcEst > 0) {
+            cycleAccum = static_cast<double>(emu.dynWork() - work0) /
+                ipcEst;
+            now = base + static_cast<Cycle>(cycleAccum);
+        }
+        if (!warm || !rec.insn)
+            continue;
+        Addr line = lineOf(rec.pc);
+        if (line != lastFetchLine) {
+            if (ipcEst > 0)
+                mem.instAccess(rec.pc, now);
+            else
+                mem.warmInst(rec.pc);
+            lastFetchLine = line;
+        }
+        if (rec.insn->isNop())
+            continue;
+        if (rec.isMem) {
+            if (ipcEst > 0)
+                mem.dataAccess(rec.memAddr, rec.memIsStore, now);
+            else
+                mem.warmData(rec.memAddr, rec.memIsStore);
+        }
+        if (rec.insn->isControl() || rec.insn->isHandle())
+            warmControl(*rec.insn, rec);
+    }
+    stats_.cycles = now;        // keep interval deltas pure-detailed
+    lastFetchLine = ~Addr(0);   // fetch restarts on a cold line tracker
+}
+
+void
+Core::restoreOracle(const EmuCheckpoint &c)
+{
+    if (!pipelineEmpty())
+        panic("restoreOracle with a non-empty pipeline");
+    emu.restore(c);
+    lastFetchLine = ~Addr(0);
+}
+
+SampledStats
+Core::runSampled(const SamplingParams &sp, const SampleSummary &sum,
+                 std::uint64_t maxWork)
+{
+    stats_ = CoreStats();
+    SampledStats out;
+    out.totalWork = std::min(sum.totalWork, maxWork);
+
+    // Short programs degrade to exact full simulation: below ~8
+    // sampling periods the fixed costs (prefix, per-chunk warmups)
+    // approach full coverage anyway, and small runs are cheap.
+    bool tooShort = sum.totalWork > 0 &&
+        out.totalWork < sp.coldPrefixWork() + 4 * sp.period;
+    if (sp.degenerate() || tooShort) {
+        // No room for fast-forward: identical to a full run.
+        runDetailedUntil(maxWork);
+        out.est = stats_;
+        out.exact = true;
+        out.totalWork = stats_.committedWork;
+        out.measuredWork = stats_.committedWork;
+        out.measuredCycles = stats_.cycles;
+        out.detailedWork = stats_.committedWork;
+        out.intervals = 1;
+        out.ipcHat = stats_.ipc();
+        return out;
+    }
+
+    // Exactly-measured cold prefix: the startup transient (cold
+    // caches, bus backlog, queue fill) is a large, unrepresentative
+    // fraction of a short run; extrapolating any sample of it is the
+    // dominant error source, so it never extrapolates.
+    std::uint64_t prefixWork = std::min(sp.coldPrefixWork(),
+                                        out.totalWork);
+    runDetailedUntil(prefixWork);
+    drainPipeline();
+    CoreStats cold = stats_;
+    out.prefixWork = cold.committedWork;
+
+    // Post-prefix plan from the phase clustering: always measure the
+    // first two chunks of every cluster, then adaptively keep
+    // measuring later occurrences of any cluster whose error
+    // contribution still exceeds the target. Weight by cluster work.
+    struct ClusterAgg
+    {
+        CoreStats meas;                 ///< summed measurement deltas
+        std::uint64_t work = 0;         ///< cluster work to represent
+        std::vector<double> ipcs;
+
+        double
+        mean() const
+        {
+            double s = 0;
+            for (double x : ipcs)
+                s += x;
+            return ipcs.empty() ? 0 : s / static_cast<double>(
+                                              ipcs.size());
+        }
+
+        /** Relative 95% CI of the cluster's mean interval IPC. */
+        double
+        relCi() const
+        {
+            if (ipcs.size() < 2)
+                return 0;
+            double m = mean();
+            if (m <= 0)
+                return 0;
+            double var = 0;
+            for (double x : ipcs)
+                var += (x - m) * (x - m);
+            var /= static_cast<double>(ipcs.size() - 1);
+            return 1.96 *
+                std::sqrt(var / static_cast<double>(ipcs.size())) / m;
+        }
+    };
+    std::vector<ClusterAgg> agg(sum.clusters);
+    std::vector<std::vector<const SampleChunk *>> occ(sum.clusters);
+    std::uint64_t postWork = 0;
+    for (const SampleChunk &ch : sum.chunks) {
+        // Weigh only the work the exact prefix did not already cover:
+        // the drain overshoots prefixWork by up to a windowful, and
+        // that overshoot is in `cold`, so extrapolating it again would
+        // double-count it.
+        std::uint64_t effStart = std::max(ch.start, cold.committedWork);
+        std::uint64_t end = ch.start +
+            std::min(ch.work, out.totalWork > ch.start
+                                  ? out.totalWork - ch.start : 0);
+        if (end <= effStart)
+            continue;
+        agg[ch.cluster].work += end - effStart;
+        postWork += end - effStart;
+        if (ch.start >= cold.committedWork &&
+            ch.start + sp.interval <= out.totalWork)
+            occ[ch.cluster].push_back(&ch);
+    }
+    // Base plan: quantile-spread occurrences of every cluster, so a
+    // performance trend inside a code-identical cluster (queue
+    // pressure building up, predictors still training) is sampled
+    // across its whole extent, not just at its start.
+    std::set<const SampleChunk *> base;
+    for (const auto &o : occ) {
+        std::size_t m = o.size();
+        if (m <= 3) {
+            base.insert(o.begin(), o.end());
+        } else {
+            for (std::size_t q : {std::size_t(0), m / 2, m - 1})
+                base.insert(o[q]);
+        }
+    }
+    constexpr std::size_t maxPerCluster = 24;
+    std::uint64_t dutyBudget = static_cast<std::uint64_t>(
+        sp.maxDuty * static_cast<double>(out.totalWork));
+    auto shouldMeasure = [&](const SampleChunk *c) {
+        const ClusterAgg &a = agg[c->cluster];
+        if (a.ipcs.empty())
+            return true;   // every cluster is covered at least once
+        double share = static_cast<double>(a.work) /
+            static_cast<double>(postWork ? postWork : 1);
+        if (stats_.committedWork >= dutyBudget) {
+            // Over budget, only gross non-convergence keeps sampling:
+            // a cheap estimate is worthless if its bound is huge.
+            return sp.targetCi > 0 && a.ipcs.size() < maxPerCluster &&
+                a.relCi() * share > 5 * sp.targetCi;
+        }
+        if (base.count(c))
+            return true;
+        if (a.ipcs.size() < 2)
+            return true;
+        if (sp.targetCi <= 0 || a.ipcs.size() >= maxPerCluster)
+            return false;
+        return a.relCi() * share > sp.targetCi / 2;
+    };
+
+    double lastIpc = cold.ipc();   // virtual-clock fast-forward rate
+    for (const SampleChunk &chunk : sum.chunks) {
+        const SampleChunk *ch = &chunk;
+        if (ch->start < cold.committedWork ||
+            ch->start + sp.interval > out.totalWork)
+            continue;
+        if (!shouldMeasure(ch))
+            continue;
+        if (emu.halted())
+            break;
+        // Fast-forward to the chunk: jump through the checkpoint the
+        // summary captured for it, then functionally warm the tail.
+        std::uint64_t p = emu.dynWork();
+        if (ch->start <= p)
+            continue;   // prefix/drain already covered this chunk
+        std::uint64_t warmStart = ch->start > sp.warmup
+            ? ch->start - sp.warmup : 0;
+        if (warmStart > p) {
+            const EmuCheckpoint *jump = nullptr;
+            for (const EmuCheckpoint &c : sum.ckpts) {
+                if (c.work > warmStart)
+                    break;
+                if (c.work > p)
+                    jump = &c;   // ascending: keep the latest eligible
+            }
+            if (jump) {
+                // The skipped region's time passes on the virtual
+                // clock too, so time-keyed state (bus occupancy,
+                // bypass windows) ages as it would have.
+                if (lastIpc > 0)
+                    now += static_cast<Cycle>(
+                        static_cast<double>(jump->work - p) / lastIpc);
+                restoreOracle(*jump);
+            }
+            if (warmStart > emu.dynWork())
+                fastForward(warmStart, sp.ffWarm > 0, lastIpc);
+            stats_.cycles = now;   // virtual advances stay unmeasured
+        }
+        out.ffWork = emu.dynWork() - stats_.committedWork;
+        if (emu.halted())
+            break;
+
+        // Detailed (unmeasured) warmup up to the chunk start: refills
+        // the pipeline and restores queue back-pressure equilibrium.
+        std::uint64_t q = emu.dynWork();
+        if (ch->start > q)
+            runDetailedUntil(stats_.committedWork + (ch->start - q));
+
+        // Settled measurement: a drained-then-refilled pipeline can run
+        // well above its congested steady state for a while (the
+        // window fills slowly when the free register list is the
+        // binding resource), so the first interval-worth of work after
+        // warmup is discarded as settling and the measurement averages
+        // the following sub-intervals — no convergence test, because
+        // stopping "when two subs agree" preferentially stops on
+        // plateaus of oscillating kernels and biases the sample.
+        constexpr int measureSubs = 3;
+        // Sub-interval targets never cross the work cap: a capped run
+        // must estimate the capped run, not work beyond it.
+        auto boundedTarget = [&]() {
+            std::uint64_t cap = out.totalWork - out.ffWork;
+            return std::min(stats_.committedWork + sp.interval, cap);
+        };
+        runDetailedUntil(boundedTarget());
+        CoreStats delta;
+        for (int s = 0; s < measureSubs && !oracleDone; ++s) {
+            if (stats_.committedWork >= out.totalWork - out.ffWork)
+                break;
+            CoreStats b = stats_;
+            runDetailedUntil(boundedTarget());
+            delta += stats_ - b;
+        }
+        if (delta.committedWork && delta.cycles) {
+            ClusterAgg &a = agg[ch->cluster];
+            a.meas += delta;
+            lastIpc = static_cast<double>(delta.committedWork) /
+                static_cast<double>(delta.cycles);
+            a.ipcs.push_back(lastIpc);
+            if (getenv("MG_SAMPLE_DEBUG"))
+                fprintf(stderr, "iv pos=%llu emuPos=%llu cl=%u w=%llu c=%llu ipc=%.3f regFree=%d\n",
+                        (unsigned long long)ch->start,
+                        (unsigned long long)emu.dynWork(),
+                        ch->cluster,
+                        (unsigned long long)delta.committedWork,
+                        (unsigned long long)delta.cycles, lastIpc,
+                        regs.freeCount());
+        }
+        drainPipeline();
+    }
+
+    // Exact prefix plus per-cluster ratio extrapolation. Clusters that
+    // went unmeasured (halt mid-plan, work cap) fall back to the
+    // pooled rates of everything that was measured.
+    CoreStats pooled;
+    std::uint32_t intervals = 0;
+    for (const ClusterAgg &a : agg) {
+        pooled += a.meas;
+        intervals += static_cast<std::uint32_t>(a.ipcs.size());
+    }
+    out.measuredWork = cold.committedWork + pooled.committedWork;
+    out.measuredCycles = cold.cycles + pooled.cycles;
+    out.detailedWork = stats_.committedWork;
+    out.intervals = intervals + 1;
+
+    if (out.totalWork <= cold.committedWork) {
+        out.est = cold;           // the prefix covered the whole run
+        out.exact = true;
+        out.ipcHat = out.est.ipc();
+        return out;
+    }
+    if (pooled.committedWork == 0 || pooled.cycles == 0) {
+        // Nothing sampled beyond the prefix: extrapolate from it.
+        out.est = cold.scaled(static_cast<double>(out.totalWork) /
+                              static_cast<double>(cold.committedWork));
+        out.est.committedWork = out.totalWork;
+        out.ipcHat = out.est.ipc();
+        return out;
+    }
+
+    out.est = cold;
+    std::uint64_t fallbackWork = 0;
+    for (const ClusterAgg &a : agg) {
+        if (!a.work)
+            continue;
+        if (!a.meas.committedWork) {
+            fallbackWork += a.work;
+            continue;
+        }
+        out.est += a.meas.scaled(static_cast<double>(a.work) /
+                                 static_cast<double>(
+                                     a.meas.committedWork));
+    }
+    if (fallbackWork)
+        out.est += pooled.scaled(static_cast<double>(fallbackWork) /
+                                 static_cast<double>(
+                                     pooled.committedWork));
+    out.est.committedWork = out.totalWork;   // known, not estimated
+    out.ipcHat = out.est.ipc();
+
+    // Error bound: within-cluster spread of the repeated measurements,
+    // weighted by each cluster's share of the estimated cycles (the
+    // exact prefix contributes none).
+    double var = 0;
+    double estCycles =
+        static_cast<double>(out.est.cycles ? out.est.cycles : 1);
+    for (const ClusterAgg &a : agg) {
+        if (a.ipcs.size() < 2 || !a.meas.committedWork)
+            continue;
+        double rel = a.relCi();
+        double share = static_cast<double>(a.work) /
+            static_cast<double>(a.meas.committedWork) *
+            static_cast<double>(a.meas.cycles) / estCycles;
+        var += (rel * share) * (rel * share);
+    }
+    out.ipcRelCi95 = std::sqrt(var);
+    return out;
 }
 
 } // namespace mg

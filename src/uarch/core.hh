@@ -22,6 +22,7 @@
 #ifndef MG_UARCH_CORE_HH
 #define MG_UARCH_CORE_HH
 
+#include <cmath>
 #include <deque>
 #include <memory>
 #include <unordered_map>
@@ -37,6 +38,7 @@
 #include "uarch/regfile.hh"
 #include "uarch/rename.hh"
 #include "uarch/rob.hh"
+#include "uarch/sampling.hh"
 #include "uarch/sequencer.hh"
 #include "uarch/sliding_window.hh"
 #include "uarch/store_sets.hh"
@@ -92,6 +94,15 @@ struct CoreConfig
     }
 };
 
+/** Every CoreStats counter, for the delta/scale arithmetic the
+ *  sampled-measurement bookkeeping needs. */
+#define MG_CORE_STATS_COUNTERS(X)                                        \
+    X(cycles) X(committedSlots) X(committedWork) X(committedHandles)     \
+    X(fetchedSlots) X(branches) X(mispredicts) X(misfetches)             \
+    X(loadReplays) X(handleReplays) X(ordViolations) X(squashedSlots)    \
+    X(icacheMisses) X(dcacheMisses) X(iqFullStalls) X(robFullStalls)     \
+    X(regFullStalls) X(lsqFullStalls) X(intMemIssueConflicts)
+
 /** End-of-run statistics. */
 struct CoreStats
 {
@@ -136,6 +147,66 @@ struct CoreStats
                   static_cast<double>(committedWork)
             : 0.0;
     }
+
+    /** Counter-wise accumulation (sampled-interval aggregation). */
+    CoreStats &
+    operator+=(const CoreStats &o)
+    {
+#define MG_ADD(f) f += o.f;
+        MG_CORE_STATS_COUNTERS(MG_ADD)
+#undef MG_ADD
+        return *this;
+    }
+
+    /** Counter-wise delta against an earlier snapshot of this run. */
+    CoreStats
+    operator-(const CoreStats &o) const
+    {
+        CoreStats d;
+#define MG_SUB(f) d.f = f - o.f;
+        MG_CORE_STATS_COUNTERS(MG_SUB)
+#undef MG_SUB
+        return d;
+    }
+
+    /** Counter-wise scaling (sampled-run extrapolation). */
+    CoreStats
+    scaled(double factor) const
+    {
+        CoreStats s;
+#define MG_SCALE(f)                                                      \
+    s.f = static_cast<std::uint64_t>(                                    \
+        std::llround(static_cast<double>(f) * factor));
+        MG_CORE_STATS_COUNTERS(MG_SCALE)
+#undef MG_SCALE
+        return s;
+    }
+};
+
+/**
+ * Result of a sampled run: whole-run statistics extrapolated from the
+ * measured intervals, plus the error-bound bookkeeping. @c est scales
+ * every event counter by totalWork / measuredWork (committedWork is
+ * pinned to the known totalWork), so downstream consumers — speedup
+ * tables, JSON reports — read it exactly like a full run's CoreStats.
+ */
+struct SampledStats
+{
+    CoreStats est;                      ///< extrapolated full-run stats
+    std::uint64_t totalWork = 0;        ///< functional whole-run work
+    std::uint64_t prefixWork = 0;       ///< exactly-measured cold work
+    std::uint64_t measuredWork = 0;     ///< work inside measurements
+                                        ///< (cold prefix included)
+    std::uint64_t measuredCycles = 0;   ///< cycles inside measurements
+    std::uint64_t detailedWork = 0;     ///< all cycle-accurate work
+                                        ///< (measure + warmup + drain)
+    std::uint64_t ffWork = 0;           ///< work fast-forwarded
+    std::uint32_t intervals = 0;        ///< measurement intervals taken
+    double ipcHat = 0;                  ///< ratio-estimator IPC
+    double ipcRelCi95 = 0;              ///< 95% CI half-width / mean of
+                                        ///< per-interval IPC
+    bool exact = false;                 ///< degenerated to a full run;
+                                        ///< est is bit-exact
 };
 
 /** The core. */
@@ -155,8 +226,43 @@ class Core
      */
     CoreStats run(std::uint64_t maxWork = ~0ull);
 
+    /**
+     * Sampled run (see uarch/sampling.hh for the interval scheme).
+     * @p sum supplies the extrapolation denominator and the grid
+     * checkpoints fast-forwards jump through; an empty checkpoint list
+     * is legal (every fast-forward then steps functionally).
+     * Degenerate parameters reproduce run() bit-exactly.
+     */
+    SampledStats runSampled(const SamplingParams &sp,
+                            const SampleSummary &sum,
+                            std::uint64_t maxWork = ~0ull);
+
+    /**
+     * Functionally execute the oracle until its constituent work
+     * reaches @p workTarget (or it halts). The pipeline must be empty.
+     * With @p warm, fetched lines touch the I-cache, memory accesses
+     * touch the D-cache hierarchy, and control ops train the branch
+     * predictor — functional warming. With @p ipcEst > 0 the core
+     * clock advances virtually at that rate and warming runs through
+     * the *timed* hierarchy paths, so bus queueing (the dominant
+     * cold-phase effect) keeps evolving across the gap; with 0 the
+     * clock freezes and warming is tag-only. Contributes nothing to
+     * stats() either way.
+     */
+    void fastForward(std::uint64_t workTarget, bool warm,
+                     double ipcEst = 0);
+
+    /**
+     * Jump the oracle to @p c (forward, pipeline empty): the
+     * checkpoint-restore fast path of a sampled run.
+     */
+    void restoreOracle(const EmuCheckpoint &c);
+
     /** Access the oracle (for architectural state checks in tests). */
     Emulator &oracle() { return emu; }
+
+    /** Free physical registers (rename-resource checks in tests). */
+    int regFreeCount() const { return regs.freeCount(); }
 
     const CoreStats &stats() const { return stats_; }
 
@@ -185,6 +291,7 @@ class Core
     // Oracle stream with squash-replay support.
     std::deque<std::unique_ptr<DynInst>> replayQueue;
     bool oracleDone = false;
+    bool draining = false;   ///< stop pulling new oracle slots
 
     // Fetch state.
     std::deque<std::unique_ptr<DynInst>> fetchQueue;
@@ -205,6 +312,13 @@ class Core
     void doIssue();
     void doDispatch();
     void doFetch();
+
+    // --- run-loop plumbing ---
+    void stepCycle();
+    void runDetailedUntil(std::uint64_t targetWork);
+    void drainPipeline();
+    bool pipelineEmpty() const;
+    void warmControl(const Instruction &in, const ExecRecord &rec);
 
     // --- helpers ---
     std::unique_ptr<DynInst> pullOracle();

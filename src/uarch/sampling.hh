@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Sampled-simulation parameters and the functional pre-pass summary.
+ *
+ * A sampled run measures a set of cycle-accurate intervals and
+ * extrapolates whole-run statistics. Placement is phase-driven
+ * (SimPoint-style): the functional pre-pass splits the run into
+ * @c period -work chunks, fingerprints each with a PC-histogram
+ * signature, clusters equal-phase chunks, and captures an
+ * EmuCheckpoint ahead of the chunks a sampled run may measure.
+ * The timing run then
+ *
+ *   1. measures the cold prefix exactly (cold caches, bus backlog,
+ *      and queue fill-up are real but unrepresentative; extrapolating
+ *      them is the dominant error source for short programs),
+ *   2. fast-forwards chunk to chunk — checkpoint jump, then @c ffWarm
+ *      work of functional warming (I-cache, D-cache/L2, branch
+ *      predictor all trained; the clock advances virtually at the
+ *      last measured IPC so bus queueing keeps evolving), then
+ *      @c warmup work cycle-accurate to restore queue back-pressure,
+ *   3. measures quantile-spread occurrences of every cluster —
+ *      settling for one @c interval, then averaging three — and keeps
+ *      sampling clusters whose error bound has not converged, within
+ *      the @c maxDuty budget, and
+ *   4. scales each cluster's measured rates by the cluster's total
+ *      work — plus the exact prefix — into whole-run estimates with a
+ *      within-cluster 95% confidence bound.
+ *
+ * Runs shorter than a few periods degrade to exact full simulation.
+ * The MGT itself is a static, read-only table and needs no warming;
+ * the emulator's block profile (which drives MGT selection) keeps
+ * accumulating through fast-forward because profiling is part of
+ * functional execution.
+ */
+
+#ifndef MG_UARCH_SAMPLING_HH
+#define MG_UARCH_SAMPLING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "emu/emulator.hh"
+
+namespace mg {
+
+/** Knobs of one sampled run (all lengths in constituent work units). */
+struct SamplingParams
+{
+    bool enabled = false;
+    std::uint64_t interval = 1000;  ///< detailed work measured per period
+    std::uint64_t period = 12000;   ///< work between measurement starts
+    std::uint64_t warmup = 2000;    ///< detailed pre-measurement work
+    std::uint64_t ffWarm = 2000;    ///< functionally-warmed fast-forward
+                                    ///< tail before each warmup
+    std::uint64_t prefix = 0;       ///< exactly-measured cold prefix
+                                    ///< (0 = one period): the startup
+                                    ///< transient never extrapolates
+    double targetCi = 0.01;         ///< keep sampling a cluster while
+                                    ///< its weighted 95% CI share
+                                    ///< exceeds this (0 = fixed two
+                                    ///< samples per cluster)
+    double maxDuty = 0.50;          ///< cap on the cycle-accurate
+                                    ///< share of the run (coverage
+                                    ///< beyond one sample per cluster
+                                    ///< stops at this spend)
+
+    /** Detailed + functionally-warmed work per period. */
+    std::uint64_t
+    dutyWork() const
+    {
+        return interval + warmup + ffWarm;
+    }
+
+    /** Chunks measured exactly at the start (prefix rounded up). */
+    std::uint64_t
+    prefixChunks() const
+    {
+        return prefix ? (prefix + period - 1) / period : 1;
+    }
+
+    /** Exactly-measured startup work. */
+    std::uint64_t
+    coldPrefixWork() const
+    {
+        return prefixChunks() * period;
+    }
+
+    /**
+     * Work position where the fast-forward toward chunk @p k may stop
+     * jumping and must start warming (the checkpoint position the
+     * functional pre-pass captures for a measured chunk @p k).
+     */
+    std::uint64_t
+    jumpTarget(std::uint64_t k) const
+    {
+        std::uint64_t start = k * period;
+        std::uint64_t lead = warmup + ffWarm;
+        return start > lead ? start - lead : 0;
+    }
+
+    /** Sampling degenerates to a full detailed run. */
+    bool
+    degenerate() const
+    {
+        return !enabled || period <= interval + warmup;
+    }
+
+    bool operator==(const SamplingParams &) const = default;
+};
+
+/** PC-signature sketch width for phase clustering. */
+constexpr int sampleSigDims = 64;
+
+/** Normalized-L1 distance above which two chunks are distinct phases. */
+constexpr double sampleClusterTheta = 0.25;
+
+/** One period-sized region of the functional execution. */
+struct SampleChunk
+{
+    std::uint64_t start = 0;     ///< work position of the chunk start
+    std::uint64_t work = 0;      ///< actual work (last chunk: partial)
+    std::uint32_t cluster = 0;   ///< phase cluster id
+};
+
+/**
+ * Config-independent functional summary of one (program, inputs) pair:
+ * the total dynamic work (the extrapolation denominator), the phase
+ * clustering of its period-grid chunks, and checkpoints ahead of the
+ * chunks a sampled run measures (the first two post-prefix chunks of
+ * each cluster). Computed once per binary by collectSampleSummary()
+ * and shared by every machine configuration running that binary.
+ */
+struct SampleSummary
+{
+    std::uint64_t totalWork = 0;
+    std::uint64_t totalSlots = 0;
+    std::uint32_t clusters = 0;
+    std::vector<SampleChunk> chunks;    ///< ascending start positions
+    std::vector<EmuCheckpoint> ckpts;   ///< ascending work positions
+};
+
+} // namespace mg
+
+#endif // MG_UARCH_SAMPLING_HH

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Sampled simulation: checkpoint fidelity, the degenerate-parameter
+ * bit-identity contract, the stated accuracy bound on the tier-1
+ * kernel set, the speed proxy (detailed-work fraction), and the
+ * engine's cross-config summary sharing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "engine/engine.hh"
+#include "workloads/suites.hh"
+
+using namespace mg;
+
+namespace {
+
+/** Default sampled configuration derived from @p cfg. */
+SimConfig
+sampled(SimConfig cfg)
+{
+    cfg.sampling.enabled = true;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Sampling, CheckpointRoundTrip)
+{
+    BoundKernel bk = bindKernel(findKernel("crc"));
+
+    Emulator a(*bk.program);
+    bk.kernel->setup(a, 0);
+    while (!a.halted() && a.dynInsns() < 5000)
+        a.step();
+    EmuCheckpoint c = a.checkpoint();
+    EXPECT_EQ(c.slots, 5000u);
+
+    EmuResult endA = a.run();
+
+    Emulator b(*bk.program);
+    bk.kernel->setup(b, 0);
+    b.restore(c);
+    EXPECT_EQ(b.dynInsns(), 5000u);
+    EmuResult endB = b.run();
+
+    EXPECT_EQ(endA.dynInsns, endB.dynInsns);
+    EXPECT_EQ(endA.dynWork, endB.dynWork);
+    EXPECT_EQ(a.pc(), b.pc());
+    for (RegId r = 0; r < numArchRegs; ++r)
+        EXPECT_EQ(a.reg(r), b.reg(r)) << "register " << int(r);
+}
+
+TEST(Sampling, WholeProgramIntervalBitIdentical)
+{
+    // An interval covering the whole program leaves no room to
+    // fast-forward: runSampled must degenerate to the plain detailed
+    // run, bit for bit.
+    for (const char *name : {"crc", "adpcm.enc"}) {
+        BoundKernel bk = bindKernel(findKernel(name));
+        for (SimConfig cfg :
+             {SimConfig::baseline(), SimConfig::intMemMg()}) {
+            ExperimentEngine eng(1);
+            EngineWorkload w = workload(bk);
+            CoreStats full = eng.cell(w, cfg);
+
+            SimConfig sc = sampled(cfg);
+            sc.sampling.interval = 1ull << 40;
+            SampledStats ss = eng.cellSampled(w, sc);
+            EXPECT_TRUE(ss.exact) << name;
+            EXPECT_EQ(ss.est, full) << name << "/" << cfg.name;
+        }
+    }
+}
+
+TEST(Sampling, TierOneIpcWithinStatedBound)
+{
+    // Stated bound for the default sampled configuration on the
+    // tier-1 kernels: every kernel's IPC within 15% of the full run
+    // (the outliers carry a matching 95% CI in SampledStats), at
+    // most a third of the cells beyond 2%, and the median under 2%.
+    ExperimentEngine eng(0);
+    std::vector<double> errs;
+    int over2 = 0;
+    for (SimConfig cfg : {SimConfig::baseline(), SimConfig::intMemMg()}) {
+        for (const BoundKernel &bk : bindAll()) {
+            EngineWorkload w = workload(bk);
+            double full = eng.cell(w, cfg).ipc();
+            SampledStats ss = eng.cellSampled(w, sampled(cfg));
+            ASSERT_GT(full, 0.0);
+            double err = std::abs(ss.est.ipc() - full) / full;
+            EXPECT_LE(err, 0.15)
+                << bk.kernel->name << "/" << cfg.name
+                << " sampled " << ss.est.ipc() << " vs full " << full;
+            // Outliers must announce themselves via the error bound.
+            if (err > 0.05) {
+                EXPECT_LE(err, 2.5 * ss.ipcRelCi95)
+                    << bk.kernel->name << "/" << cfg.name;
+            }
+            errs.push_back(err);
+            if (err > 0.02)
+                ++over2;
+        }
+    }
+    std::sort(errs.begin(), errs.end());
+    EXPECT_LE(errs[errs.size() / 2], 0.02);
+    EXPECT_LE(over2, static_cast<int>(errs.size()) / 3);
+}
+
+TEST(Sampling, FastForwardThenRunCompletesTheProgram)
+{
+    // Clock-frozen fast-forward (the public default): the skipped work
+    // never commits, the tail runs normally, and the drained machine
+    // ends with a full free list.
+    BoundKernel bk = bindKernel(findKernel("crc"));
+    Emulator probe(*bk.program);
+    bk.kernel->setup(probe, 0);
+    std::uint64_t total = probe.run().dynWork;
+
+    Core core(*bk.program, nullptr, CoreConfig{});
+    bk.kernel->setup(core.oracle(), 0);
+    int freeAtReset = core.regFreeCount();
+    core.fastForward(total / 2, /*warm=*/true);
+    std::uint64_t skipped = core.oracle().dynWork();
+    EXPECT_GE(skipped, total / 2);
+    CoreStats tail = core.run();
+    EXPECT_EQ(skipped + tail.committedWork, total);
+    EXPECT_EQ(core.regFreeCount(), freeAtReset);
+}
+
+TEST(Sampling, FastForwardSkipsMostWork)
+{
+    // Speed proxy on a long kernel: most of the run is never simulated
+    // cycle-accurately, and several intervals were measured.
+    BoundKernel bk = bindKernel(findKernel("bitcount"));
+    ExperimentEngine eng(1);
+    EngineWorkload w = workload(bk);
+    SampledStats ss = eng.cellSampled(w, sampled(SimConfig::baseline()));
+    EXPECT_FALSE(ss.exact);
+    EXPECT_GT(ss.ffWork, ss.totalWork / 3);
+    EXPECT_LE(ss.detailedWork, (2 * ss.totalWork) / 3);
+    EXPECT_GE(ss.intervals, 3u);
+    EXPECT_EQ(ss.est.committedWork, ss.totalWork);
+}
+
+TEST(Sampling, SummarySharedAcrossConfigs)
+{
+    // The functional summary depends on the binary, not the machine:
+    // two different core configurations running the same program must
+    // share one summary artifact (and its checkpoints).
+    BoundKernel bk = bindKernel(findKernel("bitcount"));
+    ExperimentEngine eng(1);
+    EngineWorkload w = workload(bk);
+
+    SimConfig a = sampled(SimConfig::baseline());
+    SimConfig b = a;
+    b.core.robSize = 64;
+    eng.cellSampled(w, a);
+    eng.cellSampled(w, b);
+
+    EngineCounters c = eng.counters();
+    EXPECT_EQ(c.summaryComputes, 1u);
+    EXPECT_EQ(c.summaryHits, 1u);
+    EXPECT_EQ(c.sampledComputes, 2u);
+}
+
+TEST(Sampling, SweepReportsSamplingMetadata)
+{
+    BoundKernel bk = bindKernel(findKernel("bitcount"));
+    SweepSpec spec;
+    spec.title = "sampling metadata";
+    spec.workloads = {workload(bk)};
+    spec.columns.push_back({"base", SimConfig::baseline(), true});
+    spec.columns.push_back(
+        {"base-sampled", sampled(SimConfig::baseline()), true});
+    spec.baselineColumn = 0;
+
+    ExperimentEngine eng(1);
+    SweepResult r = eng.sweep(spec);
+    EXPECT_FALSE(r.at(0, 0).sampledRun);
+    EXPECT_TRUE(r.at(0, 1).sampledRun);
+
+    std::string json = sweepJson(r, "sampling_meta");
+    EXPECT_NE(json.find("\"sampled\": true"), std::string::npos);
+    EXPECT_NE(json.find("\"ipc_ci95_rel\""), std::string::npos);
+}
