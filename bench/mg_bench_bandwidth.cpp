@@ -82,6 +82,8 @@ main(int argc, char **argv)
     cli.applySampling(spec);
     SweepResult r = engine.sweep(spec);
     printf("%s\n", sweepTable(r).c_str());
+    printf("%s\n", throughputTable(r).c_str());
+    cli.applyReporting(r);
     std::string json = writeSweepJson(r, "bandwidth", cli.jsonPath);
     if (!json.empty())
         printf("wrote %s\n", json.c_str());

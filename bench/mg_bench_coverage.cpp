@@ -244,6 +244,7 @@ main(int argc, char **argv)
         SweepResult intMem =
             appSpecific(engine, true, "integer-memory");
         domainSpecific(engine);
+        cli.applyReporting(intMem);
         std::string json = writeSweepJson(intMem, "coverage",
                                           cli.jsonPath);
         if (!json.empty())

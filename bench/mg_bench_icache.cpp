@@ -84,6 +84,8 @@ main(int argc, char **argv)
     printf("%s\n",
            reportSpeedups(spec.title, names, rows, {"text-ratio"})
                .c_str());
+    printf("%s\n", throughputTable(r).c_str());
+    cli.applyReporting(r);
     std::string json = writeSweepJson(r, "icache", cli.jsonPath);
     if (!json.empty())
         printf("wrote %s\n", json.c_str());

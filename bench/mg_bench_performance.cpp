@@ -43,6 +43,8 @@ main(int argc, char **argv)
            reportSpeedups(spec.title, speedupColumns(r), rows,
                           {"covg(int-mem)"})
                .c_str());
+    printf("%s\n", throughputTable(r).c_str());
+    cli.applyReporting(r);
     std::string json = writeSweepJson(r, "performance", cli.jsonPath);
     if (!json.empty())
         printf("wrote %s\n", json.c_str());

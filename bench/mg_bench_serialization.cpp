@@ -79,6 +79,8 @@ main(int argc, char **argv)
         printf("Best-of-policies gmean over all benchmarks: %.3f\n",
                gmean(bests));
     }
+    printf("%s\n", throughputTable(r).c_str());
+    cli.applyReporting(r);
     std::string json = writeSweepJson(r, "serialization", cli.jsonPath);
     if (!json.empty())
         printf("wrote %s\n", json.c_str());

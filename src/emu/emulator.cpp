@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/logging.hh"
+#include "mg/minigraph.hh"
 
 namespace mg {
 
@@ -64,34 +65,59 @@ branchTaken(Op op, std::uint64_t v)
 
 Emulator::Emulator(const Program &p, const MgTable *t) : prog(p), mgt(t)
 {
-    computeBlockStarts();
+    predecode();
     reset();
 }
 
 void
-Emulator::computeBlockStarts()
+Emulator::predecode()
 {
-    // Leaders mirror Cfg's rule so profiles line up with CFG blocks.
+    // One pass over the text: classify every slot once instead of
+    // re-deriving class and access width on each dynamic execution.
+    // Block leaders mirror Cfg's rule so profiles line up with CFG
+    // blocks.
     const auto n = static_cast<InsnIdx>(prog.text.size());
-    blockStart.assign(n, false);
+    dec.assign(n, Predecoded{InsnClass::Nop, 0, false, false});
     if (n == 0)
         return;
-    blockStart[0] = true;
+    for (InsnIdx i = 0; i < n; ++i) {
+        const Instruction &in = prog.text[i];
+        dec[i].cls = in.cls();
+        dec[i].padNop = in.isNop();
+        if (in.isMem())
+            dec[i].memBytes = static_cast<std::uint8_t>(memBytes(in.op));
+    }
+    dec[0].blockStart = true;
     if (prog.validPc(prog.entry))
-        blockStart[prog.indexOf(prog.entry)] = true;
+        dec[prog.indexOf(prog.entry)].blockStart = true;
     for (InsnIdx i = 0; i < n; ++i) {
         const Instruction &in = prog.text[i];
         if (in.isControl()) {
-            if (in.cls() == InsnClass::CondBranch ||
-                in.cls() == InsnClass::UncondBranch) {
+            if (dec[i].cls == InsnClass::CondBranch ||
+                dec[i].cls == InsnClass::UncondBranch) {
                 Addr tgt = static_cast<Addr>(in.imm);
                 if (prog.validPc(tgt))
-                    blockStart[prog.indexOf(tgt)] = true;
+                    dec[prog.indexOf(tgt)].blockStart = true;
             }
             if (i + 1 < n)
-                blockStart[i + 1] = true;
+                dec[i + 1].blockStart = true;
         } else if ((in.op == Op::HALT || in.isHandle()) && i + 1 < n) {
-            blockStart[i + 1] = true;
+            dec[i + 1].blockStart = true;
+        }
+    }
+    if (mgt) {
+        tmplKinds.resize(mgt->size());
+        for (std::size_t id = 0; id < mgt->size(); ++id) {
+            const MgTemplate &t = mgt->at(static_cast<MgId>(id));
+            auto &kinds = tmplKinds[id];
+            kinds.reserve(t.insns.size());
+            for (const TemplateInsn &ti : t.insns) {
+                kinds.push_back(isLoadOp(ti.op) ? TmplKind::Load
+                                : isStoreOp(ti.op) ? TmplKind::Store
+                                : isCondBranchOp(ti.op)
+                                    ? TmplKind::CondBranch
+                                    : TmplKind::Alu);
+            }
         }
     }
 }
@@ -111,24 +137,10 @@ Emulator::reset()
     prof = BlockProfile();
 }
 
-std::uint64_t
-Emulator::reg(RegId r) const
-{
-    if (r == regNone || isZeroReg(r))
-        return 0;
-    if (r < 0 || r >= numEmuRegs)
-        panic("register id %d out of range", r);
-    return regs[static_cast<size_t>(r)];
-}
-
 void
-Emulator::setReg(RegId r, std::uint64_t v)
+Emulator::badReg(RegId r) const
 {
-    if (r == regNone || isZeroReg(r))
-        return;
-    if (r < 0 || r >= numEmuRegs)
-        panic("register id %d out of range", r);
-    regs[static_cast<size_t>(r)] = v;
+    panic("register id %d out of range", r);
 }
 
 std::uint64_t
@@ -203,10 +215,13 @@ Emulator::execHandle(const Instruction &in, ExecRecord *rec)
         fatal("program contains handles but no MGT was supplied");
     const MgTemplate &t = mgt->at(static_cast<MgId>(in.imm));
 
-    // Atomic read of the interface inputs.
+    // Atomic read of the interface inputs. Interior values live on
+    // the stack (a template holds at most mgMaxSize instructions).
     std::uint64_t e0 = reg(in.ra);
     std::uint64_t e1 = reg(in.rb);
-    std::vector<std::uint64_t> m(t.insns.size(), 0);
+    if (t.insns.size() > static_cast<std::size_t>(mgMaxSize))
+        panic("template larger than mgMaxSize");
+    std::uint64_t m[mgMaxSize] = {};
     Addr next = pc_ + insnBytes;
     std::uint64_t outVal = 0;
     bool haveOut = false;
@@ -222,9 +237,11 @@ Emulator::execHandle(const Instruction &in, ExecRecord *rec)
         return 0;
     };
 
+    const std::vector<TmplKind> &kinds =
+        tmplKinds[static_cast<std::size_t>(in.imm)];
     for (size_t i = 0; i < t.insns.size(); ++i) {
         const TemplateInsn &ti = t.insns[i];
-        if (isLoadOp(ti.op)) {
+        if (kinds[i] == TmplKind::Load) {
             Addr a = value(ti.a, 0) + static_cast<Addr>(ti.imm);
             int bytes = memBytes(ti.op);
             std::uint64_t v = mem.read(a, bytes);
@@ -238,7 +255,7 @@ Emulator::execHandle(const Instruction &in, ExecRecord *rec)
                 rec->memBytes = bytes;
                 rec->memData = v;
             }
-        } else if (isStoreOp(ti.op)) {
+        } else if (kinds[i] == TmplKind::Store) {
             Addr a = value(ti.a, 0) + static_cast<Addr>(ti.imm);
             int bytes = memBytes(ti.op);
             std::uint64_t v = value(ti.b, 0);
@@ -250,7 +267,7 @@ Emulator::execHandle(const Instruction &in, ExecRecord *rec)
                 rec->memBytes = bytes;
                 rec->memData = v;
             }
-        } else if (isCondBranchOp(ti.op)) {
+        } else if (kinds[i] == TmplKind::CondBranch) {
             std::uint64_t v = value(ti.a, 0);
             if (branchTaken(ti.op, v)) {
                 next = pc_ + static_cast<Addr>(ti.imm);
@@ -283,25 +300,35 @@ Emulator::execHandle(const Instruction &in, ExecRecord *rec)
 bool
 Emulator::step(ExecRecord *rec)
 {
-    if (halted_)
+    if (halted_) {
+        if (rec)
+            rec->insn = nullptr;   // contract: no instruction executed
         return false;
+    }
     if (!prog.validPc(pc_))
         fatal("PC 0x%llx left the text section",
               static_cast<unsigned long long>(pc_));
-    InsnIdx idx = prog.indexOf(pc_);
-    if (blockStart[idx])
+    auto idx = static_cast<InsnIdx>((pc_ - textBase) / insnBytes);
+    const Predecoded &pd = dec[idx];
+    if (pd.blockStart)
         prof.record(idx);
     const Instruction &in = prog.text[idx];
     ++count_;
 
     if (rec) {
-        *rec = ExecRecord();
+        // Field-wise init instead of a whole-struct clear: the memory
+        // operand fields are only meaningful (and only read) when
+        // isMem is set below.
         rec->pc = pc_;
         rec->insn = &in;
+        rec->taken = false;
+        rec->padNop = pd.padNop;
+        rec->isMem = false;
+        rec->memIsStore = false;
         rec->nextPc = pc_ + insnBytes;
     }
 
-    switch (in.cls()) {
+    switch (pd.cls) {
       case InsnClass::IntAlu:
       case InsnClass::IntMult:
       case InsnClass::FpAlu:
@@ -328,7 +355,7 @@ Emulator::step(ExecRecord *rec)
       }
       case InsnClass::Load: {
           Addr a = reg(in.rb) + static_cast<Addr>(in.imm);
-          int bytes = memBytes(in.op);
+          int bytes = pd.memBytes;
           std::uint64_t v = mem.read(a, bytes);
           if (in.op == Op::LDL)
               v = sextl(v);
@@ -344,7 +371,7 @@ Emulator::step(ExecRecord *rec)
       }
       case InsnClass::Store: {
           Addr a = reg(in.rb) + static_cast<Addr>(in.imm);
-          int bytes = memBytes(in.op);
+          int bytes = pd.memBytes;
           std::uint64_t v = reg(in.ra);
           mem.write(a, v, bytes);
           if (rec) {

@@ -44,6 +44,7 @@ struct ExecRecord
     Addr nextPc = 0;
     const Instruction *insn = nullptr;
     bool taken = false;         ///< control op taken
+    bool padNop = false;        ///< architectural no-op (predecoded)
     bool isMem = false;
     bool memIsStore = false;
     Addr memAddr = 0;
@@ -114,9 +115,27 @@ class Emulator
     Addr pc() const { return pc_; }
     bool halted() const { return halted_; }
 
-    /** Architectural register value (fp regs hold raw bits). */
-    std::uint64_t reg(RegId r) const;
-    void setReg(RegId r, std::uint64_t v);
+    /** Architectural register value (fp regs hold raw bits).
+     *  (Inline: three accesses per dynamic instruction.) */
+    std::uint64_t
+    reg(RegId r) const
+    {
+        if (r == regNone || isZeroReg(r))
+            return 0;
+        if (r < 0 || r >= numEmuRegs)
+            badReg(r);
+        return regs[static_cast<size_t>(r)];
+    }
+
+    void
+    setReg(RegId r, std::uint64_t v)
+    {
+        if (r == regNone || isZeroReg(r))
+            return;
+        if (r < 0 || r >= numEmuRegs)
+            badReg(r);
+        regs[static_cast<size_t>(r)] = v;
+    }
 
     Memory &memory() { return mem; }
     const Memory &memory() const { return mem; }
@@ -137,6 +156,20 @@ class Emulator
      *  execute directly. */
     static constexpr int numEmuRegs = numArchRegs + 4;
 
+    /**
+     * Per-text-slot predecode, computed once at construction: the
+     * dispatch class, memory width, and block-leader flag that step()
+     * would otherwise re-derive from the opcode on every dynamic
+     * execution of the slot.
+     */
+    struct Predecoded
+    {
+        InsnClass cls;
+        std::uint8_t memBytes;     ///< loads/stores only
+        bool blockStart;           ///< text idx starts a basic block
+        bool padNop;               ///< Instruction::isNop()
+    };
+
     const Program &prog;
     const MgTable *mgt;
     Memory mem;
@@ -146,9 +179,14 @@ class Emulator
     std::uint64_t count_ = 0;
     std::uint64_t work_ = 0;
     BlockProfile prof;
-    std::vector<bool> blockStart;   ///< text idx starts a basic block
+    std::vector<Predecoded> dec;    ///< flat predecoded text
 
-    void computeBlockStarts();
+    /** Per-template-instruction kind, precomputed per MGT entry. */
+    enum class TmplKind : std::uint8_t { Alu, Load, Store, CondBranch };
+    std::vector<std::vector<TmplKind>> tmplKinds;   ///< by MgId
+
+    void predecode();
+    [[noreturn]] void badReg(RegId r) const;
     std::uint64_t aluOp(Op op, std::uint64_t a, std::uint64_t b) const;
     void execHandle(const Instruction &in, ExecRecord *rec);
 };

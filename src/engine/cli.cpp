@@ -63,6 +63,8 @@ parseCli(int argc, char **argv)
             opt.sampleWarmup = parseCount("--warmup", next(a, i));
         } else if (a == "--full") {
             opt.full = true;
+        } else if (a == "--no-throughput") {
+            opt.noThroughput = true;
         } else {
             opt.rest.push_back(std::move(a));
         }

@@ -30,6 +30,10 @@ struct CliOptions
     std::uint64_t samplePeriod = 0;     ///< --sample-period N (0 = 12×)
     std::uint64_t sampleWarmup = ~0ull; ///< --warmup N (~0 = default)
     bool full = false;                  ///< --full wins over sampling
+    bool noThroughput = false;  ///< --no-throughput: omit the
+                                ///< nondeterministic wall-clock fields
+                                ///< from the JSON (byte-comparable
+                                ///< reports)
     std::vector<std::string> rest;  ///< unconsumed arguments
 
     /** @return true when @p flag appears among the leftover args. */
@@ -40,6 +44,13 @@ struct CliOptions
 
     /** Apply samplingParams() to every timed column of @p spec. */
     void applySampling(SweepSpec &spec) const;
+
+    /** Apply the throughput-reporting choice to a finished sweep. */
+    void
+    applyReporting(SweepResult &r) const
+    {
+        r.emitThroughput = !noThroughput;
+    }
 };
 
 /** Parse argv; fatal() on malformed options. */

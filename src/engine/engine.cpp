@@ -1,5 +1,6 @@
 #include "engine/engine.hh"
 
+#include <chrono>
 #include <thread>
 
 #include "common/logging.hh"
@@ -7,6 +8,18 @@
 #include "engine/thread_pool.hh"
 
 namespace mg {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
 
 ExperimentEngine::ExperimentEngine(int jobs)
 {
@@ -42,12 +55,25 @@ ExperimentEngine::prepare(const EngineWorkload &w, const SimConfig &cfg)
 CoreStats
 ExperimentEngine::cell(const EngineWorkload &w, const SimConfig &cfg)
 {
+    return cellTimed(w, cfg).stats;
+}
+
+TimedStats
+ExperimentEngine::cellTimed(const EngineWorkload &w, const SimConfig &cfg)
+{
     std::string key = cellFingerprint(w.id, cfg);
-    return *runs.get(key, [&]() -> CoreStats {
-        if (!cfg.useMiniGraphs)
-            return runCell(*w.program, nullptr, cfg, w.setup);
-        auto prep = prepare(w, cfg);
-        return runCell(*w.program, prep.get(), cfg, w.setup);
+    return *runs.get(key, [&]() -> TimedStats {
+        // Artifacts are built outside the timer: wall seconds measure
+        // the cycle-accurate run itself, the simulator's hot path.
+        const PreparedMg *prep = nullptr;
+        std::shared_ptr<const PreparedMg> hold;
+        if (cfg.useMiniGraphs) {
+            hold = prepare(w, cfg);
+            prep = hold.get();
+        }
+        auto t0 = std::chrono::steady_clock::now();
+        CoreStats s = runCell(*w.program, prep, cfg, w.setup);
+        return {s, secondsSince(t0)};
     });
 }
 
@@ -83,13 +109,26 @@ ExperimentEngine::summary(const EngineWorkload &w, const SimConfig &cfg)
 SampledStats
 ExperimentEngine::cellSampled(const EngineWorkload &w, const SimConfig &cfg)
 {
+    return cellSampledTimed(w, cfg).stats;
+}
+
+TimedSampled
+ExperimentEngine::cellSampledTimed(const EngineWorkload &w,
+                                   const SimConfig &cfg)
+{
     std::string key = cellFingerprint(w.id, cfg);
-    return *sampledRuns.get(key, [&]() -> SampledStats {
+    return *sampledRuns.get(key, [&]() -> TimedSampled {
         auto sum = summary(w, cfg);
-        if (!cfg.useMiniGraphs)
-            return runCellSampled(*w.program, nullptr, cfg, w.setup, *sum);
-        auto prep = prepare(w, cfg);
-        return runCellSampled(*w.program, prep.get(), cfg, w.setup, *sum);
+        const PreparedMg *prep = nullptr;
+        std::shared_ptr<const PreparedMg> hold;
+        if (cfg.useMiniGraphs) {
+            hold = prepare(w, cfg);
+            prep = hold.get();
+        }
+        auto t0 = std::chrono::steady_clock::now();
+        SampledStats s =
+            runCellSampled(*w.program, prep, cfg, w.setup, *sum);
+        return {s, secondsSince(t0)};
     });
 }
 
@@ -107,13 +146,22 @@ ExperimentEngine::runOne(const EngineWorkload &w, const SweepColumn &col)
     }
     if (col.timing) {
         if (col.config.sampling.enabled) {
-            out.sampled = cellSampled(w, col.config);
+            TimedSampled ts = cellSampledTimed(w, col.config);
+            out.sampled = ts.stats;
             out.stats = out.sampled.est;
             out.sampledRun = true;
+            out.wallSeconds = ts.seconds;
         } else {
-            out.stats = cell(w, col.config);
+            TimedStats ts = cellTimed(w, col.config);
+            out.stats = ts.stats;
+            out.wallSeconds = ts.seconds;
         }
         out.timed = true;
+        if (out.wallSeconds > 0) {
+            out.workPerSec =
+                static_cast<double>(out.stats.committedWork) /
+                out.wallSeconds;
+        }
     }
     return out;
 }

@@ -59,6 +59,24 @@ struct SweepSpec
     int baselineColumn = -1;                 ///< speedup reference
 };
 
+/** A timing run plus the wall-clock its computation took. The seconds
+ *  are recorded once at compute time and travel with the cached
+ *  artifact, so cache hits report the cost of the original run —
+ *  which is what makes per-cell simulator throughput (committed work
+ *  per wall-second) comparable across sweeps and PRs. */
+struct TimedStats
+{
+    CoreStats stats;
+    double seconds = 0;
+};
+
+/** Sampled-run counterpart of TimedStats. */
+struct TimedSampled
+{
+    SampledStats stats;
+    double seconds = 0;
+};
+
 /** Cache effectiveness counters for one engine. */
 struct EngineCounters
 {
@@ -93,6 +111,9 @@ class ExperimentEngine
     /** End-to-end timing of one cell (cached). */
     CoreStats cell(const EngineWorkload &w, const SimConfig &cfg);
 
+    /** cell() plus the wall-clock seconds its compute took. */
+    TimedStats cellTimed(const EngineWorkload &w, const SimConfig &cfg);
+
     /**
      * Functional sample summary for the binary @p cfg executes on
      * @p w (cached). Keyed by binary + sampling grid only, so every
@@ -104,6 +125,10 @@ class ExperimentEngine
 
     /** Sampled end-to-end timing of one cell (cached). */
     SampledStats cellSampled(const EngineWorkload &w, const SimConfig &cfg);
+
+    /** cellSampled() plus the wall-clock seconds its compute took. */
+    TimedSampled cellSampledTimed(const EngineWorkload &w,
+                                  const SimConfig &cfg);
 
     /**
      * Execute the full matrix. Cells are distributed over the worker
@@ -121,9 +146,9 @@ class ExperimentEngine
     int jobs_;
     ArtifactCache<BlockProfile> profiles;
     ArtifactCache<PreparedMg> prepared;
-    ArtifactCache<CoreStats> runs;
+    ArtifactCache<TimedStats> runs;
     ArtifactCache<SampleSummary> summaries;
-    ArtifactCache<SampledStats> sampledRuns;
+    ArtifactCache<TimedSampled> sampledRuns;
 };
 
 } // namespace mg

@@ -160,20 +160,11 @@ Instruction::disasm() const
     return "?";
 }
 
-InsnIdx
-Program::indexOf(Addr pc) const
+void
+Program::badPc(Addr pc) const
 {
-    if (!validPc(pc))
-        panic("PC 0x%llx outside text section",
-              static_cast<unsigned long long>(pc));
-    return static_cast<InsnIdx>((pc - textBase) / insnBytes);
-}
-
-bool
-Program::validPc(Addr pc) const
-{
-    return pc >= textBase && (pc - textBase) % insnBytes == 0 &&
-           (pc - textBase) / insnBytes < text.size();
+    panic("PC 0x%llx outside text section",
+          static_cast<unsigned long long>(pc));
 }
 
 Addr

@@ -84,11 +84,23 @@ struct Program
     /** @return PC of text index @p idx. */
     static Addr pcOf(InsnIdx idx) { return textBase + idx * insnBytes; }
 
-    /** @return text index of @p pc; panics when out of range. */
-    InsnIdx indexOf(Addr pc) const;
+    /** @return text index of @p pc; panics when out of range.
+     *  (Inline: the emulator resolves every dynamic PC through it.) */
+    InsnIdx
+    indexOf(Addr pc) const
+    {
+        if (!validPc(pc))
+            badPc(pc);
+        return static_cast<InsnIdx>((pc - textBase) / insnBytes);
+    }
 
     /** @return true iff @p pc addresses a text slot. */
-    bool validPc(Addr pc) const;
+    bool
+    validPc(Addr pc) const
+    {
+        return pc >= textBase && (pc - textBase) % insnBytes == 0 &&
+               (pc - textBase) / insnBytes < text.size();
+    }
 
     /** @return the instruction at @p pc. */
     const Instruction &at(Addr pc) const { return text[indexOf(pc)]; }
@@ -98,6 +110,9 @@ struct Program
 
     /** Full-program disassembly listing. */
     std::string disasm() const;
+
+  private:
+    [[noreturn]] void badPc(Addr pc) const;
 };
 
 } // namespace mg

@@ -14,6 +14,17 @@ Cache::Cache(const CacheGeometry &g, std::string name)
     if (geom.numSets() == 0)
         fatal("cache %s has zero sets", name_.c_str());
     lines.resize(static_cast<size_t>(geom.numSets()) * geom.assoc);
+
+    std::uint32_t sets = geom.numSets();
+    if ((geom.lineBytes & (geom.lineBytes - 1)) == 0 &&
+        (sets & (sets - 1)) == 0) {
+        pow2 = true;
+        while ((1u << lineShift) < geom.lineBytes)
+            ++lineShift;
+        while ((1u << setShift) < sets)
+            ++setShift;
+        setMask = sets - 1;
+    }
 }
 
 CacheResult

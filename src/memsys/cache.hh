@@ -89,12 +89,33 @@ class Cache
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
 
-    Addr lineAddr(Addr addr) const { return addr / geom.lineBytes; }
-    std::uint32_t setOf(Addr addr) const
+    // Shift/mask fast path for power-of-two geometries (every access
+    // indexes the array; runtime divisions dominate the probe cost
+    // otherwise). Non-power-of-two configs fall back to div/mod with
+    // identical results.
+    bool pow2 = false;
+    int lineShift = 0;
+    int setShift = 0;
+    Addr setMask = 0;
+
+    Addr
+    lineAddr(Addr addr) const
     {
-        return static_cast<std::uint32_t>(lineAddr(addr) % geom.numSets());
+        return pow2 ? addr >> lineShift : addr / geom.lineBytes;
     }
-    Addr tagOf(Addr addr) const { return lineAddr(addr) / geom.numSets(); }
+    std::uint32_t
+    setOf(Addr addr) const
+    {
+        return pow2 ? static_cast<std::uint32_t>(lineAddr(addr) & setMask)
+                    : static_cast<std::uint32_t>(lineAddr(addr) %
+                                                 geom.numSets());
+    }
+    Addr
+    tagOf(Addr addr) const
+    {
+        return pow2 ? lineAddr(addr) >> setShift
+                    : lineAddr(addr) / geom.numSets();
+    }
 };
 
 } // namespace mg

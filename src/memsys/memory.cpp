@@ -15,18 +15,30 @@ Memory::copyPages(const Memory &other)
 const Memory::Page *
 Memory::findPage(Addr addr) const
 {
-    auto it = pages.find(addr / pageBytes);
-    return it == pages.end() ? nullptr : it->second.get();
+    Addr idx = addr / pageBytes;
+    if (idx == cachedIdx)
+        return cachedPage;
+    auto it = pages.find(idx);
+    if (it == pages.end())
+        return nullptr;
+    cachedIdx = idx;
+    cachedPage = it->second.get();
+    return cachedPage;
 }
 
 Memory::Page &
 Memory::getPage(Addr addr)
 {
-    auto &slot = pages[addr / pageBytes];
+    Addr idx = addr / pageBytes;
+    if (idx == cachedIdx)
+        return *cachedPage;
+    auto &slot = pages[idx];
     if (!slot) {
         slot = std::make_unique<Page>();
         slot->fill(0);
     }
+    cachedIdx = idx;
+    cachedPage = slot.get();
     return *slot;
 }
 
@@ -48,6 +60,18 @@ Memory::read(Addr addr, int bytes) const
 {
     if (bytes != 1 && bytes != 2 && bytes != 4 && bytes != 8)
         panic("bad access size %d", bytes);
+    Addr off = addr % pageBytes;
+    if (off + static_cast<Addr>(bytes) <= pageBytes) {
+        // Within one page: resolve it once.
+        const Page *p = findPage(addr);
+        if (!p)
+            return 0;
+        std::uint64_t v = 0;
+        for (int i = 0; i < bytes; ++i)
+            v |= static_cast<std::uint64_t>((*p)[off + static_cast<Addr>(i)])
+                << (8 * i);
+        return v;
+    }
     std::uint64_t v = 0;
     for (int i = 0; i < bytes; ++i)
         v |= static_cast<std::uint64_t>(readByte(addr + i)) << (8 * i);
@@ -59,6 +83,14 @@ Memory::write(Addr addr, std::uint64_t value, int bytes)
 {
     if (bytes != 1 && bytes != 2 && bytes != 4 && bytes != 8)
         panic("bad access size %d", bytes);
+    Addr off = addr % pageBytes;
+    if (off + static_cast<Addr>(bytes) <= pageBytes) {
+        Page &p = getPage(addr);
+        for (int i = 0; i < bytes; ++i)
+            p[off + static_cast<Addr>(i)] =
+                static_cast<std::uint8_t>(value >> (8 * i));
+        return;
+    }
     for (int i = 0; i < bytes; ++i)
         writeByte(addr + i, static_cast<std::uint8_t>(value >> (8 * i)));
 }

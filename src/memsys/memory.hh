@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/types.hh"
@@ -26,8 +27,21 @@ class Memory
     static constexpr Addr pageBytes = 4096;
 
     Memory() = default;
-    Memory(Memory &&) = default;
-    Memory &operator=(Memory &&) = default;
+    Memory(Memory &&other) noexcept
+        : pages(std::move(other.pages)), cachedIdx(other.cachedIdx),
+          cachedPage(other.cachedPage)
+    {
+        other.invalidateCache();
+    }
+    Memory &
+    operator=(Memory &&other) noexcept
+    {
+        pages = std::move(other.pages);
+        cachedIdx = other.cachedIdx;
+        cachedPage = other.cachedPage;
+        other.invalidateCache();
+        return *this;
+    }
     /** Deep copies (checkpoint capture/restore duplicate the image). */
     Memory(const Memory &other) { copyPages(other); }
     Memory &
@@ -35,6 +49,7 @@ class Memory
     {
         if (this != &other) {
             pages.clear();
+            invalidateCache();
             copyPages(other);
         }
         return *this;
@@ -59,11 +74,31 @@ class Memory
     std::size_t residentPages() const { return pages.size(); }
 
     /** Drop all contents. */
-    void clear() { pages.clear(); }
+    void
+    clear()
+    {
+        pages.clear();
+        invalidateCache();
+    }
 
   private:
     using Page = std::array<std::uint8_t, pageBytes>;
     std::unordered_map<Addr, std::unique_ptr<Page>> pages;
+
+    // One-entry page cache: accesses are heavily page-local, and page
+    // storage is stable (unique_ptr payloads survive rehash), so the
+    // last-touched page short-circuits the hash lookup. The cached
+    // pointer is only reused for reads; writes re-validate through
+    // getPage (which may allocate).
+    mutable Addr cachedIdx = ~Addr(0);
+    mutable Page *cachedPage = nullptr;
+
+    void
+    invalidateCache() const
+    {
+        cachedIdx = ~Addr(0);
+        cachedPage = nullptr;
+    }
 
     const Page *findPage(Addr addr) const;
     Page &getPage(Addr addr);

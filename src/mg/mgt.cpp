@@ -266,12 +266,10 @@ MgTable::add(MgTemplate t)
     return static_cast<MgId>(entries.size() - 1);
 }
 
-const MgTemplate &
-MgTable::at(MgId id) const
+void
+MgTable::badId(MgId id) const
 {
-    if (!contains(id))
-        panic("bad MGID %d", static_cast<int>(id));
-    return entries[static_cast<size_t>(id)];
+    panic("bad MGID %d", static_cast<int>(id));
 }
 
 std::string

@@ -145,7 +145,14 @@ class MgTable
     /** Add @p t (must already be finalized); @return its MGID. */
     MgId add(MgTemplate t);
 
-    const MgTemplate &at(MgId id) const;
+    /** Template for @p id (inline: one lookup per dynamic handle). */
+    const MgTemplate &
+    at(MgId id) const
+    {
+        if (!contains(id))
+            badId(id);
+        return entries[static_cast<size_t>(id)];
+    }
     std::size_t size() const { return entries.size(); }
     bool contains(MgId id) const
     {
@@ -156,6 +163,7 @@ class MgTable
     std::string str() const;
 
   private:
+    [[noreturn]] void badId(MgId id) const;
     std::vector<MgTemplate> entries;
 };
 

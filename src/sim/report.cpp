@@ -120,6 +120,44 @@ sweepTable(const SweepResult &r)
     return reportSpeedups(r.title, speedupColumns(r), benchRows(r));
 }
 
+std::string
+throughputTable(const SweepResult &r)
+{
+    TextTable t;
+    std::vector<std::string> hdr = {"suite"};
+    for (const auto &c : r.columns)
+        hdr.push_back(c + " Mw/s");
+    t.header(hdr);
+
+    // Per-suite geomean work/s per column, suites in first-seen order.
+    std::vector<std::string> suiteOrder;
+    std::map<std::string, std::vector<std::size_t>> rowsOf;
+    for (std::size_t row = 0; row < r.rows.size(); ++row) {
+        if (!rowsOf.count(r.suites[row]))
+            suiteOrder.push_back(r.suites[row]);
+        rowsOf[r.suites[row]].push_back(row);
+    }
+    double totalSec = 0;
+    for (const std::string &s : suiteOrder) {
+        std::vector<std::string> cells = {s};
+        for (std::size_t col = 0; col < r.columns.size(); ++col) {
+            std::vector<double> v;
+            for (std::size_t row : rowsOf[s]) {
+                const SweepCell &c = r.at(row, col);
+                if (c.timed && c.workPerSec > 0)
+                    v.push_back(c.workPerSec / 1e6);
+            }
+            cells.push_back(v.empty() ? "-" : fmtDouble(gmean(v), 2));
+        }
+        t.row(cells);
+    }
+    for (const SweepCell &c : r.cells)
+        totalSec += c.wallSeconds;
+    return "== simulator throughput (committed Mwork/s per cell) ==\n" +
+        t.str() +
+        strfmt("total cell compute: %.2fs\n", totalSec);
+}
+
 namespace {
 
 /** Minimal JSON string escape (names here are plain identifiers). */
@@ -186,6 +224,15 @@ sweepJson(const SweepResult &r, const std::string &bench)
                                       c.sampled.ffWork));
                     rec += ", \"ipc_ci95_rel\": " +
                            jsonNum(c.sampled.ipcRelCi95);
+                }
+                // Throughput only on request: wall-clock is
+                // nondeterministic, and default reports must stay
+                // byte-comparable run to run (and to older engines).
+                if (r.emitThroughput) {
+                    rec += ", \"wall_seconds\": " +
+                           jsonNum(c.wallSeconds);
+                    rec += ", \"work_per_sec\": " +
+                           jsonNum(c.workPerSec, 0);
                 }
             }
             rec += ", \"coverage\": " + jsonNum(c.staticCoverage);

@@ -39,6 +39,11 @@ struct SweepCell
     std::uint64_t textSlots = 0;    ///< program text size (insns)
     SampledStats sampled;           ///< error bounds etc. (sampledRun)
     bool sampledRun = false;        ///< stats were extrapolated
+    /** Simulator throughput: wall-clock of the cell's compute (cache
+     *  hits carry the original run's time) and the committed work per
+     *  wall-second it implies — the per-cell perf trajectory. */
+    double wallSeconds = 0;
+    double workPerSec = 0;
 };
 
 /**
@@ -59,6 +64,11 @@ struct SweepResult
      *  several matched base/variant groups, e.g. the icache study's
      *  full-size and 2KB halves. */
     std::vector<int> columnBaseline;
+    /** Emit per-cell wall_seconds / work_per_sec into the JSON.
+     *  Off by default so reports stay byte-comparable across runs
+     *  (wall-clock is inherently nondeterministic); the benches turn
+     *  it on unless invoked with --no-throughput. */
+    bool emitThroughput = false;
 
     const SweepCell &at(std::size_t row, std::size_t col) const;
 
@@ -82,6 +92,14 @@ std::vector<std::string> speedupColumns(const SweepResult &r);
 
 /** Render @p r through benchRows + reportSpeedups. */
 std::string sweepTable(const SweepResult &r);
+
+/**
+ * Simulator-throughput table for @p r: per-suite geometric-mean
+ * committed-work/second for each timed column plus the total
+ * wall-clock, so per-cell simulation speed is visible (and
+ * regressions diffable) in every bench run.
+ */
+std::string throughputTable(const SweepResult &r);
 
 /**
  * Machine-readable report: one JSON object with the sweep metadata and

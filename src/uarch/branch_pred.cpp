@@ -11,25 +11,30 @@ BranchPredictor::BranchPredictor(const BranchPredConfig &c) : cfg(c)
     chooser.assign(cfg.chooserEntries, 1);   // weakly prefer bimodal
     btb.assign(static_cast<size_t>(cfg.btbEntries), BtbEntry());
     ras.assign(cfg.rasEntries, 0);
+    bimodalMask = maskOf(cfg.bimodalEntries);
+    gshareMask = maskOf(cfg.gshareEntries);
+    chooserMask = maskOf(cfg.chooserEntries);
+    btbSetMask = maskOf(cfg.btbEntries / cfg.btbAssoc);
+    rasMask = maskOf(cfg.rasEntries);
 }
 
 std::uint32_t
 BranchPredictor::bimodalIdx(Addr pc) const
 {
-    return static_cast<std::uint32_t>((pc >> 2) % cfg.bimodalEntries);
+    return reduce(pc >> 2, bimodalMask, cfg.bimodalEntries);
 }
 
 std::uint32_t
 BranchPredictor::gshareIdx(Addr pc) const
 {
     std::uint64_t h = history & ((1ull << cfg.historyBits) - 1);
-    return static_cast<std::uint32_t>(((pc >> 2) ^ h) % cfg.gshareEntries);
+    return reduce((pc >> 2) ^ h, gshareMask, cfg.gshareEntries);
 }
 
 std::uint32_t
 BranchPredictor::chooserIdx(Addr pc) const
 {
-    return static_cast<std::uint32_t>((pc >> 2) % cfg.chooserEntries);
+    return reduce(pc >> 2, chooserMask, cfg.chooserEntries);
 }
 
 void
@@ -68,7 +73,7 @@ Addr
 BranchPredictor::predictTarget(Addr pc) const
 {
     std::uint32_t sets = cfg.btbEntries / cfg.btbAssoc;
-    std::uint32_t set = static_cast<std::uint32_t>((pc >> 2) % sets);
+    std::uint32_t set = reduce(pc >> 2, btbSetMask, sets);
     Addr tag = (pc >> 2) / sets;
     const BtbEntry *base = &btb[static_cast<size_t>(set) * cfg.btbAssoc];
     for (std::uint32_t w = 0; w < cfg.btbAssoc; ++w) {
@@ -83,7 +88,7 @@ BranchPredictor::updateTarget(Addr pc, Addr target)
 {
     ++btbClock;
     std::uint32_t sets = cfg.btbEntries / cfg.btbAssoc;
-    std::uint32_t set = static_cast<std::uint32_t>((pc >> 2) % sets);
+    std::uint32_t set = reduce(pc >> 2, btbSetMask, sets);
     Addr tag = (pc >> 2) / sets;
     BtbEntry *base = &btb[static_cast<size_t>(set) * cfg.btbAssoc];
     BtbEntry *victim = base;
@@ -109,7 +114,7 @@ BranchPredictor::updateTarget(Addr pc, Addr target)
 void
 BranchPredictor::pushReturn(Addr returnPc)
 {
-    ras[rasTop % cfg.rasEntries] = returnPc;
+    ras[reduce(rasTop, rasMask, cfg.rasEntries)] = returnPc;
     ++rasTop;
 }
 
@@ -119,7 +124,7 @@ BranchPredictor::popReturn()
     if (rasTop == 0)
         return 0;
     --rasTop;
-    return ras[rasTop % cfg.rasEntries];
+    return ras[reduce(rasTop, rasMask, cfg.rasEntries)];
 }
 
 } // namespace mg

@@ -88,6 +88,27 @@ class BranchPredictor
     mutable std::uint64_t lookups_ = 0;
     std::uint64_t mispredicts_ = 0;
 
+    /** Mask fast path for power-of-two table sizes (several table
+     *  probes per predicted branch; runtime mod is a division). A
+     *  mask of 0 means "not a power of two, use %". */
+    std::uint32_t bimodalMask = 0;
+    std::uint32_t gshareMask = 0;
+    std::uint32_t chooserMask = 0;
+    std::uint32_t btbSetMask = 0;
+    std::uint32_t rasMask = 0;
+
+    static std::uint32_t
+    maskOf(std::uint32_t n)
+    {
+        return (n != 0 && (n & (n - 1)) == 0) ? n - 1 : 0;
+    }
+
+    static std::uint32_t
+    reduce(std::uint64_t v, std::uint32_t mask, std::uint32_t n)
+    {
+        return static_cast<std::uint32_t>(mask ? (v & mask) : (v % n));
+    }
+
     std::uint32_t bimodalIdx(Addr pc) const;
     std::uint32_t gshareIdx(Addr pc) const;
     std::uint32_t chooserIdx(Addr pc) const;

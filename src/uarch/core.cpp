@@ -1,11 +1,24 @@
 #include "uarch/core.hh"
 
 #include <algorithm>
-#include <set>
 
 #include "common/logging.hh"
 
 namespace mg {
+
+namespace {
+
+/** Smallest power of two >= @p want (in-flight ring sizing). */
+std::size_t
+ringSize(std::size_t want)
+{
+    std::size_t s = 64;
+    while (s < want)
+        s <<= 1;
+    return s;
+}
+
+} // namespace
 
 Core::Core(const Program &p, const MgTable *t, const CoreConfig &c)
     : prog(p), mgt(t), cfg(c),
@@ -15,53 +28,118 @@ Core::Core(const Program &p, const MgTable *t, const CoreConfig &c)
       ss(c.ss),
       regs(c.physRegs, numArchRegs),
       rob(c.robSize),
-      iq(c.iqSize),
+      iq(c.iqSize, c.physRegs),
       lsq(c.lsqSize),
       fu(c.fu),
       seqs(c.sequencers),
       window(WindowResources{c.fu.intAlus, 1, c.fu.loadPorts,
-                             c.fu.storePorts, c.fu.aluPipes})
-{}
+                             c.fu.storePorts, c.fu.aluPipes}),
+      slab(static_cast<std::size_t>(c.robSize + c.fetchQueueSize) + 8),
+      replayQueue(static_cast<std::size_t>(c.robSize + c.fetchQueueSize) + 8),
+      fetchQueue(static_cast<std::size_t>(c.fetchQueueSize) + 1)
+{
+    // Live seqs span at most the ROB contents; 4x slack absorbs the
+    // seq-number churn of squash/refetch storms before a (rare,
+    // self-healing) ring growth is needed.
+    std::size_t n = ringSize(
+        4 * static_cast<std::size_t>(c.robSize + c.fetchQueueSize));
+    window_.assign(n, nullptr);
+    windowMask = n - 1;
+    std::uint32_t lb = c.mem.l1i.lineBytes;
+    if (lb != 0 && (lb & (lb - 1)) == 0) {
+        fetchLineShift = 0;
+        while ((1u << fetchLineShift) < lb)
+            ++fetchLineShift;
+    }
+    memOps.reserve(static_cast<std::size_t>(c.lsqSize));
+    pendingMem.reserve(static_cast<std::size_t>(c.lsqSize));
+    replayScratch.reserve(
+        static_cast<std::size_t>(c.robSize + c.fetchQueueSize));
+}
 
 Addr
 Core::lineOf(Addr pc) const
 {
-    return pc / cfg.mem.l1i.lineBytes;
+    return fetchLineShift >= 0 ? pc >> fetchLineShift
+                               : pc / cfg.mem.l1i.lineBytes;
 }
 
-std::unique_ptr<DynInst>
+void
+Core::windowInsert(DynInst *d)
+{
+    for (;;) {
+        DynInst *&slot = window_[d->seq & windowMask];
+        if (!slot || !slot->inWindow || slot->seq == d->seq) {
+            slot = d;
+            return;
+        }
+        // A live entry aliases this slot: double the ring and
+        // re-register the window contents (exactly the ROB), growing
+        // again if any live pair still aliases at the new size.
+        bool clean;
+        do {
+            std::size_t n = (windowMask + 1) * 2;
+            std::vector<DynInst *> bigger(n, nullptr);
+            window_.swap(bigger);
+            windowMask = n - 1;
+            clean = true;
+            for (DynInst *r : rob) {
+                DynInst *&s = window_[r->seq & windowMask];
+                if (s && s->inWindow && s->seq != r->seq) {
+                    clean = false;
+                    break;
+                }
+                s = r;
+            }
+        } while (!clean);
+    }
+}
+
+DynInst *
+Core::findInWindow(std::uint64_t seq) const
+{
+    DynInst *d = window_[seq & windowMask];
+    return (d && d->inWindow && d->seq == seq) ? d : nullptr;
+}
+
+DynInst *
 Core::pullOracle()
 {
     // Replay queue first (squash recovery), then the live oracle.
     if (!replayQueue.empty()) {
-        auto d = std::move(replayQueue.front());
+        DynInst *d = replayQueue.front();
         replayQueue.pop_front();
         return d;
     }
     if (oracleDone || draining)
         return nullptr;
+    // The oracle steps straight into the slot's record: no
+    // intermediate ExecRecord copy on the per-instruction path.
+    DynInst *d = slab.alloc();
     for (;;) {
-        ExecRecord rec;
-        bool more = emu.step(&rec);
-        if (rec.insn == nullptr) {
+        bool more = emu.step(&d->rec);
+        if (d->rec.insn == nullptr) {
             oracleDone = true;
+            slab.release(d);
             return nullptr;
         }
-        if (rec.insn->isNop()) {
+        if (d->rec.padNop) {
             // Pad nops are squashed pre-decode: they consume no slot
             // but still advance the fetch PC (their icache footprint
             // is modelled in doFetch via the line walk).
             if (!more) {
                 oracleDone = true;
+                slab.release(d);
                 return nullptr;
             }
             continue;
         }
-        auto d = std::make_unique<DynInst>();
-        d->pc = rec.pc;
-        d->insn = *rec.insn;
-        d->rec = rec;
+        d->pc = d->rec.pc;
+        d->insn = *d->rec.insn;
+        d->cls = d->insn.cls();     // classify once, at the slot's birth
         d->rec.insn = nullptr;      // records outlive emulator views
+        d->memAddr = d->rec.memAddr;    // hot copies for the LSQ scans
+        d->memBytes = d->rec.memBytes;
         if (d->insn.isHandle()) {
             d->tmpl = &mgt->at(static_cast<MgId>(d->insn.imm));
             d->work = d->tmpl->size();
@@ -70,9 +148,11 @@ Core::pullOracle()
             d->isCtrl = d->tmpl->hdr.endsInBranch;
         } else {
             d->work = 1;
-            d->isLoadKind = d->insn.isLoad();
-            d->isStoreKind = d->insn.isStore();
-            d->isCtrl = d->insn.isControl();
+            d->isLoadKind = d->cls == InsnClass::Load;
+            d->isStoreKind = d->cls == InsnClass::Store;
+            d->isCtrl = d->cls == InsnClass::CondBranch ||
+                d->cls == InsnClass::UncondBranch ||
+                d->cls == InsnClass::IndirectJump;
         }
         if (!more)
             oracleDone = true;
@@ -86,7 +166,7 @@ Core::predictControl(DynInst *d)
     ++stats_.branches;
     bool actualTaken = d->rec.taken;
     Addr actualTarget = d->rec.nextPc;
-    InsnClass cls = d->insn.cls();
+    InsnClass cls = d->cls;
     bool condLike = cls == InsnClass::CondBranch ||
         (d->isHandle() && d->tmpl->hdr.endsInBranch);
 
@@ -155,7 +235,7 @@ Core::doFetch()
     int linesTouched = 0;
     while (fetched < cfg.fetchWidth &&
            static_cast<int>(fetchQueue.size()) < cfg.fetchQueueSize) {
-        auto d = pullOracle();
+        DynInst *d = pullOracle();
         if (!d)
             return;
 
@@ -165,7 +245,7 @@ Core::doFetch()
             ++linesTouched;
             if (linesTouched > 2) {
                 // Third line this cycle: defer to next cycle.
-                replayQueue.push_front(std::move(d));
+                replayQueue.push_front(d);
                 return;
             }
             MemAccess acc = mem.instAccess(d->pc, now);
@@ -174,7 +254,7 @@ Core::doFetch()
                 ++stats_.icacheMisses;
                 fetchStalledUntil = std::max(fetchStalledUntil,
                                              acc.readyAt);
-                replayQueue.push_front(std::move(d));
+                replayQueue.push_front(d);
                 return;
             }
         }
@@ -188,15 +268,42 @@ Core::doFetch()
 
         bool taken = false;
         if (d->isCtrl) {
-            predictControl(d.get());
+            predictControl(d);
             taken = d->rec.taken;
             if (d->mispredicted)
                 fetchBlockedBySeq = d->seq;
         }
-        fetchQueue.push_back(std::move(d));
+        fetchQueue.push_back(d);
         if (taken || fetchBlockedBySeq != 0)
             return;   // taken branches end the fetch cycle
     }
+}
+
+RegId
+Core::renameDstOf(const DynInst *d) const
+{
+    // Class-driven mirror of Instruction::dst()/writesReg(), using the
+    // predecoded class instead of re-deriving it per lookup.
+    RegId dd;
+    switch (d->cls) {
+      case InsnClass::Handle:
+        return (d->tmpl->outIdx >= 0 && !isZeroReg(d->insn.rc))
+            ? d->insn.rc : regNone;
+      case InsnClass::IntAlu:
+      case InsnClass::IntMult:
+      case InsnClass::FpAlu:
+      case InsnClass::FpDiv:
+        dd = d->insn.rc;
+        break;
+      case InsnClass::Load:
+      case InsnClass::UncondBranch:
+      case InsnClass::IndirectJump:
+        dd = d->insn.ra;
+        break;
+      default:
+        return regNone;
+    }
+    return (dd != regNone && !isZeroReg(dd)) ? dd : regNone;
 }
 
 void
@@ -204,7 +311,7 @@ Core::doDispatch()
 {
     int moved = 0;
     while (moved < cfg.renameWidth && !fetchQueue.empty()) {
-        DynInst *d = fetchQueue.front().get();
+        DynInst *d = fetchQueue.front();
         if (d->dispatchReadyAt > now)
             break;
         if (rob.full()) {
@@ -222,24 +329,45 @@ Core::doDispatch()
 
         // Rename: two source lookups, at most one allocation. DISE's
         // dedicated registers never reach renaming (expansion is a
-        // decode-stage mechanism); reject them loudly.
-        if (d->insn.src(0) >= numArchRegs ||
-            d->insn.src(1) >= numArchRegs ||
-            d->insn.dst() >= numArchRegs)
+        // decode-stage mechanism); reject them loudly. (The raw-field
+        // guard subsumes the per-slot src()/dst() probes: unused
+        // operand fields of well-formed instructions hold regNone.)
+        if (d->insn.ra >= numArchRegs || d->insn.rb >= numArchRegs ||
+            d->insn.rc >= numArchRegs)
             fatal("DISE register reached rename at PC 0x%llx; run "
                   "expanded programs through the emulator",
                   static_cast<unsigned long long>(d->pc));
-        RegId s0, s1, dst;
-        if (d->isHandle()) {
+        // Class-driven mirror of Instruction::src(0)/src(1).
+        RegId s0 = regNone, s1 = regNone;
+        switch (d->cls) {
+          case InsnClass::IntAlu:
+          case InsnClass::IntMult:
+          case InsnClass::FpAlu:
+          case InsnClass::FpDiv:
+            s0 = d->insn.ra;
+            s1 = d->insn.useImm ? regNone : d->insn.rb;
+            break;
+          case InsnClass::Load:
+            s0 = d->insn.rb;
+            break;
+          case InsnClass::Store:
+            s0 = d->insn.rb;
+            s1 = d->insn.ra;
+            break;
+          case InsnClass::CondBranch:
+            s0 = d->insn.ra;
+            break;
+          case InsnClass::IndirectJump:
+            s0 = d->insn.rb;
+            break;
+          case InsnClass::Handle:
             s0 = d->insn.ra;
             s1 = d->insn.rb;
-            dst = (d->tmpl->outIdx >= 0 && !isZeroReg(d->insn.rc))
-                ? d->insn.rc : regNone;
-        } else {
-            s0 = d->insn.src(0);
-            s1 = d->insn.src(1);
-            dst = d->insn.writesReg() ? d->insn.dst() : regNone;
+            break;
+          default:
+            break;
         }
+        RegId dst = renameDstOf(d);
         PhysReg np = physNone;
         if (dst != regNone) {
             np = regs.alloc();
@@ -264,14 +392,16 @@ Core::doDispatch()
             d->depStoreSeq = ss.dispatchLoad(d->pc);
 
         d->dispatched = true;
+        d->inWindow = true;
         rob.push(d);
-        iq.insert(d);
+        windowInsert(d);
+        DynInst *depStore = d->depStoreSeq
+            ? findInWindow(d->depStoreSeq) : nullptr;
+        iq.insert(d, regs, depStore, now);
         if (d->isLoadKind)
             lsq.insertLoad(d);
         else if (d->isStoreKind)
             lsq.insertStore(d);
-        inflight[d->seq] = d;
-        arena.push_back(std::move(fetchQueue.front()));
         fetchQueue.pop_front();
         ++moved;
     }
@@ -282,10 +412,10 @@ Core::depStoreSatisfied(const DynInst *d) const
 {
     if (d->depStoreSeq == 0)
         return true;
-    auto it = inflight.find(d->depStoreSeq);
-    if (it == inflight.end())
+    DynInst *s = findInWindow(d->depStoreSeq);
+    if (!s)
         return true;    // store committed or squashed
-    return it->second->memDone;
+    return s->memDone;
 }
 
 int
@@ -311,12 +441,13 @@ Core::publishDest(DynInst *d, int effLat, Cycle value)
     Cycle sched = static_cast<Cycle>(
         std::max(effLat, cfg.schedulerCycles));
     regs.setTimes(d->dstPhys, d->issueAt + sched, value);
+    iq.wakeReg(d->dstPhys, regs, now);
 }
 
 bool
 Core::issueSingleton(DynInst *d)
 {
-    InsnClass cls = d->insn.cls();
+    InsnClass cls = d->cls;
     FuKind kind;
     int effLat = opLatency(d->insn.op);
     switch (cls) {
@@ -361,25 +492,26 @@ Core::issueSingleton(DynInst *d)
         return false;
     if (d->dstPhys != physNone && !fu.writePortFree(completion))
         return false;
-    if (!fu.tryIssueSingleton(slotKind))
-        return false;
+    fu.claimSingleton(slotKind);
     if (d->dstPhys != physNone)
         fu.claimWritePort(completion);
     fu.claimReadPorts(ports);
 
     d->issued = true;
     d->issueAt = now;
-    iq.remove(d);
+    iq.markIssued(d);
 
     switch (cls) {
       case InsnClass::Load:
         d->memExecAt = now + static_cast<Cycle>(cfg.regReadLat) + 1;
         publishDest(d, effLat, completion);   // optimistic (hit)
         d->completeAt = completion;           // revised on miss
+        pendingMem.push_back({d, d->seq});
         break;
       case InsnClass::Store:
         d->memExecAt = now + static_cast<Cycle>(cfg.regReadLat) + 1;
         d->completeAt = d->memExecAt;
+        pendingMem.push_back({d, d->seq});
         break;
       case InsnClass::CondBranch:
       case InsnClass::UncondBranch:
@@ -450,7 +582,7 @@ Core::issueHandle(DynInst *d)
         if (fu0Pipe)
             fu.tryIssueAluPipe(h.lat);
         else
-            fu.tryIssueSingleton(fu0);
+            fu.claimSingleton(fu0);
         seqs.tryStart(now, h.totalLat);
         window.reserve(h.fubmp, now);
         ++intMemIssuedThisCycle;
@@ -466,7 +598,7 @@ Core::issueHandle(DynInst *d)
     // bank (paper Section 4.1); model by removing at issue + totalLat.
     // We keep it in the IQ container but it no longer competes; remove
     // now and account the extra occupancy via heldUntil bookkeeping.
-    iq.remove(d);
+    iq.markIssued(d);
 
     publishDest(d, h.lat, outReady);
     d->completeAt = now + static_cast<Cycle>(cfg.regReadLat) +
@@ -478,62 +610,73 @@ Core::issueHandle(DynInst *d)
             b = t.startCycle[static_cast<size_t>(mi)];
         d->memExecAt = now + static_cast<Cycle>(cfg.regReadLat) +
             static_cast<Cycle>(b);
+        pendingMem.push_back({d, d->seq});
     }
     if (d->isCtrl)
         d->resolveAt = d->completeAt;
     return true;
 }
 
-bool
-Core::tryIssueOne(DynInst *d)
-{
-    // Both interface inputs (or both sources) must be ready: this is
-    // exactly the paper's external serialization.
-    for (PhysReg s : d->srcPhys) {
-        if (s != physNone && !regs.readyForIssue(s, now))
-            return false;
-    }
-    // Store-set ordering: loads wait for their predicted store.
-    if (d->isLoadKind && !depStoreSatisfied(d))
-        return false;
-    // Stores wait like loads do when ordered behind another store.
-    if (d->isStoreKind && d->depStoreSeq != 0 && !depStoreSatisfied(d))
-        return false;
-
-    if (d->isHandle())
-        return issueHandle(d);
-    return issueSingleton(d);
-}
-
 void
 Core::doIssue()
 {
+    // Select over the ready set only (age-ordered). Entries whose
+    // operand times moved later since their wakeup re-park quietly —
+    // exactly the entries the exhaustive scan would have skipped with
+    // no side effects — so attempted candidates, and every stat they
+    // bump, match the scan bit for bit.
+    iq.beginSelect(now);
+    intMemIssuedThisCycle = 0;
+    if (!iq.readyFirst())
+        return;   // nothing can attempt: skip the per-cycle FU setup
+
     fu.beginCycle(now);
     if (cfg.slidingWindow) {
         // FUBMP reservations made by in-flight integer-memory handles
         // claim their units in the cycle they fire.
-        for (FuKind k : {FuKind::IntAlu, FuKind::LoadPort,
-                         FuKind::StorePort, FuKind::AluPipe}) {
-            int n = window.usedAt(k, now);
-            if (n > 0)
-                fu.preClaim(k, n);
+        int res[4];
+        window.usedNow(now, res);
+        static constexpr FuKind kinds[4] = {
+            FuKind::IntAlu, FuKind::LoadPort, FuKind::StorePort,
+            FuKind::AluPipe};
+        for (int i = 0; i < 4; ++i) {
+            if (res[i] > 0)
+                fu.preClaim(kinds[i], res[i]);
         }
     }
-    intMemIssuedThisCycle = 0;
-    // Snapshot the age-ordered candidates first: issuing removes
-    // entries from the queue, which would invalidate live iterators.
-    std::vector<DynInst *> ready;
-    ready.reserve(static_cast<size_t>(iq.size()));
-    for (DynInst *d : iq) {
-        if (!d->issued && d->dispatchReadyAt <= now)
-            ready.push_back(d);
-    }
     int issued = 0;
-    for (DynInst *d : ready) {
-        if (issued >= cfg.issueWidth)
-            break;
-        if (tryIssueOne(d))
+    for (DynInst *d = iq.readyFirst();
+         d && issued < cfg.issueWidth;) {
+        DynInst *next = d->rdyNext;   // attempts unlink only d itself
+
+        // Both interface inputs (or both sources) must be ready: this
+        // is exactly the paper's external serialization.
+        bool srcsReady = true;
+        for (PhysReg s : d->srcPhys) {
+            if (s != physNone && !regs.readyForIssue(s, now)) {
+                srcsReady = false;
+                break;
+            }
+        }
+        if (!srcsReady) {
+            iq.requeueNotReady(d, regs, now);
+            d = next;
+            continue;
+        }
+        // Store-set ordering: loads (and ordered stores) wait for
+        // their predicted store.
+        if ((d->isLoadKind || d->isStoreKind) && d->depStoreSeq != 0) {
+            DynInst *st = findInWindow(d->depStoreSeq);
+            if (st && !st->memDone) {
+                iq.requeueDepWait(d, st);
+                d = next;
+                continue;
+            }
+        }
+
+        if (d->isHandle() ? issueHandle(d) : issueSingleton(d))
             ++issued;
+        d = next;
     }
 }
 
@@ -547,7 +690,7 @@ Core::executeLoad(DynInst *d)
     if (fwd) {
         dataAt = now + 1;
     } else {
-        MemAccess acc = mem.dataAccess(d->rec.memAddr, false, now);
+        MemAccess acc = mem.dataAccess(d->memAddr, false, now);
         if (!acc.l1Hit)
             ++stats_.dcacheMisses;
         dataAt = acc.readyAt;
@@ -576,6 +719,7 @@ Core::executeLoad(DynInst *d)
                     regs.setTimes(d->dstPhys,
                                   regs.readyForIssueAt(d->dstPhys) + shift,
                                   regs.valueAt(d->dstPhys) + shift);
+                    iq.rewakeReg(d->dstPhys, regs, now);
                 }
                 if (d->isCtrl)
                     d->resolveAt = d->completeAt;
@@ -588,6 +732,7 @@ Core::executeLoad(DynInst *d)
                                   dataAt -
                                       static_cast<Cycle>(cfg.regReadLat),
                                   dataAt);
+                    iq.rewakeReg(d->dstPhys, regs, now);
                 }
                 if (d->isCtrl)
                     d->resolveAt = d->completeAt;
@@ -602,16 +747,23 @@ Core::executeLoad(DynInst *d)
                 regs.setTimes(d->dstPhys,
                               dataAt - static_cast<Cycle>(cfg.regReadLat),
                               dataAt);
+                // A forwarded load completes *earlier* than published:
+                // its parked consumers must be re-parked earlier too.
+                iq.rewakeReg(d->dstPhys, regs, now);
             }
         }
     }
     d->memDone = true;
+    if (!d->depWaiters.empty())
+        iq.wakeDepStore(d, regs, now);
 }
 
 void
 Core::executeStore(DynInst *d)
 {
     d->memDone = true;
+    if (!d->depWaiters.empty())
+        iq.wakeDepStore(d, regs, now);
     // Ordering check: a younger load that already ran with an
     // overlapping address used stale data.
     DynInst *viol = lsq.violatingLoad(d);
@@ -625,22 +777,38 @@ Core::executeStore(DynInst *d)
 void
 Core::doMemAndResolve()
 {
-    // Memory operations whose address resolves this cycle. Collect
-    // first: violation squashes mutate the queues.
-    std::vector<DynInst *> memOps;
-    for (DynInst *l : lsq.loadQueue()) {
-        if (l->issued && !l->memDone && l->memExecAt <= now)
-            memOps.push_back(l);
-    }
-    for (DynInst *s : lsq.storeQueue()) {
-        if (s->issued && !s->memDone && s->memExecAt <= now)
-            memOps.push_back(s);
-    }
-    std::sort(memOps.begin(), memOps.end(),
-              [](DynInst *a, DynInst *b) { return a->seq < b->seq; });
-    for (DynInst *d : memOps) {
-        if (d->squashed)
+    // Memory operations whose address resolves this cycle, from the
+    // issued-pending list (compacting resolved and squashed entries
+    // as we go). Collect (entry, seq) first: violation squashes
+    // mutate the queues and recycle squashed entries, which a seq
+    // mismatch then reveals.
+    memOps.clear();
+    std::size_t keep = 0;
+    bool compact = false;
+    for (std::size_t i = 0; i < pendingMem.size(); ++i) {
+        const auto &[d, seq] = pendingMem[i];
+        if (d->seq != seq || d->memDone) {
+            compact = true;   // squashed / already resolved: drop
             continue;
+        }
+        if (d->memExecAt <= now)
+            memOps.push_back(pendingMem[i]);
+        if (compact)
+            pendingMem[keep] = pendingMem[i];
+        ++keep;
+    }
+    if (compact)
+        pendingMem.resize(keep);
+    if (memOps.size() > 1) {
+        std::sort(memOps.begin(), memOps.end(),
+                  [](const std::pair<DynInst *, std::uint64_t> &a,
+                     const std::pair<DynInst *, std::uint64_t> &b) {
+                      return a.second < b.second;
+                  });
+    }
+    for (const auto &[d, seq] : memOps) {
+        if (d->seq != seq)
+            continue;   // squashed (and possibly recycled) mid-loop
         if (d->isLoadKind)
             executeLoad(d);
         else
@@ -649,16 +817,13 @@ Core::doMemAndResolve()
 
     // Control resolution: unblock fetch.
     if (fetchBlockedBySeq != 0) {
-        auto it = inflight.find(fetchBlockedBySeq);
-        if (it == inflight.end()) {
+        DynInst *b = findInWindow(fetchBlockedBySeq);
+        if (!b) {
             fetchBlockedBySeq = 0;   // squashed away
-        } else {
-            DynInst *b = it->second;
-            if (b->issued && b->resolveAt <= now) {
-                fetchBlockedBySeq = 0;
-                ++stats_.mispredicts;
-                bp.countMispredict();
-            }
+        } else if (b->issued && b->resolveAt <= now) {
+            fetchBlockedBySeq = 0;
+            ++stats_.mispredicts;
+            bp.countMispredict();
         }
     }
 }
@@ -673,12 +838,12 @@ Core::retire(DynInst *d)
     if (d->isStoreKind) {
         // The retiring store (or the mini-graph's one store queue
         // entry) drains to the data cache.
-        mem.dataAccess(d->rec.memAddr, true, now);
+        mem.dataAccess(d->memAddr, true, now);
         ss.completeStore(d->pc, d->seq);
     }
     if (d->prevPhys != physNone)
         regs.free(d->prevPhys);
-    inflight.erase(d->seq);
+    d->inWindow = false;
 }
 
 void
@@ -694,18 +859,13 @@ Core::doCommit()
             break;
         retire(d);
         rob.popHead();
-        lsq.remove(d);
+        if (d->isLoadKind || d->isStoreKind)
+            lsq.remove(d);
         // Handles hold their scheduler entry until the terminal bank;
         // both paths removed the entry at issue, so nothing to do.
         ++n;
-        // Reclaim arena storage lazily.
-        while (!arena.empty() && arena.front()->seq < d->seq &&
-               arena.front()->squashed)
-            arena.pop_front();
-        while (!arena.empty() && arena.front().get() == d) {
-            arena.pop_front();
-            break;
-        }
+        // Eager reclamation: the slot is free the moment it retires.
+        slab.release(d);
     }
 }
 
@@ -713,20 +873,17 @@ void
 Core::squashFrom(std::uint64_t fromSeq)
 {
     // Remove young entries from the back of the ROB, restoring the
-    // rename map and freeing their registers; then re-feed their
-    // records to fetch via the replay queue.
+    // rename map and freeing their registers; then reset the slots in
+    // place (no copies, no allocation) and re-feed them to fetch via
+    // the replay queue.
     std::vector<DynInst *> gone = rob.squashFrom(fromSeq);
     iq.squashFrom(fromSeq);
     lsq.squashFrom(fromSeq);
 
     // Also squash not-yet-dispatched fetched slots (they are younger
-    // than anything in the ROB).
-    std::vector<std::unique_ptr<DynInst>> refetch;
-    while (!fetchQueue.empty() && fetchQueue.back()->seq >= fromSeq) {
-        refetch.push_back(std::move(fetchQueue.back()));
-        fetchQueue.pop_back();
-    }
-
+    // than anything in the ROB), youngest first.
+    replayScratch.clear();
+    std::size_t nGone = gone.size();
     for (DynInst *d : gone) {
         // Youngest first: undo rename in reverse order.
         if (d->archDst != regNone) {
@@ -734,49 +891,32 @@ Core::squashFrom(std::uint64_t fromSeq)
             if (d->dstPhys != physNone)
                 regs.free(d->dstPhys);
         }
-        d->squashed = true;
-        inflight.erase(d->seq);
+        d->inWindow = false;
+        replayScratch.push_back(d);
+        ++stats_.squashedSlots;
+    }
+    while (!fetchQueue.empty() && fetchQueue.back()->seq >= fromSeq) {
+        replayScratch.push_back(fetchQueue.back());
+        fetchQueue.pop_back();
         ++stats_.squashedSlots;
     }
 
     if (fetchBlockedBySeq >= fromSeq)
         fetchBlockedBySeq = 0;
 
-    // Rebuild replay records oldest-first at the front of the queue.
-    // `gone` is youngest-first; fetchQueue leftovers are younger than
-    // everything in `gone`... no: fetchQueue holds the youngest slots.
-    // Final order must be: gone (reversed) then refetch (reversed).
-    for (auto &u : refetch) {
-        u->squashed = true;
-        ++stats_.squashedSlots;
-    }
-    std::vector<std::unique_ptr<DynInst>> replay;
-    for (auto it = gone.rbegin(); it != gone.rend(); ++it) {
-        auto fresh = std::make_unique<DynInst>();
-        fresh->pc = (*it)->pc;
-        fresh->insn = (*it)->insn;
-        fresh->rec = (*it)->rec;
-        fresh->tmpl = (*it)->tmpl;
-        fresh->work = (*it)->work;
-        fresh->isLoadKind = (*it)->isLoadKind;
-        fresh->isStoreKind = (*it)->isStoreKind;
-        fresh->isCtrl = (*it)->isCtrl;
-        replay.push_back(std::move(fresh));
-    }
-    for (auto it = refetch.rbegin(); it != refetch.rend(); ++it) {
-        auto fresh = std::make_unique<DynInst>();
-        fresh->pc = (*it)->pc;
-        fresh->insn = (*it)->insn;
-        fresh->rec = (*it)->rec;
-        fresh->tmpl = (*it)->tmpl;
-        fresh->work = (*it)->work;
-        fresh->isLoadKind = (*it)->isLoadKind;
-        fresh->isStoreKind = (*it)->isStoreKind;
-        fresh->isCtrl = (*it)->isCtrl;
-        replay.push_back(std::move(fresh));
-    }
-    for (auto it = replay.rbegin(); it != replay.rend(); ++it)
-        replayQueue.push_front(std::move(*it));
+    // Rebuild the replay stream oldest-first at the front of the
+    // queue: the ROB entries (collected youngest-first) reversed,
+    // then the fetch-queue leftovers (youngest-first) reversed.
+    // Resetting *before* any push keeps stale references (this
+    // cycle's memOps, wakeup records) detectably dead via seq 0.
+    for (DynInst *d : replayScratch)
+        d->resetForReplay();
+    // Both groups sit youngest-first in the scratch; pushing each to
+    // the front youngest-first leaves its oldest entry frontmost.
+    for (std::size_t i = nGone; i < replayScratch.size(); ++i)
+        replayQueue.push_front(replayScratch[i]);
+    for (std::size_t i = 0; i < nGone; ++i)
+        replayQueue.push_front(replayScratch[i]);
 
     // Refetch restarts after the squash resolves (next cycle) with a
     // cold line tracker.
@@ -784,9 +924,116 @@ Core::squashFrom(std::uint64_t fromSeq)
     lastFetchLine = ~Addr(0);
 }
 
+Cycle
+Core::idleSkipTarget(std::uint64_t **stallCounter)
+{
+    *stallCounter = nullptr;
+
+    // Anything ready (or waking) in the scheduler issues or counts
+    // conflicts this cycle.
+    if (!iq.quietAt(now))
+        return 0;
+
+    Cycle next = ~Cycle(0);
+    bool have = false;
+    auto event = [&](Cycle c) {
+        if (c < next)
+            next = c;
+        have = true;
+    };
+
+    // Fetch: progress now means no skip; a pending stall is an event.
+    bool queueRoom =
+        static_cast<int>(fetchQueue.size()) < cfg.fetchQueueSize;
+    bool canPull = !replayQueue.empty() || (!oracleDone && !draining);
+    if (fetchBlockedBySeq == 0 && queueRoom && canPull) {
+        if (now >= fetchStalledUntil)
+            return 0;
+        event(fetchStalledUntil);
+    }
+
+    if (Cycle w = iq.nextWakeAt(now))
+        event(w);   // quietAt guarantees w > now
+
+    // Pending memory accesses.
+    for (const auto &[d, seq] : pendingMem) {
+        if (d->seq != seq || d->memDone)
+            continue;
+        if (d->memExecAt <= now)
+            return 0;
+        event(d->memExecAt);
+    }
+
+    // Branch resolution unblocking fetch.
+    if (fetchBlockedBySeq != 0) {
+        DynInst *b = findInWindow(fetchBlockedBySeq);
+        if (!b)
+            return 0;   // resolves by absence this cycle
+        if (b->issued) {
+            if (b->resolveAt <= now)
+                return 0;
+            event(b->resolveAt);
+        }
+        // Unissued: its wakeup (above) precedes resolution.
+    }
+
+    // Commit of the ROB head.
+    if (!rob.empty()) {
+        DynInst *h = rob.head();
+        if (h->issued) {
+            bool memPending =
+                (h->isLoadKind || h->isStoreKind) && !h->memDone;
+            if (!memPending) {
+                if (h->completeAt <= now)
+                    return 0;
+                event(h->completeAt);
+            }
+            // memPending: the LSQ scan above supplied the event.
+        }
+        // Unissued head wakes through the scheduler events.
+    }
+
+    // Dispatch: progress now means no skip; a structural stall must
+    // keep counting once per skipped cycle (nothing a skipped cycle
+    // touches can change the stall reason).
+    if (!fetchQueue.empty()) {
+        DynInst *f = fetchQueue.front();
+        if (f->dispatchReadyAt > now) {
+            event(f->dispatchReadyAt);
+        } else if (rob.full()) {
+            *stallCounter = &stats_.robFullStalls;
+        } else if (iq.full()) {
+            *stallCounter = &stats_.iqFullStalls;
+        } else if ((f->isLoadKind || f->isStoreKind) && lsq.full()) {
+            *stallCounter = &stats_.lsqFullStalls;
+        } else if (renameDstOf(f) != regNone && regs.freeCount() == 0) {
+            *stallCounter = &stats_.regFullStalls;
+        } else {
+            return 0;   // dispatch progresses now
+        }
+    }
+
+    if (!have) {
+        *stallCounter = nullptr;
+        return 0;
+    }
+    return next;
+}
+
 void
 Core::stepCycle()
 {
+    // Event-aware idle skipping: jump straight to the next cycle at
+    // which any pipeline event fires, accumulating the per-cycle
+    // dispatch-stall statistics the skipped cycles would have counted.
+    std::uint64_t *stall = nullptr;
+    Cycle target = idleSkipTarget(&stall);
+    if (target > now) {
+        if (stall)
+            *stall += target - now;
+        now = target;
+    }
+
     doMemAndResolve();
     doCommit();
     doIssue();
@@ -903,7 +1150,7 @@ Core::fastForward(std::uint64_t workTarget, bool warm, double ipcEst)
                 mem.warmInst(rec.pc);
             lastFetchLine = line;
         }
-        if (rec.insn->isNop())
+        if (rec.padNop)
             continue;
         if (rec.isMem) {
             if (ipcEst > 0)
@@ -1025,15 +1272,20 @@ Core::runSampled(const SamplingParams &sp, const SampleSummary &sum,
     // Base plan: quantile-spread occurrences of every cluster, so a
     // performance trend inside a code-identical cluster (queue
     // pressure building up, predictors still training) is sampled
-    // across its whole extent, not just at its start.
-    std::set<const SampleChunk *> base;
+    // across its whole extent, not just at its start. Membership is
+    // marked per chunk index (chunks live contiguously in sum.chunks).
+    std::vector<std::uint8_t> baseMark(sum.chunks.size(), 0);
+    auto chunkIdxOf = [&](const SampleChunk *c) {
+        return static_cast<std::size_t>(c - sum.chunks.data());
+    };
     for (const auto &o : occ) {
         std::size_t m = o.size();
         if (m <= 3) {
-            base.insert(o.begin(), o.end());
+            for (const SampleChunk *c : o)
+                baseMark[chunkIdxOf(c)] = 1;
         } else {
             for (std::size_t q : {std::size_t(0), m / 2, m - 1})
-                base.insert(o[q]);
+                baseMark[chunkIdxOf(o[q])] = 1;
         }
     }
     constexpr std::size_t maxPerCluster = 24;
@@ -1051,7 +1303,7 @@ Core::runSampled(const SamplingParams &sp, const SampleSummary &sum,
             return sp.targetCi > 0 && a.ipcs.size() < maxPerCluster &&
                 a.relCi() * share > 5 * sp.targetCi;
         }
-        if (base.count(c))
+        if (baseMark[chunkIdxOf(c)])
             return true;
         if (a.ipcs.size() < 2)
             return true;

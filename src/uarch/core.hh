@@ -24,8 +24,6 @@
 
 #include <cmath>
 #include <deque>
-#include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "emu/emulator.hh"
@@ -37,6 +35,7 @@
 #include "uarch/lsq.hh"
 #include "uarch/regfile.hh"
 #include "uarch/rename.hh"
+#include "uarch/ring.hh"
 #include "uarch/rob.hh"
 #include "uarch/sampling.hh"
 #include "uarch/sequencer.hh"
@@ -264,6 +263,13 @@ class Core
     /** Free physical registers (rename-resource checks in tests). */
     int regFreeCount() const { return regs.freeCount(); }
 
+    /** In-flight DynInst slots currently allocated from the slab. */
+    std::size_t liveInsts() const { return slab.live(); }
+
+    /** High-water mark of liveInsts() — the eager-reclamation bound
+     *  (<= ROB + fetch-queue capacity regardless of squash rate). */
+    std::size_t peakLiveInsts() const { return slab.peakLive(); }
+
     const CoreStats &stats() const { return stats_; }
 
   private:
@@ -287,24 +293,42 @@ class Core
     Cycle now = 0;
     std::uint64_t nextSeq = 1;
     CoreStats stats_;
+    int fetchLineShift = -1;    ///< log2(l1i line) when a power of two
+
+    // Allocation-free instruction lifecycle: every DynInst lives in
+    // the slab from fetch to retirement/squash; squashed slots are
+    // reset in place and re-fed through the replay queue.
+    DynInstSlab slab;
 
     // Oracle stream with squash-replay support.
-    std::deque<std::unique_ptr<DynInst>> replayQueue;
+    RingDeque<DynInst *> replayQueue;
     bool oracleDone = false;
     bool draining = false;   ///< stop pulling new oracle slots
 
     // Fetch state.
-    std::deque<std::unique_ptr<DynInst>> fetchQueue;
+    RingDeque<DynInst *> fetchQueue;
     std::uint64_t fetchBlockedBySeq = 0;  ///< unresolved mispredict
     Cycle fetchStalledUntil = 0;          ///< misfetch / icache miss
     Addr lastFetchLine = ~Addr(0);
 
-    // In-flight bookkeeping.
-    std::unordered_map<std::uint64_t, DynInst *> inflight;
-    std::deque<std::unique_ptr<DynInst>> arena;
+    // In-flight directory: a seq-indexed ring over the ROB contents
+    // (ring[seq & mask], validated by inWindow + exact seq), replacing
+    // the per-dispatch hash-map insert/erase/find.
+    std::vector<DynInst *> window_;
+    std::uint64_t windowMask = 0;
 
     // Per-cycle mini-graph issue throttle.
     int intMemIssuedThisCycle = 0;
+
+    // Reusable per-cycle scratch (hoisted out of the cycle loop).
+    std::vector<std::pair<DynInst *, std::uint64_t>> memOps;
+    std::vector<DynInst *> replayScratch;
+
+    // Issued-but-unresolved memory operations, so neither the resolve
+    // stage nor the idle-skip event scan walks the whole LSQ each
+    // cycle. Entries self-expire (seq mismatch or memDone) and are
+    // compacted in doMemAndResolve.
+    std::vector<std::pair<DynInst *, std::uint64_t>> pendingMem;
 
     // --- pipeline stages (called youngest-stage-last each cycle) ---
     void doMemAndResolve();
@@ -320,10 +344,23 @@ class Core
     bool pipelineEmpty() const;
     void warmControl(const Instruction &in, const ExecRecord &rec);
 
+    /**
+     * Event-aware idle skipping: when the coming cycle provably does
+     * nothing — nothing ready or waking in the scheduler, no memory
+     * access or commit or branch resolution due, fetch stalled or
+     * starved, dispatch blocked — return the next cycle at which any
+     * of those events fires (0 = cannot skip). @p stallCounter
+     * receives the dispatch-stall statistic the skipped cycles must
+     * still accumulate (one bump per idle cycle, as in stepping).
+     */
+    Cycle idleSkipTarget(std::uint64_t **stallCounter);
+
     // --- helpers ---
-    std::unique_ptr<DynInst> pullOracle();
+    DynInst *pullOracle();
+    void windowInsert(DynInst *d);
+    DynInst *findInWindow(std::uint64_t seq) const;
+    RegId renameDstOf(const DynInst *d) const;
     void predictControl(DynInst *d);
-    bool tryIssueOne(DynInst *d);
     bool issueHandle(DynInst *d);
     bool issueSingleton(DynInst *d);
     void publishDest(DynInst *d, int effLat, Cycle value);

@@ -125,33 +125,41 @@ FuPool::tryIssueAluPipe(int outLat)
     return false;
 }
 
-bool
-FuPool::canIssueSingleton(FuKind fu) const
+void
+FuPool::claimSingleton(FuKind fu)
 {
-    if (!issueSlotFree())
-        return false;
     switch (fu) {
       case FuKind::IntAlu:
-      case FuKind::IntMult: {
-          int intCap = cfg.intAlus + cfg.aluPipes;
-          if (intUsed >= intCap)
-              return false;
-          if (intUsed < cfg.intAlus)
-              return true;
-          for (const AluPipeline &p : pipes_) {
-              if (p.entryFree(now) && p.outputFree(now + 1))
-                  return true;
-          }
-          return false;
-      }
+      case FuKind::IntMult:
+        if (intUsed < cfg.intAlus) {
+            ++intUsed;
+            ++totalUsed;
+            return;
+        }
+        // Spill onto an ALU pipeline stage 0, as tryIssueSingleton
+        // would (the probe guaranteed one is free).
+        for (AluPipeline &p : pipes_) {
+            if (p.tryIssue(now, 1)) {
+                ++intUsed;
+                ++totalUsed;
+                return;
+            }
+        }
+        panic("claimSingleton without a successful probe");
       case FuKind::FpAlu:
-        return fpUsed < cfg.fpUnits;
+        ++fpUsed;
+        ++totalUsed;
+        return;
       case FuKind::LoadPort:
-        return loadUsed < cfg.loadPorts;
+        ++loadUsed;
+        ++totalUsed;
+        return;
       case FuKind::StorePort:
-        return storeUsed < cfg.storePorts;
+        ++storeUsed;
+        ++totalUsed;
+        return;
       default:
-        return false;
+        panic("claimSingleton: bad FU kind");
     }
 }
 
@@ -183,17 +191,6 @@ FuPool::claimReadPorts(int n)
     if (readUsed + n > cfg.regReadPorts)
         return false;
     readUsed += n;
-    return true;
-}
-
-bool
-FuPool::claimWritePort(Cycle cycle)
-{
-    slideTo(now);
-    auto s = static_cast<size_t>(cycle % window);
-    if (writeUsed[s] >= cfg.regWritePorts)
-        return false;
-    ++writeUsed[s];
     return true;
 }
 

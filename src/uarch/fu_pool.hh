@@ -62,8 +62,44 @@ class FuPool
      */
     bool tryIssueSingleton(FuKind fu);
 
-    /** Probe: would tryIssueSingleton(@p fu) succeed right now? */
-    bool canIssueSingleton(FuKind fu) const;
+    /** Probe: would tryIssueSingleton(@p fu) succeed right now?
+     *  (Inline: every select attempt probes before claiming.) */
+    bool
+    canIssueSingleton(FuKind fu) const
+    {
+        if (!issueSlotFree())
+            return false;
+        switch (fu) {
+          case FuKind::IntAlu:
+          case FuKind::IntMult: {
+              // The paper's composition limit groups all integer ops.
+              if (intUsed >= cfg.intAlus + cfg.aluPipes)
+                  return false;
+              if (intUsed < cfg.intAlus)
+                  return true;
+              for (const AluPipeline &p : pipes_) {
+                  if (p.entryFree(now) && p.outputFree(now + 1))
+                      return true;
+              }
+              return false;
+          }
+          case FuKind::FpAlu:
+            return fpUsed < cfg.fpUnits;
+          case FuKind::LoadPort:
+            return loadUsed < cfg.loadPorts;
+          case FuKind::StorePort:
+            return storeUsed < cfg.storePorts;
+          default:
+            return false;
+        }
+    }
+
+    /**
+     * Claim a singleton slot after a successful canIssueSingleton(@p
+     * fu) probe this cycle: the mutation half of tryIssueSingleton,
+     * without re-validating capacity.
+     */
+    void claimSingleton(FuKind fu);
 
     /**
      * Try to claim an ALU pipeline for a whole integer mini-graph
@@ -87,7 +123,15 @@ class FuPool
      * Claim a write port at completion cycle @p cycle (write-port
      * arbitration happens at issue using the known latency).
      */
-    bool claimWritePort(Cycle cycle);
+    bool
+    claimWritePort(Cycle cycle)
+    {
+        auto s = static_cast<std::size_t>(cycle % window);
+        if (writeUsed[s] >= cfg.regWritePorts)
+            return false;
+        ++writeUsed[s];
+        return true;
+    }
 
     const FuPoolConfig &config() const { return cfg; }
     std::vector<AluPipeline> &pipes() { return pipes_; }

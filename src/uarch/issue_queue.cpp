@@ -1,3 +1,295 @@
-// IssueQueue is header-only; this translation unit anchors the
-// component in the build.
 #include "uarch/issue_queue.hh"
+
+#include <algorithm>
+
+namespace mg {
+
+IssueQueue::IssueQueue(int capacity, int physRegs) : cap(capacity)
+{
+    regWaiters.resize(static_cast<std::size_t>(physRegs));
+    drainScratch.reserve(static_cast<std::size_t>(capacity));
+}
+
+void
+IssueQueue::linkBack(DynInst *d)
+{
+    d->iqPrev = tail;
+    d->iqNext = nullptr;
+    if (tail)
+        tail->iqNext = d;
+    else
+        head = d;
+    tail = d;
+}
+
+void
+IssueQueue::unlink(DynInst *d)
+{
+    if (d->iqPrev)
+        d->iqPrev->iqNext = d->iqNext;
+    else
+        head = d->iqNext;
+    if (d->iqNext)
+        d->iqNext->iqPrev = d->iqPrev;
+    else
+        tail = d->iqPrev;
+    d->iqPrev = d->iqNext = nullptr;
+}
+
+void
+IssueQueue::vacateReady(DynInst *d)
+{
+    if (d->iqState != IqState::Ready)
+        return;
+    if (d->rdyPrev)
+        d->rdyPrev->rdyNext = d->rdyNext;
+    else
+        readyHead = d->rdyNext;
+    if (d->rdyNext)
+        d->rdyNext->rdyPrev = d->rdyPrev;
+    else
+        readyTail = d->rdyPrev;
+    d->rdyPrev = d->rdyNext = nullptr;
+    --readyLive;
+}
+
+void
+IssueQueue::makeReady(DynInst *d)
+{
+    d->iqState = IqState::Ready;
+    // Sorted insert from the tail: wakeups are mostly youngest-first.
+    DynInst *after = readyTail;
+    while (after && after->seq > d->seq)
+        after = after->rdyPrev;
+    d->rdyPrev = after;
+    if (after) {
+        d->rdyNext = after->rdyNext;
+        after->rdyNext = d;
+    } else {
+        d->rdyNext = readyHead;
+        readyHead = d;
+    }
+    if (d->rdyNext)
+        d->rdyNext->rdyPrev = d;
+    else
+        readyTail = d;
+    ++readyLive;
+}
+
+void
+IssueQueue::parkWake(DynInst *d, Cycle at, Cycle now)
+{
+    d->iqState = IqState::Wake;
+    d->iqWakeAt = at;
+    if (at - now < wheelSlots) {
+        wheel[static_cast<std::size_t>(at & wheelMask)]
+            .push_back({at, d->seq, d});
+        ++wheelCount;
+    } else {
+        wakes.push({at, d->seq, d});
+    }
+}
+
+/**
+ * All of @p d's wakeup events have fired: every source register has a
+ * published readiness time (or a producer that re-pended, in which
+ * case we re-register). Park until the latest of those times, or go
+ * straight to the Ready set when it has already passed.
+ */
+void
+IssueQueue::scheduleKnown(DynInst *d, const PhysRegFile &regs, Cycle now)
+{
+    Cycle wakeAt = 0;
+    int pendingWaits = 0;
+    for (PhysReg s : d->srcPhys) {
+        if (s == physNone)
+            continue;
+        if (regs.pending(s)) {
+            regWaiters[static_cast<std::size_t>(s)]
+                .push_back({d, d->seq});
+            ++pendingWaits;
+            continue;
+        }
+        wakeAt = std::max(wakeAt, regs.readyForIssueAt(s));
+    }
+    if (pendingWaits > 0) {
+        d->iqState = IqState::Waiting;
+        d->iqWaits = pendingWaits;
+        return;
+    }
+    if (wakeAt <= now)
+        makeReady(d);
+    else
+        parkWake(d, wakeAt, now);
+}
+
+void
+IssueQueue::insert(DynInst *d, const PhysRegFile &regs, DynInst *depStore,
+                   Cycle now)
+{
+    linkBack(d);
+    ++n;
+    d->iqWaits = 0;
+
+    int waits = 0;
+    for (PhysReg s : d->srcPhys) {
+        if (s != physNone && regs.pending(s)) {
+            regWaiters[static_cast<std::size_t>(s)]
+                .push_back({d, d->seq});
+            ++waits;
+        }
+    }
+    if (depStore && !depStore->memDone) {
+        depStore->depWaiters.push_back({d, d->seq});
+        ++waits;
+    }
+    if (waits > 0) {
+        d->iqState = IqState::Waiting;
+        d->iqWaits = waits;
+        return;
+    }
+    scheduleKnown(d, regs, now);
+}
+
+void
+IssueQueue::drainWaitList(std::vector<WaitRec> &list,
+                          const PhysRegFile &regs, Cycle now)
+{
+    if (list.empty())
+        return;
+    drainScratch.clear();
+    drainScratch.swap(list);
+    for (const WaitRec &w : drainScratch) {
+        DynInst *d = w.first;
+        if (d->seq != w.second || d->iqState != IqState::Waiting ||
+            d->iqWaits <= 0)
+            continue;   // squashed/recycled/already rescheduled
+        if (--d->iqWaits == 0)
+            scheduleKnown(d, regs, now);
+    }
+}
+
+void
+IssueQueue::rewakeReg(PhysReg p, const PhysRegFile &regs, Cycle now)
+{
+    if (p == physNone)
+        return;
+    // Re-park every parked consumer of p at its revised time. Stale
+    // heap records are invalidated by the iqWakeAt mismatch. Entries
+    // already Ready re-validate operands at select; Waiting entries
+    // recompute their park time when their last wait fires.
+    for (DynInst *d = head; d; d = d->iqNext) {
+        if (d->iqState != IqState::Wake)
+            continue;
+        if (d->srcPhys[0] != p && d->srcPhys[1] != p)
+            continue;
+        Cycle wakeAt = 0;
+        bool pending = false;
+        for (PhysReg s : d->srcPhys) {
+            if (s == physNone)
+                continue;
+            if (regs.pending(s)) {
+                pending = true;
+                break;
+            }
+            wakeAt = std::max(wakeAt, regs.readyForIssueAt(s));
+        }
+        if (pending)
+            continue;   // producer re-pended: its wake will re-park us
+        if (wakeAt <= now) {
+            makeReady(d);
+        } else if (wakeAt != d->iqWakeAt) {
+            parkWake(d, wakeAt, now);
+        }
+    }
+}
+
+void
+IssueQueue::wakeDepStore(DynInst *s, const PhysRegFile &regs, Cycle now)
+{
+    drainWaitList(s->depWaiters, regs, now);
+}
+
+void
+IssueQueue::beginSelect(Cycle now)
+{
+    // Drain the wheel buckets for every cycle since the last select.
+    // A record validates against (seq, state, wakeAt); one whose
+    // wakeAt aliases a future lap re-parks for its real cycle.
+    if (wheelCount > 0 && now > wheelPos) {
+        Cycle from = wheelPos + 1;
+        if (now - wheelPos > wheelSlots)
+            from = now - wheelMask;   // each bucket visited once
+        for (Cycle c = from; c <= now && wheelCount > 0; ++c) {
+            auto &bucket = wheel[static_cast<std::size_t>(c & wheelMask)];
+            if (bucket.empty())
+                continue;
+            wheelScratch.clear();
+            wheelScratch.swap(bucket);
+            wheelCount -= static_cast<int>(wheelScratch.size());
+            for (const WakeRec &w : wheelScratch) {
+                DynInst *d = w.d;
+                if (d->seq != w.seq || d->iqState != IqState::Wake ||
+                    d->iqWakeAt != w.at)
+                    continue;   // stale (squash, re-park, or issue)
+                if (w.at > now)
+                    parkWake(d, w.at, now);   // future lap of this slot
+                else
+                    makeReady(d);
+            }
+        }
+    }
+    wheelPos = now;
+
+    while (!wakes.empty() && wakes.top().at <= now) {
+        WakeRec w = wakes.top();
+        wakes.pop();
+        DynInst *d = w.d;
+        if (d->seq != w.seq || d->iqState != IqState::Wake ||
+            d->iqWakeAt != w.at)
+            continue;   // stale record (squash, re-park, or issue)
+        makeReady(d);
+    }
+}
+
+void
+IssueQueue::requeueNotReady(DynInst *d, const PhysRegFile &regs, Cycle now)
+{
+    vacateReady(d);
+    scheduleKnown(d, regs, now);
+}
+
+void
+IssueQueue::requeueDepWait(DynInst *d, DynInst *depStore)
+{
+    vacateReady(d);
+    d->iqState = IqState::Waiting;
+    d->iqWaits = 1;
+    depStore->depWaiters.push_back({d, d->seq});
+}
+
+void
+IssueQueue::markIssued(DynInst *d)
+{
+    vacateReady(d);
+    unlink(d);
+    d->iqState = IqState::None;
+    d->iqWaits = 0;
+    --n;
+}
+
+void
+IssueQueue::squashFrom(std::uint64_t fromSeq)
+{
+    // Entries are age-ordered, so the squash target is a list suffix.
+    while (tail && tail->seq >= fromSeq) {
+        DynInst *d = tail;
+        vacateReady(d);
+        unlink(d);
+        d->iqState = IqState::None;
+        d->iqWaits = 0;
+        --n;
+    }
+}
+
+} // namespace mg

@@ -4,15 +4,39 @@
  * handle holds one entry until its terminal MGST bank executes (paper
  * Section 4.1), versus one entry per instruction for singletons —
  * the scheduler-capacity amplification of Figure 8.
+ *
+ * The implementation is wakeup-driven rather than scan-driven: every
+ * entry is either
+ *
+ *  - Waiting on per-physical-register consumer lists (its producer has
+ *    not issued, so no wakeup time is known) or on a predicted store's
+ *    waiter list,
+ *  - parked in a time-ordered Wake heap until the cycle its operands
+ *    become issue-ready, or
+ *  - in the Ready set, competing age-ordered for issue slots.
+ *
+ * The select loop therefore touches only entries that can plausibly
+ * issue this cycle, instead of snapshotting the whole queue into a
+ * freshly-allocated vector each cycle. Readiness timestamps can move
+ * *later* after a wakeup was scheduled (a load miss revises its
+ * consumers' times), so the core re-validates operands at select time
+ * and hands back entries that turn out stale; the heap uses lazy
+ * (ptr, seq, wakeAt) validation so squashes never need to search it.
+ * All of this is a pure scheduling-cost optimisation: the set of
+ * entries that *attempt* issue each cycle — and hence every stat the
+ * core counts — is bit-identical to the exhaustive age-ordered scan.
  */
 
 #ifndef MG_UARCH_ISSUE_QUEUE_HH
 #define MG_UARCH_ISSUE_QUEUE_HH
 
-#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <queue>
 #include <vector>
 
 #include "uarch/dyninst.hh"
+#include "uarch/regfile.hh"
 
 namespace mg {
 
@@ -20,39 +44,174 @@ namespace mg {
 class IssueQueue
 {
   public:
-    explicit IssueQueue(int capacity) : cap(capacity) {}
+    /**
+     * @param capacity scheduler entries
+     * @param physRegs physical registers (consumer-list directory size)
+     */
+    IssueQueue(int capacity, int physRegs);
 
-    bool full() const { return static_cast<int>(q.size()) >= cap; }
-    int size() const { return static_cast<int>(q.size()); }
+    bool full() const { return n >= cap; }
+    int size() const { return n; }
     int capacity() const { return cap; }
 
-    /** Insert at dispatch (age order is insertion order). */
-    void insert(DynInst *d) { q.push_back(d); }
+    /**
+     * Insert at dispatch (age order is insertion order). Registers the
+     * entry on the consumer lists of still-pending source registers
+     * and on @p depStore's waiter list (null / resolved = no wait);
+     * entries with no outstanding waits park in the Wake heap or go
+     * straight to the Ready set.
+     */
+    void insert(DynInst *d, const PhysRegFile &regs, DynInst *depStore,
+                Cycle now);
 
-    /** Remove a specific entry (issue or squash). */
+    /** Producer of @p p issued and published its timestamps: flush
+     *  p's consumer list. (Inline fast path: most publishes find no
+     *  waiters.) */
     void
-    remove(DynInst *d)
+    wakeReg(PhysReg p, const PhysRegFile &regs, Cycle now)
     {
-        q.erase(std::remove(q.begin(), q.end(), d), q.end());
+        if (p == physNone)
+            return;
+        auto &list = regWaiters[static_cast<std::size_t>(p)];
+        if (!list.empty())
+            drainWaitList(list, regs, now);
     }
 
-    /** Remove every entry with seq >= @p fromSeq. */
-    void
-    squashFrom(std::uint64_t fromSeq)
+    /**
+     * @p p's published readiness time was revised (load miss, store
+     * forward, mini-graph replay): re-park its parked consumers at the
+     * new time. Entries already Ready re-validate at select.
+     */
+    void rewakeReg(PhysReg p, const PhysRegFile &regs, Cycle now);
+
+    /** Store @p s resolved its access: wake its dependence waiters. */
+    void wakeDepStore(DynInst *s, const PhysRegFile &regs, Cycle now);
+
+    /**
+     * Start a select cycle: move every Wake entry due at @p now into
+     * the Ready set (an intrusive list kept age-sorted on insertion,
+     * so selection needs no per-cycle compaction or sort). Iterate
+     * with readyFirst()/DynInst::rdyNext, capturing rdyNext before an
+     * attempt (issue and requeue unlink the current entry only).
+     */
+    void beginSelect(Cycle now);
+
+    int readyCount() const { return readyLive; }
+
+    /** Oldest ready candidate, or nullptr. */
+    DynInst *readyFirst() const { return readyHead; }
+
+    /** Candidate @p d failed operand re-validation: re-park it. */
+    void requeueNotReady(DynInst *d, const PhysRegFile &regs, Cycle now);
+
+    /** Candidate @p d is still blocked on @p depStore: wait on it. */
+    void requeueDepWait(DynInst *d, DynInst *depStore);
+
+    /** Candidate @p d issued: remove it from the queue entirely. */
+    void markIssued(DynInst *d);
+
+    /** Remove every entry with seq >= @p fromSeq (an age-list
+     *  suffix); their heap/list registrations go stale in place. */
+    void squashFrom(std::uint64_t fromSeq);
+
+    /**
+     * True when the select loop would be a no-op at @p now: nothing
+     * Ready and no wakeup due. (Waiting/Wake-parked entries cannot
+     * issue and attempt nothing, so a quiet queue has no stat
+     * side effects — the idle-skip precondition.) The wheel check is
+     * conservative: an aliased far-future record in this cycle's
+     * bucket reads as "due", which merely executes one normal cycle.
+     */
+    bool
+    quietAt(Cycle now) const
     {
-        q.erase(std::remove_if(q.begin(), q.end(),
-                               [&](DynInst *d) {
-                                   return d->seq >= fromSeq;
-                               }),
-                q.end());
+        return readyHead == nullptr &&
+            (wakes.empty() || wakes.top().at > now) &&
+            (wheelCount == 0 ||
+             wheel[static_cast<std::size_t>(now & wheelMask)].empty());
     }
 
-    auto begin() { return q.begin(); }
-    auto end() { return q.end(); }
+    /**
+     * Earliest cycle a parked wakeup might fire, or 0 when none — a
+     * lower bound, safe as an idle-skip event target (waking early
+     * just executes a normal, quiet cycle).
+     */
+    Cycle
+    nextWakeAt(Cycle now) const
+    {
+        Cycle best = wakes.empty() ? 0 : wakes.top().at;
+        if (wheelCount > 0) {
+            for (Cycle c = now + 1; c <= now + wheelSlots; ++c) {
+                if (!wheel[static_cast<std::size_t>(c & wheelMask)]
+                         .empty()) {
+                    if (best == 0 || c < best)
+                        best = c;
+                    break;
+                }
+            }
+        }
+        return best;
+    }
 
   private:
+    struct WakeRec
+    {
+        Cycle at;
+        std::uint64_t seq;
+        DynInst *d;
+
+        bool
+        operator>(const WakeRec &o) const
+        {
+            return at != o.at ? at > o.at : seq > o.seq;
+        }
+    };
+
+    /** (ptr, seq) pair on a consumer list; stale seqs are skipped. */
+    using WaitRec = std::pair<DynInst *, std::uint64_t>;
+
+    void linkBack(DynInst *d);
+    void unlink(DynInst *d);
+    void vacateReady(DynInst *d);
+    void scheduleKnown(DynInst *d, const PhysRegFile &regs, Cycle now);
+    void parkWake(DynInst *d, Cycle at, Cycle now);
+    void makeReady(DynInst *d);
+    void drainWaitList(std::vector<WaitRec> &list,
+                       const PhysRegFile &regs, Cycle now);
+
     int cap;
-    std::vector<DynInst *> q;
+    int n = 0;
+
+    // Age order: intrusive doubly-linked list, oldest first.
+    DynInst *head = nullptr;
+    DynInst *tail = nullptr;
+
+    /** Per-physical-register consumer lists. */
+    std::vector<std::vector<WaitRec>> regWaiters;
+    std::vector<WaitRec> drainScratch;
+
+    /**
+     * Time-parked entries: a timer wheel for near-term wakeups (the
+     * overwhelming majority — issue-to-ready distances are a few
+     * cycles) with a heap fallback for entries parked further than
+     * the wheel horizon. Both use lazy (seq, state, wakeAt)
+     * validation on drain, so squashes never search them.
+     */
+    static constexpr Cycle wheelSlots = 256;
+    static constexpr Cycle wheelMask = wheelSlots - 1;
+    std::array<std::vector<WakeRec>, wheelSlots> wheel;
+    std::vector<WakeRec> wheelScratch;
+    Cycle wheelPos = 0;      ///< cycles <= wheelPos are drained
+    int wheelCount = 0;
+    std::priority_queue<WakeRec, std::vector<WakeRec>,
+                        std::greater<WakeRec>> wakes;
+
+    /** Ready set: intrusive list, kept age-sorted on insertion
+     *  (wakeups are predominantly youngest, so inserts walk O(1)
+     *  steps from the tail). */
+    DynInst *readyHead = nullptr;
+    DynInst *readyTail = nullptr;
+    int readyLive = 0;
 };
 
 } // namespace mg

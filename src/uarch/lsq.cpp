@@ -7,28 +7,33 @@ namespace mg {
 void
 Lsq::remove(DynInst *d)
 {
-    loads.erase(std::remove(loads.begin(), loads.end(), d), loads.end());
-    stores.erase(std::remove(stores.begin(), stores.end(), d),
-                 stores.end());
+    auto &q = d->isLoadKind ? loads : stores;
+    if (!q.empty() && q.front() == d) {
+        q.pop_front();
+        return;
+    }
+    q.erase(std::remove(q.begin(), q.end(), d), q.end());
 }
 
 void
 Lsq::squashFrom(std::uint64_t fromSeq)
 {
-    auto pred = [&](DynInst *d) { return d->seq >= fromSeq; };
-    loads.erase(std::remove_if(loads.begin(), loads.end(), pred),
-                loads.end());
-    stores.erase(std::remove_if(stores.begin(), stores.end(), pred),
-                 stores.end());
+    while (!loads.empty() && loads.back()->seq >= fromSeq)
+        loads.pop_back();
+    while (!stores.empty() && stores.back()->seq >= fromSeq)
+        stores.pop_back();
 }
 
 bool
 Lsq::overlaps(const DynInst *a, const DynInst *b)
 {
-    Addr aLo = a->rec.memAddr;
-    Addr aHi = aLo + static_cast<Addr>(a->rec.memBytes);
-    Addr bLo = b->rec.memAddr;
-    Addr bHi = bLo + static_cast<Addr>(b->rec.memBytes);
+    // Uses the DynInst-resident operand copies: the forwarding and
+    // violation scans are the LSQ's hot loops, and the oracle record
+    // lives in the slot's cold tail.
+    Addr aLo = a->memAddr;
+    Addr aHi = aLo + static_cast<Addr>(a->memBytes);
+    Addr bLo = b->memAddr;
+    Addr bHi = bLo + static_cast<Addr>(b->memBytes);
     return aLo < bHi && bLo < aHi;
 }
 

@@ -12,7 +12,7 @@
 #define MG_UARCH_LSQ_HH
 
 #include <cstdint>
-#include <vector>
+#include <deque>
 
 #include "uarch/dyninst.hh"
 
@@ -37,7 +37,12 @@ class Lsq
     void insertLoad(DynInst *d) { loads.push_back(d); }
     void insertStore(DynInst *d) { stores.push_back(d); }
 
+    /** Remove @p d. Commit removes the oldest entry of its queue, so
+     *  this is normally an O(1) front pop. */
     void remove(DynInst *d);
+
+    /** Remove every entry with seq >= @p fromSeq: an age-ordered
+     *  suffix of each queue, popped from the back. */
     void squashFrom(std::uint64_t fromSeq);
 
     /**
@@ -55,13 +60,13 @@ class Lsq
      */
     DynInst *violatingLoad(const DynInst *store) const;
 
-    const std::vector<DynInst *> &loadQueue() const { return loads; }
-    const std::vector<DynInst *> &storeQueue() const { return stores; }
+    const std::deque<DynInst *> &loadQueue() const { return loads; }
+    const std::deque<DynInst *> &storeQueue() const { return stores; }
 
   private:
     int cap;
-    std::vector<DynInst *> loads;    ///< age order
-    std::vector<DynInst *> stores;   ///< age order
+    std::deque<DynInst *> loads;     ///< age order
+    std::deque<DynInst *> stores;    ///< age order
 
     static bool overlaps(const DynInst *a, const DynInst *b);
 };

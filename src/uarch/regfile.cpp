@@ -18,45 +18,4 @@ PhysRegFile::PhysRegFile(int totalRegs, int archRegs)
         freeList.push_back(static_cast<PhysReg>(r));
 }
 
-std::size_t
-PhysRegFile::checked(PhysReg r) const
-{
-    if (r < 0 || r >= total)
-        panic("bad physical register %d", r);
-    return static_cast<std::size_t>(r);
-}
-
-PhysReg
-PhysRegFile::alloc()
-{
-    if (freeList.empty())
-        return physNone;
-    PhysReg r = freeList.back();
-    freeList.pop_back();
-    int inflight = (total - archCount) -
-        static_cast<int>(freeList.size());
-    if (inflight > peak)
-        peak = inflight;
-    return r;
-}
-
-void
-PhysRegFile::free(PhysReg r)
-{
-    checked(r);
-    freeList.push_back(r);
-    if (static_cast<int>(freeList.size()) > total - archCount)
-        panic("physical register double-free (free list %zu > %d)",
-              freeList.size(), total - archCount);
-}
-
-void
-PhysRegFile::markPending(PhysReg r)
-{
-    if (r == physNone)
-        return;
-    readyForIssueAt_[checked(r)] = ~Cycle(0);
-    valueAt_[checked(r)] = ~Cycle(0);
-}
-
 } // namespace mg

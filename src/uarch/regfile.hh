@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 
 namespace mg {
@@ -29,6 +30,19 @@ namespace mg {
 class PhysRegFile
 {
   public:
+    /** readyForIssueAt value of a register whose producer has not
+     *  issued yet (set by markPending). The issue queue parks
+     *  consumers of such registers on the producer's wakeup list
+     *  instead of a timed wakeup. */
+    static constexpr Cycle pendingAt = ~Cycle(0);
+
+    /** True while @p r awaits its producer's issue. */
+    bool
+    pending(PhysReg r) const
+    {
+        return r != physNone && readyForIssueAt_[checked(r)] == pendingAt;
+    }
+
     /**
      * @param totalRegs total physical registers (paper baseline: 164)
      * @param archRegs  registers holding architected state (64)
@@ -36,10 +50,40 @@ class PhysRegFile
     PhysRegFile(int totalRegs, int archRegs);
 
     /** Allocate a register; physNone when the free list is empty. */
-    PhysReg alloc();
+    PhysReg
+    alloc()
+    {
+        if (freeList.empty())
+            return physNone;
+        PhysReg r = freeList.back();
+        freeList.pop_back();
+        int inflight = (total - archCount) -
+            static_cast<int>(freeList.size());
+        if (inflight > peak)
+            peak = inflight;
+        return r;
+    }
 
     /** Return @p r to the free list. */
-    void free(PhysReg r);
+    void
+    free(PhysReg r)
+    {
+        checked(r);
+        freeList.push_back(r);
+        if (static_cast<int>(freeList.size()) > total - archCount)
+            panic("physical register double-free (free list %zu > %d)",
+                  freeList.size(), total - archCount);
+    }
+
+    /** Mark not-ready (used at allocation). */
+    void
+    markPending(PhysReg r)
+    {
+        if (r == physNone)
+            return;
+        readyForIssueAt_[checked(r)] = pendingAt;
+        valueAt_[checked(r)] = pendingAt;
+    }
 
     /** Registers currently available for renaming. */
     int freeCount() const { return static_cast<int>(freeList.size()); }
@@ -74,9 +118,6 @@ class PhysRegFile
         valueAt_[checked(r)] = value;
     }
 
-    /** Mark not-ready (used at allocation). */
-    void markPending(PhysReg r);
-
     /** Peak in-flight occupancy statistic. */
     int peakInFlight() const { return peak; }
 
@@ -88,7 +129,15 @@ class PhysRegFile
     std::vector<Cycle> valueAt_;
     int peak = 0;
 
-    std::size_t checked(PhysReg r) const;
+    /** Bounds-checked index (inline: this sits on the wakeup/bypass
+     *  hot path, several probes per issue attempt). */
+    std::size_t
+    checked(PhysReg r) const
+    {
+        if (r < 0 || r >= total)
+            panic("bad physical register %d", r);
+        return static_cast<std::size_t>(r);
+    }
 };
 
 } // namespace mg

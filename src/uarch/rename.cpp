@@ -1,39 +1,3 @@
+// RenameMap is header-only; this translation unit anchors the
+// component in the build.
 #include "uarch/rename.hh"
-
-#include "common/logging.hh"
-
-namespace mg {
-
-RenameMap::RenameMap()
-{
-    for (int i = 0; i < numArchRegs; ++i)
-        map[static_cast<size_t>(i)] = static_cast<PhysReg>(i);
-}
-
-PhysReg
-RenameMap::lookup(RegId arch) const
-{
-    if (arch == regNone || isZeroReg(arch))
-        return physNone;
-    return map[static_cast<size_t>(arch)];
-}
-
-PhysReg
-RenameMap::rename(RegId arch, PhysReg phys)
-{
-    if (arch == regNone || isZeroReg(arch))
-        panic("renaming the zero register");
-    PhysReg prev = map[static_cast<size_t>(arch)];
-    map[static_cast<size_t>(arch)] = phys;
-    return prev;
-}
-
-void
-RenameMap::restore(RegId arch, PhysReg prevPhys)
-{
-    if (arch == regNone || isZeroReg(arch))
-        panic("restoring the zero register");
-    map[static_cast<size_t>(arch)] = prevPhys;
-}
-
-} // namespace mg

@@ -4,14 +4,17 @@
  * squash path. A handle renames exactly like a singleton instruction —
  * two source lookups, one destination allocation — which is what makes
  * rename-bandwidth amplification possible (paper Section 3.1).
+ *
+ * Header-only: every dispatched slot performs two lookups and up to
+ * one rename, so these must inline into the dispatch loop.
  */
 
 #ifndef MG_UARCH_RENAME_HH
 #define MG_UARCH_RENAME_HH
 
 #include <array>
-#include <vector>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 #include "uarch/regfile.hh"
 
@@ -22,20 +25,44 @@ class RenameMap
 {
   public:
     /** Identity-map arch registers onto physical [0, numArchRegs). */
-    RenameMap();
+    RenameMap()
+    {
+        for (int i = 0; i < numArchRegs; ++i)
+            map[static_cast<size_t>(i)] = static_cast<PhysReg>(i);
+    }
 
     /** Current mapping of @p arch (physNone for zero/none regs). */
-    PhysReg lookup(RegId arch) const;
+    PhysReg
+    lookup(RegId arch) const
+    {
+        if (arch == regNone || isZeroReg(arch))
+            return physNone;
+        return map[static_cast<size_t>(arch)];
+    }
 
     /**
      * Rename a destination: @p arch now maps to @p phys.
      * @return the previous mapping (to free at commit or restore at
      *         squash)
      */
-    PhysReg rename(RegId arch, PhysReg phys);
+    PhysReg
+    rename(RegId arch, PhysReg phys)
+    {
+        if (arch == regNone || isZeroReg(arch))
+            panic("renaming the zero register");
+        PhysReg prev = map[static_cast<size_t>(arch)];
+        map[static_cast<size_t>(arch)] = phys;
+        return prev;
+    }
 
     /** Squash path: restore @p arch to @p prevPhys. */
-    void restore(RegId arch, PhysReg prevPhys);
+    void
+    restore(RegId arch, PhysReg prevPhys)
+    {
+        if (arch == regNone || isZeroReg(arch))
+            panic("restoring the zero register");
+        map[static_cast<size_t>(arch)] = prevPhys;
+    }
 
   private:
     std::array<PhysReg, numArchRegs> map;

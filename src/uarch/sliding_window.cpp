@@ -11,6 +11,15 @@ SlidingWindow::SlidingWindow(const WindowResources &r, int depth)
 {
     if (depth < static_cast<int>(2 * mgMaxSize))
         depth_ = 2 * mgMaxSize;
+    // Round the circular buffer up to a power of two so the per-lane
+    // line math is a mask, not a division. Extra lines are cleared
+    // like any others; reservations never reach beyond the FUBMP
+    // depth, so the coverage semantics are unchanged.
+    int cap = 1;
+    while (cap < depth_)
+        cap <<= 1;
+    depth_ = cap;
+    mask = static_cast<Cycle>(cap - 1);
     used.assign(6, std::vector<int>(static_cast<size_t>(depth_), 0));
 }
 
@@ -55,8 +64,7 @@ SlidingWindow::slideTo(Cycle now)
             std::fill(lane.begin(), lane.end(), 0);
     } else {
         for (Cycle s = 1; s <= steps; ++s) {
-            auto line = static_cast<size_t>((lastSlide + s - 1) %
-                                            static_cast<Cycle>(depth_));
+            auto line = static_cast<size_t>((lastSlide + s - 1) & mask);
             for (auto &lane : used)
                 lane[line] = 0;
         }
@@ -76,7 +84,7 @@ SlidingWindow::conflicts(const std::vector<FuKind> &fubmp, Cycle now) const
         if (offset >= depth_)
             return true;
         auto line = static_cast<size_t>((now + static_cast<Cycle>(offset))
-                                        % static_cast<Cycle>(depth_));
+                                        & mask);
         if (used[static_cast<size_t>(kindIdx(fu))][line] + 1 >
             capacity(fu))
             return true;
@@ -94,7 +102,7 @@ SlidingWindow::reserve(const std::vector<FuKind> &fubmp, Cycle now)
             continue;
         int offset = static_cast<int>(i) + 1;
         auto line = static_cast<size_t>((now + static_cast<Cycle>(offset))
-                                        % static_cast<Cycle>(depth_));
+                                        & mask);
         ++used[static_cast<size_t>(kindIdx(fu))][line];
     }
 }
@@ -105,8 +113,8 @@ SlidingWindow::reserveOne(FuKind fu, int offset, Cycle now)
     slideTo(now);
     if (offset >= depth_)
         return false;
-    auto line = static_cast<size_t>((now + static_cast<Cycle>(offset)) %
-                                    static_cast<Cycle>(depth_));
+    auto line = static_cast<size_t>((now + static_cast<Cycle>(offset)) &
+                                    mask);
     auto lane = static_cast<size_t>(kindIdx(fu));
     if (used[lane][line] + 1 > capacity(fu))
         return false;
@@ -120,8 +128,8 @@ SlidingWindow::available(FuKind fu, int offset, Cycle now) const
     slideToConst(now);
     if (offset >= depth_)
         return 0;
-    auto line = static_cast<size_t>((now + static_cast<Cycle>(offset)) %
-                                    static_cast<Cycle>(depth_));
+    auto line = static_cast<size_t>((now + static_cast<Cycle>(offset)) &
+                                    mask);
     return capacity(fu) - used[static_cast<size_t>(kindIdx(fu))][line];
 }
 
@@ -129,8 +137,19 @@ int
 SlidingWindow::usedAt(FuKind fu, Cycle now) const
 {
     slideToConst(now);
-    auto line = static_cast<size_t>(now % static_cast<Cycle>(depth_));
+    auto line = static_cast<size_t>(now & mask);
     return used[static_cast<size_t>(kindIdx(fu))][line];
+}
+
+void
+SlidingWindow::usedNow(Cycle now, int out[4]) const
+{
+    slideToConst(now);
+    auto line = static_cast<size_t>(now & mask);
+    out[0] = used[0][line];   // IntAlu
+    out[1] = used[3][line];   // LoadPort
+    out[2] = used[4][line];   // StorePort
+    out[3] = used[5][line];   // AluPipe
 }
 
 } // namespace mg

@@ -62,12 +62,20 @@ class SlidingWindow
     /** Units of @p fu already reserved for cycle @p now itself. */
     int usedAt(FuKind fu, Cycle now) const;
 
+    /**
+     * All reservations firing at cycle @p now, in one pass:
+     * @p out[0..3] = IntAlu, LoadPort, StorePort, AluPipe (the lanes
+     * the issue stage pre-claims each cycle).
+     */
+    void usedNow(Cycle now, int out[4]) const;
+
     int depth() const { return depth_; }
 
   private:
     WindowResources res;
-    int depth_;
-    /** reservations[kind][(now + offset) % depth] = units in use. */
+    int depth_;          ///< rounded up to a power of two
+    Cycle mask = 0;      ///< depth_ - 1 (line index = cycle & mask)
+    /** reservations[kind][(now + offset) & mask] = units in use. */
     std::vector<std::vector<int>> used;
     Cycle lastSlide = 0;
 

@@ -4,17 +4,39 @@
 
 namespace mg {
 
+namespace {
+
+/** Mask for power-of-two @p n, else 0 ("use %"). */
+std::uint32_t
+maskOf(std::uint32_t n)
+{
+    return (n != 0 && (n & (n - 1)) == 0) ? n - 1 : 0;
+}
+
+} // namespace
+
 StoreSets::StoreSets(const StoreSetsConfig &c) : cfg(c)
 {
     ssit.assign(cfg.ssitEntries, noSet);
     lfst.assign(cfg.lfstEntries, 0);
     lfstPc.assign(cfg.lfstEntries, 0);
+    ssitMask = maskOf(cfg.ssitEntries);
+    lfstMask = maskOf(cfg.lfstEntries);
 }
 
 std::uint32_t
 StoreSets::idx(Addr pc) const
 {
-    return static_cast<std::uint32_t>((pc >> 2) % cfg.ssitEntries);
+    std::uint64_t v = pc >> 2;
+    return static_cast<std::uint32_t>(
+        ssitMask ? (v & ssitMask) : (v % cfg.ssitEntries));
+}
+
+std::uint32_t
+StoreSets::lfstIdx(std::int32_t set) const
+{
+    auto v = static_cast<std::uint32_t>(set);
+    return lfstMask ? (v & lfstMask) : (v % cfg.lfstEntries);
 }
 
 void
@@ -34,7 +56,7 @@ StoreSets::dispatchStore(Addr pc, std::uint64_t storeSeq)
     std::int32_t set = ssit[idx(pc)];
     if (set == noSet)
         return 0;
-    auto s = static_cast<std::uint32_t>(set) % cfg.lfstEntries;
+    std::uint32_t s = lfstIdx(set);
     std::uint64_t prev = lfst[s];
     lfst[s] = storeSeq;
     lfstPc[s] = pc;
@@ -48,7 +70,7 @@ StoreSets::dispatchLoad(Addr pc)
     std::int32_t set = ssit[idx(pc)];
     if (set == noSet)
         return 0;
-    return lfst[static_cast<std::uint32_t>(set) % cfg.lfstEntries];
+    return lfst[lfstIdx(set)];
 }
 
 void
@@ -57,7 +79,7 @@ StoreSets::completeStore(Addr pc, std::uint64_t storeSeq)
     std::int32_t set = ssit[idx(pc)];
     if (set == noSet)
         return;
-    auto s = static_cast<std::uint32_t>(set) % cfg.lfstEntries;
+    std::uint32_t s = lfstIdx(set);
     if (lfst[s] == storeSeq)
         lfst[s] = 0;
 }

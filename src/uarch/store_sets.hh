@@ -72,8 +72,11 @@ class StoreSets
     std::uint64_t accesses = 0;
     std::uint64_t violations_ = 0;
     std::int32_t nextSet = 0;
+    std::uint32_t ssitMask = 0;   ///< power-of-two fast path (0 = use %)
+    std::uint32_t lfstMask = 0;
 
     std::uint32_t idx(Addr pc) const;
+    std::uint32_t lfstIdx(std::int32_t set) const;
     void maybeClear();
 };
 

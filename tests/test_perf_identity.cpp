@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Golden stats-identity pin for the allocation-free timing core.
+ *
+ * Every tier-1 kernel runs against the paper's three machine shapes
+ * (6-wide baseline, integer mini-graphs, integer-memory mini-graphs)
+ * for a fixed work budget, and an FNV-1a hash over every CoreStats
+ * counter is compared against values recorded from the pre-refactor
+ * engine (PR 2) — cycles, IPC, amplification, stall and squash
+ * counters are all pinned bit-for-bit. Any scheduling, wakeup, or
+ * idle-skip change that alters timing behaviour trips this test.
+ *
+ * Also pins the slab's eager-reclamation bound: squashed slots are
+ * recycled immediately, so the live DynInst population never exceeds
+ * ROB + fetch-queue capacity regardless of squash rate (the lazy
+ * arena this replaced stranded squashed entries behind a live head).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+#include "uarch/core.hh"
+#include "workloads/suites.hh"
+
+namespace {
+
+using namespace mg;
+
+constexpr std::uint64_t goldenBudget = 60000;
+
+std::uint64_t
+fnv1a(std::uint64_t h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::uint64_t
+statsHash(const CoreStats &s)
+{
+    std::uint64_t h = 1469598103934665603ull;
+#define MG_H(f) h = fnv1a(h, static_cast<std::uint64_t>(s.f));
+    MG_CORE_STATS_COUNTERS(MG_H)
+#undef MG_H
+    return h;
+}
+
+SimConfig
+configOf(const std::string &name)
+{
+    if (name == "base")
+        return SimConfig::baseline();
+    if (name == "int")
+        return SimConfig::intMg();
+    return SimConfig::intMemMg();
+}
+
+struct Golden
+{
+    const char *kernel;
+    const char *config;
+    std::uint64_t hash;
+};
+
+// Recorded from the pre-refactor engine (PR 2, commit 316dc4e) at
+// goldenBudget work per cell. Regenerate only for a deliberate,
+// documented timing-model change.
+const Golden goldens[] = {
+    {"gzip", "base", 0xa7ce0375aa15d2bcull},
+    {"gzip", "int", 0x6c86eb944e35bc33ull},
+    {"gzip", "intmem", 0x6e0ebecc3c1df515ull},
+    {"mcf", "base", 0x0b33a0461796f27eull},
+    {"mcf", "int", 0x2308752f573ca4bbull},
+    {"mcf", "intmem", 0x1b576648c7cad066ull},
+    {"parser", "base", 0x457ddb1aae455c9cull},
+    {"parser", "int", 0x18f3916958d6cad5ull},
+    {"parser", "intmem", 0x70de808aad88f54eull},
+    {"twolf", "base", 0xf95f03ef25cf6991ull},
+    {"twolf", "int", 0x2893bec3f278ec2cull},
+    {"twolf", "intmem", 0x3627dfdcadeb7f7bull},
+    {"gap", "base", 0x36859c1dcdd3862eull},
+    {"gap", "int", 0x0cea8e8c23af648full},
+    {"gap", "intmem", 0x8280308664835021ull},
+    {"crafty", "base", 0xdc55a0f488c59a16ull},
+    {"crafty", "int", 0xcd25bc34929bbb99ull},
+    {"crafty", "intmem", 0xc7bf4ffff0920286ull},
+    {"adpcm.enc", "base", 0x9a50a0bd09040366ull},
+    {"adpcm.enc", "int", 0xfded0797bbce69efull},
+    {"adpcm.enc", "intmem", 0xdfb95b923081f5b1ull},
+    {"adpcm.dec", "base", 0x0c757d6355a2da6cull},
+    {"adpcm.dec", "int", 0xe35d13fcbbd77185ull},
+    {"adpcm.dec", "intmem", 0x65c259ef9a09a2c9ull},
+    {"g721.enc", "base", 0x260c8fa23ee8dec7ull},
+    {"g721.enc", "int", 0xc7cc9374dd61c8aaull},
+    {"g721.enc", "intmem", 0xc7cc9374dd61c8aaull},
+    {"jpeg.dct", "base", 0xf8c3a27504a57142ull},
+    {"jpeg.dct", "int", 0x3cdcaa856057c7b1ull},
+    {"jpeg.dct", "intmem", 0x0108f19d1458553aull},
+    {"mpeg2.idct", "base", 0x4f20d6bce5c11c3dull},
+    {"mpeg2.idct", "int", 0x97f80ae2da79db64ull},
+    {"mpeg2.idct", "intmem", 0x3232c4e2be31e2acull},
+    {"gsm.lpc", "base", 0x19f923a94258095aull},
+    {"gsm.lpc", "int", 0x73c26eca2c161257ull},
+    {"gsm.lpc", "intmem", 0xd968c2a5c20d58f2ull},
+    {"crc", "base", 0x1e7c5a16b23b092full},
+    {"crc", "int", 0x26f03b803864acd1ull},
+    {"crc", "intmem", 0xe6aa54d03b0abd9dull},
+    {"drr", "base", 0x9b0e3428df946f80ull},
+    {"drr", "int", 0xfb6a2fab163cd9b5ull},
+    {"drr", "intmem", 0x416b23cca3580c24ull},
+    {"frag", "base", 0xbdf55191294b2b7aull},
+    {"frag", "int", 0x2fb09d5abd5b6e0dull},
+    {"frag", "intmem", 0xdfb57a71290f318eull},
+    {"rtr", "base", 0x15958ef36ddc43b4ull},
+    {"rtr", "int", 0x3b7fb6eab9ba6ae3ull},
+    {"rtr", "intmem", 0xd48d420fa537fbe5ull},
+    {"reed", "base", 0xb8e43d69fd837403ull},
+    {"reed", "int", 0x6e2fae97268b5f59ull},
+    {"reed", "intmem", 0xde79f8089d9d015aull},
+    {"bitcount", "base", 0x2f6f9e2aaddb5036ull},
+    {"bitcount", "int", 0x6fc9a9140a4ee948ull},
+    {"bitcount", "intmem", 0x6fc9a9140a4ee948ull},
+    {"sha", "base", 0x5eb3cef802edde86ull},
+    {"sha", "int", 0x6eeb0c658e6f7722ull},
+    {"sha", "intmem", 0x97d24b523554be8eull},
+    {"dijkstra", "base", 0xcdef04daeb722871ull},
+    {"dijkstra", "int", 0xc4062072fb2b4654ull},
+    {"dijkstra", "intmem", 0x6aedc733dc0741fbull},
+    {"stringsearch", "base", 0x98b6a52cff99f39dull},
+    {"stringsearch", "int", 0x8916912c9b83cb80ull},
+    {"stringsearch", "intmem", 0xd49e1bc066ac02adull},
+    {"blowfish", "base", 0xb300c7d2c3c78a01ull},
+    {"blowfish", "int", 0xd4237ffe69464053ull},
+    {"blowfish", "intmem", 0xba9a0ef49db9b1daull},
+    {"rgb2gray", "base", 0x60b038015c25d6b6ull},
+    {"rgb2gray", "int", 0x2a5040d9cb7f2e62ull},
+    {"rgb2gray", "intmem", 0xf3d8d22811effbf6ull},
+};
+
+CoreStats
+runGolden(const BoundKernel &bk, const SimConfig &base)
+{
+    SimConfig cfg = base;
+    cfg.runBudget = goldenBudget;
+    if (!cfg.useMiniGraphs)
+        return runCell(*bk.program, nullptr, cfg, bk.setup);
+    BlockProfile prof =
+        collectProfile(*bk.program, bk.setup, cfg.profileBudget);
+    PreparedMg prep = prepareMiniGraphs(*bk.program, prof, cfg.policy,
+                                        cfg.machine, cfg.compress);
+    return runCell(*bk.program, &prep, cfg, bk.setup);
+}
+
+TEST(PerfIdentity, GoldenStatsHashEveryKernelTimesThreeConfigs)
+{
+    for (const Golden &g : goldens) {
+        BoundKernel bk = bindKernel(findKernel(g.kernel));
+        CoreStats s = runGolden(bk, configOf(g.config));
+        EXPECT_EQ(statsHash(s), g.hash)
+            << g.kernel << " x " << g.config
+            << ": cycles=" << s.cycles << " work=" << s.committedWork
+            << " ipc=" << s.ipc();
+    }
+}
+
+TEST(PerfIdentity, SquashesRecycleEagerly)
+{
+    // A kernel with memory-ordering violations: every squash must
+    // recycle its slots immediately, keeping the live population
+    // bounded by ROB + fetch queue (+ the slab's small slack) no
+    // matter how many slots were squashed along the way.
+    BoundKernel bk = bindKernel(findKernel("sha"));
+    SimConfig cfg = SimConfig::baseline();
+    Core core(*bk.program, nullptr, cfg.core);
+    bk.setup(core.oracle());
+    CoreStats s = core.run(goldenBudget);
+
+    ASSERT_GT(s.squashedSlots, 0u) << "kernel no longer squashes; "
+                                      "pick a different regression load";
+    std::size_t bound = static_cast<std::size_t>(
+        cfg.core.robSize + cfg.core.fetchQueueSize) + 8;
+    EXPECT_LE(core.peakLiveInsts(), bound);
+    EXPECT_LE(core.liveInsts(), bound);
+}
+
+} // namespace

@@ -86,17 +86,59 @@ TEST(RobTest, FifoAndSquash)
 
 TEST(IssueQueueTest, CapacityAndRemoval)
 {
-    IssueQueue iq(2);
+    PhysRegFile regs(8, 4);
+    IssueQueue iq(2, 8);
     DynInst a, b;
     a.seq = 1;
     b.seq = 2;
-    iq.insert(&a);
+    iq.insert(&a, regs, nullptr, 0);
     EXPECT_FALSE(iq.full());
-    iq.insert(&b);
+    iq.insert(&b, regs, nullptr, 0);
     EXPECT_TRUE(iq.full());
-    iq.remove(&a);
+    iq.markIssued(&a);
     EXPECT_EQ(iq.size(), 1);
     iq.squashFrom(2);
+    EXPECT_EQ(iq.size(), 0);
+}
+
+TEST(IssueQueueTest, WakeupDrivenReadiness)
+{
+    PhysRegFile regs(8, 4);
+    IssueQueue iq(4, 8);
+
+    // Producer allocates p; its consumer waits on the consumer list.
+    PhysReg p = regs.alloc();
+    ASSERT_NE(p, physNone);
+    regs.markPending(p);
+    DynInst c;
+    c.seq = 1;
+    c.srcPhys[0] = p;
+    iq.insert(&c, regs, nullptr, 0);
+    iq.beginSelect(0);
+    EXPECT_EQ(iq.readyCount(), 0);
+    EXPECT_TRUE(iq.quietAt(0));
+
+    // Producer issues at cycle 2, ready for consumers at cycle 5.
+    regs.setTimes(p, 5, 5);
+    iq.wakeReg(p, regs, 2);
+    iq.beginSelect(2);
+    EXPECT_EQ(iq.readyCount(), 0);     // parked until cycle 5
+    EXPECT_TRUE(iq.quietAt(2));
+    EXPECT_EQ(iq.nextWakeAt(2), 5u);
+
+    iq.beginSelect(5);
+    ASSERT_EQ(iq.readyCount(), 1);
+    EXPECT_EQ(iq.readyFirst(), &c);
+    EXPECT_FALSE(iq.quietAt(5));
+
+    // A later revision (e.g. a load miss) re-parks it on requeue.
+    regs.setTimes(p, 9, 9);
+    iq.requeueNotReady(&c, regs, 5);
+    iq.beginSelect(6);
+    EXPECT_EQ(iq.readyCount(), 0);
+    iq.beginSelect(9);
+    ASSERT_EQ(iq.readyCount(), 1);
+    iq.markIssued(&c);
     EXPECT_EQ(iq.size(), 0);
 }
 
@@ -111,6 +153,10 @@ memInst(std::uint64_t seq, Addr addr, int bytes, bool store,
     d.memDone = done;
     d.rec.memAddr = addr;
     d.rec.memBytes = bytes;
+    // The LSQ scans read the DynInst-resident operand copies the
+    // fetch path maintains.
+    d.memAddr = addr;
+    d.memBytes = bytes;
     return d;
 }
 
