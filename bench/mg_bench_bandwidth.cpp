@@ -64,7 +64,7 @@ main(int argc, char **argv)
     SweepSpec spec;
     spec.title = "Figure 8 (bottom): bandwidth and scheduling-loop "
                  "amplification, relative to the 6-wide baseline";
-    spec.workloads = suiteWorkloads();
+    spec.workloads = suiteWorkloads("all", 0, cli.scale);
     spec.columns.push_back({"baseline", SimConfig::baseline(), true});
     spec.baselineColumn = 0;
     if (!schedOnly) {
@@ -84,7 +84,8 @@ main(int argc, char **argv)
     printf("%s\n", sweepTable(r).c_str());
     printf("%s\n", throughputTable(r).c_str());
     cli.applyReporting(r);
-    std::string json = writeSweepJson(r, "bandwidth", cli.jsonPath);
+    std::string json =
+        writeSweepJson(r, cli.benchName("bandwidth"), cli.jsonPath);
     if (!json.empty())
         printf("wrote %s\n", json.c_str());
     return 0;

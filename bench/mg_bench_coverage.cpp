@@ -55,13 +55,14 @@ coverageConfig(bool memory, int entries, int maxSize)
 }
 
 SweepResult
-appSpecific(ExperimentEngine &engine, bool memory, const char *title)
+appSpecific(ExperimentEngine &engine, bool memory, const char *title,
+            Scale scale)
 {
     SweepSpec spec;
     spec.title = strfmt("Figure 5 %s: application-specific %s "
                         "mini-graphs",
                         memory ? "(middle)" : "(top)", title);
-    spec.workloads = suiteWorkloads();
+    spec.workloads = suiteWorkloads("all", 0, scale);
     for (const auto &c : comboSweep) {
         spec.columns.push_back({strfmt("%dx%d", c.entries, c.maxSize),
                                 coverageConfig(memory, c.entries,
@@ -112,10 +113,11 @@ struct SuiteData
 };
 
 SuiteData
-analyzeSuite(ExperimentEngine &engine, const std::string &suite)
+analyzeSuite(ExperimentEngine &engine, const std::string &suite,
+             Scale scale)
 {
     SuiteData d;
-    d.kernels = bindSuite(suite);
+    d.kernels = bindSuite(suite, scale);
     for (const BoundKernel &bk : d.kernels) {
         d.profs.push_back(engine.profile(workload(bk), profBudget));
         d.cfgs.push_back(std::make_unique<Cfg>(*bk.program));
@@ -125,7 +127,7 @@ analyzeSuite(ExperimentEngine &engine, const std::string &suite)
 }
 
 void
-domainSpecific(ExperimentEngine &engine)
+domainSpecific(ExperimentEngine &engine, Scale scale)
 {
     printf("== Figure 5 (bottom): domain-specific integer-memory "
            "mini-graphs (shared MGT per suite) ==\n");
@@ -133,7 +135,7 @@ domainSpecific(ExperimentEngine &engine)
     const std::vector<std::string> &suites = suiteNames();
     std::vector<SuiteData> data;
     for (const std::string &s : suites)
-        data.push_back(analyzeSuite(engine, s));
+        data.push_back(analyzeSuite(engine, s, scale));
 
     // coverage[suite][bench][entries-idx], scattered in parallel over
     // the suite×entries grid, gathered in order below.
@@ -182,14 +184,14 @@ domainSpecific(ExperimentEngine &engine)
 }
 
 void
-robustness(ExperimentEngine &engine)
+robustness(ExperimentEngine &engine, Scale scale)
 {
     printf("== Section 6.1: input-data robustness (select on the "
            "alternate input, measure on the reference input) ==\n");
 
     std::vector<BoundKernel> kernels;
     for (const char *suite : {"SPECint-S", "MiBench-S"}) {
-        for (BoundKernel &bk : bindSuite(suite))
+        for (BoundKernel &bk : bindSuite(suite, scale))
             kernels.push_back(std::move(bk));
     }
 
@@ -240,16 +242,16 @@ main(int argc, char **argv)
     CliOptions cli = parseCli(argc, argv);
     ExperimentEngine engine(cli.jobs);
     if (!cli.has("--robustness")) {
-        appSpecific(engine, false, "integer");
+        appSpecific(engine, false, "integer", cli.scale);
         SweepResult intMem =
-            appSpecific(engine, true, "integer-memory");
-        domainSpecific(engine);
+            appSpecific(engine, true, "integer-memory", cli.scale);
+        domainSpecific(engine, cli.scale);
         cli.applyReporting(intMem);
-        std::string json = writeSweepJson(intMem, "coverage",
+        std::string json = writeSweepJson(intMem, cli.benchName("coverage"),
                                           cli.jsonPath);
         if (!json.empty())
             printf("wrote %s\n", json.c_str());
     }
-    robustness(engine);
+    robustness(engine, cli.scale);
     return 0;
 }

@@ -37,7 +37,7 @@ main(int argc, char **argv)
     SweepSpec spec;
     spec.title = "Section 6.2: icache compression effect (mini-graph "
                  "speedup over the matching baseline)";
-    spec.workloads = suiteWorkloads();
+    spec.workloads = suiteWorkloads("all", 0, cli.scale);
     for (bool smallIcache : {false, true}) {
         const char *sfx = smallIcache ? "-2KBi" : "";
         SimConfig base = SimConfig::baseline();
@@ -86,7 +86,8 @@ main(int argc, char **argv)
                .c_str());
     printf("%s\n", throughputTable(r).c_str());
     cli.applyReporting(r);
-    std::string json = writeSweepJson(r, "icache", cli.jsonPath);
+    std::string json =
+        writeSweepJson(r, cli.benchName("icache"), cli.jsonPath);
     if (!json.empty())
         printf("wrote %s\n", json.c_str());
     return 0;

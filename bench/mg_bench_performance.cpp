@@ -27,7 +27,7 @@ main(int argc, char **argv)
 
     SweepSpec spec;
     spec.title = "Figure 6: mini-graph speedup over the 6-wide baseline";
-    spec.workloads = suiteWorkloads();
+    spec.workloads = suiteWorkloads("all", 0, cli.scale);
     spec.columns = standardColumns();
     spec.baselineColumn = 0;
     cli.applySampling(spec);
@@ -45,7 +45,8 @@ main(int argc, char **argv)
                .c_str());
     printf("%s\n", throughputTable(r).c_str());
     cli.applyReporting(r);
-    std::string json = writeSweepJson(r, "performance", cli.jsonPath);
+    std::string json =
+        writeSweepJson(r, cli.benchName("performance"), cli.jsonPath);
     if (!json.empty())
         printf("wrote %s\n", json.c_str());
     return 0;

@@ -25,7 +25,7 @@ main(int argc, char **argv)
     SweepSpec spec;
     spec.title = "Figure 8 (top): performance with reduced register "
                  "files, relative to the 164-register baseline";
-    spec.workloads = suiteWorkloads();
+    spec.workloads = suiteWorkloads("all", 0, cli.scale);
     spec.columns.push_back({"baseline", SimConfig::baseline(), true});
     spec.baselineColumn = 0;
     for (int regs : {164, 144, 124, 104}) {
@@ -43,7 +43,8 @@ main(int argc, char **argv)
     printf("%s\n", sweepTable(r).c_str());
     printf("%s\n", throughputTable(r).c_str());
     cli.applyReporting(r);
-    std::string json = writeSweepJson(r, "regfile", cli.jsonPath);
+    std::string json =
+        writeSweepJson(r, cli.benchName("regfile"), cli.jsonPath);
     if (!json.empty())
         printf("wrote %s\n", json.c_str());
     return 0;

@@ -49,7 +49,7 @@ main(int argc, char **argv)
     SweepSpec spec;
     spec.title = "Figure 7: serialization and replay policy isolation "
                  "(speedup over baseline)";
-    spec.workloads = suiteWorkloads();
+    spec.workloads = suiteWorkloads("all", 0, cli.scale);
     spec.columns = {
         {"baseline", SimConfig::baseline(), true},
         {"int", makePolicy(false, true, true, true), true},
@@ -81,7 +81,8 @@ main(int argc, char **argv)
     }
     printf("%s\n", throughputTable(r).c_str());
     cli.applyReporting(r);
-    std::string json = writeSweepJson(r, "serialization", cli.jsonPath);
+    std::string json =
+        writeSweepJson(r, cli.benchName("serialization"), cli.jsonPath);
     if (!json.empty())
         printf("wrote %s\n", json.c_str());
     return 0;

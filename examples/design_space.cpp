@@ -23,8 +23,9 @@ main(int argc, char **argv)
     CliOptions cli = parseCli(argc, argv);
     const char *name =
         cli.rest.empty() ? "adpcm.enc" : cli.rest[0].c_str();
-    BoundKernel bk = bindKernel(findKernel(name));
-    printf("design space for kernel '%s' (%s)\n\n", bk.kernel->name,
+    BoundKernel bk = bindKernel(findKernel(name), cli.scale);
+    printf("design space for kernel '%s' at scale %s (%s)\n\n",
+           bk.kernel->name, scaleName(bk.scale),
            bk.kernel->description);
 
     SweepSpec spec;

@@ -1,5 +1,6 @@
 #include "engine/cli.hh"
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "common/logging.hh"
@@ -14,6 +15,13 @@ CliOptions::has(const std::string &flag) const
             return true;
     }
     return false;
+}
+
+std::string
+CliOptions::benchName(const std::string &base) const
+{
+    return scale == Scale::Ref ? base
+                               : base + "_" + scaleName(scale);
 }
 
 namespace {
@@ -52,6 +60,11 @@ parseCli(int argc, char **argv)
             opt.jobs = static_cast<int>(v);
         } else if (a == "--json") {
             opt.jsonPath = next(a, i);
+        } else if (a == "--scale") {
+            opt.scale = parseScale(next(a, i));
+        } else if (a == "--list-kernels") {
+            fputs(kernelListing().c_str(), stdout);
+            exit(0);
         } else if (a == "--sample-interval") {
             opt.sampleInterval = parseCount("--sample-interval",
                                             next(a, i));
@@ -61,6 +74,12 @@ parseCli(int argc, char **argv)
             opt.samplePeriod = parseCount("--sample-period", next(a, i));
         } else if (a == "--warmup") {
             opt.sampleWarmup = parseCount("--warmup", next(a, i));
+        } else if (a == "--no-ss-shadow") {
+            opt.ssShadow = false;
+        } else if (a == "--warm-through") {
+            opt.warmThrough = true;
+        } else if (a == "--no-warm-through") {
+            opt.warmThrough = false;
         } else if (a == "--full") {
             opt.full = true;
         } else if (a == "--no-throughput") {
@@ -84,6 +103,8 @@ CliOptions::samplingParams() const
     sp.warmup = sampleWarmup != ~0ull ? sampleWarmup
                                       : 2 * sampleInterval;
     sp.ffWarm = 2 * sampleInterval;
+    sp.ssShadow = ssShadow;
+    sp.warmThrough = warmThrough;
     return sp;
 }
 

@@ -2,13 +2,19 @@
  * @file
  * Tiny shared command line for the sweep drivers: every bench accepts
  * `--jobs N` (parallel cells, 0 = all hardware threads), `--json PATH`
- * (override the default BENCH_<name>.json location), and the sampled
- * simulation flags `--sample-interval N` (measure N work units per
- * period; enables sampling), `--sample-period N` (work between
+ * (override the default BENCH_<name>.json location), workload-tier
+ * selection `--scale ref|long` (the M-scale long-workload tier) and
+ * `--list-kernels` (print the kernel registry and exit), and the
+ * sampled simulation flags `--sample-interval N` (measure N work units
+ * per period; enables sampling), `--sample-period N` (work between
  * measurement starts, default 12× interval), `--warmup N` (detailed
- * pre-measurement warmup work), and `--full` (force full cycle-accurate
- * simulation, overriding the sampling flags); anything unrecognised is
- * passed through for bench-specific flags.
+ * pre-measurement warmup work), `--no-ss-shadow` (disable store-set
+ * shadow training during fast-forward), `--no-warm-through` (restore
+ * checkpoint-jump fast-forward instead of the default warm-through
+ * mode — faster, but inaccurate on footprint-bound kernels), and
+ * `--full` (force full cycle-accurate simulation, overriding the
+ * sampling flags); anything unrecognised is passed through for
+ * bench-specific flags.
  */
 
 #ifndef MG_ENGINE_CLI_HH
@@ -18,6 +24,7 @@
 #include <vector>
 
 #include "engine/engine.hh"
+#include "workloads/kernel.hh"
 
 namespace mg {
 
@@ -26,9 +33,13 @@ struct CliOptions
 {
     int jobs = 1;               ///< --jobs N / -j N (0 = hardware)
     std::string jsonPath;       ///< --json PATH ("" = default name)
+    Scale scale = Scale::Ref;   ///< --scale ref|long (workload tier)
     std::uint64_t sampleInterval = 0;   ///< --sample-interval N (0 = off)
     std::uint64_t samplePeriod = 0;     ///< --sample-period N (0 = 12×)
     std::uint64_t sampleWarmup = ~0ull; ///< --warmup N (~0 = default)
+    bool ssShadow = true;       ///< --no-ss-shadow clears it
+    bool warmThrough = true;    ///< --no-warm-through restores
+                                ///< checkpoint-jump fast-forward
     bool full = false;                  ///< --full wins over sampling
     bool noThroughput = false;  ///< --no-throughput: omit the
                                 ///< nondeterministic wall-clock fields
@@ -38,6 +49,10 @@ struct CliOptions
 
     /** @return true when @p flag appears among the leftover args. */
     bool has(const std::string &flag) const;
+
+    /** Report name for @p base: "<base>_long" on the long tier, so the
+     *  two tiers' BENCH_*.json artifacts never overwrite each other. */
+    std::string benchName(const std::string &base) const;
 
     /** Sampling parameters these flags resolve to (may be disabled). */
     SamplingParams samplingParams() const;
@@ -53,7 +68,8 @@ struct CliOptions
     }
 };
 
-/** Parse argv; fatal() on malformed options. */
+/** Parse argv; fatal() on malformed options. `--list-kernels` prints
+ *  the registry (names, suites, supported scales) and exits. */
 CliOptions parseCli(int argc, char **argv);
 
 } // namespace mg

@@ -120,7 +120,9 @@ addSampling(Fingerprint &fp, const SamplingParams &s)
         .add("sFfw", s.ffWarm)
         .add("sPre", s.prefix)
         .add("sCi", static_cast<std::uint64_t>(s.targetCi * 1e6))
-        .add("sDuty", static_cast<std::uint64_t>(s.maxDuty * 1e6));
+        .add("sDuty", static_cast<std::uint64_t>(s.maxDuty * 1e6))
+        .add("sShad", s.ssShadow)
+        .add("sWt", s.warmThrough);
 }
 
 } // namespace

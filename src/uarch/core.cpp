@@ -770,6 +770,8 @@ Core::executeStore(DynInst *d)
     if (viol) {
         ++stats_.ordViolations;
         ss.recordViolation(viol->pc, d->pc);
+        if (ffShadow)
+            ffViolPairs[viol->pc] = d->pc;
         squashFrom(viol->seq);
     }
 }
@@ -1157,6 +1159,14 @@ Core::fastForward(std::uint64_t workTarget, bool warm, double ipcEst)
                 mem.dataAccess(rec.memAddr, rec.memIsStore, now);
             else
                 mem.warmData(rec.memAddr, rec.memIsStore);
+            if (ffShadow && !rec.memIsStore && !ffViolPairs.empty()) {
+                // Store-set shadow: re-merge only exact pairs a
+                // detailed interval of this run has seen violate
+                // (idempotent when the pair is already in one set).
+                auto it = ffViolPairs.find(rec.pc);
+                if (it != ffViolPairs.end())
+                    ss.recordViolation(it->first, it->second);
+            }
         }
         if (rec.insn->isControl() || rec.insn->isHandle())
             warmControl(*rec.insn, rec);
@@ -1179,6 +1189,8 @@ Core::runSampled(const SamplingParams &sp, const SampleSummary &sum,
                  std::uint64_t maxWork)
 {
     stats_ = CoreStats();
+    ffShadow = sp.ssShadow;
+    ffViolPairs.clear();
     SampledStats out;
     out.totalWork = std::min(sum.totalWork, maxWork);
 
@@ -1278,7 +1290,12 @@ Core::runSampled(const SamplingParams &sp, const SampleSummary &sum,
     auto chunkIdxOf = [&](const SampleChunk *c) {
         return static_cast<std::size_t>(c - sum.chunks.data());
     };
+    // Occurrence rank of every chunk within its cluster, for the
+    // stratified refinement below.
+    std::vector<std::size_t> occIdxOf(sum.chunks.size(), 0);
     for (const auto &o : occ) {
+        for (std::size_t i = 0; i < o.size(); ++i)
+            occIdxOf[chunkIdxOf(o[i])] = i;
         std::size_t m = o.size();
         if (m <= 3) {
             for (const SampleChunk *c : o)
@@ -1289,27 +1306,56 @@ Core::runSampled(const SamplingParams &sp, const SampleSummary &sum,
         }
     }
     constexpr std::size_t maxPerCluster = 24;
+    // Stratified refinement: the oracle only moves forward, so
+    // CI-driven extra samples taken in stream order would all land
+    // right after the prefix — and a long-lived cluster with a
+    // performance trend (predictors and caches still training over
+    // hundreds of chunks, the rtr signature) would be estimated from
+    // its transient head alone. Spacing eligible occurrences a
+    // cluster-extent/maxPerCluster stride apart spreads the same
+    // sample budget across the whole extent. Clusters with fewer
+    // occurrences than the cap get stride 1: short (tier-1) runs keep
+    // the previous plan.
+    std::vector<std::size_t> stride(sum.clusters, 1);
+    std::vector<std::size_t> nextEligible(sum.clusters, 0);
+    for (std::uint32_t c = 0; c < sum.clusters; ++c) {
+        if (occ[c].size() > maxPerCluster)
+            stride[c] = occ[c].size() / maxPerCluster;
+    }
     std::uint64_t dutyBudget = static_cast<std::uint64_t>(
         sp.maxDuty * static_cast<double>(out.totalWork));
     auto shouldMeasure = [&](const SampleChunk *c) {
         const ClusterAgg &a = agg[c->cluster];
+        std::size_t oi = occIdxOf[chunkIdxOf(c)];
+        auto take = [&](bool yes) {
+            if (yes) {
+                nextEligible[c->cluster] =
+                    std::max(nextEligible[c->cluster],
+                             oi + stride[c->cluster]);
+            }
+            return yes;
+        };
         if (a.ipcs.empty())
-            return true;   // every cluster is covered at least once
+            return take(true);   // every cluster is covered once
         double share = static_cast<double>(a.work) /
             static_cast<double>(postWork ? postWork : 1);
         if (stats_.committedWork >= dutyBudget) {
             // Over budget, only gross non-convergence keeps sampling:
             // a cheap estimate is worthless if its bound is huge.
-            return sp.targetCi > 0 && a.ipcs.size() < maxPerCluster &&
-                a.relCi() * share > 5 * sp.targetCi;
+            return take(sp.targetCi > 0 &&
+                        a.ipcs.size() < maxPerCluster &&
+                        oi >= nextEligible[c->cluster] &&
+                        a.relCi() * share > 5 * sp.targetCi);
         }
         if (baseMark[chunkIdxOf(c)])
-            return true;
+            return take(true);
+        if (oi < nextEligible[c->cluster])
+            return false;
         if (a.ipcs.size() < 2)
-            return true;
+            return take(true);
         if (sp.targetCi <= 0 || a.ipcs.size() >= maxPerCluster)
             return false;
-        return a.relCi() * share > sp.targetCi / 2;
+        return take(a.relCi() * share > sp.targetCi / 2);
     };
 
     double lastIpc = cold.ipc();   // virtual-clock fast-forward rate
@@ -1318,24 +1364,34 @@ Core::runSampled(const SamplingParams &sp, const SampleSummary &sum,
         if (ch->start < cold.committedWork ||
             ch->start + sp.interval > out.totalWork)
             continue;
-        if (!shouldMeasure(ch))
-            continue;
         if (emu.halted())
             break;
-        // Fast-forward to the chunk: jump through the checkpoint the
-        // summary captured for it, then functionally warm the tail.
+        // Chunks the prefix/drain (or a previous measurement's settle
+        // span) already covered are discarded before the plan is
+        // consulted: shouldMeasure ratchets per-cluster eligibility,
+        // and a chunk that cannot be measured must not burn a stride
+        // of its cluster's refinement budget.
         std::uint64_t p = emu.dynWork();
         if (ch->start <= p)
-            continue;   // prefix/drain already covered this chunk
+            continue;
+        if (!shouldMeasure(ch))
+            continue;
+        // Fast-forward to the chunk: jump through the checkpoint the
+        // summary captured for it, then functionally warm the tail.
         std::uint64_t warmStart = ch->start > sp.warmup
             ? ch->start - sp.warmup : 0;
         if (warmStart > p) {
+            // Warm-through mode skips the jump: the whole gap is
+            // emulated with warming so cumulative cache/predictor
+            // state survives (footprint-bound kernels).
             const EmuCheckpoint *jump = nullptr;
-            for (const EmuCheckpoint &c : sum.ckpts) {
-                if (c.work > warmStart)
-                    break;
-                if (c.work > p)
-                    jump = &c;   // ascending: keep the latest eligible
+            if (!sp.warmThrough) {
+                for (const EmuCheckpoint &c : sum.ckpts) {
+                    if (c.work > warmStart)
+                        break;
+                    if (c.work > p)
+                        jump = &c;   // ascending: keep latest eligible
+                }
             }
             if (jump) {
                 // The skipped region's time passes on the virtual

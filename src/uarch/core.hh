@@ -24,6 +24,7 @@
 
 #include <cmath>
 #include <deque>
+#include <unordered_map>
 #include <vector>
 
 #include "emu/emulator.hh"
@@ -329,6 +330,20 @@ class Core
     // cycle. Entries self-expire (seq mismatch or memDone) and are
     // compacted in doMemAndResolve.
     std::vector<std::pair<DynInst *, std::uint64_t>> pendingMem;
+
+    // Functional store-set shadow (sampled runs, SamplingParams::
+    // ssShadow). Which store->load pairs actually violate is a timing
+    // property a functional pass cannot predict (most same-address
+    // pairs issue in order and never violate, and pairing them anyway
+    // merges unrelated store PCs into giant sets that serialize the
+    // machine), so the shadow only *re-trains* exact pairs this run's
+    // detailed intervals have already seen violate: during warm
+    // fast-forward, a load whose PC is a known violator re-merges its
+    // recorded store partner, carrying the learned dependence across
+    // checkpoint jumps and the predictor's periodic table clears.
+    std::unordered_map<Addr, Addr> ffViolPairs;  ///< loadPc -> storePc
+                                                 ///< (real violations)
+    bool ffShadow = false;      ///< set by runSampled from ssShadow
 
     // --- pipeline stages (called youngest-stage-last each cycle) ---
     void doMemAndResolve();

@@ -63,6 +63,29 @@ struct SamplingParams
                                     ///< share of the run (coverage
                                     ///< beyond one sample per cluster
                                     ///< stops at this spend)
+    /** Functional store-set shadow: while fast-forwarding, re-train
+     *  exactly the (load PC, store PC) pairs this run's detailed
+     *  intervals have already seen violate, so the learned memory
+     *  dependences survive checkpoint jumps and the predictor's
+     *  periodic table clears instead of being re-discovered by
+     *  squash storms inside the measurement intervals. (Pairing
+     *  *functionally-observed* same-address ops instead is tempting
+     *  but wrong: most never violate, and training them serializes
+     *  the machine — see docs/EXPERIMENTS.md.) */
+    bool ssShadow = true;
+    /** Warm-through fast-forward (the default): never checkpoint-
+     *  jump; emulate every skipped instruction with functional
+     *  warming (caches, branch predictor, virtual clock) so
+     *  *cumulative* long-lived state — a working set that takes
+     *  hundreds of chunks to become cache-resident — is preserved
+     *  between measurements. Slower than jumping (the whole run is
+     *  at least emulated, so speedup is bounded by the emulate/
+     *  detailed ratio) but it removes the dominant long-tier error
+     *  source on footprint-bound kernels (rtr: 25-29% error jumping,
+     *  under 4% warming through, still ~4x). Clear it to restore the
+     *  checkpoint-jump fast path; see docs/EXPERIMENTS.md for the
+     *  measured trade on both tiers. */
+    bool warmThrough = true;
 
     /** Detailed + functionally-warmed work per period. */
     std::uint64_t

@@ -1,5 +1,6 @@
 #include "workloads/kernel.hh"
 
+#include <deque>
 #include <map>
 #include <mutex>
 
@@ -7,6 +8,38 @@
 #include "common/logging.hh"
 
 namespace mg {
+
+const char *
+scaleName(Scale s)
+{
+    return s == Scale::Long ? "long" : "ref";
+}
+
+Scale
+parseScale(const std::string &text)
+{
+    if (text == "ref")
+        return Scale::Ref;
+    if (text == "long")
+        return Scale::Long;
+    fatal("unknown scale '%s' (valid: ref, long)", text.c_str());
+}
+
+void
+Kernel::setupAt(Emulator &emu, int inputSet, Scale s) const
+{
+    if (!supports(s))
+        fatal("kernel %s has no %s-scale variant", name, scaleName(s));
+    (s == Scale::Long ? longSetup : setup)(emu, inputSet);
+}
+
+bool
+Kernel::validateAt(const Emulator &emu, int inputSet, Scale s) const
+{
+    if (!supports(s))
+        fatal("kernel %s has no %s-scale variant", name, scaleName(s));
+    return (s == Scale::Long ? longValidate : validate)(emu, inputSet);
+}
 
 const std::vector<Kernel> &
 allKernels()
@@ -30,7 +63,15 @@ findKernel(const std::string &name)
         if (name == k.name)
             return k;
     }
-    fatal("unknown kernel '%s'", name.c_str());
+    // Enumerate the registry so a typo is a one-round-trip fix.
+    std::string known;
+    for (const std::string &suite : suiteNames()) {
+        known += strfmt("\n  %s:", suite.c_str());
+        for (const Kernel *k : suiteKernels(suite))
+            known += strfmt(" %s", k->name);
+    }
+    fatal("unknown kernel '%s'; known kernels:%s", name.c_str(),
+          known.c_str());
 }
 
 std::vector<const Kernel *>
@@ -53,16 +94,59 @@ suiteNames()
     return names;
 }
 
+std::string
+kernelListing()
+{
+    std::string out = strfmt("%-14s %-13s %-9s %s\n", "kernel", "suite",
+                             "scales", "description");
+    for (const std::string &suite : suiteNames()) {
+        for (const Kernel *k : suiteKernels(suite)) {
+            out += strfmt("%-14s %-13s %-9s %s\n", k->name, k->suite,
+                          k->supports(Scale::Long) ? "ref,long" : "ref",
+                          k->description);
+        }
+    }
+    return out;
+}
+
 const Program &
-kernelProgram(const Kernel &k)
+kernelProgram(const Kernel &k, Scale scale)
 {
     static std::map<std::string, Program> cache;
     static std::mutex lock;
+    // Scales sharing one source text share one cache entry (and one
+    // assembled Program): the long tier of an iteration-count-scaled
+    // kernel runs the identical binary on bigger inputs.
+    std::string key = k.name;
+    if (scale == Scale::Long && k.longSource)
+        key += "@long";
     std::lock_guard<std::mutex> g(lock);
-    auto it = cache.find(k.name);
+    auto it = cache.find(key);
     if (it == cache.end())
-        it = cache.emplace(k.name, assemble(k.source, k.name)).first;
+        it = cache.emplace(key, assemble(k.sourceFor(scale), key)).first;
     return it->second;
+}
+
+const char *
+scaledSource(const char *src,
+             std::initializer_list<std::pair<const char *, const char *>>
+                 subs)
+{
+    // Registration-time storage: the Kernel structs keep raw pointers.
+    static std::deque<std::string> store;
+    static std::mutex lock;
+    std::string text = src;
+    for (const auto &[from, to] : subs) {
+        std::size_t first = text.find(from);
+        if (first == std::string::npos)
+            fatal("scaledSource: pattern '%s' not found", from);
+        if (text.find(from, first + 1) != std::string::npos)
+            fatal("scaledSource: pattern '%s' is ambiguous", from);
+        text.replace(first, std::string(from).size(), to);
+    }
+    std::lock_guard<std::mutex> g(lock);
+    store.push_back(std::move(text));
+    return store.back().c_str();
 }
 
 } // namespace mg

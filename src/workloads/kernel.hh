@@ -9,12 +9,26 @@
  * substitution table). Every kernel writes a final checksum to its
  * `<name>_out` symbol; validation recomputes the checksum with a C++
  * mirror of the same algorithm over the same inputs.
+ *
+ * Kernels carry a *scale* (size-class) axis. `Scale::Ref` is the
+ * tier-1 configuration every kernel supports: 50k-300k units of
+ * dynamic work, sized so full kernel x configuration sweeps stay
+ * cheap. `Scale::Long` is the M-scale tier (>= 1M units of work per
+ * kernel) that makes sampled-simulation error measurable and
+ * exercises timing-dependent speculation state (store-set training,
+ * congestion equilibria); a representative subset of every suite
+ * supports it. A long variant reuses the reference program text when
+ * only its in-memory inputs and iteration counts grow, or substitutes
+ * a larger-data-segment assembly via scaledSource() when a buffer
+ * must be resized.
  */
 
 #ifndef MG_WORKLOADS_KERNEL_HH
 #define MG_WORKLOADS_KERNEL_HH
 
+#include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "emu/emulator.hh"
@@ -22,13 +36,26 @@
 
 namespace mg {
 
+/** Size class of a kernel run. */
+enum class Scale
+{
+    Ref,    ///< tier-1 reference inputs (every kernel)
+    Long,   ///< M-scale inputs, >= 1M units of work (subset)
+};
+
+/** Stable lowercase name ("ref" / "long"). */
+const char *scaleName(Scale s);
+
+/** Parse a --scale value; fatal on anything but "ref" / "long". */
+Scale parseScale(const std::string &text);
+
 /** One benchmark kernel. */
 struct Kernel
 {
     const char *name;           ///< short id, e.g. "crc"
     const char *suite;          ///< SPECint-S, MediaBench-S, ...
     const char *description;
-    const char *source;         ///< MG-Alpha assembly text
+    const char *source;         ///< MG-Alpha assembly text (Scale::Ref)
 
     /**
      * Write inputs into @p emu's memory (call after reset).
@@ -39,12 +66,39 @@ struct Kernel
 
     /** Check outputs against the C++ reference implementation. */
     bool (*validate)(const Emulator &emu, int inputSet);
+
+    // ---- Scale::Long variant (null members = unsupported) ----
+    /** Long-tier assembly; null = the Ref program is reused (the long
+     *  inputs fit its buffers and only iteration counts grow). */
+    const char *longSource = nullptr;
+    void (*longSetup)(Emulator &emu, int inputSet) = nullptr;
+    bool (*longValidate)(const Emulator &emu, int inputSet) = nullptr;
+
+    /** Does the kernel support @p s? (Ref always.) */
+    bool
+    supports(Scale s) const
+    {
+        return s == Scale::Ref || longSetup != nullptr;
+    }
+
+    /** Assembly text executed at @p s. */
+    const char *
+    sourceFor(Scale s) const
+    {
+        return s == Scale::Long && longSource ? longSource : source;
+    }
+
+    /** Scale-dispatching setup; fatal when @p s is unsupported. */
+    void setupAt(Emulator &emu, int inputSet, Scale s) const;
+
+    /** Scale-dispatching validate; fatal when @p s is unsupported. */
+    bool validateAt(const Emulator &emu, int inputSet, Scale s) const;
 };
 
 /** Every registered kernel, all suites. */
 const std::vector<Kernel> &allKernels();
 
-/** Lookup by name; fatal when unknown. */
+/** Lookup by name; fatal (listing every valid name) when unknown. */
 const Kernel &findKernel(const std::string &name);
 
 /** Kernels belonging to @p suite (in registration order). */
@@ -53,8 +107,26 @@ std::vector<const Kernel *> suiteKernels(const std::string &suite);
 /** The four suite names in presentation order. */
 const std::vector<std::string> &suiteNames();
 
-/** Assemble a kernel's source (cached per kernel). */
-const Program &kernelProgram(const Kernel &k);
+/**
+ * One-line-per-kernel discovery listing (name, suite, supported
+ * scales, description) — what `--list-kernels` prints.
+ */
+std::string kernelListing();
+
+/** Assemble a kernel's source for @p scale (cached per kernel+scale;
+ *  scales sharing one source share one Program). */
+const Program &kernelProgram(const Kernel &k, Scale scale = Scale::Ref);
+
+/**
+ * Derive a scale-variant assembly text: @p src with every (from, to)
+ * replacement applied. Each `from` must occur exactly once — matching
+ * a full `sym: .space N` line keeps substitutions unambiguous — and
+ * the call is fatal otherwise. The returned storage lives for the
+ * process (registration-time use).
+ */
+const char *scaledSource(
+    const char *src,
+    std::initializer_list<std::pair<const char *, const char *>> subs);
 
 // Registration hooks used by the per-suite translation units.
 std::vector<Kernel> specintKernels();

@@ -21,6 +21,7 @@ namespace {
 // ---------------------------------------------------------------------
 
 constexpr int crcN = 3600;
+constexpr int crcNLong = 110000;    ///< ~1.1M units of work
 
 const char *crcSrc = R"ASM(
     .text
@@ -72,20 +73,20 @@ crc_in:    .space 3600
 )ASM";
 
 void
-crcSetup(Emulator &emu, int inputSet)
+crcSetupImpl(Emulator &emu, int inputSet, int n)
 {
     Rng rng(0xc2cu + static_cast<unsigned>(inputSet));
     Memory &m = emu.memory();
     const Program &p = emu.program();
-    m.write(p.symbol("crc_n"), crcN, 8);
+    m.write(p.symbol("crc_n"), static_cast<std::uint64_t>(n), 8);
     Addr in = p.symbol("crc_in");
-    for (int i = 0; i < crcN; ++i)
+    for (int i = 0; i < n; ++i)
         m.writeByte(in + static_cast<Addr>(i),
                     static_cast<std::uint8_t>(rng.next()));
 }
 
 bool
-crcValidate(const Emulator &emu, int inputSet)
+crcValidateImpl(const Emulator &emu, int inputSet, int n)
 {
     Rng rng(0xc2cu + static_cast<unsigned>(inputSet));
     std::uint64_t table[256];
@@ -100,12 +101,40 @@ crcValidate(const Emulator &emu, int inputSet)
         table[i] = c;
     }
     std::uint64_t crc = 0xFFFFFFFFull;
-    for (int i = 0; i < crcN; ++i) {
+    for (int i = 0; i < n; ++i) {
         std::uint8_t b = static_cast<std::uint8_t>(rng.next());
         crc = table[(crc ^ b) & 255] ^ (crc >> 8);
     }
     return emu.memory().read(emu.program().symbol("crc_out"), 8) == crc;
 }
+
+void
+crcSetup(Emulator &emu, int inputSet)
+{
+    crcSetupImpl(emu, inputSet, crcN);
+}
+
+bool
+crcValidate(const Emulator &emu, int inputSet)
+{
+    return crcValidateImpl(emu, inputSet, crcN);
+}
+
+void
+crcSetupLong(Emulator &emu, int inputSet)
+{
+    crcSetupImpl(emu, inputSet, crcNLong);
+}
+
+bool
+crcValidateLong(const Emulator &emu, int inputSet)
+{
+    return crcValidateImpl(emu, inputSet, crcNLong);
+}
+
+/** Long-tier program: the frame buffer grows to crcNLong bytes. */
+const char *crcLongSrc = scaledSource(
+    crcSrc, {{"crc_in:    .space 3600", "crc_in:    .space 110000"}});
 
 // ---------------------------------------------------------------------
 // drr: deficit round robin packet scheduling over 8 queues.
@@ -344,6 +373,7 @@ fragValidate(const Emulator &emu, int inputSet)
 // ---------------------------------------------------------------------
 
 constexpr int rtrLookups = 7000;
+constexpr int rtrLookupsLong = 70000;   ///< ~1.2M units of work
 constexpr int rtrLeaves = 64;
 
 const char *rtrSrc = R"ASM(
@@ -393,7 +423,8 @@ rtr_ips:   .space 28000
 
 void
 rtrGen(Rng &rng, std::vector<std::uint32_t> &root,
-       std::vector<std::uint32_t> &leaf, std::vector<std::uint32_t> &ips)
+       std::vector<std::uint32_t> &leaf, std::vector<std::uint32_t> &ips,
+       int lookups)
 {
     root.resize(65536);
     for (auto &e : root) {
@@ -407,20 +438,20 @@ rtrGen(Rng &rng, std::vector<std::uint32_t> &root,
     leaf.resize(static_cast<size_t>(rtrLeaves) * 256);
     for (auto &e : leaf)
         e = static_cast<std::uint32_t>(rng.below(256));
-    ips.resize(rtrLookups);
+    ips.resize(static_cast<size_t>(lookups));
     for (auto &ip : ips)
         ip = static_cast<std::uint32_t>(rng.next());
 }
 
 void
-rtrSetup(Emulator &emu, int inputSet)
+rtrSetupImpl(Emulator &emu, int inputSet, int lookups)
 {
     Rng rng(0x2077u + static_cast<unsigned>(inputSet));
     std::vector<std::uint32_t> root, leaf, ips;
-    rtrGen(rng, root, leaf, ips);
+    rtrGen(rng, root, leaf, ips, lookups);
     Memory &m = emu.memory();
     const Program &p = emu.program();
-    m.write(p.symbol("rtr_n"), rtrLookups, 8);
+    m.write(p.symbol("rtr_n"), static_cast<std::uint64_t>(lookups), 8);
     Addr r = p.symbol("rtr_root");
     for (size_t i = 0; i < root.size(); ++i)
         m.write(r + static_cast<Addr>(4 * i), root[i], 4);
@@ -433,11 +464,11 @@ rtrSetup(Emulator &emu, int inputSet)
 }
 
 bool
-rtrValidate(const Emulator &emu, int inputSet)
+rtrValidateImpl(const Emulator &emu, int inputSet, int lookups)
 {
     Rng rng(0x2077u + static_cast<unsigned>(inputSet));
     std::vector<std::uint32_t> root, leaf, ips;
-    rtrGen(rng, root, leaf, ips);
+    rtrGen(rng, root, leaf, ips, lookups);
     std::uint64_t sum = 0;
     for (std::uint32_t ip : ips) {
         std::uint32_t e = root[ip >> 16];
@@ -447,6 +478,35 @@ rtrValidate(const Emulator &emu, int inputSet)
     }
     return emu.memory().read(emu.program().symbol("rtr_out"), 8) == sum;
 }
+
+void
+rtrSetup(Emulator &emu, int inputSet)
+{
+    rtrSetupImpl(emu, inputSet, rtrLookups);
+}
+
+bool
+rtrValidate(const Emulator &emu, int inputSet)
+{
+    return rtrValidateImpl(emu, inputSet, rtrLookups);
+}
+
+void
+rtrSetupLong(Emulator &emu, int inputSet)
+{
+    rtrSetupImpl(emu, inputSet, rtrLookupsLong);
+}
+
+bool
+rtrValidateLong(const Emulator &emu, int inputSet)
+{
+    return rtrValidateImpl(emu, inputSet, rtrLookupsLong);
+}
+
+/** Long-tier program: the lookup-key stream grows to rtrLookupsLong
+ *  4-byte addresses; the trie tables are unchanged. */
+const char *rtrLongSrc = scaledSource(
+    rtrSrc, {{"rtr_ips:   .space 28000", "rtr_ips:   .space 280000"}});
 
 // ---------------------------------------------------------------------
 // reed: Reed-Solomon-style systematic encoder over GF(256) using
@@ -632,13 +692,15 @@ commKernels()
 {
     return {
         {"crc", "CommBench-S", "table-driven CRC32 frame checksum",
-         crcSrc, crcSetup, crcValidate},
+         crcSrc, crcSetup, crcValidate, crcLongSrc, crcSetupLong,
+         crcValidateLong},
         {"drr", "CommBench-S", "deficit round robin packet scheduler",
          drrSrc, drrSetup, drrValidate},
         {"frag", "CommBench-S", "IP fragmentation header generation",
          fragSrc, fragSetup, fragValidate},
         {"rtr", "CommBench-S", "two-level radix-trie route lookup",
-         rtrSrc, rtrSetup, rtrValidate},
+         rtrSrc, rtrSetup, rtrValidate, rtrLongSrc, rtrSetupLong,
+         rtrValidateLong},
         {"reed", "CommBench-S",
          "Reed-Solomon GF(256) systematic encoder", reedSrc, reedSetup,
          reedValidate},

@@ -497,6 +497,7 @@ g7Validate(const Emulator &emu, int inputSet)
 // ---------------------------------------------------------------------
 
 constexpr int dctBlocks = 10;
+constexpr int dctBlocksLong = 70;   ///< ~1.1M units of work
 
 std::vector<std::int64_t>
 dctCoeffs()
@@ -603,34 +604,34 @@ dct_in:   .space 5120
 )ASM";
 
 void
-dctSetup(Emulator &emu, int inputSet)
+dctSetupImpl(Emulator &emu, int inputSet, int blocks)
 {
     Rng rng(0xdc7u + static_cast<unsigned>(inputSet));
     auto c = dctCoeffs();
     Memory &m = emu.memory();
     const Program &p = emu.program();
-    m.write(p.symbol("dct_nblk"), dctBlocks, 8);
+    m.write(p.symbol("dct_nblk"), static_cast<std::uint64_t>(blocks), 8);
     Addr ca = p.symbol("dct_c");
     for (int i = 0; i < 64; ++i)
         m.write(ca + static_cast<Addr>(8 * i),
                 static_cast<std::uint64_t>(c[static_cast<size_t>(i)]), 8);
     Addr in = p.symbol("dct_in");
-    for (int i = 0; i < dctBlocks * 64; ++i)
+    for (int i = 0; i < blocks * 64; ++i)
         m.write(in + static_cast<Addr>(8 * i),
                 static_cast<std::uint64_t>(
                     static_cast<std::int64_t>(rng.below(256)) - 128), 8);
 }
 
 bool
-dctValidate(const Emulator &emu, int inputSet)
+dctValidateImpl(const Emulator &emu, int inputSet, int blocks)
 {
     Rng rng(0xdc7u + static_cast<unsigned>(inputSet));
     auto c = dctCoeffs();
-    std::vector<std::int64_t> in(static_cast<size_t>(dctBlocks) * 64);
+    std::vector<std::int64_t> in(static_cast<size_t>(blocks) * 64);
     for (auto &v : in)
         v = static_cast<std::int64_t>(rng.below(256)) - 128;
     std::uint64_t sum = 0;
-    for (int b = 0; b < dctBlocks; ++b) {
+    for (int b = 0; b < blocks; ++b) {
         const std::int64_t *blk = &in[static_cast<size_t>(b) * 64];
         std::int64_t tmp[64];
         for (int i = 0; i < 8; ++i) {
@@ -655,6 +656,35 @@ dctValidate(const Emulator &emu, int inputSet)
     }
     return emu.memory().read(emu.program().symbol("dct_out"), 8) == sum;
 }
+
+void
+dctSetup(Emulator &emu, int inputSet)
+{
+    dctSetupImpl(emu, inputSet, dctBlocks);
+}
+
+bool
+dctValidate(const Emulator &emu, int inputSet)
+{
+    return dctValidateImpl(emu, inputSet, dctBlocks);
+}
+
+void
+dctSetupLong(Emulator &emu, int inputSet)
+{
+    dctSetupImpl(emu, inputSet, dctBlocksLong);
+}
+
+bool
+dctValidateLong(const Emulator &emu, int inputSet)
+{
+    return dctValidateImpl(emu, inputSet, dctBlocksLong);
+}
+
+/** Long-tier program: the block loop is unchanged, the input segment
+ *  grows to dctBlocksLong 8x8 blocks (70 x 512 bytes). */
+const char *dctLongSrc = scaledSource(
+    dctSrc, {{"dct_in:   .space 5120", "dct_in:   .space 35840"}});
 
 // ---------------------------------------------------------------------
 // mpeg2.idct: inverse transform (out = C^T * in * C) with a final
@@ -818,6 +848,7 @@ idctValidate(const Emulator &emu, int inputSet)
 // ---------------------------------------------------------------------
 
 constexpr int lpcN = 1500;
+constexpr int lpcNLong = 6500;      ///< ~1.1M units of work
 constexpr int lpcStages = 8;
 
 const char *lpcSrc = R"ASM(
@@ -873,35 +904,35 @@ lpc_in:  .space 12000
 )ASM";
 
 void
-lpcSetup(Emulator &emu, int inputSet)
+lpcSetupImpl(Emulator &emu, int inputSet, int n)
 {
     Rng rng(0x95bu + static_cast<unsigned>(inputSet));
-    auto wave = synthWave(rng, lpcN);
+    auto wave = synthWave(rng, n);
     Memory &m = emu.memory();
     const Program &p = emu.program();
-    m.write(p.symbol("lpc_n"), lpcN, 8);
+    m.write(p.symbol("lpc_n"), static_cast<std::uint64_t>(n), 8);
     Addr a = p.symbol("lpc_a");
     for (int k = 0; k < lpcStages; ++k)
         m.write(a + static_cast<Addr>(8 * k),
                 static_cast<std::uint64_t>(rng.range(-2048, 2048)), 8);
     Addr in = p.symbol("lpc_in");
-    for (int i = 0; i < lpcN; ++i)
+    for (int i = 0; i < n; ++i)
         m.write(in + static_cast<Addr>(8 * i),
                 static_cast<std::uint64_t>(wave[static_cast<size_t>(i)]),
                 8);
 }
 
 bool
-lpcValidate(const Emulator &emu, int inputSet)
+lpcValidateImpl(const Emulator &emu, int inputSet, int n)
 {
     Rng rng(0x95bu + static_cast<unsigned>(inputSet));
-    auto wave = synthWave(rng, lpcN);
+    auto wave = synthWave(rng, n);
     std::int64_t a[lpcStages];
     for (auto &v : a)
         v = rng.range(-2048, 2048);
     std::int64_t d[lpcStages] = {};
     std::uint64_t sum = 0;
-    for (int i = 0; i < lpcN; ++i) {
+    for (int i = 0; i < n; ++i) {
         std::int64_t x = wave[static_cast<size_t>(i)];
         std::int64_t e = x;
         for (int k = 0; k < lpcStages; ++k)
@@ -913,6 +944,34 @@ lpcValidate(const Emulator &emu, int inputSet)
     }
     return emu.memory().read(emu.program().symbol("lpc_out"), 8) == sum;
 }
+
+void
+lpcSetup(Emulator &emu, int inputSet)
+{
+    lpcSetupImpl(emu, inputSet, lpcN);
+}
+
+bool
+lpcValidate(const Emulator &emu, int inputSet)
+{
+    return lpcValidateImpl(emu, inputSet, lpcN);
+}
+
+void
+lpcSetupLong(Emulator &emu, int inputSet)
+{
+    lpcSetupImpl(emu, inputSet, lpcNLong);
+}
+
+bool
+lpcValidateLong(const Emulator &emu, int inputSet)
+{
+    return lpcValidateImpl(emu, inputSet, lpcNLong);
+}
+
+/** Long-tier program: the input segment grows to lpcNLong samples. */
+const char *lpcLongSrc = scaledSource(
+    lpcSrc, {{"lpc_in:  .space 12000", "lpc_in:  .space 52000"}});
 
 } // namespace
 
@@ -929,13 +988,14 @@ mediaKernels()
          g7Validate},
         {"jpeg.dct", "MediaBench-S",
          "8x8 fixed-point forward DCT block transform", dctSrc,
-         dctSetup, dctValidate},
+         dctSetup, dctValidate, dctLongSrc, dctSetupLong,
+         dctValidateLong},
         {"mpeg2.idct", "MediaBench-S",
          "8x8 fixed-point inverse DCT with clamping", idctSrc,
          idctSetup, idctValidate},
         {"gsm.lpc", "MediaBench-S",
          "8-stage fixed-point LPC analysis filter", lpcSrc, lpcSetup,
-         lpcValidate},
+         lpcValidate, lpcLongSrc, lpcSetupLong, lpcValidateLong},
     };
 }
 

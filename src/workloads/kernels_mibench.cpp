@@ -25,6 +25,7 @@ namespace {
 // ---------------------------------------------------------------------
 
 constexpr int bcN = 1400;
+constexpr int bcNLong = 6600;       ///< ~1.1M units of work
 
 const char *bcSrc = R"ASM(
     .text
@@ -55,28 +56,56 @@ bc_in:  .space 11200
 )ASM";
 
 void
-bcSetup(Emulator &emu, int inputSet)
+bcSetupImpl(Emulator &emu, int inputSet, int n)
 {
     Rng rng(0xb17c0u + static_cast<unsigned>(inputSet));
     Memory &m = emu.memory();
     const Program &p = emu.program();
-    m.write(p.symbol("bc_n"), bcN, 8);
+    m.write(p.symbol("bc_n"), static_cast<std::uint64_t>(n), 8);
     Addr in = p.symbol("bc_in");
-    for (int i = 0; i < bcN; ++i)
+    for (int i = 0; i < n; ++i)
         m.write(in + static_cast<Addr>(8 * i), rng.next(), 8);
 }
 
 bool
-bcValidate(const Emulator &emu, int inputSet)
+bcValidateImpl(const Emulator &emu, int inputSet, int n)
 {
     Rng rng(0xb17c0u + static_cast<unsigned>(inputSet));
     std::uint64_t total = 0;
-    for (int i = 0; i < bcN; ++i) {
+    for (int i = 0; i < n; ++i) {
         std::uint64_t v = rng.next();
         total += 2ull * static_cast<std::uint64_t>(std::popcount(v));
     }
     return emu.memory().read(emu.program().symbol("bc_out"), 8) == total;
 }
+
+void
+bcSetup(Emulator &emu, int inputSet)
+{
+    bcSetupImpl(emu, inputSet, bcN);
+}
+
+bool
+bcValidate(const Emulator &emu, int inputSet)
+{
+    return bcValidateImpl(emu, inputSet, bcN);
+}
+
+void
+bcSetupLong(Emulator &emu, int inputSet)
+{
+    bcSetupImpl(emu, inputSet, bcNLong);
+}
+
+bool
+bcValidateLong(const Emulator &emu, int inputSet)
+{
+    return bcValidateImpl(emu, inputSet, bcNLong);
+}
+
+/** Long-tier program: the word array grows to bcNLong quads. */
+const char *bcLongSrc = scaledSource(
+    bcSrc, {{"bc_in:  .space 11200", "bc_in:  .space 52800"}});
 
 // ---------------------------------------------------------------------
 // sha: SHA-1-style compression rounds (message schedule + 80 rounds of
@@ -84,6 +113,7 @@ bcValidate(const Emulator &emu, int inputSet)
 // ---------------------------------------------------------------------
 
 constexpr int shaBlocks = 36;
+constexpr int shaBlocksLong = 340;  ///< ~1.1M units of work
 
 const char *shaSrc = R"ASM(
     .text
@@ -190,20 +220,20 @@ sha_msg:  .space 2304
 )ASM";
 
 void
-shaSetup(Emulator &emu, int inputSet)
+shaSetupImpl(Emulator &emu, int inputSet, int blocks)
 {
     Rng rng(0x5a1u + static_cast<unsigned>(inputSet));
     Memory &m = emu.memory();
     const Program &p = emu.program();
-    m.write(p.symbol("sha_nblk"), shaBlocks, 8);
+    m.write(p.symbol("sha_nblk"), static_cast<std::uint64_t>(blocks), 8);
     Addr msg = p.symbol("sha_msg");
-    for (int i = 0; i < shaBlocks * 16; ++i)
+    for (int i = 0; i < blocks * 16; ++i)
         m.write(msg + static_cast<Addr>(4 * i), rng.next() & 0xffffffff,
                 4);
 }
 
 bool
-shaValidate(const Emulator &emu, int inputSet)
+shaValidateImpl(const Emulator &emu, int inputSet, int blocks)
 {
     Rng rng(0x5a1u + static_cast<unsigned>(inputSet));
     auto rotl = [](std::uint32_t v, int n) {
@@ -211,7 +241,7 @@ shaValidate(const Emulator &emu, int inputSet)
     };
     std::uint32_t h[5] = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu,
                           0x10325476u, 0xC3D2E1F0u};
-    for (int b = 0; b < shaBlocks; ++b) {
+    for (int b = 0; b < blocks; ++b) {
         std::uint32_t w[80];
         for (int i = 0; i < 16; ++i)
             w[i] = static_cast<std::uint32_t>(rng.next() & 0xffffffff);
@@ -233,6 +263,35 @@ shaValidate(const Emulator &emu, int inputSet)
         ((static_cast<std::uint64_t>(h[0]) ^ h[1] ^ h[2]) + h[3]) ^ h[4];
     return emu.memory().read(emu.program().symbol("sha_out"), 8) == sum;
 }
+
+void
+shaSetup(Emulator &emu, int inputSet)
+{
+    shaSetupImpl(emu, inputSet, shaBlocks);
+}
+
+bool
+shaValidate(const Emulator &emu, int inputSet)
+{
+    return shaValidateImpl(emu, inputSet, shaBlocks);
+}
+
+void
+shaSetupLong(Emulator &emu, int inputSet)
+{
+    shaSetupImpl(emu, inputSet, shaBlocksLong);
+}
+
+bool
+shaValidateLong(const Emulator &emu, int inputSet)
+{
+    return shaValidateImpl(emu, inputSet, shaBlocksLong);
+}
+
+/** Long-tier program: the message grows to shaBlocksLong 64-byte
+ *  blocks. */
+const char *shaLongSrc = scaledSource(
+    shaSrc, {{"sha_msg:  .space 2304", "sha_msg:  .space 21760"}});
 
 // ---------------------------------------------------------------------
 // dijkstra: O(N^2) single-source shortest paths over a dense random
@@ -758,10 +817,11 @@ mibenchKernels()
     return {
         {"bitcount", "MiBench-S",
          "bit counting via ctpop and Kernighan's loop", bcSrc, bcSetup,
-         bcValidate},
+         bcValidate, bcLongSrc, bcSetupLong, bcValidateLong},
         {"sha", "MiBench-S",
          "SHA-1-style message schedule and 80 compression rounds",
-         shaSrc, shaSetup, shaValidate},
+         shaSrc, shaSetup, shaValidate, shaLongSrc, shaSetupLong,
+         shaValidateLong},
         {"dijkstra", "MiBench-S",
          "dense single-source shortest paths (O(N^2) scan)", djSrc,
          djSetup, djValidate},

@@ -190,6 +190,7 @@ gzValidate(const Emulator &emu, int inputSet)
 
 constexpr int mcfNodes = 6000;
 constexpr int mcfPasses = 2;
+constexpr int mcfPassesLong = 18;   ///< ~1.1M units of work
 
 const char *mcfSrc = R"ASM(
     .text
@@ -246,7 +247,7 @@ mcfPerm(Rng &rng, std::vector<std::int64_t> &perm)
 }
 
 void
-mcfSetup(Emulator &emu, int inputSet)
+mcfSetupImpl(Emulator &emu, int inputSet, int passes)
 {
     Rng rng(0x3cfu + static_cast<unsigned>(inputSet));
     std::vector<std::int64_t> perm;
@@ -254,7 +255,8 @@ mcfSetup(Emulator &emu, int inputSet)
     Memory &m = emu.memory();
     const Program &p = emu.program();
     m.write(p.symbol("mcf_n"), mcfNodes, 8);
-    m.write(p.symbol("mcf_passes"), mcfPasses, 8);
+    m.write(p.symbol("mcf_passes"), static_cast<std::uint64_t>(passes),
+            8);
     Addr base = p.symbol("mcf_nodes");
     // Permutation cycle: node perm[i] -> perm[i+1].
     for (int i = 0; i < mcfNodes; ++i) {
@@ -268,7 +270,7 @@ mcfSetup(Emulator &emu, int inputSet)
 }
 
 bool
-mcfValidate(const Emulator &emu, int inputSet)
+mcfValidateImpl(const Emulator &emu, int inputSet, int passes)
 {
     Rng rng(0x3cfu + static_cast<unsigned>(inputSet));
     std::vector<std::int64_t> perm;
@@ -284,7 +286,7 @@ mcfValidate(const Emulator &emu, int inputSet)
         pot[static_cast<size_t>(u)] = static_cast<std::int64_t>(
             1000000 + rng.below(1000000));
     }
-    for (int pass = 0; pass < mcfPasses; ++pass) {
+    for (int pass = 0; pass < passes; ++pass) {
         std::int64_t u = 0;
         for (int s = 0; s < mcfNodes; ++s) {
             std::int64_t v = next[static_cast<size_t>(u)];
@@ -299,6 +301,30 @@ mcfValidate(const Emulator &emu, int inputSet)
     for (int i = 0; i < mcfNodes; ++i)
         sum += static_cast<std::uint64_t>(pot[static_cast<size_t>(i)]);
     return emu.memory().read(emu.program().symbol("mcf_out"), 8) == sum;
+}
+
+void
+mcfSetup(Emulator &emu, int inputSet)
+{
+    mcfSetupImpl(emu, inputSet, mcfPasses);
+}
+
+bool
+mcfValidate(const Emulator &emu, int inputSet)
+{
+    return mcfValidateImpl(emu, inputSet, mcfPasses);
+}
+
+void
+mcfSetupLong(Emulator &emu, int inputSet)
+{
+    mcfSetupImpl(emu, inputSet, mcfPassesLong);
+}
+
+bool
+mcfValidateLong(const Emulator &emu, int inputSet)
+{
+    return mcfValidateImpl(emu, inputSet, mcfPassesLong);
 }
 
 // ---------------------------------------------------------------------
@@ -497,6 +523,7 @@ parValidate(const Emulator &emu, int inputSet)
 constexpr int twCells = 128;
 constexpr int twNets = 64;
 constexpr int twIters = 160;
+constexpr int twItersLong = 600;    ///< ~1.1M units of work
 
 const char *twSrc = R"ASM(
     .text
@@ -646,13 +673,13 @@ twGen(Rng &rng)
 }
 
 void
-twSetup(Emulator &emu, int inputSet)
+twSetupImpl(Emulator &emu, int inputSet, int iters)
 {
     Rng rng(0x2017u + static_cast<unsigned>(inputSet));
     TwState s = twGen(rng);
     Memory &m = emu.memory();
     const Program &p = emu.program();
-    m.write(p.symbol("tw_iters"), twIters, 8);
+    m.write(p.symbol("tw_iters"), static_cast<std::uint64_t>(iters), 8);
     m.write(p.symbol("tw_nnets"), twNets, 8);
     m.write(p.symbol("tw_seed"), s.seed, 8);
     for (int i = 0; i < twCells; ++i) {
@@ -674,7 +701,7 @@ twSetup(Emulator &emu, int inputSet)
 }
 
 bool
-twValidate(const Emulator &emu, int inputSet)
+twValidateImpl(const Emulator &emu, int inputSet, int iters)
 {
     Rng rng(0x2017u + static_cast<unsigned>(inputSet));
     TwState s = twGen(rng);
@@ -697,7 +724,7 @@ twValidate(const Emulator &emu, int inputSet)
         return (lcg >> 33) & (twCells - 1);
     };
     std::int64_t cur = cost();
-    for (int it = 0; it < twIters; ++it) {
+    for (int it = 0; it < iters; ++it) {
         std::uint64_t i = next();
         std::uint64_t j = next();
         std::swap(s.x[i], s.x[j]);
@@ -714,6 +741,30 @@ twValidate(const Emulator &emu, int inputSet)
         static_cast<std::uint64_t>(cur);
 }
 
+void
+twSetup(Emulator &emu, int inputSet)
+{
+    twSetupImpl(emu, inputSet, twIters);
+}
+
+bool
+twValidate(const Emulator &emu, int inputSet)
+{
+    return twValidateImpl(emu, inputSet, twIters);
+}
+
+void
+twSetupLong(Emulator &emu, int inputSet)
+{
+    twSetupImpl(emu, inputSet, twItersLong);
+}
+
+bool
+twValidateLong(const Emulator &emu, int inputSet)
+{
+    return twValidateImpl(emu, inputSet, twItersLong);
+}
+
 // ---------------------------------------------------------------------
 // gap: multi-precision (bignum) arithmetic — interleaved big-integer
 // additions with explicit carry chains over 64-bit limbs.
@@ -721,6 +772,7 @@ twValidate(const Emulator &emu, int inputSet)
 
 constexpr int gapLimbs = 32;
 constexpr int gapIters = 260;
+constexpr int gapItersLong = 1450;  ///< ~1.1M units of work
 
 const char *gapSrc = R"ASM(
     .text
@@ -804,14 +856,14 @@ gapGen(Rng &rng, std::vector<std::uint64_t> &a,
 }
 
 void
-gapSetup(Emulator &emu, int inputSet)
+gapSetupImpl(Emulator &emu, int inputSet, int iters)
 {
     Rng rng(0x9a9u + static_cast<unsigned>(inputSet));
     std::vector<std::uint64_t> a, b;
     gapGen(rng, a, b);
     Memory &m = emu.memory();
     const Program &p = emu.program();
-    m.write(p.symbol("gap_iters"), gapIters, 8);
+    m.write(p.symbol("gap_iters"), static_cast<std::uint64_t>(iters), 8);
     m.write(p.symbol("gap_limbs"), gapLimbs, 8);
     for (int i = 0; i < gapLimbs; ++i) {
         m.write(p.symbol("gap_a") + static_cast<Addr>(8 * i),
@@ -822,7 +874,7 @@ gapSetup(Emulator &emu, int inputSet)
 }
 
 bool
-gapValidate(const Emulator &emu, int inputSet)
+gapValidateImpl(const Emulator &emu, int inputSet, int iters)
 {
     Rng rng(0x9a9u + static_cast<unsigned>(inputSet));
     std::vector<std::uint64_t> a, b;
@@ -840,7 +892,7 @@ gapValidate(const Emulator &emu, int inputSet)
             x[static_cast<size_t>(i)] = s2;
         }
     };
-    for (int it = 0; it < gapIters; ++it) {
+    for (int it = 0; it < iters; ++it) {
         addInto(a, b);
         addInto(b, a);
     }
@@ -849,6 +901,30 @@ gapValidate(const Emulator &emu, int inputSet)
         sum = sum * 31 +
             (a[static_cast<size_t>(i)] ^ b[static_cast<size_t>(i)]);
     return emu.memory().read(emu.program().symbol("gap_out"), 8) == sum;
+}
+
+void
+gapSetup(Emulator &emu, int inputSet)
+{
+    gapSetupImpl(emu, inputSet, gapIters);
+}
+
+bool
+gapValidate(const Emulator &emu, int inputSet)
+{
+    return gapValidateImpl(emu, inputSet, gapIters);
+}
+
+void
+gapSetupLong(Emulator &emu, int inputSet)
+{
+    gapSetupImpl(emu, inputSet, gapItersLong);
+}
+
+bool
+gapValidateLong(const Emulator &emu, int inputSet)
+{
+    return gapValidateImpl(emu, inputSet, gapItersLong);
 }
 
 // ---------------------------------------------------------------------
@@ -965,16 +1041,16 @@ specintKernels()
          gzSrc, gzSetup, gzValidate},
         {"mcf", "SPECint-S",
          "pointer-chasing relaxation over a 192KB node cycle", mcfSrc,
-         mcfSetup, mcfValidate},
+         mcfSetup, mcfValidate, nullptr, mcfSetupLong, mcfValidateLong},
         {"parser", "SPECint-S",
          "tokenizer with open-addressed dictionary lookup", parSrc,
          parSetup, parValidate},
         {"twolf", "SPECint-S",
          "annealing placement with half-perimeter cost", twSrc,
-         twSetup, twValidate},
+         twSetup, twValidate, nullptr, twSetupLong, twValidateLong},
         {"gap", "SPECint-S",
          "multi-precision addition with carry chains", gapSrc,
-         gapSetup, gapValidate},
+         gapSetup, gapValidate, nullptr, gapSetupLong, gapValidateLong},
         {"crafty", "SPECint-S",
          "bitboard mobility evaluation with popcounts", cfSrc, cfSetup,
          cfValidate},

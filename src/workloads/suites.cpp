@@ -8,34 +8,43 @@ SetupFn
 BoundKernel::setupFor(int inputSet) const
 {
     const Kernel *k = kernel;
-    return [k, inputSet](Emulator &emu) { k->setup(emu, inputSet); };
+    Scale sc = scale;
+    return [k, inputSet, sc](Emulator &emu) {
+        k->setupAt(emu, inputSet, sc);
+    };
 }
 
 BoundKernel
-bindKernel(const Kernel &k)
+bindKernel(const Kernel &k, Scale scale)
 {
+    if (!k.supports(scale))
+        fatal("kernel %s has no %s-scale variant", k.name,
+              scaleName(scale));
     BoundKernel bk;
     bk.kernel = &k;
-    bk.program = &kernelProgram(k);
+    bk.program = &kernelProgram(k, scale);
+    bk.scale = scale;
     bk.setup = bk.setupFor(0);
     return bk;
 }
 
 std::vector<BoundKernel>
-bindSuite(const std::string &suite)
+bindSuite(const std::string &suite, Scale scale)
 {
     std::vector<BoundKernel> out;
-    for (const Kernel *k : suiteKernels(suite))
-        out.push_back(bindKernel(*k));
+    for (const Kernel *k : suiteKernels(suite)) {
+        if (k->supports(scale))
+            out.push_back(bindKernel(*k, scale));
+    }
     return out;
 }
 
 std::vector<BoundKernel>
-bindAll()
+bindAll(Scale scale)
 {
     std::vector<BoundKernel> out;
     for (const std::string &s : suiteNames()) {
-        for (BoundKernel &bk : bindSuite(s))
+        for (BoundKernel &bk : bindSuite(s, scale))
             out.push_back(std::move(bk));
     }
     return out;
@@ -46,6 +55,8 @@ workload(const BoundKernel &bk, int inputSet)
 {
     EngineWorkload w;
     w.id = bk.kernel->name;
+    if (bk.scale != Scale::Ref)
+        w.id += strfmt("@%s", scaleName(bk.scale));
     if (inputSet != 0)
         w.id += strfmt("#%d", inputSet);
     w.suite = bk.kernel->suite;
@@ -55,11 +66,11 @@ workload(const BoundKernel &bk, int inputSet)
 }
 
 std::vector<EngineWorkload>
-suiteWorkloads(const std::string &suite, int inputSet)
+suiteWorkloads(const std::string &suite, int inputSet, Scale scale)
 {
     std::vector<EngineWorkload> out;
     for (const BoundKernel &bk :
-         suite == "all" ? bindAll() : bindSuite(suite))
+         suite == "all" ? bindAll(scale) : bindSuite(suite, scale))
         out.push_back(workload(bk, inputSet));
     return out;
 }
@@ -80,11 +91,11 @@ std::uint64_t
 checkKernel(const BoundKernel &bk, int inputSet)
 {
     Emulator emu(*bk.program);
-    bk.kernel->setup(emu, inputSet);
+    bk.kernel->setupAt(emu, inputSet, bk.scale);
     EmuResult r = emu.run(100000000ull);
     if (r.stop != StopReason::Halted)
         fatal("kernel %s did not halt within budget", bk.kernel->name);
-    if (!bk.kernel->validate(emu, inputSet))
+    if (!bk.kernel->validateAt(emu, inputSet, bk.scale))
         fatal("kernel %s failed output validation", bk.kernel->name);
     return r.dynWork;
 }

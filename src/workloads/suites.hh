@@ -1,9 +1,15 @@
 /**
  * @file
  * Convenience layer tying kernels to the experiment engine: binding a
- * kernel assembles its source and packages its input-planting closure;
- * the suite-matrix helpers expose whole suites (and the paper's
- * standard configuration columns) as engine sweep axes.
+ * kernel assembles its source (at the requested scale) and packages
+ * its input-planting closure; the suite-matrix helpers expose whole
+ * suites (and the paper's standard configuration columns) as engine
+ * sweep axes.
+ *
+ * Scale flows through the workload id ("<kernel>@long"), which is the
+ * key every engine artifact cache fingerprints on — so profiles,
+ * prepared rewrites, timing runs, and sample summaries of the two
+ * tiers never collide even when they share one program text.
  */
 
 #ifndef MG_WORKLOADS_SUITES_HH
@@ -18,25 +24,29 @@
 
 namespace mg {
 
-/** A kernel bound to its program and setup closure. */
+/** A kernel bound to its program and setup closure at one scale. */
 struct BoundKernel
 {
     const Kernel *kernel = nullptr;
     const Program *program = nullptr;
+    Scale scale = Scale::Ref;
     SetupFn setup;                  ///< inputSet 0
 
-    /** Setup closure for an alternate input set. */
+    /** Setup closure for an alternate input set (same scale). */
     SetupFn setupFor(int inputSet) const;
 };
 
-/** Bind @p k (assembling its source on first use). */
-BoundKernel bindKernel(const Kernel &k);
+/** Bind @p k at @p scale (assembling its source on first use); fatal
+ *  when the kernel does not support the scale. */
+BoundKernel bindKernel(const Kernel &k, Scale scale = Scale::Ref);
 
-/** Bind every kernel of @p suite. */
-std::vector<BoundKernel> bindSuite(const std::string &suite);
+/** Bind every kernel of @p suite supporting @p scale. */
+std::vector<BoundKernel> bindSuite(const std::string &suite,
+                                   Scale scale = Scale::Ref);
 
-/** Bind all kernels of all suites (presentation order). */
-std::vector<BoundKernel> bindAll();
+/** Bind all kernels of all suites supporting @p scale (presentation
+ *  order). */
+std::vector<BoundKernel> bindAll(Scale scale = Scale::Ref);
 
 /**
  * Emulate @p bk to completion and verify its checksum against the C++
@@ -46,17 +56,18 @@ std::uint64_t checkKernel(const BoundKernel &bk, int inputSet = 0);
 
 /**
  * Engine workload for @p bk's input set @p inputSet. The workload id
- * is the kernel name (suffixed "#<set>" for alternate inputs), which
- * is what the artifact caches key on.
+ * is the kernel name (suffixed "@long" for the long tier and "#<set>"
+ * for alternate inputs), which is what the artifact caches key on.
  */
 EngineWorkload workload(const BoundKernel &bk, int inputSet = 0);
 
 /**
  * A sweep row axis: every kernel of @p suite ("all" = all suites in
- * presentation order) as an engine workload.
+ * presentation order) supporting @p scale, as an engine workload.
  */
 std::vector<EngineWorkload> suiteWorkloads(const std::string &suite = "all",
-                                           int inputSet = 0);
+                                           int inputSet = 0,
+                                           Scale scale = Scale::Ref);
 
 /**
  * The paper's standard column axis: the 6-wide baseline followed by

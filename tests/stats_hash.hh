@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared helpers for the golden stats-identity batteries
+ * (test_perf_identity, test_long_kernels) and the differential fuzz
+ * checksums: one FNV-1a implementation and one definition of "the
+ * hash over every CoreStats counter", so the tier pins can never
+ * silently diverge in what they hash.
+ */
+
+#ifndef MG_TESTS_STATS_HASH_HH
+#define MG_TESTS_STATS_HASH_HH
+
+#include <cstdint>
+
+#include "sim/config.hh"
+#include "uarch/core.hh"
+
+namespace mg {
+namespace testhash {
+
+inline std::uint64_t
+fnv1a(std::uint64_t h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+constexpr std::uint64_t fnvBasis = 1469598103934665603ull;
+
+/** FNV-1a over every CoreStats counter, in declaration order. */
+inline std::uint64_t
+statsHash(const CoreStats &s)
+{
+    std::uint64_t h = fnvBasis;
+#define MG_H(f) h = fnv1a(h, static_cast<std::uint64_t>(s.f));
+    MG_CORE_STATS_COUNTERS(MG_H)
+#undef MG_H
+    return h;
+}
+
+/** The golden tables' machine shapes: base / int / intmem. */
+inline SimConfig
+configOf(const std::string &name)
+{
+    if (name == "base")
+        return SimConfig::baseline();
+    if (name == "int")
+        return SimConfig::intMg();
+    return SimConfig::intMemMg();
+}
+
+/** One golden-table row. */
+struct Golden
+{
+    const char *kernel;
+    const char *config;
+    std::uint64_t hash;
+};
+
+} // namespace testhash
+} // namespace mg
+
+#endif // MG_TESTS_STATS_HASH_HH

@@ -1,11 +1,21 @@
 /**
  * @file
- * Randomized end-to-end property test: generate random (but always
- * terminating) MG-Alpha programs, run the full mini-graph flow —
- * profile, select under a random policy, rewrite, execute — and
- * require that the handle-bearing program leaves memory bit-identical
- * to the original. Registers are deliberately not compared: interior
- * values are dead by construction but may legitimately differ at halt.
+ * Randomized end-to-end property tests.
+ *
+ * RewriteEquivalence: generate random (but always terminating)
+ * MG-Alpha programs, run the full mini-graph flow — profile, select
+ * under a random policy, rewrite, execute — and require that the
+ * handle-bearing program leaves memory bit-identical to the original.
+ * Registers are deliberately not compared: interior values are dead
+ * by construction but may legitimately differ at halt.
+ *
+ * DifferentialConfigsAgree: the differential-verification battery.
+ * Every random program runs through the functional emulator AND the
+ * cycle-level timing core under the paper's three machine shapes
+ * (baseline, integer mini-graphs, integer-memory mini-graphs); all
+ * six executions must retire the same architectural work and leave
+ * bit-identical memory, and the per-config retirement checksums
+ * (work + final memory image) must agree across configurations.
  */
 
 #include <gtest/gtest.h>
@@ -14,6 +24,9 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "sim/simulator.hh"
+#include "uarch/core.hh"
+
+#include "stats_hash.hh"
 
 namespace mg {
 namespace {
@@ -131,7 +144,74 @@ TEST_P(Fuzz, RewriteEquivalence)
     }
 }
 
-INSTANTIATE_TEST_SUITE_P(Random, Fuzz, ::testing::Range(0, 40));
+/** FNV-1a over the quantities every configuration must retire
+ *  identically: constituent work and the architectural memory image.
+ *  (Pipeline slots, cycles, and stall counters legitimately differ
+ *  across machine shapes; registers may hold dead interior values.) */
+std::uint64_t
+retirementChecksum(std::uint64_t work, const std::vector<std::uint8_t> &mem)
+{
+    std::uint64_t h = testhash::fnv1a(testhash::fnvBasis, work);
+    for (std::uint8_t b : mem)
+        h = testhash::fnv1a(h, b);
+    return h;
+}
+
+TEST_P(Fuzz, DifferentialConfigsAgree)
+{
+    // Distinct seed stream from RewriteEquivalence so the two
+    // batteries cover different programs.
+    Rng rng(0xd1ff00 + static_cast<unsigned>(GetParam()) * 1013);
+    Program prog = assemble(randomProgram(rng, 6),
+                            strfmt("diff%d", GetParam()));
+
+    Emulator ref(prog);
+    EmuResult rr = ref.run(10000000);
+    ASSERT_EQ(rr.stop, StopReason::Halted);
+    std::vector<std::uint8_t> refMem =
+        ref.memory().readBlock(prog.symbol("buf"), 256);
+    std::uint64_t refSum = retirementChecksum(rr.dynWork, refMem);
+
+    SimConfig configs[] = {SimConfig::baseline(), SimConfig::intMg(),
+                           SimConfig::intMemMg()};
+    for (const SimConfig &cfg : configs) {
+        const Program *p = &prog;
+        const MgTable *mgt = nullptr;
+        PreparedMg prep;
+        if (cfg.useMiniGraphs) {
+            prep = prepareMiniGraphs(prog, rr.profile, cfg.policy,
+                                     cfg.machine, cfg.compress);
+            p = &prep.program;
+            mgt = &prep.table;
+
+            // The rewritten binary through the emulator alone.
+            Emulator rw(*p, mgt);
+            EmuResult wr = rw.run(10000000);
+            ASSERT_EQ(wr.stop, StopReason::Halted) << cfg.name;
+            EXPECT_EQ(wr.dynWork, rr.dynWork) << cfg.name;
+            EXPECT_EQ(retirementChecksum(
+                          wr.dynWork,
+                          rw.memory().readBlock(p->symbol("buf"), 256)),
+                      refSum)
+                << cfg.name << " (emulator)";
+        }
+
+        // The timing core driving the same binary.
+        Core core(*p, mgt, cfg.core);
+        CoreStats st = core.run();
+        EXPECT_EQ(st.committedWork, rr.dynWork) << cfg.name;
+        EXPECT_EQ(
+            retirementChecksum(
+                st.committedWork,
+                core.oracle().memory().readBlock(p->symbol("buf"), 256)),
+            refSum)
+            << cfg.name << " (timing core)";
+    }
+}
+
+// >= 200 seeds in CI: each seed exercises RewriteEquivalence (random
+// policy) and the three-config differential battery.
+INSTANTIATE_TEST_SUITE_P(Random, Fuzz, ::testing::Range(0, 200));
 
 } // namespace
 } // namespace mg

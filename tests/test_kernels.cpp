@@ -80,5 +80,26 @@ TEST(KernelRegistry, AllProgramsAssemble)
     }
 }
 
+TEST(KernelRegistry, UnknownKernelFatalEnumeratesTheRegistry)
+{
+    // The fatal path must list every valid name so a typo is a
+    // one-round-trip fix (and --list-kernels has a discovery path).
+    EXPECT_EXIT(findKernel("no-such-kernel"),
+                ::testing::ExitedWithCode(1),
+                "known kernels:(.|\n)*SPECint-S:(.|\n)*gzip");
+}
+
+TEST(KernelRegistry, ListingNamesEveryKernelAndItsScales)
+{
+    std::string listing = kernelListing();
+    for (const Kernel &k : allKernels())
+        EXPECT_NE(listing.find(k.name), std::string::npos) << k.name;
+    // A long-capable kernel advertises both scales; a ref-only one
+    // does not.
+    EXPECT_NE(listing.find("ref,long"), std::string::npos);
+    EXPECT_TRUE(findKernel("mcf").supports(Scale::Long));
+    EXPECT_FALSE(findKernel("gzip").supports(Scale::Long));
+}
+
 } // namespace
 } // namespace mg

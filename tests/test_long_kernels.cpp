@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Long-workload tier (label: long): every long-scale kernel must
+ * reproduce its C++ reference checksum on both input sets, retire at
+ * least one million units of dynamic work, and match golden
+ * stats-identity hashes (test_perf_identity.cpp style) for the
+ * paper's three machine shapes — so the M-scale tier is pinned
+ * bit-for-bit exactly like the tier-1 kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+#include "workloads/suites.hh"
+
+#include "stats_hash.hh"
+
+namespace {
+
+using namespace mg;
+using namespace mg::testhash;
+
+class LongKernel : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(LongKernel, ValidatesAndRetiresAtLeastOneMillion)
+{
+    BoundKernel bk = bindKernel(findKernel(GetParam()), Scale::Long);
+    // checkKernel is fatal on a checksum mismatch or a hung kernel.
+    std::uint64_t work = checkKernel(bk, 0);
+    EXPECT_GE(work, 1000000u) << GetParam() << " too short for the "
+                                              "long tier";
+}
+
+TEST_P(LongKernel, ValidatesOnAlternateInput)
+{
+    BoundKernel bk = bindKernel(findKernel(GetParam()), Scale::Long);
+    std::uint64_t work = checkKernel(bk, 1);
+    EXPECT_GE(work, 1000000u) << GetParam();
+}
+
+/** Derived from the registry so a newly long-capable kernel is
+ *  validated here automatically (only the golden hash table below
+ *  stays manual). */
+std::vector<const char *>
+longKernelNames()
+{
+    std::vector<const char *> names;
+    for (const Kernel &k : allKernels()) {
+        if (k.supports(Scale::Long))
+            names.push_back(k.name);
+    }
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLong, LongKernel,
+                         ::testing::ValuesIn(longKernelNames()),
+                         [](const auto &info) {
+                             std::string n = info.param;
+                             for (char &c : n) {
+                                 if (c == '.')
+                                     c = '_';
+                             }
+                             return n;
+                         });
+
+TEST(LongRegistry, CoversEverySuiteWithAtLeastEight)
+{
+    std::vector<EngineWorkload> ws = suiteWorkloads("all", 0, Scale::Long);
+    EXPECT_GE(ws.size(), 8u);
+    for (const std::string &suite : suiteNames()) {
+        EXPECT_FALSE(bindSuite(suite, Scale::Long).empty())
+            << suite << " has no long-scale kernel";
+    }
+    // Long workload ids are scale-suffixed so every engine artifact
+    // cache keys them apart from the tier-1 runs.
+    for (const EngineWorkload &w : ws)
+        EXPECT_NE(w.id.find("@long"), std::string::npos) << w.id;
+}
+
+TEST(LongRegistry, SharedProgramKernelsReuseTheRefBinary)
+{
+    // Iteration-count-scaled kernels (null longSource) must assemble
+    // to the same Program object; buffer-scaled kernels must not.
+    const Kernel &mcf = findKernel("mcf");
+    EXPECT_EQ(&kernelProgram(mcf, Scale::Ref),
+              &kernelProgram(mcf, Scale::Long));
+    const Kernel &crc = findKernel("crc");
+    EXPECT_NE(&kernelProgram(crc, Scale::Ref),
+              &kernelProgram(crc, Scale::Long));
+}
+
+// ------------------------------------------------------------------
+// Golden stats-identity hashes, recorded from the engine this tier
+// shipped with (PR 4). Regenerate only for a deliberate, documented
+// timing-model change.
+// ------------------------------------------------------------------
+
+const Golden longGoldens[] = {
+    {"mcf", "base", 0x15d8a34e559528fdull},
+    {"mcf", "int", 0x09cd98eff961b456ull},
+    {"mcf", "intmem", 0x694ee090c192e105ull},
+    {"twolf", "base", 0x0e68575ab0352eb4ull},
+    {"twolf", "int", 0x8147bdae1667b81aull},
+    {"twolf", "intmem", 0xc2393b6222520556ull},
+    {"gap", "base", 0x06179413ed5ae2f4ull},
+    {"gap", "int", 0x83060db2ac56743aull},
+    {"gap", "intmem", 0xe3ed0c86d2ade726ull},
+    {"jpeg.dct", "base", 0x31844b2421bd2c7eull},
+    {"jpeg.dct", "int", 0xf04bc5080d3af205ull},
+    {"jpeg.dct", "intmem", 0xde2aecf5ae14cedcull},
+    {"gsm.lpc", "base", 0xdf883fe5dd59fe3cull},
+    {"gsm.lpc", "int", 0xd96c0faff984dc95ull},
+    {"gsm.lpc", "intmem", 0x0b1af7537c612157ull},
+    {"crc", "base", 0xfaf0bab3acd34c76ull},
+    {"crc", "int", 0x9a77047649184dd5ull},
+    {"crc", "intmem", 0x01c61bc66bccaee5ull},
+    {"rtr", "base", 0xdf3a8dec72900d70ull},
+    {"rtr", "int", 0xd473d3fcfc8d835full},
+    {"rtr", "intmem", 0x65f236a83be3d0ecull},
+    {"bitcount", "base", 0x21a5b3679fb91bb2ull},
+    {"bitcount", "int", 0x4a3d340a79b1eb02ull},
+    {"bitcount", "intmem", 0x4a3d340a79b1eb02ull},
+    {"sha", "base", 0x78dafe77b3454761ull},
+    {"sha", "int", 0x0b5998e8d77a7749ull},
+    {"sha", "intmem", 0x7689da5ecf0b6c9aull},
+};
+
+TEST(LongPerfIdentity, GoldenStatsHashEveryLongKernelTimesThreeConfigs)
+{
+    for (const Golden &g : longGoldens) {
+        BoundKernel bk = bindKernel(findKernel(g.kernel), Scale::Long);
+        SimConfig cfg = configOf(g.config);
+        CoreStats s;
+        if (!cfg.useMiniGraphs) {
+            s = runCell(*bk.program, nullptr, cfg, bk.setup);
+        } else {
+            BlockProfile prof = collectProfile(*bk.program, bk.setup,
+                                               cfg.profileBudget);
+            PreparedMg prep = prepareMiniGraphs(
+                *bk.program, prof, cfg.policy, cfg.machine, cfg.compress);
+            s = runCell(*bk.program, &prep, cfg, bk.setup);
+        }
+        EXPECT_EQ(statsHash(s), g.hash)
+            << g.kernel << "@long x " << g.config
+            << ": cycles=" << s.cycles << " work=" << s.committedWork
+            << " ipc=" << s.ipc();
+    }
+}
+
+} // namespace

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Sampled-vs-full accuracy bound on the long-workload tier (label:
+ * long) — the PR 2 revisit ROADMAP deferred until longer workloads
+ * landed. Every long kernel runs full and sampled (default
+ * warm-through parameters) under the baseline and integer-memory
+ * machines; the battery pins the measured accuracy envelope (median,
+ * per-cell cap, CI announcement for outliers) and the aggregate
+ * wall-clock win. The measured figures behind these bounds are
+ * tabulated in docs/EXPERIMENTS.md.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "engine/engine.hh"
+#include "workloads/suites.hh"
+
+using namespace mg;
+
+TEST(LongSampling, AccuracyEnvelopeAndAggregateSpeedup)
+{
+    ExperimentEngine eng(0);
+    std::vector<double> errs;
+    double fullWall = 0, sampledWall = 0;
+    for (SimConfig cfg : {SimConfig::baseline(), SimConfig::intMemMg()}) {
+        for (const BoundKernel &bk : bindAll(Scale::Long)) {
+            EngineWorkload w = workload(bk);
+            TimedStats full = eng.cellTimed(w, cfg);
+            SimConfig sc = cfg;
+            sc.sampling.enabled = true;
+            TimedSampled samp = eng.cellSampledTimed(w, sc);
+
+            ASSERT_GT(full.stats.ipc(), 0.0);
+            double err =
+                std::abs(samp.stats.est.ipc() - full.stats.ipc()) /
+                full.stats.ipc();
+            // Measured worst case is 3.6% (rtr@long); pin 8% so a
+            // regression of the warm-through path trips loudly.
+            EXPECT_LE(err, 0.08)
+                << w.id << "/" << cfg.name << " sampled "
+                << samp.stats.est.ipc() << " vs full "
+                << full.stats.ipc();
+            // Outliers must announce themselves via the error bound.
+            if (err > 0.02) {
+                EXPECT_LE(err, 2.5 * samp.stats.ipcRelCi95)
+                    << w.id << "/" << cfg.name;
+            }
+            EXPECT_FALSE(samp.stats.exact)
+                << w.id << " degraded to exact: not a long workload?";
+            errs.push_back(err);
+            fullWall += full.seconds;
+            sampledWall += samp.seconds;
+        }
+    }
+    std::sort(errs.begin(), errs.end());
+    // The PR 2 issue's target, now reachable on M-scale kernels:
+    // median IPC error at most 2%...
+    EXPECT_LE(errs[errs.size() / 2], 0.02);
+    // ...at a wall-clock win. The measured aggregate is ~4x
+    // single-threaded; 2x leaves headroom for noisy CI machines
+    // (docs/EXPERIMENTS.md carries the real numbers).
+    EXPECT_GE(fullWall, 2.0 * sampledWall)
+        << "sampled long tier no longer at least halves the "
+           "full-simulation wall clock";
+}
+
+TEST(LongSampling, CheckpointJumpModeStillFlagsItsErrors)
+{
+    // The checkpoint-jump fast path (--no-warm-through) is allowed to
+    // be wrong on footprint-bound kernels — rtr misses its whole-run
+    // cache ramp — but it must say so: the reported 95% CI has to
+    // cover the real error (the honest-flagging contract CI checks).
+    ExperimentEngine eng(0);
+    BoundKernel bk = bindKernel(findKernel("rtr"), Scale::Long);
+    EngineWorkload w = workload(bk);
+    SimConfig cfg = SimConfig::baseline();
+    double full = eng.cell(w, cfg).ipc();
+    SimConfig sc = cfg;
+    sc.sampling.enabled = true;
+    sc.sampling.warmThrough = false;
+    SampledStats jump = eng.cellSampled(w, sc);
+    double err = std::abs(jump.est.ipc() - full) / full;
+    EXPECT_LE(err, 2.5 * jump.ipcRelCi95)
+        << "jump-mode error " << err << " not covered by CI "
+        << jump.ipcRelCi95;
+
+    // And the default warm-through run must beat it on this kernel.
+    sc.sampling.warmThrough = true;
+    SampledStats wt = eng.cellSampled(w, sc);
+    EXPECT_LT(std::abs(wt.est.ipc() - full) / full, err);
+}
+
+TEST(LongSampling, SummarySharedAcrossScalesIsKeyedApart)
+{
+    // The same kernel at the two scales must produce two summary
+    // artifacts (different inputs), not one: the "@long" id suffix is
+    // what keeps the fingerprints apart.
+    ExperimentEngine eng(1);
+    SimConfig sc = SimConfig::baseline();
+    sc.sampling.enabled = true;
+    eng.cellSampled(workload(bindKernel(findKernel("bitcount"))), sc);
+    eng.cellSampled(
+        workload(bindKernel(findKernel("bitcount"), Scale::Long)), sc);
+    EngineCounters c = eng.counters();
+    EXPECT_EQ(c.summaryComputes, 2u);
+    EXPECT_EQ(c.summaryHits, 0u);
+    EXPECT_EQ(c.sampledComputes, 2u);
+}

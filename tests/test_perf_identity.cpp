@@ -22,48 +22,14 @@
 #include "uarch/core.hh"
 #include "workloads/suites.hh"
 
+#include "stats_hash.hh"
+
 namespace {
 
 using namespace mg;
+using namespace mg::testhash;
 
 constexpr std::uint64_t goldenBudget = 60000;
-
-std::uint64_t
-fnv1a(std::uint64_t h, std::uint64_t v)
-{
-    for (int i = 0; i < 8; ++i) {
-        h ^= (v >> (8 * i)) & 0xff;
-        h *= 1099511628211ull;
-    }
-    return h;
-}
-
-std::uint64_t
-statsHash(const CoreStats &s)
-{
-    std::uint64_t h = 1469598103934665603ull;
-#define MG_H(f) h = fnv1a(h, static_cast<std::uint64_t>(s.f));
-    MG_CORE_STATS_COUNTERS(MG_H)
-#undef MG_H
-    return h;
-}
-
-SimConfig
-configOf(const std::string &name)
-{
-    if (name == "base")
-        return SimConfig::baseline();
-    if (name == "int")
-        return SimConfig::intMg();
-    return SimConfig::intMemMg();
-}
-
-struct Golden
-{
-    const char *kernel;
-    const char *config;
-    std::uint64_t hash;
-};
 
 // Recorded from the pre-refactor engine (PR 2, commit 316dc4e) at
 // goldenBudget work per cell. Regenerate only for a deliberate,
