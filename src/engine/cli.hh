@@ -3,7 +3,8 @@
  * Tiny shared command line for the sweep drivers: every bench accepts
  * `--jobs N` (parallel cells, 0 = all hardware threads), `--json PATH`
  * (override the default BENCH_<name>.json location), workload-tier
- * selection `--scale ref|long` (the M-scale long-workload tier) and
+ * selection `--scale ref|long|huge` (the M-scale long tier, every
+ * kernel; the 10M+-scale huge tier, one kernel per suite) and
  * `--list-kernels` (print the kernel registry and exit), and the
  * sampled simulation flags `--sample-interval N` (measure N work units
  * per period; enables sampling), `--sample-period N` (work between
@@ -33,7 +34,8 @@ struct CliOptions
 {
     int jobs = 1;               ///< --jobs N / -j N (0 = hardware)
     std::string jsonPath;       ///< --json PATH ("" = default name)
-    Scale scale = Scale::Ref;   ///< --scale ref|long (workload tier)
+    Scale scale = Scale::Ref;   ///< --scale ref|long|huge (workload
+                                ///< tier)
     std::uint64_t sampleInterval = 0;   ///< --sample-interval N (0 = off)
     std::uint64_t samplePeriod = 0;     ///< --sample-period N (0 = 12×)
     std::uint64_t sampleWarmup = ~0ull; ///< --warmup N (~0 = default)
@@ -50,8 +52,9 @@ struct CliOptions
     /** @return true when @p flag appears among the leftover args. */
     bool has(const std::string &flag) const;
 
-    /** Report name for @p base: "<base>_long" on the long tier, so the
-     *  two tiers' BENCH_*.json artifacts never overwrite each other. */
+    /** Report name for @p base: tier-suffixed ("<base>_long",
+     *  "<base>_huge") off the ref tier, so the tiers' BENCH_*.json
+     *  artifacts never overwrite each other. */
     std::string benchName(const std::string &base) const;
 
     /** Sampling parameters these flags resolve to (may be disabled). */

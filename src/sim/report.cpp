@@ -224,6 +224,17 @@ sweepJson(const SweepResult &r, const std::string &bench)
                                       c.sampled.ffWork));
                     rec += ", \"ipc_ci95_rel\": " +
                            jsonNum(c.sampled.ipcRelCi95);
+                    // Machine-detectable footprint blindness: emitted
+                    // only when a checkpoint jump outran its warm
+                    // budget, so consumers can key on its presence.
+                    if (c.sampled.footprintWarning) {
+                        rec += strfmt(", \"footprint_warning\": true, "
+                                      "\"footprint_skipped_lines\": "
+                                      "%llu",
+                                      static_cast<unsigned long long>(
+                                          c.sampled
+                                              .footprintSkippedLines));
+                    }
                 }
                 // Throughput only on request: wall-clock is
                 // nondeterministic, and default reports must stay

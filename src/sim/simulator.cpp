@@ -3,6 +3,7 @@
 #include <array>
 #include <cmath>
 #include <map>
+#include <unordered_set>
 
 #include "cfg/liveness.hh"
 #include "common/rng.hh"
@@ -119,6 +120,9 @@ collectSampleSummary(const Program &prog, const MgTable *mgt,
     // of its cluster's first two post-prefix members.
     std::map<std::uint64_t, EmuCheckpoint> pending;
     std::uint64_t nextCkptChunk = 1;
+    // First-touch data-footprint curve (64-byte proxy lines): how many
+    // unique lines the run has touched by each chunk boundary.
+    std::unordered_set<Addr> footSeen;
 
     auto finishChunk = [&](std::uint64_t endWork) {
         std::array<double, sampleSigDims> norm{};
@@ -142,6 +146,7 @@ collectSampleSummary(const Program &prog, const MgTable *mgt,
             postCount.push_back(0);
         }
         sum.chunks.push_back({chunkStart, endWork - chunkStart, cid});
+        sum.footLines.push_back(footSeen.size());
         bool post = chunkIdx >= prefixChunks;
         auto it = pending.find(chunkIdx);
         // Keep the checkpoint for every chunk the sampled run might
@@ -177,6 +182,9 @@ collectSampleSummary(const Program &prog, const MgTable *mgt,
             ++nextCkptChunk;
         if (!emu.step(&rec))
             break;
+        if (rec.isMem)
+            footSeen.insert(rec.memAddr /
+                            static_cast<Addr>(sampleFootLineBytes));
         if (rec.insn && prog.validPc(rec.pc)) {
             sig[bucket[prog.indexOf(rec.pc)]] +=
                 emu.dynWork() - w;

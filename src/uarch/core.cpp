@@ -1194,11 +1194,20 @@ Core::runSampled(const SamplingParams &sp, const SampleSummary &sum,
     SampledStats out;
     out.totalWork = std::min(sum.totalWork, maxWork);
 
-    // Short programs degrade to exact full simulation: below ~8
-    // sampling periods the fixed costs (prefix, per-chunk warmups)
-    // approach full coverage anyway, and small runs are cheap.
+    // Short programs degrade to exact full simulation. Below ~33
+    // sampling periods the fixed costs (prefix, per-chunk warmups,
+    // two samples per cluster) already approach full coverage, so
+    // sampling buys under 2x wall-clock while paying 3-8% IPC error
+    // (too few occurrences per cluster for the variance to average
+    // out — the measured ref-tier tail on drr/bitcount/rgb2gray) and,
+    // on kernels whose speculation state trains over the whole run,
+    // far worse (reed@ref/int-mem measured 52% when sampled: its
+    // store-set serialization never finishes being discovered).
+    // Such runs are cheap to simulate exactly; the threshold is
+    // period-relative so genuinely long runs (the M-scale tier is
+    // ~90 periods at defaults) never degrade.
     bool tooShort = sum.totalWork > 0 &&
-        out.totalWork < sp.coldPrefixWork() + 4 * sp.period;
+        out.totalWork < sp.coldPrefixWork() + 32 * sp.period;
     if (sp.degenerate() || tooShort) {
         // No room for fast-forward: identical to a full run.
         runDetailedUntil(maxWork);
@@ -1212,6 +1221,15 @@ Core::runSampled(const SamplingParams &sp, const SampleSummary &sum,
         out.ipcHat = stats_.ipc();
         return out;
     }
+
+    // Checkpoint jumps skip functional execution entirely, so the
+    // hierarchy tracks which data lines it has actually seen; any
+    // measurement-interval first-touches beyond the functional
+    // pre-pass's expectation are working-set state the jumps lost
+    // (warm-through skips nothing and needs no tracking, and
+    // degraded-to-exact runs above never jump — enable only now).
+    if (!sp.warmThrough)
+        mem.trackFootprint(true);
 
     // Exactly-measured cold prefix: the startup transient (cold
     // caches, bus backlog, queue fill) is a large, unrepresentative
@@ -1359,6 +1377,8 @@ Core::runSampled(const SamplingParams &sp, const SampleSummary &sum,
     };
 
     double lastIpc = cold.ipc();   // virtual-clock fast-forward rate
+    std::uint32_t footIvals = 0;           ///< measurements accounted
+    std::uint32_t footSurprisedIvals = 0;  ///< with excess first-touches
     for (const SampleChunk &chunk : sum.chunks) {
         const SampleChunk *ch = &chunk;
         if (ch->start < cold.committedWork ||
@@ -1424,13 +1444,25 @@ Core::runSampled(const SamplingParams &sp, const SampleSummary &sum,
         // the following sub-intervals — no convergence test, because
         // stopping "when two subs agree" preferentially stops on
         // plateaus of oscillating kernels and biases the sample.
-        constexpr int measureSubs = 3;
+        // The measured span is floored at ~6k work regardless of the
+        // interval size: sub-6k contiguous windows alias against
+        // multi-thousand-work rate oscillations and read a systematic
+        // 2-4% bias on several M-scale kernels (adpcm.dec, dijkstra,
+        // g721.enc — measured in docs/EXPERIMENTS.md) that no amount
+        // of warmup or settling removes, while ~6k windows average a
+        // whole oscillation.
+        constexpr std::uint64_t minMeasuredSpan = 6000;
+        const int measureSubs = static_cast<int>(
+            std::max<std::uint64_t>(
+                3, (minMeasuredSpan + sp.interval - 1) / sp.interval));
         // Sub-interval targets never cross the work cap: a capped run
         // must estimate the capped run, not work beyond it.
         auto boundedTarget = [&]() {
             std::uint64_t cap = out.totalWork - out.ffWork;
             return std::min(stats_.committedWork + sp.interval, cap);
         };
+        std::uint64_t surpriseBase = mem.footSurprises();
+        std::uint64_t surpriseWorkBase = stats_.committedWork;
         runDetailedUntil(boundedTarget());
         CoreStats delta;
         for (int s = 0; s < measureSubs && !oracleDone; ++s) {
@@ -1440,6 +1472,32 @@ Core::runSampled(const SamplingParams &sp, const SampleSummary &sum,
             runDetailedUntil(boundedTarget());
             delta += stats_ - b;
         }
+        if (!sp.warmThrough && !sum.footLines.empty()) {
+            // Footprint-blindness accounting: first touches inside
+            // the measurement span, minus the span's share of the
+            // chunk's genuinely new lines (which a full run would
+            // first-touch here too). The excess is working-set state
+            // the jumps skipped and the warm budget failed to
+            // restore. One cold measurement is a startup transient
+            // (mcf's node array is covered within a few measurements
+            // and the excess vanishes); what marks an estimate as
+            // structurally unrepresentative is excess that
+            // *persists* across the measurement sequence — the
+            // rtr signature, where the whole-run cache-residency
+            // ramp is stretched over every interval.
+            std::uint64_t span = stats_.committedWork - surpriseWorkBase;
+            std::uint64_t surprises =
+                mem.footSurprises() - surpriseBase;
+            std::uint64_t expect = sum.newLinesIn(chunkIdxOf(ch)) *
+                span / std::max<std::uint64_t>(ch->work, 1);
+            std::uint64_t slack =
+                std::max<std::uint64_t>(16, sp.interval / 32);
+            ++footIvals;
+            if (surprises > expect + slack) {
+                ++footSurprisedIvals;
+                out.footprintSkippedLines += surprises - expect;
+            }
+        }
         if (delta.committedWork && delta.cycles) {
             ClusterAgg &a = agg[ch->cluster];
             a.meas += delta;
@@ -1447,16 +1505,26 @@ Core::runSampled(const SamplingParams &sp, const SampleSummary &sum,
                 static_cast<double>(delta.cycles);
             a.ipcs.push_back(lastIpc);
             if (getenv("MG_SAMPLE_DEBUG"))
-                fprintf(stderr, "iv pos=%llu emuPos=%llu cl=%u w=%llu c=%llu ipc=%.3f regFree=%d\n",
+                fprintf(stderr, "iv pos=%llu emuPos=%llu cl=%u w=%llu c=%llu ipc=%.3f regFree=%d dram=%llu surp=%llu exp=%llu\n",
                         (unsigned long long)ch->start,
                         (unsigned long long)emu.dynWork(),
                         ch->cluster,
                         (unsigned long long)delta.committedWork,
                         (unsigned long long)delta.cycles, lastIpc,
-                        regs.freeCount());
+                        regs.freeCount(),
+                        (unsigned long long)mem.dramAccesses(),
+                        (unsigned long long)(mem.footSurprises() -
+                                             surpriseBase),
+                        (unsigned long long)sum.newLinesIn(
+                            chunkIdxOf(ch)));
         }
         drainPipeline();
     }
+    // More than a third of the measurements paying excess surprise
+    // first-touches means the cold-hierarchy transient never settled:
+    // the extrapolation is built on unrepresentative intervals.
+    out.footprintWarning = footIvals > 0 &&
+        3 * footSurprisedIvals > footIvals;
 
     // Exact prefix plus per-cluster ratio extrapolation. Clusters that
     // went unmeasured (halt mid-plan, work cap) fall back to the

@@ -207,6 +207,16 @@ struct SampledStats
                                         ///< per-interval IPC
     bool exact = false;                 ///< degenerated to a full run;
                                         ///< est is bit-exact
+    /** Checkpoint-jump footprint blindness: some jump skipped more
+     *  first-touch unique data lines than the post-jump warm budget
+     *  (ffWarm + warmup) could possibly restore, so measurements ran
+     *  against a hierarchy missing long-lived working-set state and
+     *  the estimate is structurally suspect (rtr-style 25%+ errors).
+     *  Never set in warm-through mode, which skips nothing. */
+    bool footprintWarning = false;
+    /** Total unique lines the flagged jumps skipped beyond the warm
+     *  budget (the magnitude behind footprintWarning). */
+    std::uint64_t footprintSkippedLines = 0;
 };
 
 /** The core. */

@@ -121,11 +121,14 @@ struct SamplingParams
         return start > lead ? start - lead : 0;
     }
 
-    /** Sampling degenerates to a full detailed run. */
+    /** Sampling degenerates to a full detailed run. A zero interval
+     *  has nothing to measure (and would divide the measured-span
+     *  floor), so it degenerates too. */
     bool
     degenerate() const
     {
-        return !enabled || period <= interval + warmup;
+        return !enabled || interval == 0 ||
+            period <= interval + warmup;
     }
 
     bool operator==(const SamplingParams &) const = default;
@@ -145,6 +148,10 @@ struct SampleChunk
     std::uint32_t cluster = 0;   ///< phase cluster id
 };
 
+// (The footprint-curve granularity, sampleFootLineBytes, lives in
+// common/types.hh: the memsys tracking and this summary's curve are
+// compared against each other and must share one constant.)
+
 /**
  * Config-independent functional summary of one (program, inputs) pair:
  * the total dynamic work (the extrapolation denominator), the phase
@@ -160,6 +167,24 @@ struct SampleSummary
     std::uint32_t clusters = 0;
     std::vector<SampleChunk> chunks;    ///< ascending start positions
     std::vector<EmuCheckpoint> ckpts;   ///< ascending work positions
+    /** Cumulative unique data lines (sampleFootLineBytes granularity)
+     *  touched from the start of the run through the end of each
+     *  chunk (parallel to @c chunks). The per-chunk delta is the
+     *  number of *genuinely new* lines a chunk first-touches; during
+     *  a checkpoint-jump run, any measurement-interval first-touches
+     *  beyond that expectation are lines the jumps skipped and the
+     *  warm budget failed to restore — the signal behind the per-cell
+     *  footprint warning. */
+    std::vector<std::uint64_t> footLines;
+
+    /** Expected new unique lines inside chunk @p idx. */
+    std::uint64_t
+    newLinesIn(std::size_t idx) const
+    {
+        if (idx >= footLines.size())
+            return 0;
+        return footLines[idx] - (idx ? footLines[idx - 1] : 0);
+    }
 };
 
 } // namespace mg

@@ -12,7 +12,14 @@ namespace mg {
 const char *
 scaleName(Scale s)
 {
-    return s == Scale::Long ? "long" : "ref";
+    switch (s) {
+      case Scale::Long:
+        return "long";
+      case Scale::Huge:
+        return "huge";
+      default:
+        return "ref";
+    }
 }
 
 Scale
@@ -22,7 +29,9 @@ parseScale(const std::string &text)
         return Scale::Ref;
     if (text == "long")
         return Scale::Long;
-    fatal("unknown scale '%s' (valid: ref, long)", text.c_str());
+    if (text == "huge")
+        return Scale::Huge;
+    fatal("unknown scale '%s' (valid: ref, long, huge)", text.c_str());
 }
 
 void
@@ -30,7 +39,8 @@ Kernel::setupAt(Emulator &emu, int inputSet, Scale s) const
 {
     if (!supports(s))
         fatal("kernel %s has no %s-scale variant", name, scaleName(s));
-    (s == Scale::Long ? longSetup : setup)(emu, inputSet);
+    const ScaleVariant *v = variantOf(s);
+    (v ? v->setup : setup)(emu, inputSet);
 }
 
 bool
@@ -38,7 +48,8 @@ Kernel::validateAt(const Emulator &emu, int inputSet, Scale s) const
 {
     if (!supports(s))
         fatal("kernel %s has no %s-scale variant", name, scaleName(s));
-    return (s == Scale::Long ? longValidate : validate)(emu, inputSet);
+    const ScaleVariant *v = variantOf(s);
+    return (v ? v->validate : validate)(emu, inputSet);
 }
 
 const std::vector<Kernel> &
@@ -97,13 +108,20 @@ suiteNames()
 std::string
 kernelListing()
 {
-    std::string out = strfmt("%-14s %-13s %-9s %s\n", "kernel", "suite",
+    std::string out = strfmt("%-14s %-13s %-14s %s\n", "kernel", "suite",
                              "scales", "description");
     for (const std::string &suite : suiteNames()) {
         for (const Kernel *k : suiteKernels(suite)) {
-            out += strfmt("%-14s %-13s %-9s %s\n", k->name, k->suite,
-                          k->supports(Scale::Long) ? "ref,long" : "ref",
-                          k->description);
+            std::string scales;
+            for (Scale s : allScales) {
+                if (!k->supports(s))
+                    continue;
+                if (!scales.empty())
+                    scales += ",";
+                scales += scaleName(s);
+            }
+            out += strfmt("%-14s %-13s %-14s %s\n", k->name, k->suite,
+                          scales.c_str(), k->description);
         }
     }
     return out;
@@ -115,11 +133,11 @@ kernelProgram(const Kernel &k, Scale scale)
     static std::map<std::string, Program> cache;
     static std::mutex lock;
     // Scales sharing one source text share one cache entry (and one
-    // assembled Program): the long tier of an iteration-count-scaled
+    // assembled Program): the scaled tier of an iteration-count-scaled
     // kernel runs the identical binary on bigger inputs.
     std::string key = k.name;
-    if (scale == Scale::Long && k.longSource)
-        key += "@long";
+    if (const ScaleVariant *v = k.variantOf(scale); v && v->source)
+        key += strfmt("@%s", scaleName(scale));
     std::lock_guard<std::mutex> g(lock);
     auto it = cache.find(key);
     if (it == cache.end())

@@ -14,13 +14,15 @@
  * tier-1 configuration every kernel supports: 50k-300k units of
  * dynamic work, sized so full kernel x configuration sweeps stay
  * cheap. `Scale::Long` is the M-scale tier (>= 1M units of work per
- * kernel) that makes sampled-simulation error measurable and
- * exercises timing-dependent speculation state (store-set training,
- * congestion equilibria); a representative subset of every suite
- * supports it. A long variant reuses the reference program text when
- * only its in-memory inputs and iteration counts grow, or substitutes
- * a larger-data-segment assembly via scaledSource() when a buffer
- * must be resized.
+ * kernel, every kernel) that makes sampled-simulation error
+ * measurable and exercises timing-dependent speculation state
+ * (store-set training, congestion equilibria). `Scale::Huge` is the
+ * 10M+-scale tier (a representative kernel per suite) long enough to
+ * cross store-set clear intervals and stress fast-forward
+ * scalability. A scaled variant reuses the reference program text
+ * when only its in-memory inputs and iteration counts grow, or
+ * substitutes a larger-data-segment assembly via scaledSource() when
+ * a buffer must be resized.
  */
 
 #ifndef MG_WORKLOADS_KERNEL_HH
@@ -40,14 +42,31 @@ namespace mg {
 enum class Scale
 {
     Ref,    ///< tier-1 reference inputs (every kernel)
-    Long,   ///< M-scale inputs, >= 1M units of work (subset)
+    Long,   ///< M-scale inputs, >= 1M units of work (every kernel)
+    Huge,   ///< 10M+-scale inputs (one representative per suite)
 };
 
-/** Stable lowercase name ("ref" / "long"). */
+/** The scales in size order, for iteration. */
+constexpr Scale allScales[] = {Scale::Ref, Scale::Long, Scale::Huge};
+
+/** Stable lowercase name ("ref" / "long" / "huge"). */
 const char *scaleName(Scale s);
 
-/** Parse a --scale value; fatal on anything but "ref" / "long". */
+/** Parse a --scale value; fatal on anything but "ref"/"long"/"huge". */
 Scale parseScale(const std::string &text);
+
+/**
+ * One non-reference size class of a kernel (null members =
+ * unsupported at that scale).
+ */
+struct ScaleVariant
+{
+    /** Assembly at this scale; null = the Ref program is reused (the
+     *  scaled inputs fit its buffers and only iteration counts grow). */
+    const char *source = nullptr;
+    void (*setup)(Emulator &emu, int inputSet) = nullptr;
+    bool (*validate)(const Emulator &emu, int inputSet) = nullptr;
+};
 
 /** One benchmark kernel. */
 struct Kernel
@@ -67,25 +86,35 @@ struct Kernel
     /** Check outputs against the C++ reference implementation. */
     bool (*validate)(const Emulator &emu, int inputSet);
 
-    // ---- Scale::Long variant (null members = unsupported) ----
-    /** Long-tier assembly; null = the Ref program is reused (the long
-     *  inputs fit its buffers and only iteration counts grow). */
-    const char *longSource = nullptr;
-    void (*longSetup)(Emulator &emu, int inputSet) = nullptr;
-    bool (*longValidate)(const Emulator &emu, int inputSet) = nullptr;
+    // ---- scaled variants (value-initialized = unsupported) ----
+    ScaleVariant longVariant = {};
+    ScaleVariant hugeVariant = {};
+
+    /** The variant registered for @p s (null for Scale::Ref). */
+    const ScaleVariant *
+    variantOf(Scale s) const
+    {
+        if (s == Scale::Long)
+            return &longVariant;
+        if (s == Scale::Huge)
+            return &hugeVariant;
+        return nullptr;
+    }
 
     /** Does the kernel support @p s? (Ref always.) */
     bool
     supports(Scale s) const
     {
-        return s == Scale::Ref || longSetup != nullptr;
+        const ScaleVariant *v = variantOf(s);
+        return !v || v->setup != nullptr;
     }
 
     /** Assembly text executed at @p s. */
     const char *
     sourceFor(Scale s) const
     {
-        return s == Scale::Long && longSource ? longSource : source;
+        const ScaleVariant *v = variantOf(s);
+        return v && v->source ? v->source : source;
     }
 
     /** Scale-dispatching setup; fatal when @p s is unsupported. */

@@ -22,6 +22,7 @@ namespace {
 
 constexpr int crcN = 3600;
 constexpr int crcNLong = 110000;    ///< ~1.1M units of work
+constexpr int crcNHuge = 910000;    ///< ~10.0M units of work
 
 const char *crcSrc = R"ASM(
     .text
@@ -132,9 +133,25 @@ crcValidateLong(const Emulator &emu, int inputSet)
     return crcValidateImpl(emu, inputSet, crcNLong);
 }
 
+void
+crcSetupHuge(Emulator &emu, int inputSet)
+{
+    crcSetupImpl(emu, inputSet, crcNHuge);
+}
+
+bool
+crcValidateHuge(const Emulator &emu, int inputSet)
+{
+    return crcValidateImpl(emu, inputSet, crcNHuge);
+}
+
 /** Long-tier program: the frame buffer grows to crcNLong bytes. */
 const char *crcLongSrc = scaledSource(
     crcSrc, {{"crc_in:    .space 3600", "crc_in:    .space 110000"}});
+
+/** Huge-tier program: crcNHuge frame bytes. */
+const char *crcHugeSrc = scaledSource(
+    crcSrc, {{"crc_in:    .space 3600", "crc_in:    .space 910000"}});
 
 // ---------------------------------------------------------------------
 // drr: deficit round robin packet scheduling over 8 queues.
@@ -142,6 +159,7 @@ const char *crcLongSrc = scaledSource(
 
 constexpr int drrQueues = 8;
 constexpr int drrPerQueue = 420;
+constexpr int drrPerQueueLong = 3000;   ///< ~1.1M units of work
 constexpr std::int64_t drrQuantum = 700;
 
 const char *drrSrc = R"ASM(
@@ -207,23 +225,26 @@ drr_pkts:  .space 26880
 )ASM";
 
 void
-drrGen(Rng &rng, std::vector<std::int64_t> &pkts)
+drrGen(Rng &rng, std::vector<std::int64_t> &pkts, int perQueue)
 {
-    pkts.resize(static_cast<size_t>(drrQueues) * drrPerQueue);
+    pkts.resize(static_cast<size_t>(drrQueues) *
+                static_cast<size_t>(perQueue));
     for (auto &l : pkts)
         l = static_cast<std::int64_t>(64 + rng.below(1437));
 }
 
 void
-drrSetup(Emulator &emu, int inputSet)
+drrSetupImpl(Emulator &emu, int inputSet, int perQueue)
 {
     Rng rng(0xd66u + static_cast<unsigned>(inputSet));
     std::vector<std::int64_t> pkts;
-    drrGen(rng, pkts);
+    drrGen(rng, pkts, perQueue);
     Memory &m = emu.memory();
     const Program &p = emu.program();
     m.write(p.symbol("drr_total"),
-            static_cast<std::uint64_t>(drrQueues) * drrPerQueue, 8);
+            static_cast<std::uint64_t>(drrQueues) *
+                static_cast<std::uint64_t>(perQueue),
+            8);
     Addr base = p.symbol("drr_pkts");
     for (size_t i = 0; i < pkts.size(); ++i)
         m.write(base + static_cast<Addr>(8 * i),
@@ -231,25 +252,25 @@ drrSetup(Emulator &emu, int inputSet)
 }
 
 bool
-drrValidate(const Emulator &emu, int inputSet)
+drrValidateImpl(const Emulator &emu, int inputSet, int perQueue)
 {
     Rng rng(0xd66u + static_cast<unsigned>(inputSet));
     std::vector<std::int64_t> pkts;
-    drrGen(rng, pkts);
+    drrGen(rng, pkts, perQueue);
     std::int64_t head[drrQueues] = {};
     std::int64_t deficit[drrQueues] = {};
     std::int64_t remaining =
-        static_cast<std::int64_t>(drrQueues) * drrPerQueue;
+        static_cast<std::int64_t>(drrQueues) * perQueue;
     std::uint64_t sum = 0;
     std::uint64_t order = 0;
     while (remaining > 0) {
         for (int q = 0; q < drrQueues; ++q) {
-            if (head[q] >= drrPerQueue)
+            if (head[q] >= perQueue)
                 continue;
             deficit[q] += drrQuantum;
-            while (head[q] < drrPerQueue) {
+            while (head[q] < perQueue) {
                 std::int64_t len =
-                    pkts[static_cast<size_t>(q * drrPerQueue + head[q])];
+                    pkts[static_cast<size_t>(q * perQueue + head[q])];
                 if (len > deficit[q])
                     break;
                 deficit[q] -= len;
@@ -263,12 +284,43 @@ drrValidate(const Emulator &emu, int inputSet)
     return emu.memory().read(emu.program().symbol("drr_out"), 8) == sum;
 }
 
+void
+drrSetup(Emulator &emu, int inputSet)
+{
+    drrSetupImpl(emu, inputSet, drrPerQueue);
+}
+
+bool
+drrValidate(const Emulator &emu, int inputSet)
+{
+    return drrValidateImpl(emu, inputSet, drrPerQueue);
+}
+
+void
+drrSetupLong(Emulator &emu, int inputSet)
+{
+    drrSetupImpl(emu, inputSet, drrPerQueueLong);
+}
+
+bool
+drrValidateLong(const Emulator &emu, int inputSet)
+{
+    return drrValidateImpl(emu, inputSet, drrPerQueueLong);
+}
+
+/** Long-tier program: the per-queue depth (an assembly-data constant
+ *  the scheduler loop reads) and the packet array both grow. */
+const char *drrLongSrc = scaledSource(
+    drrSrc, {{"drr_perq:  .quad 420", "drr_perq:  .quad 3000"},
+             {"drr_pkts:  .space 26880", "drr_pkts:  .space 192000"}});
+
 // ---------------------------------------------------------------------
 // frag: IP fragmentation — split packets into MTU-sized fragments and
 // emit (offset, len, more-flag) headers.
 // ---------------------------------------------------------------------
 
 constexpr int fragPkts = 1300;
+constexpr int fragPktsLong = 24000;     ///< ~1.1M units of work
 constexpr std::int64_t fragMtu = 576;
 constexpr std::int64_t fragHdr = 20;
 
@@ -315,22 +367,22 @@ frag_len: .space 10400
 )ASM";
 
 void
-fragGen(Rng &rng, std::vector<std::int64_t> &lens)
+fragGen(Rng &rng, std::vector<std::int64_t> &lens, int pkts)
 {
-    lens.resize(fragPkts);
+    lens.resize(static_cast<size_t>(pkts));
     for (auto &l : lens)
         l = static_cast<std::int64_t>(40 + rng.below(3960));
 }
 
 void
-fragSetup(Emulator &emu, int inputSet)
+fragSetupImpl(Emulator &emu, int inputSet, int pkts)
 {
     Rng rng(0xf4a6u + static_cast<unsigned>(inputSet));
     std::vector<std::int64_t> lens;
-    fragGen(rng, lens);
+    fragGen(rng, lens, pkts);
     Memory &m = emu.memory();
     const Program &p = emu.program();
-    m.write(p.symbol("frag_n"), fragPkts, 8);
+    m.write(p.symbol("frag_n"), static_cast<std::uint64_t>(pkts), 8);
     Addr base = p.symbol("frag_len");
     for (size_t i = 0; i < lens.size(); ++i)
         m.write(base + static_cast<Addr>(8 * i),
@@ -338,11 +390,11 @@ fragSetup(Emulator &emu, int inputSet)
 }
 
 bool
-fragValidate(const Emulator &emu, int inputSet)
+fragValidateImpl(const Emulator &emu, int inputSet, int pkts)
 {
     Rng rng(0xf4a6u + static_cast<unsigned>(inputSet));
     std::vector<std::int64_t> lens;
-    fragGen(rng, lens);
+    fragGen(rng, lens, pkts);
     const std::int64_t cap = fragMtu - fragHdr;
     std::uint64_t sum = 0;
     std::uint64_t count = 0;
@@ -366,6 +418,35 @@ fragValidate(const Emulator &emu, int inputSet)
     return emu.memory().read(p.symbol("frag_out"), 8) == sum &&
         emu.memory().read(p.symbol("frag_cnt"), 8) == count;
 }
+
+void
+fragSetup(Emulator &emu, int inputSet)
+{
+    fragSetupImpl(emu, inputSet, fragPkts);
+}
+
+bool
+fragValidate(const Emulator &emu, int inputSet)
+{
+    return fragValidateImpl(emu, inputSet, fragPkts);
+}
+
+void
+fragSetupLong(Emulator &emu, int inputSet)
+{
+    fragSetupImpl(emu, inputSet, fragPktsLong);
+}
+
+bool
+fragValidateLong(const Emulator &emu, int inputSet)
+{
+    return fragValidateImpl(emu, inputSet, fragPktsLong);
+}
+
+/** Long-tier program: the packet-length array grows to fragPktsLong
+ *  quads. */
+const char *fragLongSrc = scaledSource(
+    fragSrc, {{"frag_len: .space 10400", "frag_len: .space 192000"}});
 
 // ---------------------------------------------------------------------
 // rtr: two-level radix-trie IPv4 route lookup (16-bit root + 8-bit
@@ -514,6 +595,7 @@ const char *rtrLongSrc = scaledSource(
 // ---------------------------------------------------------------------
 
 constexpr int reedBlocks = 40;
+constexpr int reedBlocksLong = 145;     ///< ~1.1M units of work
 constexpr int reedK = 32;       // data bytes per block
 constexpr int reedR = 8;        // parity bytes per block
 
@@ -629,24 +711,24 @@ reedTables(std::uint8_t *logt, std::uint8_t *alog, std::uint8_t *gen)
 }
 
 void
-reedGenData(Rng &rng, std::vector<std::uint8_t> &data)
+reedGenData(Rng &rng, std::vector<std::uint8_t> &data, int blocks)
 {
-    data.resize(static_cast<size_t>(reedBlocks) * reedK);
+    data.resize(static_cast<size_t>(blocks) * reedK);
     for (auto &b : data)
         b = static_cast<std::uint8_t>(rng.next());
 }
 
 void
-reedSetup(Emulator &emu, int inputSet)
+reedSetupImpl(Emulator &emu, int inputSet, int blocks)
 {
     Rng rng(0x2eedu + static_cast<unsigned>(inputSet));
     std::uint8_t logt[256] = {}, alog[512] = {}, gen[16] = {};
     reedTables(logt, alog, gen);
     std::vector<std::uint8_t> data;
-    reedGenData(rng, data);
+    reedGenData(rng, data, blocks);
     Memory &m = emu.memory();
     const Program &p = emu.program();
-    m.write(p.symbol("reed_nblk"), reedBlocks, 8);
+    m.write(p.symbol("reed_nblk"), static_cast<std::uint64_t>(blocks), 8);
     m.writeBlock(p.symbol("reed_log"), logt, 256);
     m.writeBlock(p.symbol("reed_alog"), alog, 512);
     m.writeBlock(p.symbol("reed_gen"), gen, 16);
@@ -654,15 +736,15 @@ reedSetup(Emulator &emu, int inputSet)
 }
 
 bool
-reedValidate(const Emulator &emu, int inputSet)
+reedValidateImpl(const Emulator &emu, int inputSet, int blocks)
 {
     Rng rng(0x2eedu + static_cast<unsigned>(inputSet));
     std::uint8_t logt[256] = {}, alog[512] = {}, gen[16] = {};
     reedTables(logt, alog, gen);
     std::vector<std::uint8_t> data;
-    reedGenData(rng, data);
+    reedGenData(rng, data, blocks);
     std::uint64_t sum = 0;
-    for (int b = 0; b < reedBlocks; ++b) {
+    for (int b = 0; b < blocks; ++b) {
         std::uint8_t par[reedR] = {};
         for (int i = 0; i < reedK; ++i) {
             std::uint8_t fb =
@@ -685,6 +767,35 @@ reedValidate(const Emulator &emu, int inputSet)
     return emu.memory().read(emu.program().symbol("reed_out"), 8) == sum;
 }
 
+void
+reedSetup(Emulator &emu, int inputSet)
+{
+    reedSetupImpl(emu, inputSet, reedBlocks);
+}
+
+bool
+reedValidate(const Emulator &emu, int inputSet)
+{
+    return reedValidateImpl(emu, inputSet, reedBlocks);
+}
+
+void
+reedSetupLong(Emulator &emu, int inputSet)
+{
+    reedSetupImpl(emu, inputSet, reedBlocksLong);
+}
+
+bool
+reedValidateLong(const Emulator &emu, int inputSet)
+{
+    return reedValidateImpl(emu, inputSet, reedBlocksLong);
+}
+
+/** Long-tier program: the data segment grows to reedBlocksLong
+ *  32-byte blocks. */
+const char *reedLongSrc = scaledSource(
+    reedSrc, {{"reed_data: .space 1280", "reed_data: .space 4640"}});
+
 } // namespace
 
 std::vector<Kernel>
@@ -692,18 +803,21 @@ commKernels()
 {
     return {
         {"crc", "CommBench-S", "table-driven CRC32 frame checksum",
-         crcSrc, crcSetup, crcValidate, crcLongSrc, crcSetupLong,
-         crcValidateLong},
+         crcSrc, crcSetup, crcValidate,
+         {crcLongSrc, crcSetupLong, crcValidateLong},
+         {crcHugeSrc, crcSetupHuge, crcValidateHuge}},
         {"drr", "CommBench-S", "deficit round robin packet scheduler",
-         drrSrc, drrSetup, drrValidate},
+         drrSrc, drrSetup, drrValidate,
+         {drrLongSrc, drrSetupLong, drrValidateLong}},
         {"frag", "CommBench-S", "IP fragmentation header generation",
-         fragSrc, fragSetup, fragValidate},
+         fragSrc, fragSetup, fragValidate,
+         {fragLongSrc, fragSetupLong, fragValidateLong}},
         {"rtr", "CommBench-S", "two-level radix-trie route lookup",
-         rtrSrc, rtrSetup, rtrValidate, rtrLongSrc, rtrSetupLong,
-         rtrValidateLong},
+         rtrSrc, rtrSetup, rtrValidate,
+         {rtrLongSrc, rtrSetupLong, rtrValidateLong}},
         {"reed", "CommBench-S",
          "Reed-Solomon GF(256) systematic encoder", reedSrc, reedSetup,
-         reedValidate},
+         reedValidate, {reedLongSrc, reedSetupLong, reedValidateLong}},
     };
 }
 

@@ -149,6 +149,7 @@ struct ImaCodec
 // ---------------------------------------------------------------------
 
 constexpr int aeN = 2200;
+constexpr int aeNLong = 25000;      ///< ~1.1M units of work
 
 const char *aeSrc = R"ASM(
     .text
@@ -241,40 +242,70 @@ ae_in:   .space 17600
 )ASM";
 
 void
-aeSetup(Emulator &emu, int inputSet)
+aeSetupImpl(Emulator &emu, int inputSet, int n)
 {
     Rng rng(0xadceu + static_cast<unsigned>(inputSet));
-    auto wave = synthWave(rng, aeN);
+    auto wave = synthWave(rng, n);
     Memory &m = emu.memory();
     const Program &p = emu.program();
-    m.write(p.symbol("ae_n"), aeN, 8);
+    m.write(p.symbol("ae_n"), static_cast<std::uint64_t>(n), 8);
     writeImaTables(m, p, "ae_step", "ae_idx");
     Addr in = p.symbol("ae_in");
-    for (int i = 0; i < aeN; ++i)
+    for (int i = 0; i < n; ++i)
         m.write(in + static_cast<Addr>(8 * i),
                 static_cast<std::uint64_t>(wave[static_cast<size_t>(i)]),
                 8);
 }
 
 bool
-aeValidate(const Emulator &emu, int inputSet)
+aeValidateImpl(const Emulator &emu, int inputSet, int n)
 {
     Rng rng(0xadceu + static_cast<unsigned>(inputSet));
-    auto wave = synthWave(rng, aeN);
+    auto wave = synthWave(rng, n);
     ImaCodec c;
     std::uint64_t sum = 0;
-    for (int i = 0; i < aeN; ++i) {
+    for (int i = 0; i < n; ++i) {
         std::int64_t d = c.encode(wave[static_cast<size_t>(i)]);
         sum = sum * 33 + static_cast<std::uint64_t>(d);
     }
     return emu.memory().read(emu.program().symbol("ae_out"), 8) == sum;
 }
 
+void
+aeSetup(Emulator &emu, int inputSet)
+{
+    aeSetupImpl(emu, inputSet, aeN);
+}
+
+bool
+aeValidate(const Emulator &emu, int inputSet)
+{
+    return aeValidateImpl(emu, inputSet, aeN);
+}
+
+void
+aeSetupLong(Emulator &emu, int inputSet)
+{
+    aeSetupImpl(emu, inputSet, aeNLong);
+}
+
+bool
+aeValidateLong(const Emulator &emu, int inputSet)
+{
+    return aeValidateImpl(emu, inputSet, aeNLong);
+}
+
+/** Long-tier program: sample input and code output grow to aeNLong. */
+const char *aeLongSrc = scaledSource(
+    aeSrc, {{"ae_code: .space 2200", "ae_code: .space 25000"},
+            {"ae_in:   .space 17600", "ae_in:   .space 200000"}});
+
 // ---------------------------------------------------------------------
 // adpcm.dec: IMA ADPCM decoder over a pre-encoded stream.
 // ---------------------------------------------------------------------
 
 constexpr int adN = 2600;
+constexpr int adNLong = 32000;      ///< ~1.1M units of work
 
 const char *adSrc = R"ASM(
     .text
@@ -351,17 +382,17 @@ ad_code: .space 2600
 )ASM";
 
 void
-adSetup(Emulator &emu, int inputSet)
+adSetupImpl(Emulator &emu, int inputSet, int n)
 {
     Rng rng(0xadcdu + static_cast<unsigned>(inputSet));
-    auto wave = synthWave(rng, adN);
+    auto wave = synthWave(rng, n);
     ImaCodec enc;
     Memory &m = emu.memory();
     const Program &p = emu.program();
-    m.write(p.symbol("ad_n"), adN, 8);
+    m.write(p.symbol("ad_n"), static_cast<std::uint64_t>(n), 8);
     writeImaTables(m, p, "ad_step", "ad_idx");
     Addr code = p.symbol("ad_code");
-    for (int i = 0; i < adN; ++i) {
+    for (int i = 0; i < n; ++i) {
         std::int64_t d = enc.encode(wave[static_cast<size_t>(i)]);
         m.writeByte(code + static_cast<Addr>(i),
                     static_cast<std::uint8_t>(d));
@@ -369,13 +400,13 @@ adSetup(Emulator &emu, int inputSet)
 }
 
 bool
-adValidate(const Emulator &emu, int inputSet)
+adValidateImpl(const Emulator &emu, int inputSet, int n)
 {
     Rng rng(0xadcdu + static_cast<unsigned>(inputSet));
-    auto wave = synthWave(rng, adN);
+    auto wave = synthWave(rng, n);
     ImaCodec enc, dec;
     std::uint64_t sum = 0;
-    for (int i = 0; i < adN; ++i) {
+    for (int i = 0; i < n; ++i) {
         std::int64_t d = enc.encode(wave[static_cast<size_t>(i)]);
         std::int64_t v = dec.decode(d);
         sum = (sum * 17) ^ static_cast<std::uint64_t>(v);
@@ -383,12 +414,41 @@ adValidate(const Emulator &emu, int inputSet)
     return emu.memory().read(emu.program().symbol("ad_out"), 8) == sum;
 }
 
+void
+adSetup(Emulator &emu, int inputSet)
+{
+    adSetupImpl(emu, inputSet, adN);
+}
+
+bool
+adValidate(const Emulator &emu, int inputSet)
+{
+    return adValidateImpl(emu, inputSet, adN);
+}
+
+void
+adSetupLong(Emulator &emu, int inputSet)
+{
+    adSetupImpl(emu, inputSet, adNLong);
+}
+
+bool
+adValidateLong(const Emulator &emu, int inputSet)
+{
+    return adValidateImpl(emu, inputSet, adNLong);
+}
+
+/** Long-tier program: the encoded stream grows to adNLong bytes. */
+const char *adLongSrc = scaledSource(
+    adSrc, {{"ad_code: .space 2600", "ad_code: .space 32000"}});
+
 // ---------------------------------------------------------------------
 // g721.enc: adaptive 2-tap sign-sign LMS predictor with 4-bit error
 // quantization (G.721-flavoured ADPCM).
 // ---------------------------------------------------------------------
 
 constexpr int g7N = 2400;
+constexpr int g7NLong = 36500;      ///< ~1.1M units of work
 
 const char *g7Src = R"ASM(
     .text
@@ -454,28 +514,28 @@ g7_in:  .space 19200
 )ASM";
 
 void
-g7Setup(Emulator &emu, int inputSet)
+g7SetupImpl(Emulator &emu, int inputSet, int n)
 {
     Rng rng(0x721u + static_cast<unsigned>(inputSet));
-    auto wave = synthWave(rng, g7N);
+    auto wave = synthWave(rng, n);
     Memory &m = emu.memory();
     const Program &p = emu.program();
-    m.write(p.symbol("g7_n"), g7N, 8);
+    m.write(p.symbol("g7_n"), static_cast<std::uint64_t>(n), 8);
     Addr in = p.symbol("g7_in");
-    for (int i = 0; i < g7N; ++i)
+    for (int i = 0; i < n; ++i)
         m.write(in + static_cast<Addr>(8 * i),
                 static_cast<std::uint64_t>(wave[static_cast<size_t>(i)]),
                 8);
 }
 
 bool
-g7Validate(const Emulator &emu, int inputSet)
+g7ValidateImpl(const Emulator &emu, int inputSet, int n)
 {
     Rng rng(0x721u + static_cast<unsigned>(inputSet));
-    auto wave = synthWave(rng, g7N);
+    auto wave = synthWave(rng, n);
     std::int64_t w1 = 128, w2 = 64, y1 = 0, y2 = 0;
     std::uint64_t sum = 0;
-    for (int i = 0; i < g7N; ++i) {
+    for (int i = 0; i < n; ++i) {
         std::int64_t x = wave[static_cast<size_t>(i)];
         std::int64_t pred = (w1 * y1 + w2 * y2) >> 8;
         std::int64_t err = x - pred;
@@ -491,6 +551,34 @@ g7Validate(const Emulator &emu, int inputSet)
     return emu.memory().read(emu.program().symbol("g7_out"), 8) == sum;
 }
 
+void
+g7Setup(Emulator &emu, int inputSet)
+{
+    g7SetupImpl(emu, inputSet, g7N);
+}
+
+bool
+g7Validate(const Emulator &emu, int inputSet)
+{
+    return g7ValidateImpl(emu, inputSet, g7N);
+}
+
+void
+g7SetupLong(Emulator &emu, int inputSet)
+{
+    g7SetupImpl(emu, inputSet, g7NLong);
+}
+
+bool
+g7ValidateLong(const Emulator &emu, int inputSet)
+{
+    return g7ValidateImpl(emu, inputSet, g7NLong);
+}
+
+/** Long-tier program: the sample input grows to g7NLong quads. */
+const char *g7LongSrc = scaledSource(
+    g7Src, {{"g7_in:  .space 19200", "g7_in:  .space 292000"}});
+
 // ---------------------------------------------------------------------
 // jpeg.dct: 8x8 forward DCT per block as two fixed-point 8x8 matrix
 // multiplies (out = C * blk * C^T, >>8 after each pass).
@@ -498,6 +586,7 @@ g7Validate(const Emulator &emu, int inputSet)
 
 constexpr int dctBlocks = 10;
 constexpr int dctBlocksLong = 70;   ///< ~1.1M units of work
+constexpr int dctBlocksHuge = 625;  ///< ~10.1M units of work
 
 std::vector<std::int64_t>
 dctCoeffs()
@@ -681,10 +770,26 @@ dctValidateLong(const Emulator &emu, int inputSet)
     return dctValidateImpl(emu, inputSet, dctBlocksLong);
 }
 
+void
+dctSetupHuge(Emulator &emu, int inputSet)
+{
+    dctSetupImpl(emu, inputSet, dctBlocksHuge);
+}
+
+bool
+dctValidateHuge(const Emulator &emu, int inputSet)
+{
+    return dctValidateImpl(emu, inputSet, dctBlocksHuge);
+}
+
 /** Long-tier program: the block loop is unchanged, the input segment
  *  grows to dctBlocksLong 8x8 blocks (70 x 512 bytes). */
 const char *dctLongSrc = scaledSource(
     dctSrc, {{"dct_in:   .space 5120", "dct_in:   .space 35840"}});
+
+/** Huge-tier program: dctBlocksHuge 8x8 blocks (625 x 512 bytes). */
+const char *dctHugeSrc = scaledSource(
+    dctSrc, {{"dct_in:   .space 5120", "dct_in:   .space 320000"}});
 
 // ---------------------------------------------------------------------
 // mpeg2.idct: inverse transform (out = C^T * in * C) with a final
@@ -692,6 +797,7 @@ const char *dctLongSrc = scaledSource(
 // ---------------------------------------------------------------------
 
 constexpr int idctBlocks = 10;
+constexpr int idctBlocksLong = 70;  ///< ~1.1M units of work
 
 const char *idctSrc = R"ASM(
     .text
@@ -786,33 +892,33 @@ idct_in:   .space 5120
 )ASM";
 
 void
-idctSetup(Emulator &emu, int inputSet)
+idctSetupImpl(Emulator &emu, int inputSet, int blocks)
 {
     Rng rng(0x1dc7u + static_cast<unsigned>(inputSet));
     auto c = dctCoeffs();
     Memory &m = emu.memory();
     const Program &p = emu.program();
-    m.write(p.symbol("idct_nblk"), idctBlocks, 8);
+    m.write(p.symbol("idct_nblk"), static_cast<std::uint64_t>(blocks), 8);
     Addr ca = p.symbol("idct_c");
     for (int i = 0; i < 64; ++i)
         m.write(ca + static_cast<Addr>(8 * i),
                 static_cast<std::uint64_t>(c[static_cast<size_t>(i)]), 8);
     Addr in = p.symbol("idct_in");
-    for (int i = 0; i < idctBlocks * 64; ++i)
+    for (int i = 0; i < blocks * 64; ++i)
         m.write(in + static_cast<Addr>(8 * i),
                 static_cast<std::uint64_t>(rng.range(-300, 300)), 8);
 }
 
 bool
-idctValidate(const Emulator &emu, int inputSet)
+idctValidateImpl(const Emulator &emu, int inputSet, int blocks)
 {
     Rng rng(0x1dc7u + static_cast<unsigned>(inputSet));
     auto c = dctCoeffs();
-    std::vector<std::int64_t> in(static_cast<size_t>(idctBlocks) * 64);
+    std::vector<std::int64_t> in(static_cast<size_t>(blocks) * 64);
     for (auto &v : in)
         v = rng.range(-300, 300);
     std::uint64_t sum = 0;
-    for (int b = 0; b < idctBlocks; ++b) {
+    for (int b = 0; b < blocks; ++b) {
         const std::int64_t *blk = &in[static_cast<size_t>(b) * 64];
         std::int64_t tmp[64];
         for (int i = 0; i < 8; ++i) {
@@ -841,6 +947,35 @@ idctValidate(const Emulator &emu, int inputSet)
     }
     return emu.memory().read(emu.program().symbol("idct_out"), 8) == sum;
 }
+
+void
+idctSetup(Emulator &emu, int inputSet)
+{
+    idctSetupImpl(emu, inputSet, idctBlocks);
+}
+
+bool
+idctValidate(const Emulator &emu, int inputSet)
+{
+    return idctValidateImpl(emu, inputSet, idctBlocks);
+}
+
+void
+idctSetupLong(Emulator &emu, int inputSet)
+{
+    idctSetupImpl(emu, inputSet, idctBlocksLong);
+}
+
+bool
+idctValidateLong(const Emulator &emu, int inputSet)
+{
+    return idctValidateImpl(emu, inputSet, idctBlocksLong);
+}
+
+/** Long-tier program: the input segment grows to idctBlocksLong 8x8
+ *  blocks. */
+const char *idctLongSrc = scaledSource(
+    idctSrc, {{"idct_in:   .space 5120", "idct_in:   .space 35840"}});
 
 // ---------------------------------------------------------------------
 // gsm.lpc: 8-stage fixed-point LPC analysis filter (serial dependence
@@ -980,22 +1115,26 @@ mediaKernels()
 {
     return {
         {"adpcm.enc", "MediaBench-S", "IMA ADPCM speech encoder",
-         aeSrc, aeSetup, aeValidate},
+         aeSrc, aeSetup, aeValidate,
+         {aeLongSrc, aeSetupLong, aeValidateLong}},
         {"adpcm.dec", "MediaBench-S", "IMA ADPCM speech decoder",
-         adSrc, adSetup, adValidate},
+         adSrc, adSetup, adValidate,
+         {adLongSrc, adSetupLong, adValidateLong}},
         {"g721.enc", "MediaBench-S",
          "adaptive sign-sign LMS predictive coder", g7Src, g7Setup,
-         g7Validate},
+         g7Validate, {g7LongSrc, g7SetupLong, g7ValidateLong}},
         {"jpeg.dct", "MediaBench-S",
          "8x8 fixed-point forward DCT block transform", dctSrc,
-         dctSetup, dctValidate, dctLongSrc, dctSetupLong,
-         dctValidateLong},
+         dctSetup, dctValidate,
+         {dctLongSrc, dctSetupLong, dctValidateLong},
+         {dctHugeSrc, dctSetupHuge, dctValidateHuge}},
         {"mpeg2.idct", "MediaBench-S",
          "8x8 fixed-point inverse DCT with clamping", idctSrc,
-         idctSetup, idctValidate},
+         idctSetup, idctValidate,
+         {idctLongSrc, idctSetupLong, idctValidateLong}},
         {"gsm.lpc", "MediaBench-S",
          "8-stage fixed-point LPC analysis filter", lpcSrc, lpcSetup,
-         lpcValidate, lpcLongSrc, lpcSetupLong, lpcValidateLong},
+         lpcValidate, {lpcLongSrc, lpcSetupLong, lpcValidateLong}},
     };
 }
 

@@ -114,6 +114,7 @@ const char *bcLongSrc = scaledSource(
 
 constexpr int shaBlocks = 36;
 constexpr int shaBlocksLong = 340;  ///< ~1.1M units of work
+constexpr int shaBlocksHuge = 3050; ///< ~10.1M units of work
 
 const char *shaSrc = R"ASM(
     .text
@@ -288,10 +289,26 @@ shaValidateLong(const Emulator &emu, int inputSet)
     return shaValidateImpl(emu, inputSet, shaBlocksLong);
 }
 
+void
+shaSetupHuge(Emulator &emu, int inputSet)
+{
+    shaSetupImpl(emu, inputSet, shaBlocksHuge);
+}
+
+bool
+shaValidateHuge(const Emulator &emu, int inputSet)
+{
+    return shaValidateImpl(emu, inputSet, shaBlocksHuge);
+}
+
 /** Long-tier program: the message grows to shaBlocksLong 64-byte
  *  blocks. */
 const char *shaLongSrc = scaledSource(
     shaSrc, {{"sha_msg:  .space 2304", "sha_msg:  .space 21760"}});
+
+/** Huge-tier program: shaBlocksHuge 64-byte blocks. */
+const char *shaHugeSrc = scaledSource(
+    shaSrc, {{"sha_msg:  .space 2304", "sha_msg:  .space 195200"}});
 
 // ---------------------------------------------------------------------
 // dijkstra: O(N^2) single-source shortest paths over a dense random
@@ -299,6 +316,7 @@ const char *shaLongSrc = scaledSource(
 // ---------------------------------------------------------------------
 
 constexpr int djN = 48;
+constexpr int djNLong = 240;        ///< ~1.2M units of work (O(N^2))
 constexpr std::int64_t djInf = 1 << 28;
 
 const char *djSrc = R"ASM(
@@ -395,12 +413,12 @@ dj_adj:  .space 9216
 )ASM";
 
 void
-djFill(Rng &rng, std::vector<std::int32_t> &adj)
+djFill(Rng &rng, std::vector<std::int32_t> &adj, int n)
 {
-    adj.resize(djN * djN);
-    for (int i = 0; i < djN; ++i) {
-        for (int j = 0; j < djN; ++j) {
-            adj[static_cast<size_t>(i * djN + j)] =
+    adj.resize(static_cast<size_t>(n) * static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            adj[static_cast<size_t>(i * n + j)] =
                 (i == j) ? 0
                          : static_cast<std::int32_t>(1 + rng.below(900));
         }
@@ -408,11 +426,11 @@ djFill(Rng &rng, std::vector<std::int32_t> &adj)
 }
 
 void
-djSetup(Emulator &emu, int inputSet)
+djSetupImpl(Emulator &emu, int inputSet, int n)
 {
     Rng rng(0xd1357u + static_cast<unsigned>(inputSet));
     std::vector<std::int32_t> adj;
-    djFill(rng, adj);
+    djFill(rng, adj, n);
     Memory &m = emu.memory();
     Addr a = emu.program().symbol("dj_adj");
     for (size_t i = 0; i < adj.size(); ++i)
@@ -422,18 +440,18 @@ djSetup(Emulator &emu, int inputSet)
 }
 
 bool
-djValidate(const Emulator &emu, int inputSet)
+djValidateImpl(const Emulator &emu, int inputSet, int n)
 {
     Rng rng(0xd1357u + static_cast<unsigned>(inputSet));
     std::vector<std::int32_t> adj;
-    djFill(rng, adj);
-    std::vector<std::int64_t> dist(djN, djInf);
-    std::vector<bool> vis(djN, false);
+    djFill(rng, adj, n);
+    std::vector<std::int64_t> dist(static_cast<size_t>(n), djInf);
+    std::vector<bool> vis(static_cast<size_t>(n), false);
     dist[0] = 0;
-    for (int it = 0; it < djN; ++it) {
+    for (int it = 0; it < n; ++it) {
         int u = 0;
         std::int64_t best = djInf + 1;
-        for (int i = 0; i < djN; ++i) {
+        for (int i = 0; i < n; ++i) {
             if (!vis[static_cast<size_t>(i)] &&
                 dist[static_cast<size_t>(i)] < best) {
                 best = dist[static_cast<size_t>(i)];
@@ -441,26 +459,71 @@ djValidate(const Emulator &emu, int inputSet)
             }
         }
         vis[static_cast<size_t>(u)] = true;
-        for (int v = 0; v < djN; ++v) {
+        for (int v = 0; v < n; ++v) {
             if (vis[static_cast<size_t>(v)])
                 continue;
             std::int64_t nd = dist[static_cast<size_t>(u)] +
-                adj[static_cast<size_t>(u * djN + v)];
+                adj[static_cast<size_t>(u * n + v)];
             if (nd < dist[static_cast<size_t>(v)])
                 dist[static_cast<size_t>(v)] = nd;
         }
     }
     std::uint64_t sum = 0;
-    for (int i = 0; i < djN; ++i)
+    for (int i = 0; i < n; ++i)
         sum += static_cast<std::uint64_t>(dist[static_cast<size_t>(i)]);
     return emu.memory().read(emu.program().symbol("dj_out"), 8) == sum;
 }
+
+void
+djSetup(Emulator &emu, int inputSet)
+{
+    djSetupImpl(emu, inputSet, djN);
+}
+
+bool
+djValidate(const Emulator &emu, int inputSet)
+{
+    return djValidateImpl(emu, inputSet, djN);
+}
+
+void
+djSetupLong(Emulator &emu, int inputSet)
+{
+    djSetupImpl(emu, inputSet, djNLong);
+}
+
+bool
+djValidateLong(const Emulator &emu, int inputSet)
+{
+    return djValidateImpl(emu, inputSet, djNLong);
+}
+
+/** Long-tier program: the node count is a program *text* constant
+ *  here (loop bounds, the 4*N adjacency-row stride, and the data
+ *  arrays), so the derivation substitutes every N-dependent line.
+ *  Multi-line patterns keep each substitution unambiguous where the
+ *  bare bound appears in more than one loop. */
+const char *djLongSrc = scaledSource(
+    djSrc,
+    {{"ldq  r13, dj_inf\n    li   r1, 48",
+      "ldq  r13, dj_inf\n    li   r1, 240"},
+     {"li   r10, 48", "li   r10, 240"},
+     {"cmplt r1, 48, r2\n    bne  r2, scan",
+      "cmplt r1, 240, r2\n    bne  r2, scan"},
+     {"cmplt r1, 48, r2\n    bne  r2, rel",
+      "cmplt r1, 240, r2\n    bne  r2, rel"},
+     {"li   r2, 192", "li   r2, 960"},
+     {"li   r1, 48\n    clr  r12", "li   r1, 240\n    clr  r12"},
+     {"dj_dist: .space 384", "dj_dist: .space 1920"},
+     {"dj_vis:  .space 384", "dj_vis:  .space 1920"},
+     {"dj_adj:  .space 9216", "dj_adj:  .space 230400"}});
 
 // ---------------------------------------------------------------------
 // stringsearch: Horspool search of several patterns over a text.
 // ---------------------------------------------------------------------
 
 constexpr int ssTextLen = 4096;
+constexpr int ssTextLenLong = 29500;    ///< ~1.1M units of work
 constexpr int ssPatLen = 6;
 constexpr int ssNumPats = 8;
 
@@ -542,17 +605,18 @@ ss_text:  .space 4096
 
 void
 ssGen(Rng &rng, std::vector<std::uint8_t> &text,
-      std::vector<std::uint8_t> &pats)
+      std::vector<std::uint8_t> &pats, int textLen)
 {
-    text.resize(ssTextLen);
+    text.resize(static_cast<size_t>(textLen));
     for (auto &c : text)
         c = static_cast<std::uint8_t>('a' + rng.below(6));
     pats.resize(ssNumPats * ssPatLen);
     for (int p = 0; p < ssNumPats; ++p) {
-        if (p % 2 == 0 && ssTextLen > ssPatLen) {
+        if (p % 2 == 0 && textLen > ssPatLen) {
             // Half the patterns are sampled from the text so matches
             // actually occur.
-            auto off = rng.below(ssTextLen - ssPatLen);
+            auto off = rng.below(
+                static_cast<std::uint64_t>(textLen - ssPatLen));
             for (int j = 0; j < ssPatLen; ++j)
                 pats[static_cast<size_t>(p * ssPatLen + j)] =
                     text[static_cast<size_t>(off + j)];
@@ -565,24 +629,24 @@ ssGen(Rng &rng, std::vector<std::uint8_t> &text,
 }
 
 void
-ssSetup(Emulator &emu, int inputSet)
+ssSetupImpl(Emulator &emu, int inputSet, int textLen)
 {
     Rng rng(0x57a7u + static_cast<unsigned>(inputSet));
     std::vector<std::uint8_t> text, pats;
-    ssGen(rng, text, pats);
+    ssGen(rng, text, pats, textLen);
     Memory &m = emu.memory();
     const Program &p = emu.program();
-    m.write(p.symbol("ss_tlen"), ssTextLen, 8);
+    m.write(p.symbol("ss_tlen"), static_cast<std::uint64_t>(textLen), 8);
     m.writeBlock(p.symbol("ss_text"), text.data(), text.size());
     m.writeBlock(p.symbol("ss_pats"), pats.data(), pats.size());
 }
 
 bool
-ssValidate(const Emulator &emu, int inputSet)
+ssValidateImpl(const Emulator &emu, int inputSet, int textLen)
 {
     Rng rng(0x57a7u + static_cast<unsigned>(inputSet));
     std::vector<std::uint8_t> text, pats;
-    ssGen(rng, text, pats);
+    ssGen(rng, text, pats, textLen);
     std::uint64_t matches = 0;
     for (int p = 0; p < ssNumPats; ++p) {
         const std::uint8_t *pat = &pats[static_cast<size_t>(p * ssPatLen)];
@@ -592,7 +656,7 @@ ssValidate(const Emulator &emu, int inputSet)
         for (int j = 0; j < ssPatLen - 1; ++j)
             shift[pat[j]] = ssPatLen - 1 - j;
         std::int64_t pos = 0;
-        std::int64_t last = ssTextLen - ssPatLen;
+        std::int64_t last = textLen - ssPatLen;
         while (pos <= last) {
             int k = ssPatLen - 1;
             while (k >= 0 &&
@@ -611,11 +675,40 @@ ssValidate(const Emulator &emu, int inputSet)
         matches;
 }
 
+void
+ssSetup(Emulator &emu, int inputSet)
+{
+    ssSetupImpl(emu, inputSet, ssTextLen);
+}
+
+bool
+ssValidate(const Emulator &emu, int inputSet)
+{
+    return ssValidateImpl(emu, inputSet, ssTextLen);
+}
+
+void
+ssSetupLong(Emulator &emu, int inputSet)
+{
+    ssSetupImpl(emu, inputSet, ssTextLenLong);
+}
+
+bool
+ssValidateLong(const Emulator &emu, int inputSet)
+{
+    return ssValidateImpl(emu, inputSet, ssTextLenLong);
+}
+
+/** Long-tier program: the text grows to ssTextLenLong bytes. */
+const char *ssLongSrc = scaledSource(
+    ssSrc, {{"ss_text:  .space 4096", "ss_text:  .space 29500"}});
+
 // ---------------------------------------------------------------------
 // blowfish: 16-round Feistel block cipher with four S-boxes.
 // ---------------------------------------------------------------------
 
 constexpr int bfBlocks = 340;
+constexpr int bfBlocksLong = 2400;      ///< ~1.1M units of work
 
 const char *bfSrc = R"ASM(
     .text
@@ -682,25 +775,25 @@ bf_in:   .space 2720
 
 void
 bfGen(Rng &rng, std::vector<std::uint32_t> &sbox,
-      std::vector<std::uint32_t> &blocks)
+      std::vector<std::uint32_t> &blocks, int nblocks)
 {
     sbox.resize(4 * 256);
     for (auto &s : sbox)
         s = static_cast<std::uint32_t>(rng.next());
-    blocks.resize(static_cast<size_t>(bfBlocks) * 2);
+    blocks.resize(static_cast<size_t>(nblocks) * 2);
     for (auto &b : blocks)
         b = static_cast<std::uint32_t>(rng.next());
 }
 
 void
-bfSetup(Emulator &emu, int inputSet)
+bfSetupImpl(Emulator &emu, int inputSet, int nblocks)
 {
     Rng rng(0xb10f5u + static_cast<unsigned>(inputSet));
     std::vector<std::uint32_t> sbox, blocks;
-    bfGen(rng, sbox, blocks);
+    bfGen(rng, sbox, blocks, nblocks);
     Memory &m = emu.memory();
     const Program &p = emu.program();
-    m.write(p.symbol("bf_nblk"), bfBlocks, 8);
+    m.write(p.symbol("bf_nblk"), static_cast<std::uint64_t>(nblocks), 8);
     for (int t = 0; t < 4; ++t) {
         Addr base = p.symbol(strfmt("bf_s%d", t));
         for (int i = 0; i < 256; ++i)
@@ -713,13 +806,13 @@ bfSetup(Emulator &emu, int inputSet)
 }
 
 bool
-bfValidate(const Emulator &emu, int inputSet)
+bfValidateImpl(const Emulator &emu, int inputSet, int nblocks)
 {
     Rng rng(0xb10f5u + static_cast<unsigned>(inputSet));
     std::vector<std::uint32_t> sbox, blocks;
-    bfGen(rng, sbox, blocks);
+    bfGen(rng, sbox, blocks, nblocks);
     std::uint64_t sum = 0;
-    for (int b = 0; b < bfBlocks; ++b) {
+    for (int b = 0; b < nblocks; ++b) {
         std::uint32_t l = blocks[static_cast<size_t>(2 * b)];
         std::uint32_t r = blocks[static_cast<size_t>(2 * b + 1)];
         for (int i = 0; i < 16; ++i) {
@@ -738,12 +831,42 @@ bfValidate(const Emulator &emu, int inputSet)
     return emu.memory().read(emu.program().symbol("bf_out"), 8) == sum;
 }
 
+void
+bfSetup(Emulator &emu, int inputSet)
+{
+    bfSetupImpl(emu, inputSet, bfBlocks);
+}
+
+bool
+bfValidate(const Emulator &emu, int inputSet)
+{
+    return bfValidateImpl(emu, inputSet, bfBlocks);
+}
+
+void
+bfSetupLong(Emulator &emu, int inputSet)
+{
+    bfSetupImpl(emu, inputSet, bfBlocksLong);
+}
+
+bool
+bfValidateLong(const Emulator &emu, int inputSet)
+{
+    return bfValidateImpl(emu, inputSet, bfBlocksLong);
+}
+
+/** Long-tier program: the block stream grows to bfBlocksLong 8-byte
+ *  blocks. */
+const char *bfLongSrc = scaledSource(
+    bfSrc, {{"bf_in:   .space 2720", "bf_in:   .space 19200"}});
+
 // ---------------------------------------------------------------------
 // rgb2gray: RGBA-to-luma pixel conversion (the "2rgba"-style pixel
 // loop: unpack, weighted sum, pack).
 // ---------------------------------------------------------------------
 
 constexpr int rgN = 4200;
+constexpr int rgNLong = 58000;      ///< ~1.1M units of work
 
 const char *rgSrc = R"ASM(
     .text
@@ -782,24 +905,24 @@ rg_in:   .space 16800
 )ASM";
 
 void
-rgSetup(Emulator &emu, int inputSet)
+rgSetupImpl(Emulator &emu, int inputSet, int n)
 {
     Rng rng(0x26bau + static_cast<unsigned>(inputSet));
     Memory &m = emu.memory();
     const Program &p = emu.program();
-    m.write(p.symbol("rg_n"), rgN, 8);
+    m.write(p.symbol("rg_n"), static_cast<std::uint64_t>(n), 8);
     Addr in = p.symbol("rg_in");
-    for (int i = 0; i < rgN; ++i)
+    for (int i = 0; i < n; ++i)
         m.write(in + static_cast<Addr>(4 * i), rng.next() & 0xffffffff,
                 4);
 }
 
 bool
-rgValidate(const Emulator &emu, int inputSet)
+rgValidateImpl(const Emulator &emu, int inputSet, int n)
 {
     Rng rng(0x26bau + static_cast<unsigned>(inputSet));
     std::uint64_t sum = 0;
-    for (int i = 0; i < rgN; ++i) {
+    for (int i = 0; i < n; ++i) {
         std::uint32_t px = static_cast<std::uint32_t>(rng.next());
         std::uint32_t r = px & 255;
         std::uint32_t g = (px >> 8) & 255;
@@ -809,6 +932,36 @@ rgValidate(const Emulator &emu, int inputSet)
     return emu.memory().read(emu.program().symbol("rg_out"), 8) == sum;
 }
 
+void
+rgSetup(Emulator &emu, int inputSet)
+{
+    rgSetupImpl(emu, inputSet, rgN);
+}
+
+bool
+rgValidate(const Emulator &emu, int inputSet)
+{
+    return rgValidateImpl(emu, inputSet, rgN);
+}
+
+void
+rgSetupLong(Emulator &emu, int inputSet)
+{
+    rgSetupImpl(emu, inputSet, rgNLong);
+}
+
+bool
+rgValidateLong(const Emulator &emu, int inputSet)
+{
+    return rgValidateImpl(emu, inputSet, rgNLong);
+}
+
+/** Long-tier program: the pixel input and luma output both grow to
+ *  rgNLong entries. */
+const char *rgLongSrc = scaledSource(
+    rgSrc, {{"rg_gray: .space 4200", "rg_gray: .space 58000"},
+            {"rg_in:   .space 16800", "rg_in:   .space 232000"}});
+
 } // namespace
 
 std::vector<Kernel>
@@ -817,23 +970,24 @@ mibenchKernels()
     return {
         {"bitcount", "MiBench-S",
          "bit counting via ctpop and Kernighan's loop", bcSrc, bcSetup,
-         bcValidate, bcLongSrc, bcSetupLong, bcValidateLong},
+         bcValidate, {bcLongSrc, bcSetupLong, bcValidateLong}},
         {"sha", "MiBench-S",
          "SHA-1-style message schedule and 80 compression rounds",
-         shaSrc, shaSetup, shaValidate, shaLongSrc, shaSetupLong,
-         shaValidateLong},
+         shaSrc, shaSetup, shaValidate,
+         {shaLongSrc, shaSetupLong, shaValidateLong},
+         {shaHugeSrc, shaSetupHuge, shaValidateHuge}},
         {"dijkstra", "MiBench-S",
          "dense single-source shortest paths (O(N^2) scan)", djSrc,
-         djSetup, djValidate},
+         djSetup, djValidate, {djLongSrc, djSetupLong, djValidateLong}},
         {"stringsearch", "MiBench-S",
          "Horspool multi-pattern text search", ssSrc, ssSetup,
-         ssValidate},
+         ssValidate, {ssLongSrc, ssSetupLong, ssValidateLong}},
         {"blowfish", "MiBench-S",
          "16-round Feistel cipher with four S-boxes", bfSrc, bfSetup,
-         bfValidate},
+         bfValidate, {bfLongSrc, bfSetupLong, bfValidateLong}},
         {"rgb2gray", "MiBench-S",
          "RGBA-to-luma pixel conversion loop", rgSrc, rgSetup,
-         rgValidate},
+         rgValidate, {rgLongSrc, rgSetupLong, rgValidateLong}},
     };
 }
 

@@ -24,16 +24,17 @@ namespace {
 // ---------------------------------------------------------------------
 
 constexpr int gzN = 5000;
+constexpr int gzNLong = 55000;      ///< ~1.1M units of work
 constexpr int gzHashSize = 4096;
 constexpr int gzMaxMatch = 18;
 
 std::vector<std::uint8_t>
-gzInput(Rng &rng)
+gzInput(Rng &rng, int n)
 {
     // Repetitive text: random phrases repeated so matches exist.
     std::vector<std::uint8_t> in;
     std::vector<std::uint8_t> phrase;
-    while (in.size() < gzN) {
+    while (in.size() < static_cast<size_t>(n)) {
         if (phrase.empty() || rng.below(100) < 40) {
             phrase.clear();
             auto len = 4 + rng.below(12);
@@ -42,7 +43,7 @@ gzInput(Rng &rng)
                     static_cast<std::uint8_t>('a' + rng.below(8)));
         }
         for (std::uint8_t c : phrase) {
-            if (in.size() < gzN)
+            if (in.size() < static_cast<size_t>(n))
                 in.push_back(c);
         }
     }
@@ -131,25 +132,25 @@ gz_in:    .space 5000
 )ASM";
 
 void
-gzSetup(Emulator &emu, int inputSet)
+gzSetupImpl(Emulator &emu, int inputSet, int n)
 {
     Rng rng(0x9217u + static_cast<unsigned>(inputSet));
-    auto in = gzInput(rng);
+    auto in = gzInput(rng, n);
     Memory &m = emu.memory();
     const Program &p = emu.program();
-    m.write(p.symbol("gz_n"), gzN, 8);
+    m.write(p.symbol("gz_n"), static_cast<std::uint64_t>(n), 8);
     m.writeBlock(p.symbol("gz_in"), in.data(), in.size());
 }
 
 bool
-gzValidate(const Emulator &emu, int inputSet)
+gzValidateImpl(const Emulator &emu, int inputSet, int n)
 {
     Rng rng(0x9217u + static_cast<unsigned>(inputSet));
-    auto in = gzInput(rng);
+    auto in = gzInput(rng, n);
     std::vector<std::int64_t> head(gzHashSize, 0);
     std::uint64_t sum = 0, count = 0;
     std::int64_t pos = 0;
-    const std::int64_t limit = gzN - gzMaxMatch;
+    const std::int64_t limit = n - gzMaxMatch;
     while (pos < limit) {
         std::int64_t h = ((in[static_cast<size_t>(pos)] << 4) ^
                           (in[static_cast<size_t>(pos + 1)] << 2) ^
@@ -182,6 +183,34 @@ gzValidate(const Emulator &emu, int inputSet)
         emu.memory().read(p.symbol("gz_cnt"), 8) == count;
 }
 
+void
+gzSetup(Emulator &emu, int inputSet)
+{
+    gzSetupImpl(emu, inputSet, gzN);
+}
+
+bool
+gzValidate(const Emulator &emu, int inputSet)
+{
+    return gzValidateImpl(emu, inputSet, gzN);
+}
+
+void
+gzSetupLong(Emulator &emu, int inputSet)
+{
+    gzSetupImpl(emu, inputSet, gzNLong);
+}
+
+bool
+gzValidateLong(const Emulator &emu, int inputSet)
+{
+    return gzValidateImpl(emu, inputSet, gzNLong);
+}
+
+/** Long-tier program: the input text grows to gzNLong bytes. */
+const char *gzLongSrc = scaledSource(
+    gzSrc, {{"gz_in:    .space 5000", "gz_in:    .space 55000"}});
+
 // ---------------------------------------------------------------------
 // mcf: pointer-chasing relaxation over a random-permutation linked
 // cycle of 32-byte node records (cache-hostile, like mcf's network
@@ -191,6 +220,7 @@ gzValidate(const Emulator &emu, int inputSet)
 constexpr int mcfNodes = 6000;
 constexpr int mcfPasses = 2;
 constexpr int mcfPassesLong = 18;   ///< ~1.1M units of work
+constexpr int mcfPassesHuge = 167;  ///< ~10.1M units of work
 
 const char *mcfSrc = R"ASM(
     .text
@@ -327,12 +357,25 @@ mcfValidateLong(const Emulator &emu, int inputSet)
     return mcfValidateImpl(emu, inputSet, mcfPassesLong);
 }
 
+void
+mcfSetupHuge(Emulator &emu, int inputSet)
+{
+    mcfSetupImpl(emu, inputSet, mcfPassesHuge);
+}
+
+bool
+mcfValidateHuge(const Emulator &emu, int inputSet)
+{
+    return mcfValidateImpl(emu, inputSet, mcfPassesHuge);
+}
+
 // ---------------------------------------------------------------------
 // parser: tokenize a byte stream into words and look each up in an
 // open-addressed dictionary hash table (like parser's dict lookups).
 // ---------------------------------------------------------------------
 
 constexpr int parTextLen = 5200;
+constexpr int parTextLenLong = 72000;   ///< ~1.1M units of work
 constexpr int parTableSize = 1024;    // 8-byte keys
 constexpr int parDictWords = 220;
 
@@ -344,7 +387,7 @@ parHash(std::uint64_t key)
 
 void
 parGen(Rng &rng, std::vector<std::uint64_t> &table,
-       std::vector<std::uint8_t> &text)
+       std::vector<std::uint8_t> &text, int textLen)
 {
     // Dictionary of packed <=8-char words.
     std::vector<std::uint64_t> words;
@@ -365,7 +408,7 @@ parGen(Rng &rng, std::vector<std::uint64_t> &table,
     }
     // Text: words (some from the dictionary) separated by spaces.
     text.clear();
-    while (text.size() < parTextLen - 10) {
+    while (text.size() < static_cast<size_t>(textLen - 10)) {
         if (rng.below(100) < 55) {
             std::uint64_t w = words[rng.below(words.size())];
             std::uint8_t buf[8];
@@ -384,7 +427,7 @@ parGen(Rng &rng, std::vector<std::uint64_t> &table,
         }
         text.push_back(' ');
     }
-    while (text.size() < parTextLen)
+    while (text.size() < static_cast<size_t>(textLen))
         text.push_back(' ');
 }
 
@@ -460,12 +503,12 @@ par_text:  .space 5200
 )ASM";
 
 void
-parSetup(Emulator &emu, int inputSet)
+parSetupImpl(Emulator &emu, int inputSet, int textLen)
 {
     Rng rng(0x9a25u + static_cast<unsigned>(inputSet));
     std::vector<std::uint64_t> table;
     std::vector<std::uint8_t> text;
-    parGen(rng, table, text);
+    parGen(rng, table, text, textLen);
     Memory &m = emu.memory();
     const Program &p = emu.program();
     m.write(p.symbol("par_n"), text.size(), 8);
@@ -476,12 +519,12 @@ parSetup(Emulator &emu, int inputSet)
 }
 
 bool
-parValidate(const Emulator &emu, int inputSet)
+parValidateImpl(const Emulator &emu, int inputSet, int textLen)
 {
     Rng rng(0x9a25u + static_cast<unsigned>(inputSet));
     std::vector<std::uint64_t> table;
     std::vector<std::uint8_t> text;
-    parGen(rng, table, text);
+    parGen(rng, table, text, textLen);
     std::uint64_t hits = 0, probes = 0;
     size_t pos = 0;
     const size_t n = text.size();
@@ -514,6 +557,34 @@ parValidate(const Emulator &emu, int inputSet)
     return emu.memory().read(emu.program().symbol("par_out"), 8) ==
         expect;
 }
+
+void
+parSetup(Emulator &emu, int inputSet)
+{
+    parSetupImpl(emu, inputSet, parTextLen);
+}
+
+bool
+parValidate(const Emulator &emu, int inputSet)
+{
+    return parValidateImpl(emu, inputSet, parTextLen);
+}
+
+void
+parSetupLong(Emulator &emu, int inputSet)
+{
+    parSetupImpl(emu, inputSet, parTextLenLong);
+}
+
+bool
+parValidateLong(const Emulator &emu, int inputSet)
+{
+    return parValidateImpl(emu, inputSet, parTextLenLong);
+}
+
+/** Long-tier program: the token text grows to parTextLenLong bytes. */
+const char *parLongSrc = scaledSource(
+    parSrc, {{"par_text:  .space 5200", "par_text:  .space 72000"}});
 
 // ---------------------------------------------------------------------
 // twolf: annealing-style placement — swap two cells, recompute the
@@ -933,6 +1004,7 @@ gapValidateLong(const Emulator &emu, int inputSet)
 // ---------------------------------------------------------------------
 
 constexpr int cfBoards = 2600;
+constexpr int cfBoardsLong = 36500;     ///< ~1.1M units of work
 
 const char *cfSrc = R"ASM(
     .text
@@ -992,15 +1064,15 @@ cf_own:    .space 20800
 )ASM";
 
 void
-cfSetup(Emulator &emu, int inputSet)
+cfSetupImpl(Emulator &emu, int inputSet, int boards)
 {
     Rng rng(0xc4a4u + static_cast<unsigned>(inputSet));
     Memory &m = emu.memory();
     const Program &p = emu.program();
-    m.write(p.symbol("cf_n"), cfBoards, 8);
+    m.write(p.symbol("cf_n"), static_cast<std::uint64_t>(boards), 8);
     Addr occ = p.symbol("cf_occ");
     Addr own = p.symbol("cf_own");
-    for (int i = 0; i < cfBoards; ++i) {
+    for (int i = 0; i < boards; ++i) {
         std::uint64_t o = rng.next() & rng.next();   // ~25% occupancy
         std::uint64_t w = o & rng.next();
         m.write(occ + static_cast<Addr>(8 * i), o, 8);
@@ -1009,11 +1081,11 @@ cfSetup(Emulator &emu, int inputSet)
 }
 
 bool
-cfValidate(const Emulator &emu, int inputSet)
+cfValidateImpl(const Emulator &emu, int inputSet, int boards)
 {
     Rng rng(0xc4a4u + static_cast<unsigned>(inputSet));
     std::uint64_t sum = 0;
-    for (int i = 0; i < cfBoards; ++i) {
+    for (int i = 0; i < boards; ++i) {
         std::uint64_t o = rng.next() & rng.next();
         std::uint64_t w = o & rng.next();
         std::uint64_t empty = ~o;
@@ -1031,6 +1103,35 @@ cfValidate(const Emulator &emu, int inputSet)
     return emu.memory().read(emu.program().symbol("cf_out"), 8) == sum;
 }
 
+void
+cfSetup(Emulator &emu, int inputSet)
+{
+    cfSetupImpl(emu, inputSet, cfBoards);
+}
+
+bool
+cfValidate(const Emulator &emu, int inputSet)
+{
+    return cfValidateImpl(emu, inputSet, cfBoards);
+}
+
+void
+cfSetupLong(Emulator &emu, int inputSet)
+{
+    cfSetupImpl(emu, inputSet, cfBoardsLong);
+}
+
+bool
+cfValidateLong(const Emulator &emu, int inputSet)
+{
+    return cfValidateImpl(emu, inputSet, cfBoardsLong);
+}
+
+/** Long-tier program: the board arrays grow to cfBoardsLong quads. */
+const char *cfLongSrc = scaledSource(
+    cfSrc, {{"cf_occ:    .space 20800", "cf_occ:    .space 292000"},
+            {"cf_own:    .space 20800", "cf_own:    .space 292000"}});
+
 } // namespace
 
 std::vector<Kernel>
@@ -1038,22 +1139,27 @@ specintKernels()
 {
     return {
         {"gzip", "SPECint-S", "LZ77-style compression with hash heads",
-         gzSrc, gzSetup, gzValidate},
+         gzSrc, gzSetup, gzValidate,
+         {gzLongSrc, gzSetupLong, gzValidateLong}},
         {"mcf", "SPECint-S",
          "pointer-chasing relaxation over a 192KB node cycle", mcfSrc,
-         mcfSetup, mcfValidate, nullptr, mcfSetupLong, mcfValidateLong},
+         mcfSetup, mcfValidate,
+         {nullptr, mcfSetupLong, mcfValidateLong},
+         {nullptr, mcfSetupHuge, mcfValidateHuge}},
         {"parser", "SPECint-S",
          "tokenizer with open-addressed dictionary lookup", parSrc,
-         parSetup, parValidate},
+         parSetup, parValidate,
+         {parLongSrc, parSetupLong, parValidateLong}},
         {"twolf", "SPECint-S",
          "annealing placement with half-perimeter cost", twSrc,
-         twSetup, twValidate, nullptr, twSetupLong, twValidateLong},
+         twSetup, twValidate, {nullptr, twSetupLong, twValidateLong}},
         {"gap", "SPECint-S",
          "multi-precision addition with carry chains", gapSrc,
-         gapSetup, gapValidate, nullptr, gapSetupLong, gapValidateLong},
+         gapSetup, gapValidate,
+         {nullptr, gapSetupLong, gapValidateLong}},
         {"crafty", "SPECint-S",
          "bitboard mobility evaluation with popcounts", cfSrc, cfSetup,
-         cfValidate},
+         cfValidate, {cfLongSrc, cfSetupLong, cfValidateLong}},
     };
 }
 

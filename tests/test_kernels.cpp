@@ -94,11 +94,50 @@ TEST(KernelRegistry, ListingNamesEveryKernelAndItsScales)
     std::string listing = kernelListing();
     for (const Kernel &k : allKernels())
         EXPECT_NE(listing.find(k.name), std::string::npos) << k.name;
-    // A long-capable kernel advertises both scales; a ref-only one
-    // does not.
-    EXPECT_NE(listing.find("ref,long"), std::string::npos);
-    EXPECT_TRUE(findKernel("mcf").supports(Scale::Long));
-    EXPECT_FALSE(findKernel("gzip").supports(Scale::Long));
+    // Every kernel advertises exactly the scales it supports: the
+    // whole corpus is long-capable, the per-suite representatives add
+    // the huge tier, and the listing row reflects each case (this is
+    // what `--list-kernels` prints and the CI smoke test greps).
+    EXPECT_NE(listing.find("ref,long,huge"), std::string::npos);
+    for (const Kernel &k : allKernels()) {
+        EXPECT_TRUE(k.supports(Scale::Long)) << k.name;
+        std::size_t row = listing.find(k.name);
+        ASSERT_NE(row, std::string::npos) << k.name;
+        std::size_t eol = listing.find('\n', row);
+        std::string line = listing.substr(row, eol - row);
+        EXPECT_NE(line.find(k.supports(Scale::Huge) ? "ref,long,huge"
+                                                    : "ref,long"),
+                  std::string::npos)
+            << line;
+    }
+    EXPECT_TRUE(findKernel("mcf").supports(Scale::Huge));
+    EXPECT_FALSE(findKernel("gzip").supports(Scale::Huge));
+}
+
+TEST(KernelRegistry, ScaledSourceFailsLoudlyOnAMissingPattern)
+{
+    // An unmatched substitution must never silently ship the
+    // ref-sized buffer: deriving a scaled variant from a pattern that
+    // does not occur in the source is fatal.
+    EXPECT_EXIT(scaledSource("sym: .space 100",
+                             {{"other: .space 4", "other: .space 8"}}),
+                ::testing::ExitedWithCode(1), "not found");
+}
+
+TEST(KernelRegistry, ScaledSourceFailsLoudlyOnAnAmbiguousPattern)
+{
+    // A pattern matching more than once could resize the wrong
+    // buffer; the derivation demands exactly one occurrence.
+    EXPECT_EXIT(scaledSource("a: .space 8\nb: .space 8\n",
+                             {{".space 8", ".space 16"}}),
+                ::testing::ExitedWithCode(1), "ambiguous");
+}
+
+TEST(KernelRegistry, ScaledSourceSubstitutesExactlyOnce)
+{
+    const char *out = scaledSource("x: .space 8\ny: .space 32\n",
+                                   {{"y: .space 32", "y: .space 64"}});
+    EXPECT_STREQ(out, "x: .space 8\ny: .space 64\n");
 }
 
 } // namespace

@@ -79,12 +79,12 @@ TEST(Sampling, WholeProgramIntervalBitIdentical)
 TEST(Sampling, TierOneIpcWithinStatedBound)
 {
     // Stated bound for the default sampled configuration on the
-    // tier-1 kernels: every kernel's IPC within 15% of the full run
-    // (the outliers carry a matching 95% CI in SampledStats), at
-    // most a third of the cells beyond 2%, and the median under 2%.
+    // tier-1 kernels: every kernel's IPC within 2% of the full run.
+    // Ref-scale kernels are short (50k-300k units), so most degrade
+    // to exact full simulation (the fix for the old 3-8% ref-tier
+    // tail on drr/bitcount/rgb2gray); the few above the degrade
+    // threshold must still measure within the bound.
     ExperimentEngine eng(0);
-    std::vector<double> errs;
-    int over2 = 0;
     for (SimConfig cfg : {SimConfig::baseline(), SimConfig::intMemMg()}) {
         for (const BoundKernel &bk : bindAll()) {
             EngineWorkload w = workload(bk);
@@ -92,22 +92,20 @@ TEST(Sampling, TierOneIpcWithinStatedBound)
             SampledStats ss = eng.cellSampled(w, sampled(cfg));
             ASSERT_GT(full, 0.0);
             double err = std::abs(ss.est.ipc() - full) / full;
-            EXPECT_LE(err, 0.15)
+            EXPECT_LE(err, 0.02)
                 << bk.kernel->name << "/" << cfg.name
                 << " sampled " << ss.est.ipc() << " vs full " << full;
-            // Outliers must announce themselves via the error bound.
-            if (err > 0.05) {
-                EXPECT_LE(err, 2.5 * ss.ipcRelCi95)
-                    << bk.kernel->name << "/" << cfg.name;
-            }
-            errs.push_back(err);
-            if (err > 0.02)
-                ++over2;
+            // At default parameters every ref kernel sits under the
+            // short-run threshold, so the whole tier is bit-exact by
+            // contract — sampling a 33-period run was measured to pay
+            // 3-8% error (52% on reed/int-mem, whose store-set
+            // serialization is never fully discovered) for under-2x
+            // wall-clock. The genuinely sampled path is exercised on
+            // the long/huge tiers.
+            EXPECT_TRUE(ss.exact) << bk.kernel->name;
+            EXPECT_EQ(err, 0.0) << bk.kernel->name;
         }
     }
-    std::sort(errs.begin(), errs.end());
-    EXPECT_LE(errs[errs.size() / 2], 0.02);
-    EXPECT_LE(over2, static_cast<int>(errs.size()) / 3);
 }
 
 TEST(Sampling, FastForwardThenRunCompletesTheProgram)
@@ -133,9 +131,10 @@ TEST(Sampling, FastForwardThenRunCompletesTheProgram)
 
 TEST(Sampling, FastForwardSkipsMostWork)
 {
-    // Speed proxy on a long kernel: most of the run is never simulated
-    // cycle-accurately, and several intervals were measured.
-    BoundKernel bk = bindKernel(findKernel("bitcount"));
+    // Speed proxy on an M-scale kernel (ref bitcount now degrades to
+    // exact under the short-run threshold): most of the run is never
+    // simulated cycle-accurately, and several intervals were measured.
+    BoundKernel bk = bindKernel(findKernel("bitcount"), Scale::Long);
     ExperimentEngine eng(1);
     EngineWorkload w = workload(bk);
     SampledStats ss = eng.cellSampled(w, sampled(SimConfig::baseline()));
