@@ -9,10 +9,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "assembler/assembler.hh"
 
 #include "sim/simulator.hh"
 #include "uarch/branch_pred.hh"
+#include "uarch/sliding_window.hh"
 #include "workloads/suites.hh"
 
 namespace {
@@ -148,6 +151,93 @@ BM_SampledSimRate(benchmark::State &state)
     state.SetItemsProcessed(static_cast<std::int64_t>(work));
 }
 
+/**
+ * Sliding-window check-and-reserve on the packed-bitmask fast path:
+ * the per-handle cost of the select stage's FUBMP test. Templates
+ * mirror common integer-memory shapes (load + ALU chain + store).
+ */
+void
+BM_WindowConflictReserve(benchmark::State &state)
+{
+    WindowResources res;
+    SlidingWindow w(res, 16);
+    const std::vector<std::vector<FuKind>> shapes = {
+        {FuKind::LoadPort, FuKind::None, FuKind::IntAlu, FuKind::IntAlu},
+        {FuKind::IntAlu, FuKind::IntAlu, FuKind::StorePort},
+        {FuKind::LoadPort, FuKind::None, FuKind::IntAlu, FuKind::None,
+         FuKind::IntAlu, FuKind::StorePort},
+        {FuKind::AluPipe, FuKind::IntAlu},
+    };
+    std::vector<PackedFubmp> packed;
+    for (const auto &s : shapes)
+        packed.push_back(packFubmp(s));
+    Cycle now = 0;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const PackedFubmp &p = packed[i];
+        if (!w.conflicts(p, now))
+            w.reserve(p, now);
+        i = (i + 1) % packed.size();
+        ++now;
+        benchmark::DoNotOptimize(now);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+
+/** The same sequence through the unpacked convenience overload:
+ *  packs the FUBMP vector on every call, approximating the replaced
+ *  per-entry vector-scan cost for a before/after read. */
+void
+BM_WindowConflictReserveUnpacked(benchmark::State &state)
+{
+    WindowResources res;
+    SlidingWindow w(res, 16);
+    const std::vector<std::vector<FuKind>> shapes = {
+        {FuKind::LoadPort, FuKind::None, FuKind::IntAlu, FuKind::IntAlu},
+        {FuKind::IntAlu, FuKind::IntAlu, FuKind::StorePort},
+        {FuKind::LoadPort, FuKind::None, FuKind::IntAlu, FuKind::None,
+         FuKind::IntAlu, FuKind::StorePort},
+        {FuKind::AluPipe, FuKind::IntAlu},
+    };
+    Cycle now = 0;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto &s = shapes[i];
+        if (!w.conflicts(s, now))
+            w.reserve(s, now);
+        i = (i + 1) % shapes.size();
+        ++now;
+        benchmark::DoNotOptimize(now);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+
+/**
+ * Select-stage cost on a dense high-IPC mini-graph kernel: whole
+ * detailed cells of jpeg.dct under the int-mem configuration. The
+ * handles_per_s counter inverts to ns/handle; items count committed
+ * slots (every slot crosses select at least once).
+ */
+void
+BM_SelectStageDense(benchmark::State &state)
+{
+    ExperimentEngine engine;
+    EngineWorkload w = workload(bindKernel(findKernel("jpeg.dct")));
+    SimConfig sc = SimConfig::intMemMg();
+    auto prep = engine.prepare(w, sc);
+    std::uint64_t slots = 0, handles = 0;
+    for (auto _ : state) {
+        CoreStats st = runCell(*w.program, prep.get(), sc, w.setup);
+        slots += st.committedSlots;
+        handles += st.committedHandles;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(slots));
+    state.counters["handles_per_s"] = benchmark::Counter(
+        static_cast<double>(handles), benchmark::Counter::kIsRate);
+}
+
 /** Artifact-cache hit path: the per-cell overhead of a warm sweep. */
 void
 BM_EngineCacheHit(benchmark::State &state)
@@ -185,6 +275,9 @@ BENCHMARK(BM_BranchPredict);
 BENCHMARK(BM_CycleSimRate);
 BENCHMARK(BM_CycleSimRateMiniGraph);
 BENCHMARK(BM_SampledSimRate)->Arg(1000)->Arg(4000);
+BENCHMARK(BM_WindowConflictReserve);
+BENCHMARK(BM_WindowConflictReserveUnpacked);
+BENCHMARK(BM_SelectStageDense);
 BENCHMARK(BM_EngineCacheHit);
 BENCHMARK(BM_EngineSweep)->Arg(1)->Arg(4);
 

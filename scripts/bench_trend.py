@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Compare simulator throughput between two BENCH_*.json runs.
+
+Both inputs are `mg_bench_performance --json` dumps (or any bench JSON
+whose cells carry kernel/config/work_per_sec). Cells are matched by
+(kernel, config); for each pair the tool reports the work_per_sec
+ratio current/baseline, plus the geometric mean over all matched
+cells. Exits non-zero when the geomean falls below the regression
+threshold, so CI can gate on it.
+
+Usage:
+    bench_trend.py BASELINE.json CURRENT.json [--max-regression 0.10]
+                   [--top N]
+
+A cell present in only one file is listed but excluded from the
+geomean (kernel sets may grow between commits; that is not a
+regression).
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_cells(path):
+    """Return {(kernel, config): cell} for one bench JSON file."""
+    with open(path) as f:
+        doc = json.load(f)
+    cells = {}
+    for cell in doc.get("cells", []):
+        key = (cell["kernel"], cell["config"])
+        if key in cells:
+            raise SystemExit(f"{path}: duplicate cell {key}")
+        cells[key] = cell
+    if not cells:
+        raise SystemExit(f"{path}: no cells found")
+    return cells
+
+
+def geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="baseline BENCH json")
+    ap.add_argument("current", help="current BENCH json")
+    ap.add_argument("--max-regression", type=float, default=0.10,
+                    help="fail if geomean throughput ratio drops below "
+                         "1 - this fraction (default 0.10)")
+    ap.add_argument("--top", type=int, default=8,
+                    help="number of best/worst cells to print")
+    args = ap.parse_args(argv)
+
+    base = load_cells(args.baseline)
+    cur = load_cells(args.current)
+
+    matched = sorted(set(base) & set(cur))
+    only_base = sorted(set(base) - set(cur))
+    only_cur = sorted(set(cur) - set(base))
+
+    rows = []
+    for key in matched:
+        b = base[key]["work_per_sec"]
+        c = cur[key]["work_per_sec"]
+        if b <= 0 or c <= 0:
+            continue
+        rows.append((c / b, key, b, c))
+    if not rows:
+        raise SystemExit("no comparable cells with work_per_sec > 0")
+
+    gm = geomean([r[0] for r in rows])
+    rows.sort()
+
+    def show(row):
+        ratio, (kernel, config), b, c = row
+        print(f"  {ratio:7.3f}x  {kernel}/{config}"
+              f"  ({b / 1e6:.2f} -> {c / 1e6:.2f} Mwork/s)")
+
+    print(f"matched cells: {len(rows)}   geomean throughput ratio: "
+          f"{gm:.3f}x")
+    print("worst:")
+    for row in rows[:args.top]:
+        show(row)
+    print("best:")
+    for row in rows[-args.top:][::-1]:
+        show(row)
+    for key in only_base:
+        print(f"  (baseline-only cell ignored: {key})")
+    for key in only_cur:
+        print(f"  (current-only cell ignored: {key})")
+
+    floor = 1.0 - args.max_regression
+    if gm < floor:
+        print(f"FAIL: geomean {gm:.3f}x below regression floor "
+              f"{floor:.3f}x", file=sys.stderr)
+        return 1
+    print(f"OK: geomean {gm:.3f}x >= floor {floor:.3f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

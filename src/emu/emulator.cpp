@@ -321,6 +321,7 @@ Emulator::step(ExecRecord *rec)
         // isMem is set below.
         rec->pc = pc_;
         rec->insn = &in;
+        rec->cls = pd.cls;
         rec->taken = false;
         rec->padNop = pd.padNop;
         rec->isMem = false;

@@ -43,6 +43,7 @@ struct ExecRecord
     Addr pc = 0;
     Addr nextPc = 0;
     const Instruction *insn = nullptr;
+    InsnClass cls = InsnClass::Nop; ///< predecoded class (no table walk)
     bool taken = false;         ///< control op taken
     bool padNop = false;        ///< architectural no-op (predecoded)
     bool isMem = false;

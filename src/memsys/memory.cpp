@@ -13,11 +13,9 @@ Memory::copyPages(const Memory &other)
 }
 
 const Memory::Page *
-Memory::findPage(Addr addr) const
+Memory::findPageSlow(Addr addr) const
 {
     Addr idx = addr / pageBytes;
-    if (idx == cachedIdx)
-        return cachedPage;
     auto it = pages.find(idx);
     if (it == pages.end())
         return nullptr;
@@ -27,11 +25,9 @@ Memory::findPage(Addr addr) const
 }
 
 Memory::Page &
-Memory::getPage(Addr addr)
+Memory::getPageSlow(Addr addr)
 {
     Addr idx = addr / pageBytes;
-    if (idx == cachedIdx)
-        return *cachedPage;
     auto &slot = pages[idx];
     if (!slot) {
         slot = std::make_unique<Page>();
@@ -42,36 +38,12 @@ Memory::getPage(Addr addr)
     return *slot;
 }
 
-std::uint8_t
-Memory::readByte(Addr addr) const
-{
-    const Page *p = findPage(addr);
-    return p ? (*p)[addr % pageBytes] : 0;
-}
-
-void
-Memory::writeByte(Addr addr, std::uint8_t value)
-{
-    getPage(addr)[addr % pageBytes] = value;
-}
-
 std::uint64_t
-Memory::read(Addr addr, int bytes) const
+Memory::readSlow(Addr addr, int bytes) const
 {
+    // Page-straddling access: assemble byte-wise across the boundary.
     if (bytes != 1 && bytes != 2 && bytes != 4 && bytes != 8)
         panic("bad access size %d", bytes);
-    Addr off = addr % pageBytes;
-    if (off + static_cast<Addr>(bytes) <= pageBytes) {
-        // Within one page: resolve it once.
-        const Page *p = findPage(addr);
-        if (!p)
-            return 0;
-        std::uint64_t v = 0;
-        for (int i = 0; i < bytes; ++i)
-            v |= static_cast<std::uint64_t>((*p)[off + static_cast<Addr>(i)])
-                << (8 * i);
-        return v;
-    }
     std::uint64_t v = 0;
     for (int i = 0; i < bytes; ++i)
         v |= static_cast<std::uint64_t>(readByte(addr + i)) << (8 * i);
@@ -79,18 +51,10 @@ Memory::read(Addr addr, int bytes) const
 }
 
 void
-Memory::write(Addr addr, std::uint64_t value, int bytes)
+Memory::writeSlow(Addr addr, std::uint64_t value, int bytes)
 {
     if (bytes != 1 && bytes != 2 && bytes != 4 && bytes != 8)
         panic("bad access size %d", bytes);
-    Addr off = addr % pageBytes;
-    if (off + static_cast<Addr>(bytes) <= pageBytes) {
-        Page &p = getPage(addr);
-        for (int i = 0; i < bytes; ++i)
-            p[off + static_cast<Addr>(i)] =
-                static_cast<std::uint8_t>(value >> (8 * i));
-        return;
-    }
     for (int i = 0; i < bytes; ++i)
         writeByte(addr + i, static_cast<std::uint8_t>(value >> (8 * i)));
 }

@@ -10,7 +10,9 @@
 #define MG_MEMSYS_MEMORY_HH
 
 #include <array>
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <unordered_map>
 #include <utility>
@@ -55,14 +57,66 @@ class Memory
         return *this;
     }
 
-    /** Read @p bytes (1,2,4,8) little-endian at @p addr. */
-    std::uint64_t read(Addr addr, int bytes) const;
+    /** Read @p bytes (1,2,4,8) little-endian at @p addr.
+     *  (Inline: one call per emulated load; the in-page path is a
+     *  single memcpy on little-endian hosts.) */
+    std::uint64_t
+    read(Addr addr, int bytes) const
+    {
+        Addr off = addr % pageBytes;
+        if (validSize(bytes) &&
+            off + static_cast<Addr>(bytes) <= pageBytes) {
+            const Page *p = findPage(addr);
+            if (!p)
+                return 0;
+            if constexpr (std::endian::native == std::endian::little) {
+                std::uint64_t v = 0;
+                std::memcpy(&v, p->data() + off,
+                            static_cast<std::size_t>(bytes));
+                return v;
+            }
+            std::uint64_t v = 0;
+            for (int i = 0; i < bytes; ++i)
+                v |= static_cast<std::uint64_t>(
+                        (*p)[off + static_cast<Addr>(i)]) << (8 * i);
+            return v;
+        }
+        return readSlow(addr, bytes);
+    }
 
     /** Write the low @p bytes of @p value at @p addr. */
-    void write(Addr addr, std::uint64_t value, int bytes);
+    void
+    write(Addr addr, std::uint64_t value, int bytes)
+    {
+        Addr off = addr % pageBytes;
+        if (validSize(bytes) &&
+            off + static_cast<Addr>(bytes) <= pageBytes) {
+            Page &p = getPage(addr);
+            if constexpr (std::endian::native == std::endian::little) {
+                std::memcpy(p.data() + off, &value,
+                            static_cast<std::size_t>(bytes));
+                return;
+            }
+            for (int i = 0; i < bytes; ++i)
+                p[off + static_cast<Addr>(i)] =
+                    static_cast<std::uint8_t>(value >> (8 * i));
+            return;
+        }
+        writeSlow(addr, value, bytes);
+    }
 
-    std::uint8_t readByte(Addr addr) const;
-    void writeByte(Addr addr, std::uint8_t value);
+    std::uint8_t
+    readByte(Addr addr) const
+    {
+        const Page *p = findPage(addr);
+        return p ? (*p)[addr % pageBytes] : 0;
+    }
+
+    void
+    writeByte(Addr addr, std::uint8_t value)
+    {
+        getPage(addr)[addr % pageBytes] = value;
+    }
 
     /** Bulk-copy @p data into memory starting at @p addr. */
     void writeBlock(Addr addr, const std::uint8_t *data, std::size_t len);
@@ -100,8 +154,40 @@ class Memory
         cachedPage = nullptr;
     }
 
-    const Page *findPage(Addr addr) const;
-    Page &getPage(Addr addr);
+    /** One-test membership check for the legal access sizes 1/2/4/8
+     *  (anything else falls to the slow path, which panics). */
+    static bool
+    validSize(int bytes)
+    {
+        return static_cast<unsigned>(bytes) <= 8 &&
+            ((0x116u >> bytes) & 1u);
+    }
+
+    /** Resolve the page containing @p addr, or null when absent.
+     *  (Inline: the cache hit is the expected case.) */
+    const Page *
+    findPage(Addr addr) const
+    {
+        Addr idx = addr / pageBytes;
+        if (idx == cachedIdx)
+            return cachedPage;
+        return findPageSlow(addr);
+    }
+
+    /** Resolve (allocating if needed) the page containing @p addr. */
+    Page &
+    getPage(Addr addr)
+    {
+        Addr idx = addr / pageBytes;
+        if (idx == cachedIdx)
+            return *cachedPage;
+        return getPageSlow(addr);
+    }
+
+    const Page *findPageSlow(Addr addr) const;
+    Page &getPageSlow(Addr addr);
+    std::uint64_t readSlow(Addr addr, int bytes) const;
+    void writeSlow(Addr addr, std::uint64_t value, int bytes);
     void copyPages(const Memory &other);
 };
 

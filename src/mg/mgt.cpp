@@ -32,28 +32,45 @@ OpndRef::str() const
     return "?";
 }
 
-std::string
-MgHeader::fubmpStr() const
+PackedFubmp
+packFubmp(const std::vector<FuKind> &fubmp)
 {
-    if (fubmp.empty())
-        return "-";
-    std::string out;
+    PackedFubmp p;
+    for (size_t i = 0; i < fubmp.size(); ++i) {
+        FuKind fu = fubmp[i];
+        if (fu == FuKind::None)
+            continue;
+        int offset = static_cast<int>(i) + 1;   // FUBMP starts at cycle 1
+        if (offset > p.maxOffset)
+            p.maxOffset = offset;
+        if (offset > 64)
+            continue;   // beyond any window depth: maxOffset alone
+                        // makes the conflict check reject it
+        int l = fuLaneIndex(fu);
+        p.lane[static_cast<size_t>(l)] |= 1ull << (offset - 1);
+        p.laneSet |= static_cast<std::uint8_t>(1u << l);
+    }
+    return p;
+}
+
+void
+MgHeader::fubmpStr(std::string &out) const
+{
+    if (fubmp.empty()) {
+        out += '-';
+        return;
+    }
+    // Worst case per entry: three-char mnemonic plus a separator.
+    out.reserve(out.size() + 4 * fubmp.size());
     for (size_t i = 0; i < fubmp.size(); ++i) {
         out += fuKindName(fubmp[i]);
         if (i + 1 < fubmp.size())
-            out += ":";
+            out += ':';
     }
-    return out;
-}
-
-bool
-MgTemplate::hasMem() const
-{
-    return memIdx() >= 0;
 }
 
 int
-MgTemplate::memIdx() const
+MgTemplate::scanMemIdx() const
 {
     for (size_t i = 0; i < insns.size(); ++i) {
         if (isLoadOp(insns[i].op) || isStoreOp(insns[i].op))
@@ -89,6 +106,7 @@ void
 MgTemplate::finalize(const MgtMachine &m)
 {
     const int n = size();
+    memIdx_ = scanMemIdx();
     startCycle.assign(static_cast<size_t>(n), 0);
 
     // Identify contiguous AP-eligible segments (broken by memory ops and
@@ -195,6 +213,8 @@ MgTemplate::finalize(const MgtMachine &m)
         if (isCondBranchOp(insns[static_cast<size_t>(i)].op))
             hdr.endsInBranch = true;
     }
+
+    hdr.packed = packFubmp(hdr.fubmp);
 }
 
 std::string
@@ -276,10 +296,13 @@ std::string
 MgTable::str() const
 {
     std::string out = "MGID  LAT  FU0  FUBMP        MGST\n";
+    std::string bmp;   // one row buffer reused across the table
     for (size_t i = 0; i < entries.size(); ++i) {
         const MgTemplate &t = entries[i];
+        bmp.clear();
+        t.hdr.fubmpStr(bmp);
         out += strfmt("%-4zu  %-3d  %-3s  %-11s  %s\n", i, t.hdr.lat,
-                      fuKindName(t.hdr.fu0), t.hdr.fubmpStr().c_str(),
+                      fuKindName(t.hdr.fu0), bmp.c_str(),
                       t.mgstStr().c_str());
     }
     return out;

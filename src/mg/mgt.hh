@@ -20,6 +20,7 @@
 #ifndef MG_MG_MGT_HH
 #define MG_MG_MGT_HH
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -80,6 +81,34 @@ enum class FuKind : std::uint8_t
 /** @return short mnemonic for @p fu (AP, ALU, LD, ...). */
 const char *fuKindName(FuKind fu);
 
+/** Reservation lanes tracked per cycle (every FuKind but None). */
+inline constexpr int fuLaneCount = 6;
+
+/** Lane of @p fu (IntAlu=0 ... AluPipe=5); None has no lane. */
+inline int
+fuLaneIndex(FuKind fu)
+{
+    return static_cast<int>(fu) - 1;
+}
+
+/**
+ * A FUBMP packed into per-lane cycle masks: bit (o-1) of @c lane[L]
+ * set means the template reserves one unit of lane L in cycle o after
+ * issue. Built once at finalize(); the sliding-window scheduler turns
+ * a conflict check into one rotate-and-AND per populated lane instead
+ * of a per-entry vector scan.
+ */
+struct PackedFubmp
+{
+    std::array<std::uint64_t, fuLaneCount> lane{};
+    std::uint8_t laneSet = 0;   ///< bit L set = lane[L] is non-empty
+    int maxOffset = 0;          ///< largest reserved cycle (0 = none);
+                                ///< bits exist only for offsets <= 64
+};
+
+/** Pack @p fubmp (index 0 = cycle 1, FuKind::None = no reservation). */
+PackedFubmp packFubmp(const std::vector<FuKind> &fubmp);
+
 /** Machine parameters the MGT schedule depends on. */
 struct MgtMachine
 {
@@ -98,12 +127,22 @@ struct MgHeader
     /** Units needed in cycles 1..totalLat-1 after issue (index 0 is
      *  cycle 1); FuKind::None means no new reservation that cycle. */
     std::vector<FuKind> fubmp;
+    PackedFubmp packed;       ///< fubmp as per-lane cycle masks
     bool hasLoad = false;
     bool hasStore = false;
     bool endsInBranch = false;
 
+    /** Append the paper-style rendering ("-:ALU:ALU") to @p out. */
+    void fubmpStr(std::string &out) const;
+
     /** Paper-style rendering, e.g. "-:ALU:ALU". */
-    std::string fubmpStr() const;
+    std::string
+    fubmpStr() const
+    {
+        std::string out;
+        fubmpStr(out);
+        return out;
+    }
 };
 
 /** A complete mini-graph template plus its derived schedule. */
@@ -119,8 +158,16 @@ struct MgTemplate
     MgHeader hdr;
 
     int size() const { return static_cast<int>(insns.size()); }
-    bool hasMem() const;
-    int memIdx() const;                ///< position of the mem op or -1
+    bool hasMem() const { return memIdx() >= 0; }
+
+    /** Position of the mem op or -1. Cached by finalize(); templates
+     *  queried before finalize fall back to the scan.
+     *  (Inline: the LSQ and issue paths read it per dynamic handle.) */
+    int
+    memIdx() const
+    {
+        return memIdx_ != memIdxUnset ? memIdx_ : scanMemIdx();
+    }
 
     /**
      * Compute the bank schedule and header for machine @p m.
@@ -136,6 +183,11 @@ struct MgTemplate
 
     /** Paper-style MGST row rendering (Figure 2). */
     std::string mgstStr() const;
+
+  private:
+    static constexpr int memIdxUnset = -2;
+    int memIdx_ = memIdxUnset;         ///< cached by finalize()
+    int scanMemIdx() const;
 };
 
 /** The MGT proper: MGID -> template. */

@@ -8,53 +8,6 @@ AluPipeline::AluPipeline(int depth) : depth_(depth)
 {
     if (depth < 1)
         fatal("ALU pipeline depth must be positive");
-    entryBusy.assign(window, false);
-    outputBusy.assign(window, false);
-}
-
-void
-AluPipeline::slideTo(Cycle now)
-{
-    if (now <= lastSlide)
-        return;
-    Cycle steps = now - lastSlide;
-    if (steps >= window) {
-        std::fill(entryBusy.begin(), entryBusy.end(), false);
-        std::fill(outputBusy.begin(), outputBusy.end(), false);
-    } else {
-        for (Cycle s = 0; s < steps; ++s) {
-            entryBusy[slot(lastSlide + s)] = false;
-            outputBusy[slot(lastSlide + s)] = false;
-        }
-    }
-    lastSlide = now;
-}
-
-bool
-AluPipeline::entryFree(Cycle now) const
-{
-    return !entryBusy[slot(now)];
-}
-
-bool
-AluPipeline::outputFree(Cycle cycle) const
-{
-    return !outputBusy[slot(cycle)];
-}
-
-bool
-AluPipeline::tryIssue(Cycle now, int outLat)
-{
-    slideTo(now);
-    if (outLat < 1 || outLat >= window - 1)
-        return false;
-    if (entryBusy[slot(now)] || outputBusy[slot(now + static_cast<Cycle>(
-            outLat))])
-        return false;
-    entryBusy[slot(now)] = true;
-    outputBusy[slot(now + static_cast<Cycle>(outLat))] = true;
-    ++accepted_;
-    return true;
 }
 
 } // namespace mg

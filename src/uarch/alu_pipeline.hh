@@ -9,13 +9,19 @@
  *
  * Singleton integer operations execute on stage 0 with no penalty, so
  * ALU pipelines substitute for plain ALUs transparently.
+ *
+ * Occupancy is tracked as two 64-bit masks over a 64-cycle ring (bit
+ * `c % 64` = cycle c): one for the entry slot, one for the output
+ * port. The select loop probes entry/output availability several
+ * times per cycle per pipe, so the probes are single-bit tests and
+ * the per-cycle slide is two word-wide mask clears — same idiom as
+ * SlidingWindow's packed FUBMP lanes.
  */
 
 #ifndef MG_UARCH_ALU_PIPELINE_HH
 #define MG_UARCH_ALU_PIPELINE_HH
 
 #include <cstdint>
-#include <vector>
 
 #include "common/types.hh"
 
@@ -37,16 +43,34 @@ class AluPipeline
      *
      * @return true and reserve both on success
      */
-    bool tryIssue(Cycle now, int outLat);
+    bool
+    tryIssue(Cycle now, int outLat)
+    {
+        slideTo(now);
+        if (outLat < 1 || outLat >= window - 1)
+            return false;
+        std::uint64_t entryBit = bit(now);
+        std::uint64_t outBit = bit(now + static_cast<Cycle>(outLat));
+        if ((entryBusy & entryBit) || (outputBusy & outBit))
+            return false;
+        entryBusy |= entryBit;
+        outputBusy |= outBit;
+        ++accepted_;
+        return true;
+    }
 
     /** True when the entry slot at @p now is free. */
-    bool entryFree(Cycle now) const;
+    bool entryFree(Cycle now) const { return !(entryBusy & bit(now)); }
 
     /** True when the output port at @p cycle is free. */
-    bool outputFree(Cycle cycle) const;
+    bool
+    outputFree(Cycle cycle) const
+    {
+        return !(outputBusy & bit(cycle));
+    }
 
-    /** Advance the ring buffers to @p now (call at cycle start so
-     *  const probes never see stale wrapped slots). */
+    /** Advance the ring to @p now (call at cycle start so const
+     *  probes never see stale wrapped slots). */
     void advanceTo(Cycle now) { slideTo(now); }
 
     int depth() const { return depth_; }
@@ -54,17 +78,35 @@ class AluPipeline
 
   private:
     int depth_;
-    /** Ring buffers over future cycles, sized to cover depth + slack. */
+    /** Ring of future cycles; one bit each, so exactly one word. */
     static constexpr int window = 64;
-    std::vector<bool> entryBusy;
-    std::vector<bool> outputBusy;
+    std::uint64_t entryBusy = 0;
+    std::uint64_t outputBusy = 0;
     Cycle lastSlide = 0;
     std::uint64_t accepted_ = 0;
 
-    void slideTo(Cycle now);
-    std::size_t slot(Cycle c) const
+    static std::uint64_t bit(Cycle c) { return 1ull << (c & (window - 1)); }
+
+    void
+    slideTo(Cycle now)
     {
-        return static_cast<std::size_t>(c % window);
+        if (now <= lastSlide)
+            return;
+        Cycle steps = now - lastSlide;
+        if (steps >= window) {
+            entryBusy = outputBusy = 0;
+        } else {
+            // The passed slots are a contiguous run of `steps` bits
+            // starting at lastSlide's ring position, rotated within
+            // the word.
+            int r = static_cast<int>(lastSlide) & (window - 1);
+            std::uint64_t run = (1ull << steps) - 1;
+            std::uint64_t passed =
+                r ? ((run << r) | (run >> (window - r))) : run;
+            entryBusy &= ~passed;
+            outputBusy &= ~passed;
+        }
+        lastSlide = now;
     }
 };
 

@@ -136,7 +136,7 @@ Core::pullOracle()
         }
         d->pc = d->rec.pc;
         d->insn = *d->rec.insn;
-        d->cls = d->insn.cls();     // classify once, at the slot's birth
+        d->cls = d->rec.cls;        // classified once, at predecode
         d->rec.insn = nullptr;      // records outlive emulator views
         d->memAddr = d->rec.memAddr;    // hot copies for the LSQ scans
         d->memBytes = d->rec.memBytes;
@@ -153,6 +153,45 @@ Core::pullOracle()
             d->isCtrl = d->cls == InsnClass::CondBranch ||
                 d->cls == InsnClass::UncondBranch ||
                 d->cls == InsnClass::IndirectJump;
+            // Precompute the issue-slot kind and effective latency the
+            // select loop needs, once per slot instead of per attempt.
+            switch (d->cls) {
+              case InsnClass::IntAlu:
+              case InsnClass::CondBranch:
+              case InsnClass::UncondBranch:
+              case InsnClass::IndirectJump:
+                d->selFu = FuKind::IntAlu;
+                d->selLat = 1;
+                break;
+              case InsnClass::IntMult:
+                // Competes for the grouped integer slots (the window
+                // lane distinction matters only inside mini-graphs).
+                d->selFu = FuKind::IntAlu;
+                d->selLat = static_cast<std::int16_t>(
+                    opLatency(d->insn.op));
+                break;
+              case InsnClass::FpAlu:
+              case InsnClass::FpDiv:
+                d->selFu = FuKind::FpAlu;
+                d->selLat = static_cast<std::int16_t>(
+                    opLatency(d->insn.op));
+                break;
+              case InsnClass::Load:
+                d->selFu = FuKind::LoadPort;
+                d->selLat = static_cast<std::int16_t>(
+                    1 + cfg.mem.l1dLat);
+                break;
+              case InsnClass::Store:
+                d->selFu = FuKind::StorePort;
+                d->selLat = static_cast<std::int16_t>(
+                    opLatency(d->insn.op));
+                break;
+              default:
+                d->selFu = FuKind::IntAlu;
+                d->selLat = static_cast<std::int16_t>(
+                    opLatency(d->insn.op));
+                break;
+            }
         }
         if (!more)
             oracleDone = true;
@@ -418,21 +457,6 @@ Core::depStoreSatisfied(const DynInst *d) const
     return s->memDone;
 }
 
-int
-Core::neededReadPorts(const DynInst *d) const
-{
-    // Values still in the bypass network need no register read port.
-    int n = 0;
-    for (PhysReg s : d->srcPhys) {
-        if (s == physNone)
-            continue;
-        Cycle v = regs.valueAt(s);
-        if (v + static_cast<Cycle>(cfg.bypassWindow) < now)
-            ++n;
-    }
-    return n;
-}
-
 void
 Core::publishDest(DynInst *d, int effLat, Cycle value)
 {
@@ -445,45 +469,16 @@ Core::publishDest(DynInst *d, int effLat, Cycle value)
 }
 
 bool
-Core::issueSingleton(DynInst *d)
+Core::issueSingleton(DynInst *d, int ports)
 {
     InsnClass cls = d->cls;
-    FuKind kind;
-    int effLat = opLatency(d->insn.op);
-    switch (cls) {
-      case InsnClass::IntAlu:
-      case InsnClass::CondBranch:
-      case InsnClass::UncondBranch:
-      case InsnClass::IndirectJump:
-        kind = FuKind::IntAlu;
-        effLat = 1;
-        break;
-      case InsnClass::IntMult:
-        kind = FuKind::IntMult;
-        break;
-      case InsnClass::FpAlu:
-      case InsnClass::FpDiv:
-        kind = FuKind::FpAlu;
-        break;
-      case InsnClass::Load:
-        kind = FuKind::LoadPort;
-        effLat = 1 + static_cast<int>(cfg.mem.l1dLat);
-        break;
-      case InsnClass::Store:
-        kind = FuKind::StorePort;
-        break;
-      case InsnClass::Halt:
-      case InsnClass::Nop:
-        kind = FuKind::IntAlu;
-        break;
-      default:
-        panic("issueSingleton on a handle");
-    }
+    // Slot kind and effective latency are precomputed at fetch
+    // (pullOracle); read ports were gathered by the select loop.
+    FuKind slotKind = d->selFu;
+    int effLat = d->selLat;
 
     // Probe every resource before claiming any: a failed claim after
     // a successful one would waste slots and skew saturation points.
-    FuKind slotKind = (kind == FuKind::IntMult) ? FuKind::IntAlu : kind;
-    int ports = neededReadPorts(d);
     Cycle completion = now + static_cast<Cycle>(cfg.regReadLat) +
         static_cast<Cycle>(effLat);
     if (fu.readPortsFree() < ports)
@@ -529,12 +524,11 @@ Core::issueSingleton(DynInst *d)
 }
 
 bool
-Core::issueHandle(DynInst *d)
+Core::issueHandle(DynInst *d, int ports)
 {
     const MgTemplate &t = *d->tmpl;
     const MgHeader &h = t.hdr;
 
-    int ports = neededReadPorts(d);
     if (fu.readPortsFree() < ports)
         return false;
 
@@ -563,7 +557,7 @@ Core::issueHandle(DynInst *d)
             ++stats_.intMemIssueConflicts;
             return false;
         }
-        if (window.conflicts(h.fubmp, now)) {
+        if (window.conflicts(h.packed, now)) {
             ++stats_.intMemIssueConflicts;
             return false;
         }
@@ -584,7 +578,7 @@ Core::issueHandle(DynInst *d)
         else
             fu.claimSingleton(fu0);
         seqs.tryStart(now, h.totalLat);
-        window.reserve(h.fubmp, now);
+        window.reserve(h.packed, now);
         ++intMemIssuedThisCycle;
     }
 
@@ -636,47 +630,81 @@ Core::doIssue()
         // claim their units in the cycle they fire.
         int res[4];
         window.usedNow(now, res);
-        static constexpr FuKind kinds[4] = {
-            FuKind::IntAlu, FuKind::LoadPort, FuKind::StorePort,
-            FuKind::AluPipe};
-        for (int i = 0; i < 4; ++i) {
-            if (res[i] > 0)
-                fu.preClaim(kinds[i], res[i]);
-        }
+        fu.preClaimUsed(res);
     }
-    int issued = 0;
-    for (DynInst *d = iq.readyFirst();
-         d && issued < cfg.issueWidth;) {
-        DynInst *next = d->rdyNext;   // attempts unlink only d itself
 
-        // Both interface inputs (or both sources) must be ready: this
-        // is exactly the paper's external serialization.
-        bool srcsReady = true;
-        for (PhysReg s : d->srcPhys) {
-            if (s != physNone && !regs.readyForIssue(s, now)) {
-                srcsReady = false;
-                break;
+    // Chunked gather/issue over the ready chain, in age order. The
+    // gather phase snapshots a chunk of candidates into structure-of-
+    // arrays scratch, batching their scoreboard reads — operand issue
+    // readiness and bypass-window read-port needs — in one pass over
+    // the register timestamps instead of interleaving probes with FU
+    // claims; the issue phase then attempts the gathered entries.
+    // Chunking keeps the overscan bounded: a cycle that fills its
+    // issue slots in the first few candidates never walks (or probes)
+    // the rest of a long ready chain.
+    //
+    // The snapshot is bit-identical to live per-attempt probing:
+    // issuing publishes destination times of at least now + 1
+    // (sched >= schedulerCycles >= 1), so mid-select wakeups only
+    // ever park (never extend the ready chain at now), and published
+    // registers were pending (not ready, not bypassable) before — no
+    // gathered bit can differ from what an interleaved probe would
+    // have read. Attempts unlink only their own entry, so the chunk
+    // snapshot and the cursor into the chain both stay valid.
+    constexpr int chunk = 16;
+    DynInst *gInst[chunk];
+    std::uint8_t gReady[chunk];
+    std::uint8_t gPorts[chunk];
+    const Cycle bypass = static_cast<Cycle>(cfg.bypassWindow);
+    DynInst *cursor = iq.readyFirst();
+    int issued = 0;
+    while (cursor && issued < cfg.issueWidth) {
+        int gn = 0;
+        for (DynInst *d = cursor; gn < chunk && d; d = d->rdyNext) {
+            bool srcsReady = true;
+            int ports = 0;
+            for (PhysReg s : d->srcPhys) {
+                if (s == physNone)
+                    continue;
+                if (!regs.readyForIssue(s, now)) {
+                    srcsReady = false;
+                    break;
+                }
+                // Values in the bypass network need no read port.
+                if (regs.valueAt(s) + bypass < now)
+                    ++ports;
             }
+            gInst[gn] = d;
+            gReady[gn] = srcsReady;
+            gPorts[gn] = static_cast<std::uint8_t>(ports);
+            ++gn;
+            cursor = d->rdyNext;   // first ungathered entry
         }
-        if (!srcsReady) {
-            iq.requeueNotReady(d, regs, now);
-            d = next;
-            continue;
-        }
-        // Store-set ordering: loads (and ordered stores) wait for
-        // their predicted store.
-        if ((d->isLoadKind || d->isStoreKind) && d->depStoreSeq != 0) {
-            DynInst *st = findInWindow(d->depStoreSeq);
-            if (st && !st->memDone) {
-                iq.requeueDepWait(d, st);
-                d = next;
+
+        for (int i = 0; i < gn && issued < cfg.issueWidth; ++i) {
+            DynInst *d = gInst[i];
+
+            // Both interface inputs (or both sources) must be ready:
+            // this is exactly the paper's external serialization.
+            if (!gReady[i]) {
+                iq.requeueNotReady(d, regs, now);
                 continue;
             }
-        }
+            // Store-set ordering: loads (and ordered stores) wait for
+            // their predicted store.
+            if ((d->isLoadKind || d->isStoreKind) &&
+                d->depStoreSeq != 0) {
+                DynInst *st = findInWindow(d->depStoreSeq);
+                if (st && !st->memDone) {
+                    iq.requeueDepWait(d, st);
+                    continue;
+                }
+            }
 
-        if (d->isHandle() ? issueHandle(d) : issueSingleton(d))
-            ++issued;
-        d = next;
+            if (d->isHandle() ? issueHandle(d, gPorts[i])
+                              : issueSingleton(d, gPorts[i]))
+                ++issued;
+        }
     }
 }
 
@@ -1094,7 +1122,7 @@ Core::warmControl(const Instruction &in, const ExecRecord &rec)
 {
     // Functional-warming mirror of predictControl's *training* effects:
     // same tables, same PCs, but no penalties and no stats.
-    InsnClass cls = in.cls();
+    InsnClass cls = rec.cls;
     bool condLike = cls == InsnClass::CondBranch ||
         (in.isHandle() && mgt &&
          mgt->at(static_cast<MgId>(in.imm)).hdr.endsInBranch);

@@ -335,6 +335,7 @@ class Core
     std::vector<std::pair<DynInst *, std::uint64_t>> memOps;
     std::vector<DynInst *> replayScratch;
 
+
     // Issued-but-unresolved memory operations, so neither the resolve
     // stage nor the idle-skip event scan walks the whole LSQ each
     // cycle. Entries self-expire (seq mismatch or memDone) and are
@@ -386,10 +387,9 @@ class Core
     DynInst *findInWindow(std::uint64_t seq) const;
     RegId renameDstOf(const DynInst *d) const;
     void predictControl(DynInst *d);
-    bool issueHandle(DynInst *d);
-    bool issueSingleton(DynInst *d);
+    bool issueHandle(DynInst *d, int ports);
+    bool issueSingleton(DynInst *d, int ports);
     void publishDest(DynInst *d, int effLat, Cycle value);
-    int neededReadPorts(const DynInst *d) const;
     void executeLoad(DynInst *d);
     void executeStore(DynInst *d);
     void squashFrom(std::uint64_t fromSeq);

@@ -53,6 +53,10 @@ struct DynInst
     PhysReg prevPhys = physNone;
     RegId archDst = regNone;
     InsnClass cls = InsnClass::Nop; ///< predecoded opcode class
+    /** Singleton issue slot kind, precomputed at fetch (IntMult ops
+     *  compete for the grouped integer slots, so they carry IntAlu). */
+    FuKind selFu = FuKind::IntAlu;
+    std::int16_t selLat = 1;        ///< singleton effective latency
     bool isLoadKind = false;
     bool isStoreKind = false;
     bool isCtrl = false;
@@ -91,7 +95,9 @@ struct DynInst
      *  access resolves. (ptr, seq) pairs; stale seqs are skipped. */
     std::vector<std::pair<DynInst *, std::uint64_t>> depWaiters;
 
-    bool isHandle() const { return insn.isHandle(); }
+    /** Hot-path handle test: reads the predecoded class instead of
+     *  faulting in the cold insn cache line. */
+    bool isHandle() const { return cls == InsnClass::Handle; }
 
     /**
      * Reset for re-fetch after a squash: keep the static identity
@@ -132,6 +138,8 @@ struct DynInst
         tmpl = nullptr;
         work = 1;
         isLoadKind = isStoreKind = isCtrl = false;
+        selFu = FuKind::IntAlu;
+        selLat = 1;
     }
 };
 

@@ -8,33 +8,6 @@ FuPool::FuPool(const FuPoolConfig &c) : cfg(c)
 {
     for (int i = 0; i < cfg.aluPipes; ++i)
         pipes_.emplace_back(cfg.aluPipeDepth);
-    writeUsed.assign(window, 0);
-}
-
-void
-FuPool::slideTo(Cycle c)
-{
-    if (c <= lastSlide)
-        return;
-    Cycle steps = c - lastSlide;
-    if (steps >= window) {
-        std::fill(writeUsed.begin(), writeUsed.end(), 0);
-    } else {
-        for (Cycle s = 0; s < steps; ++s)
-            writeUsed[static_cast<size_t>((lastSlide + s) % window)] = 0;
-    }
-    lastSlide = c;
-}
-
-void
-FuPool::beginCycle(Cycle c)
-{
-    now = c;
-    slideTo(c);
-    for (AluPipeline &p : pipes_)
-        p.advanceTo(c);
-    totalUsed = intUsed = fpUsed = loadUsed = storeUsed = multUsed = 0;
-    readUsed = 0;
 }
 
 void
@@ -126,72 +99,9 @@ FuPool::tryIssueAluPipe(int outLat)
 }
 
 void
-FuPool::claimSingleton(FuKind fu)
+FuPool::claimFailed()
 {
-    switch (fu) {
-      case FuKind::IntAlu:
-      case FuKind::IntMult:
-        if (intUsed < cfg.intAlus) {
-            ++intUsed;
-            ++totalUsed;
-            return;
-        }
-        // Spill onto an ALU pipeline stage 0, as tryIssueSingleton
-        // would (the probe guaranteed one is free).
-        for (AluPipeline &p : pipes_) {
-            if (p.tryIssue(now, 1)) {
-                ++intUsed;
-                ++totalUsed;
-                return;
-            }
-        }
-        panic("claimSingleton without a successful probe");
-      case FuKind::FpAlu:
-        ++fpUsed;
-        ++totalUsed;
-        return;
-      case FuKind::LoadPort:
-        ++loadUsed;
-        ++totalUsed;
-        return;
-      case FuKind::StorePort:
-        ++storeUsed;
-        ++totalUsed;
-        return;
-      default:
-        panic("claimSingleton: bad FU kind");
-    }
-}
-
-bool
-FuPool::canIssueAluPipe(int outLat) const
-{
-    if (!issueSlotFree())
-        return false;
-    if (intUsed >= cfg.intAlus + cfg.aluPipes)
-        return false;
-    for (const AluPipeline &p : pipes_) {
-        if (p.entryFree(now) &&
-            p.outputFree(now + static_cast<Cycle>(outLat)))
-            return true;
-    }
-    return false;
-}
-
-bool
-FuPool::writePortFree(Cycle cycle) const
-{
-    return writeUsed[static_cast<size_t>(cycle % window)] <
-        cfg.regWritePorts;
-}
-
-bool
-FuPool::claimReadPorts(int n)
-{
-    if (readUsed + n > cfg.regReadPorts)
-        return false;
-    readUsed += n;
-    return true;
+    panic("claimSingleton without a successful probe");
 }
 
 } // namespace mg

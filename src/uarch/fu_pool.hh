@@ -10,6 +10,7 @@
 #ifndef MG_UARCH_FU_POOL_HH
 #define MG_UARCH_FU_POOL_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -42,8 +43,18 @@ class FuPool
   public:
     explicit FuPool(const FuPoolConfig &cfg);
 
-    /** Start a new cycle: reset per-cycle slot counters. */
-    void beginCycle(Cycle now);
+    /** Start a new cycle: reset per-cycle slot counters.
+     *  (Inline: runs once every simulated cycle.) */
+    void
+    beginCycle(Cycle c)
+    {
+        now = c;
+        slideTo(c);
+        for (AluPipeline &p : pipes_)
+            p.advanceTo(c);
+        totalUsed = intUsed = fpUsed = loadUsed = storeUsed = multUsed = 0;
+        readUsed = 0;
+    }
 
     /**
      * Pre-claim @p n units of @p fu for this cycle without consuming
@@ -51,6 +62,20 @@ class FuPool
      * made by earlier integer-memory handles.
      */
     void preClaim(FuKind fu, int n);
+
+    /**
+     * Batched pre-claim of a SlidingWindow::usedNow() readout:
+     * @p res[0..3] = IntAlu, LoadPort, StorePort, AluPipe units firing
+     * this cycle. One call per select cycle instead of four kind
+     * dispatches.
+     */
+    void
+    preClaimUsed(const int res[4])
+    {
+        intUsed += res[0] + res[3];   // IntAlu + AluPipe: grouped slots
+        loadUsed += res[1];
+        storeUsed += res[2];
+    }
 
     /** Issue slots still available this cycle. */
     bool issueSlotFree() const { return totalUsed < cfg.issueWidth; }
@@ -98,8 +123,45 @@ class FuPool
      * Claim a singleton slot after a successful canIssueSingleton(@p
      * fu) probe this cycle: the mutation half of tryIssueSingleton,
      * without re-validating capacity.
+     * (Inline: one call per issued singleton op.)
      */
-    void claimSingleton(FuKind fu);
+    void
+    claimSingleton(FuKind fu)
+    {
+        switch (fu) {
+          case FuKind::IntAlu:
+          case FuKind::IntMult:
+            if (intUsed < cfg.intAlus) {
+                ++intUsed;
+                ++totalUsed;
+                return;
+            }
+            // Spill onto an ALU pipeline stage 0, as tryIssueSingleton
+            // would (the probe guaranteed one is free).
+            for (AluPipeline &p : pipes_) {
+                if (p.tryIssue(now, 1)) {
+                    ++intUsed;
+                    ++totalUsed;
+                    return;
+                }
+            }
+            claimFailed();
+          case FuKind::FpAlu:
+            ++fpUsed;
+            ++totalUsed;
+            return;
+          case FuKind::LoadPort:
+            ++loadUsed;
+            ++totalUsed;
+            return;
+          case FuKind::StorePort:
+            ++storeUsed;
+            ++totalUsed;
+            return;
+          default:
+            claimFailed();
+        }
+    }
 
     /**
      * Try to claim an ALU pipeline for a whole integer mini-graph
@@ -107,17 +169,43 @@ class FuPool
      */
     bool tryIssueAluPipe(int outLat);
 
-    /** Probe: would tryIssueAluPipe(@p outLat) succeed right now? */
-    bool canIssueAluPipe(int outLat) const;
+    /** Probe: would tryIssueAluPipe(@p outLat) succeed right now?
+     *  (Inline: handle attempts probe this every select pass.) */
+    bool
+    canIssueAluPipe(int outLat) const
+    {
+        if (!issueSlotFree())
+            return false;
+        if (intUsed >= cfg.intAlus + cfg.aluPipes)
+            return false;
+        for (const AluPipeline &p : pipes_) {
+            if (p.entryFree(now) &&
+                p.outputFree(now + static_cast<Cycle>(outLat)))
+                return true;
+        }
+        return false;
+    }
 
     /** Probe: is a write port free at completion cycle @p cycle? */
-    bool writePortFree(Cycle cycle) const;
+    bool
+    writePortFree(Cycle cycle) const
+    {
+        return writeUsed[static_cast<std::size_t>(cycle) % window] <
+            cfg.regWritePorts;
+    }
 
     /** Register read ports remaining this cycle. */
     int readPortsFree() const { return cfg.regReadPorts - readUsed; }
 
     /** Claim @p n read ports; @return false if unavailable. */
-    bool claimReadPorts(int n);
+    bool
+    claimReadPorts(int n)
+    {
+        if (readUsed + n > cfg.regReadPorts)
+            return false;
+        readUsed += n;
+        return true;
+    }
 
     /**
      * Claim a write port at completion cycle @p cycle (write-port
@@ -126,7 +214,7 @@ class FuPool
     bool
     claimWritePort(Cycle cycle)
     {
-        auto s = static_cast<std::size_t>(cycle % window);
+        auto s = static_cast<std::size_t>(cycle) % window;
         if (writeUsed[s] >= cfg.regWritePorts)
             return false;
         ++writeUsed[s];
@@ -148,11 +236,30 @@ class FuPool
     int readUsed = 0;
     std::vector<AluPipeline> pipes_;
 
-    /** Write-port reservations over a future window. */
+    /** Write-port reservations over a future window. Inline array:
+     *  writePortFree() runs ~3x per select cycle and the vector's
+     *  pointer chase showed up in profiles. */
     static constexpr int window = 64;
-    std::vector<int> writeUsed;
+    std::array<std::uint8_t, window> writeUsed{};
     Cycle lastSlide = 0;
-    void slideTo(Cycle c);
+
+    [[noreturn]] static void claimFailed();
+
+    void
+    slideTo(Cycle c)
+    {
+        if (c <= lastSlide)
+            return;
+        Cycle steps = c - lastSlide;
+        if (steps >= window) {
+            writeUsed.fill(0);
+        } else {
+            for (Cycle s = 0; s < steps; ++s)
+                writeUsed[static_cast<std::size_t>(lastSlide + s) %
+                          window] = 0;
+        }
+        lastSlide = c;
+    }
 };
 
 } // namespace mg

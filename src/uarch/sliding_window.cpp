@@ -1,13 +1,15 @@
 #include "uarch/sliding_window.hh"
 
+#include <bit>
+
 #include "mg/minigraph.hh"
 
 #include "common/logging.hh"
 
 namespace mg {
 
-SlidingWindow::SlidingWindow(const WindowResources &r, int depth)
-    : res(r), depth_(depth)
+SlidingWindow::SlidingWindow(const WindowResources &res, int depth)
+    : depth_(depth)
 {
     if (depth < static_cast<int>(2 * mgMaxSize))
         depth_ = 2 * mgMaxSize;
@@ -15,95 +17,71 @@ SlidingWindow::SlidingWindow(const WindowResources &r, int depth)
     // line math is a mask, not a division. Extra lines are cleared
     // like any others; reservations never reach beyond the FUBMP
     // depth, so the coverage semantics are unchanged.
-    int cap = 1;
-    while (cap < depth_)
-        cap <<= 1;
-    depth_ = cap;
-    mask = static_cast<Cycle>(cap - 1);
-    used.assign(6, std::vector<int>(static_cast<size_t>(depth_), 0));
-}
+    int capLines = 1;
+    while (capLines < depth_)
+        capLines <<= 1;
+    depth_ = capLines;
+    if (depth_ > 64)
+        panic("sliding window depth %d exceeds the 64-line masks",
+              depth_);
+    mask = static_cast<Cycle>(capLines - 1);
+    lineBits = depth_ == 64 ? ~std::uint64_t(0)
+                            : (std::uint64_t(1) << depth_) - 1;
 
-int
-SlidingWindow::kindIdx(FuKind fu) const
-{
-    switch (fu) {
-      case FuKind::IntAlu: return 0;
-      case FuKind::IntMult: return 1;
-      case FuKind::FpAlu: return 2;
-      case FuKind::LoadPort: return 3;
-      case FuKind::StorePort: return 4;
-      case FuKind::AluPipe: return 5;
-      case FuKind::None: break;
+    cap = {res.intAlu, res.intMult, 0 /* FpAlu: never windowed */,
+           res.loadPorts, res.storePorts, res.aluPipes};
+    for (int l = 0; l < fuLaneCount; ++l) {
+        atCapInit[static_cast<size_t>(l)] =
+            cap[static_cast<size_t>(l)] <= 0 ? lineBits : 0;
+        atCap[static_cast<size_t>(l)] = atCapInit[static_cast<size_t>(l)];
     }
-    panic("no window lane for FU kind");
-}
-
-int
-SlidingWindow::capacity(FuKind fu) const
-{
-    switch (fu) {
-      case FuKind::IntAlu: return res.intAlu;
-      case FuKind::IntMult: return res.intMult;
-      case FuKind::FpAlu: return 0;
-      case FuKind::LoadPort: return res.loadPorts;
-      case FuKind::StorePort: return res.storePorts;
-      case FuKind::AluPipe: return res.aluPipes;
-      case FuKind::None: break;
-    }
-    return 0;
 }
 
 void
-SlidingWindow::slideTo(Cycle now)
+SlidingWindow::slideSlow(Cycle now)
 {
-    if (now <= lastSlide)
-        return;
     Cycle steps = now - lastSlide;
+    // Lines (lastSlide + s - 1) & mask for s = 1..steps: a contiguous
+    // (wrapping) run of length steps starting at line lastSlide & mask.
+    std::uint64_t passed;
     if (steps >= static_cast<Cycle>(depth_)) {
-        for (auto &lane : used)
-            std::fill(lane.begin(), lane.end(), 0);
+        passed = lineBits;
     } else {
-        for (Cycle s = 1; s <= steps; ++s) {
-            auto line = static_cast<size_t>((lastSlide + s - 1) & mask);
-            for (auto &lane : used)
-                lane[line] = 0;
+        std::uint64_t run = (std::uint64_t(1) << steps) - 1;
+        passed = rotLines(run, static_cast<unsigned>(lastSlide & mask));
+    }
+    for (int l = 0; l < fuLaneCount; ++l) {
+        auto li = static_cast<size_t>(l);
+        std::uint64_t clear = occupied[li] & passed;
+        while (clear) {
+            int line = lowestBit(clear);
+            clear &= clear - 1;
+            cnt[li][line] = 0;
         }
+        occupied[li] &= ~passed;
+        atCap[li] = (atCap[li] & ~passed) | (atCapInit[li] & passed);
     }
     lastSlide = now;
 }
 
-bool
-SlidingWindow::conflicts(const std::vector<FuKind> &fubmp, Cycle now) const
-{
-    slideToConst(now);
-    for (size_t i = 0; i < fubmp.size(); ++i) {
-        FuKind fu = fubmp[i];
-        if (fu == FuKind::None)
-            continue;
-        int offset = static_cast<int>(i) + 1;   // FUBMP starts at cycle 1
-        if (offset >= depth_)
-            return true;
-        auto line = static_cast<size_t>((now + static_cast<Cycle>(offset))
-                                        & mask);
-        if (used[static_cast<size_t>(kindIdx(fu))][line] + 1 >
-            capacity(fu))
-            return true;
-    }
-    return false;
-}
-
 void
-SlidingWindow::reserve(const std::vector<FuKind> &fubmp, Cycle now)
+SlidingWindow::reserve(const PackedFubmp &p, Cycle now)
 {
     slideTo(now);
-    for (size_t i = 0; i < fubmp.size(); ++i) {
-        FuKind fu = fubmp[i];
-        if (fu == FuKind::None)
-            continue;
-        int offset = static_cast<int>(i) + 1;
-        auto line = static_cast<size_t>((now + static_cast<Cycle>(offset))
-                                        & mask);
-        ++used[static_cast<size_t>(kindIdx(fu))][line];
+    auto r = static_cast<unsigned>((now + 1) & mask);
+    std::uint8_t lanes = p.laneSet;
+    while (lanes) {
+        int l = lowestBit(lanes);
+        lanes &= static_cast<std::uint8_t>(lanes - 1);
+        auto li = static_cast<size_t>(l);
+        std::uint64_t bits = rotLines(p.lane[li], r);
+        occupied[li] |= bits;
+        while (bits) {
+            int line = lowestBit(bits);
+            bits &= bits - 1;
+            if (++cnt[li][line] >= cap[li])
+                atCap[li] |= std::uint64_t(1) << line;
+        }
     }
 }
 
@@ -113,12 +91,14 @@ SlidingWindow::reserveOne(FuKind fu, int offset, Cycle now)
     slideTo(now);
     if (offset >= depth_)
         return false;
-    auto line = static_cast<size_t>((now + static_cast<Cycle>(offset)) &
-                                    mask);
-    auto lane = static_cast<size_t>(kindIdx(fu));
-    if (used[lane][line] + 1 > capacity(fu))
+    auto line = static_cast<int>((now + static_cast<Cycle>(offset)) &
+                                 mask);
+    auto li = static_cast<size_t>(fuLaneIndex(fu));
+    if (atCap[li] & (std::uint64_t(1) << line))
         return false;
-    ++used[lane][line];
+    occupied[li] |= std::uint64_t(1) << line;
+    if (++cnt[li][line] >= cap[li])
+        atCap[li] |= std::uint64_t(1) << line;
     return true;
 }
 
@@ -128,28 +108,29 @@ SlidingWindow::available(FuKind fu, int offset, Cycle now) const
     slideToConst(now);
     if (offset >= depth_)
         return 0;
-    auto line = static_cast<size_t>((now + static_cast<Cycle>(offset)) &
-                                    mask);
-    return capacity(fu) - used[static_cast<size_t>(kindIdx(fu))][line];
+    auto line = static_cast<int>((now + static_cast<Cycle>(offset)) &
+                                 mask);
+    auto li = static_cast<size_t>(fuLaneIndex(fu));
+    return cap[li] - cnt[li][line];
 }
 
 int
 SlidingWindow::usedAt(FuKind fu, Cycle now) const
 {
     slideToConst(now);
-    auto line = static_cast<size_t>(now & mask);
-    return used[static_cast<size_t>(kindIdx(fu))][line];
+    auto line = static_cast<int>(now & mask);
+    return cnt[static_cast<size_t>(fuLaneIndex(fu))][line];
 }
 
 void
 SlidingWindow::usedNow(Cycle now, int out[4]) const
 {
     slideToConst(now);
-    auto line = static_cast<size_t>(now & mask);
-    out[0] = used[0][line];   // IntAlu
-    out[1] = used[3][line];   // LoadPort
-    out[2] = used[4][line];   // StorePort
-    out[3] = used[5][line];   // AluPipe
+    auto line = static_cast<int>(now & mask);
+    out[0] = cnt[0][line];   // IntAlu
+    out[1] = cnt[3][line];   // LoadPort
+    out[2] = cnt[4][line];   // StorePort
+    out[3] = cnt[5][line];   // AluPipe
 }
 
 } // namespace mg

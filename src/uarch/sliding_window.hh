@@ -8,11 +8,22 @@
  * ANDing its FUBMP against the window comes up empty; on issue the
  * FUBMP is ORed in to make the reservations. The window slides by one
  * line per cycle.
+ *
+ * The implementation is literally that AND/OR: templates carry their
+ * FUBMP as per-lane 64-bit cycle masks (PackedFubmp, built once at
+ * MGT finalize), and the window keeps, per lane, a line-at-capacity
+ * bitmask. A conflict check rotates each populated template lane into
+ * line space and ANDs it against the at-capacity mask — one multiply-
+ * free word op per lane instead of a per-entry vector scan. Unit
+ * counts per line back the masks so capacities above one work and
+ * available()/usedAt() stay exact.
  */
 
 #ifndef MG_UARCH_SLIDING_WINDOW_HH
 #define MG_UARCH_SLIDING_WINDOW_HH
 
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -37,18 +48,47 @@ class SlidingWindow
   public:
     /**
      * @param res   per-cycle capacities
-     * @param depth future cycles covered (>= max mini-graph latency)
+     * @param depth future cycles covered (>= max mini-graph latency;
+     *              rounded up to a power of two, at most 64 lines)
      */
     SlidingWindow(const WindowResources &res, int depth = 16);
 
     /**
-     * Would reserving @p fubmp starting at cycle offset 1 conflict
-     * with existing reservations or capacity, as of cycle @p now?
+     * Would reserving @p p starting at cycle offset 1 conflict with
+     * existing reservations or capacity, as of cycle @p now?
      */
-    bool conflicts(const std::vector<FuKind> &fubmp, Cycle now) const;
+    bool
+    conflicts(const PackedFubmp &p, Cycle now) const
+    {
+        slideToConst(now);
+        if (p.maxOffset >= depth_)
+            return true;   // cannot represent: always a conflict
+        auto r = static_cast<unsigned>((now + 1) & mask);
+        std::uint8_t lanes = p.laneSet;
+        while (lanes) {
+            int l = lowestBit(lanes);
+            lanes &= static_cast<std::uint8_t>(lanes - 1);
+            if (rotLines(p.lane[static_cast<size_t>(l)], r) &
+                atCap[static_cast<size_t>(l)])
+                return true;
+        }
+        return false;
+    }
 
     /** Make the reservations (call only after a conflict check). */
-    void reserve(const std::vector<FuKind> &fubmp, Cycle now);
+    void reserve(const PackedFubmp &p, Cycle now);
+
+    /** Convenience overloads packing an unpacked FUBMP (tests). */
+    bool
+    conflicts(const std::vector<FuKind> &fubmp, Cycle now) const
+    {
+        return conflicts(packFubmp(fubmp), now);
+    }
+    void
+    reserve(const std::vector<FuKind> &fubmp, Cycle now)
+    {
+        reserve(packFubmp(fubmp), now);
+    }
 
     /**
      * Singleton-path reservation: claim one unit of @p fu at offset
@@ -72,18 +112,47 @@ class SlidingWindow
     int depth() const { return depth_; }
 
   private:
-    WindowResources res;
-    int depth_;          ///< rounded up to a power of two
+    int depth_;          ///< rounded up to a power of two, <= 64
     Cycle mask = 0;      ///< depth_ - 1 (line index = cycle & mask)
-    /** reservations[kind][(now + offset) & mask] = units in use. */
-    std::vector<std::vector<int>> used;
+    std::uint64_t lineBits = 0;   ///< low depth_ bits set
+
+    std::array<int, fuLaneCount> cap{};
+    /** Bit L set: line L is at capacity (one more unit conflicts).
+     *  Capacity-0 lanes are permanently all-ones via atCapInit. */
+    std::array<std::uint64_t, fuLaneCount> atCap{};
+    std::array<std::uint64_t, fuLaneCount> atCapInit{};
+    /** Bit L set: line L has at least one unit reserved (slide only
+     *  clears counts under occupied & passed). */
+    std::array<std::uint64_t, fuLaneCount> occupied{};
+    /** cnt[lane][line] = units in use (exact available()/usedAt()). */
+    std::uint8_t cnt[fuLaneCount][64] = {};
+
     Cycle lastSlide = 0;
 
-    int capacity(FuKind fu) const;
-    int kindIdx(FuKind fu) const;
+    static int lowestBit(std::uint64_t v) { return std::countr_zero(v); }
 
-    /** Advance the window to @p now, clearing passed lines. */
-    void slideTo(Cycle now);
+    /** Rotate @p m left by @p r within the low depth_ bits: template
+     *  offset bit (o-1) lands on line (now + o) & mask when
+     *  r = (now + 1) & mask. */
+    std::uint64_t
+    rotLines(std::uint64_t m, unsigned r) const
+    {
+        if (r == 0)
+            return m & lineBits;
+        return ((m << r) |
+                (m >> (static_cast<unsigned>(depth_) - r))) & lineBits;
+    }
+
+    /** Advance the window to @p now, clearing passed lines.
+     *  (Inline early-out: every probe slides, but only the first one
+     *  per cycle advances — the rest must not pay a call.) */
+    void
+    slideTo(Cycle now)
+    {
+        if (now > lastSlide)
+            slideSlow(now);
+    }
+    void slideSlow(Cycle now);
 
     // slideTo mutates lazily; conflicts() is logically const.
     friend class SlidingWindowTestPeer;
