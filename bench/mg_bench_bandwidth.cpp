@@ -60,6 +60,7 @@ main(int argc, char **argv)
     CliOptions cli = parseCli(argc, argv);
     bool schedOnly = cli.has("--sched");
     ExperimentEngine engine(cli.jobs);
+    cli.configureStore(engine);
 
     SweepSpec spec;
     spec.title = "Figure 8 (bottom): bandwidth and scheduling-loop "

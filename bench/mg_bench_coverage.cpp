@@ -241,6 +241,7 @@ main(int argc, char **argv)
 {
     CliOptions cli = parseCli(argc, argv);
     ExperimentEngine engine(cli.jobs);
+    cli.configureStore(engine);
     if (!cli.has("--robustness")) {
         appSpecific(engine, false, "integer", cli.scale);
         SweepResult intMem =

@@ -33,6 +33,7 @@ main(int argc, char **argv)
 {
     CliOptions cli = parseCli(argc, argv);
     ExperimentEngine engine(cli.jobs);
+    cli.configureStore(engine);
 
     SweepSpec spec;
     spec.title = "Section 6.2: icache compression effect (mini-graph "

@@ -24,6 +24,7 @@ main(int argc, char **argv)
 {
     CliOptions cli = parseCli(argc, argv);
     ExperimentEngine engine(cli.jobs);
+    cli.configureStore(engine);
 
     SweepSpec spec;
     spec.title = "Figure 6: mini-graph speedup over the 6-wide baseline";

@@ -21,6 +21,7 @@ main(int argc, char **argv)
 {
     CliOptions cli = parseCli(argc, argv);
     ExperimentEngine engine(cli.jobs);
+    cli.configureStore(engine);
 
     SweepSpec spec;
     spec.title = "Figure 8 (top): performance with reduced register "

@@ -45,6 +45,7 @@ main(int argc, char **argv)
     CliOptions cli = parseCli(argc, argv);
     bool best = cli.has("--best");
     ExperimentEngine engine(cli.jobs);
+    cli.configureStore(engine);
 
     SweepSpec spec;
     spec.title = "Figure 7: serialization and replay policy isolation "

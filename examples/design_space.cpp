@@ -64,6 +64,7 @@ main(int argc, char **argv)
     }
 
     ExperimentEngine engine(cli.jobs);
+    cli.configureStore(engine);
     cli.applySampling(spec);
     SweepResult r = engine.sweep(spec);
 

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Minimal binary serialization for the checkpoint store: fixed-width
+ * little-endian primitives appended to a byte vector, and a
+ * bounds-checked reader with an error latch. Readers never throw and
+ * never read past the end: the first malformed field trips ok() and
+ * every subsequent read returns zero, so callers can parse a whole
+ * record into temporaries and check ok() once before committing any
+ * state (the validate-before-mutate contract every deserializer in
+ * this codebase follows).
+ */
+
+#ifndef MG_COMMON_SERIAL_HH
+#define MG_COMMON_SERIAL_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace mg {
+
+/** FNV-1a 64-bit over a byte range (record checksums, store keys). */
+inline std::uint64_t
+fnv1a64(const void *data, std::size_t len,
+        std::uint64_t h = 0xcbf29ce484222325ull)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** Append-only little-endian encoder. */
+class SerialWriter
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf.push_back(v);
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, 8);
+        u64(bits);
+    }
+
+    void
+    bytes(const void *data, std::size_t len)
+    {
+        const auto *p = static_cast<const std::uint8_t *>(data);
+        buf.insert(buf.end(), p, p + len);
+    }
+
+    /** Length-prefixed string. */
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        bytes(s.data(), s.size());
+    }
+
+    /** Length-prefixed vector of a fixed-width integral type. */
+    template <typename T>
+    void
+    vec(const std::vector<T> &v)
+    {
+        u64(v.size());
+        for (const T &x : v)
+            u64(static_cast<std::uint64_t>(x));
+    }
+
+    const std::vector<std::uint8_t> &data() const { return buf; }
+    std::vector<std::uint8_t> take() { return std::move(buf); }
+    std::size_t size() const { return buf.size(); }
+
+  private:
+    std::vector<std::uint8_t> buf;
+};
+
+/** Bounds-checked little-endian decoder with an error latch. */
+class SerialReader
+{
+  public:
+    SerialReader(const std::uint8_t *data, std::size_t len)
+        : p(data), len_(len)
+    {
+    }
+    explicit SerialReader(const std::vector<std::uint8_t> &v)
+        : SerialReader(v.data(), v.size())
+    {
+    }
+
+    std::uint8_t
+    u8()
+    {
+        if (!need(1))
+            return 0;
+        return p[pos_++];
+    }
+
+    std::uint32_t
+    u32()
+    {
+        if (!need(4))
+            return 0;
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(p[pos_++]) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        if (!need(8))
+            return 0;
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(p[pos_++]) << (8 * i);
+        return v;
+    }
+
+    double
+    f64()
+    {
+        std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, 8);
+        return v;
+    }
+
+    bool
+    bytes(void *out, std::size_t n)
+    {
+        if (!need(n))
+            return false;
+        std::memcpy(out, p + pos_, n);
+        pos_ += n;
+        return true;
+    }
+
+    std::string
+    str()
+    {
+        std::uint64_t n = u64();
+        if (!need(n))
+            return {};
+        std::string s(reinterpret_cast<const char *>(p + pos_),
+                      static_cast<std::size_t>(n));
+        pos_ += static_cast<std::size_t>(n);
+        return s;
+    }
+
+    /** Length-prefixed vector counterpart of SerialWriter::vec.
+     *  The length is sanity-capped against the remaining bytes so a
+     *  corrupt header cannot trigger a huge allocation. */
+    template <typename T>
+    std::vector<T>
+    vec()
+    {
+        std::uint64_t n = u64();
+        if (n > remaining() / 8) {
+            fail();
+            return {};
+        }
+        std::vector<T> v;
+        v.reserve(static_cast<std::size_t>(n));
+        for (std::uint64_t i = 0; i < n; ++i)
+            v.push_back(static_cast<T>(u64()));
+        return v;
+    }
+
+    std::size_t remaining() const { return len_ - pos_; }
+    std::size_t pos() const { return pos_; }
+    bool ok() const { return ok_; }
+    void fail() { ok_ = false; }
+
+  private:
+    bool
+    need(std::size_t n)
+    {
+        if (!ok_ || n > len_ - pos_) {
+            ok_ = false;
+            return false;
+        }
+        return true;
+    }
+
+    const std::uint8_t *p;
+    std::size_t len_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+} // namespace mg
+
+#endif // MG_COMMON_SERIAL_HH

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "cfg/profile.hh"
+#include "common/serial.hh"
 #include "common/types.hh"
 #include "isa/instruction.hh"
 #include "memsys/memory.hh"
@@ -73,6 +74,17 @@ struct EmuCheckpoint
     Memory mem;
 };
 
+/** Append @p c to @p w (the warm-checkpoint store's wire format). */
+void serializeCheckpoint(const EmuCheckpoint &c, SerialWriter &w);
+
+/**
+ * Parse a checkpoint written by serializeCheckpoint (or by
+ * Emulator::serializeState, which shares the format). On malformed
+ * input returns false with @p c unspecified; callers check before
+ * restoring it into an emulator.
+ */
+bool deserializeCheckpoint(SerialReader &r, EmuCheckpoint &c);
+
 /** Result of a complete run. */
 struct EmuResult
 {
@@ -112,6 +124,23 @@ class Emulator
 
     /** Restore state captured by checkpoint() (same program). */
     void restore(const EmuCheckpoint &c);
+
+    /** Move-restore: adopts the checkpoint's memory image without the
+     *  deep copy (warm-state restores discard the parsed temporary). */
+    void restore(EmuCheckpoint &&c);
+
+    /** Append the live functional state to @p w — byte-identical to
+     *  serializing checkpoint(), minus the deep copies. */
+    void serializeState(SerialWriter &w) const;
+
+    /** True when @p c can be restored into this emulator (restore()
+     *  treats an incompatible checkpoint as fatal; deserialized ones
+     *  are validated through this first). */
+    bool
+    checkpointCompatible(const EmuCheckpoint &c) const
+    {
+        return c.regs.size() == regs.size();
+    }
 
     Addr pc() const { return pc_; }
     bool halted() const { return halted_; }

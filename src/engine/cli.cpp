@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 
 #include "common/logging.hh"
 
@@ -84,6 +85,15 @@ parseCli(int argc, char **argv)
             opt.full = true;
         } else if (a == "--no-throughput") {
             opt.noThroughput = true;
+        } else if (a == "--checkpoint-dir") {
+            opt.checkpointDir = next(a, i);
+        } else if (a == "--no-checkpoint-store") {
+            opt.checkpointStore = false;
+        } else if (a == "--checkpoint-cap-mb") {
+            opt.checkpointCapMb = parseCount("--checkpoint-cap-mb",
+                                             next(a, i));
+            if (opt.checkpointCapMb == 0)
+                fatal("--checkpoint-cap-mb must be positive");
         } else {
             opt.rest.push_back(std::move(a));
         }
@@ -106,6 +116,24 @@ CliOptions::samplingParams() const
     sp.ssShadow = ssShadow;
     sp.warmThrough = warmThrough;
     return sp;
+}
+
+void
+CliOptions::configureStore(ExperimentEngine &engine) const
+{
+    SamplingParams sp = samplingParams();
+    if (!checkpointStore || !sp.enabled || !sp.warmThrough)
+        return;
+    CheckpointStoreConfig cfg;
+    cfg.dir = checkpointDir;
+    if (cfg.dir.empty()) {
+        const char *env = std::getenv("MG_CHECKPOINT_DIR");
+        cfg.dir = env && *env ? env : ".mg-cache/checkpoints";
+    }
+    if (checkpointCapMb)
+        cfg.capBytes = checkpointCapMb << 20;
+    engine.setCheckpointStore(
+        std::make_shared<CheckpointStore>(std::move(cfg)));
 }
 
 void

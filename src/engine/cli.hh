@@ -14,8 +14,12 @@
  * checkpoint-jump fast-forward instead of the default warm-through
  * mode — faster, but inaccurate on footprint-bound kernels), and
  * `--full` (force full cycle-accurate simulation, overriding the
- * sampling flags); anything unrecognised is passed through for
- * bench-specific flags.
+ * sampling flags). Warm-through sampled runs get an on-disk
+ * warm-checkpoint store: `--checkpoint-dir PATH` overrides its
+ * location (default `$MG_CHECKPOINT_DIR`, else
+ * `.mg-cache/checkpoints`), `--checkpoint-cap-mb N` its LRU size cap,
+ * and `--no-checkpoint-store` disables it. Anything unrecognised is
+ * passed through for bench-specific flags.
  */
 
 #ifndef MG_ENGINE_CLI_HH
@@ -47,6 +51,12 @@ struct CliOptions
                                 ///< nondeterministic wall-clock fields
                                 ///< from the JSON (byte-comparable
                                 ///< reports)
+    std::string checkpointDir;  ///< --checkpoint-dir PATH ("" = env
+                                ///< MG_CHECKPOINT_DIR, else
+                                ///< .mg-cache/checkpoints)
+    bool checkpointStore = true;    ///< --no-checkpoint-store clears it
+    std::uint64_t checkpointCapMb = 0;  ///< --checkpoint-cap-mb N
+                                        ///< (0 = store default, 2 GiB)
     std::vector<std::string> rest;  ///< unconsumed arguments
 
     /** @return true when @p flag appears among the leftover args. */
@@ -62,6 +72,17 @@ struct CliOptions
 
     /** Apply samplingParams() to every timed column of @p spec. */
     void applySampling(SweepSpec &spec) const;
+
+    /**
+     * Attach the on-disk warm-checkpoint store to @p engine when these
+     * flags call for one: sampling must be enabled in warm-through
+     * mode and --no-checkpoint-store must be absent. The directory is
+     * --checkpoint-dir, else $MG_CHECKPOINT_DIR, else
+     * ".mg-cache/checkpoints". Full-simulation and jump-mode runs
+     * never get a store, so their reports stay byte-identical to
+     * store-less builds.
+     */
+    void configureStore(ExperimentEngine &engine) const;
 
     /** Apply the throughput-reporting choice to a finished sweep. */
     void

@@ -77,6 +77,19 @@ ExperimentEngine::cellTimed(const EngineWorkload &w, const SimConfig &cfg)
     });
 }
 
+CheckpointStore *
+ExperimentEngine::storeFor(const SamplingParams &sp) const
+{
+    // The store serves warm-through sampled runs only: jump-mode
+    // summaries need their in-memory checkpoints (elided from the
+    // persisted form), degenerate parameters run exactly, and full
+    // simulation has nothing to warm.
+    if (store_ && store_->enabled() && sp.enabled && sp.warmThrough &&
+        !sp.degenerate())
+        return store_.get();
+    return nullptr;
+}
+
 std::shared_ptr<const SampleSummary>
 ExperimentEngine::summary(const EngineWorkload &w, const SimConfig &cfg)
 {
@@ -93,6 +106,20 @@ ExperimentEngine::summary(const EngineWorkload &w, const SimConfig &cfg)
     std::string key = summaryFingerprint(variant, cfg.sampling,
                                          cfg.runBudget);
     return summaries.get(key, [&]() -> SampleSummary {
+        // Warm-through summaries carry no checkpoints, so they
+        // round-trip through the checkpoint store: a warm session
+        // skips the functional pre-pass entirely.
+        CheckpointStore *cs = storeFor(cfg.sampling);
+        std::string storeKey = "summ|" + key;
+        if (cs) {
+            std::vector<std::uint8_t> raw;
+            if (cs->load(storeKey, raw)) {
+                SerialReader r(raw);
+                SampleSummary sum;
+                if (deserializeSampleSummary(r, sum))
+                    return sum;
+            }
+        }
         const Program *prog = w.program;
         const MgTable *mgt = nullptr;
         std::shared_ptr<const PreparedMg> prep;
@@ -101,8 +128,15 @@ ExperimentEngine::summary(const EngineWorkload &w, const SimConfig &cfg)
             prog = &prep->program;
             mgt = &prep->table;
         }
-        return collectSampleSummary(*prog, mgt, w.setup, cfg.sampling,
-                                    cfg.runBudget);
+        SampleSummary sum = collectSampleSummary(*prog, mgt, w.setup,
+                                                 cfg.sampling,
+                                                 cfg.runBudget);
+        if (cs) {
+            SerialWriter sw;
+            serializeSampleSummary(sum, sw);
+            cs->store(storeKey, sw.data());
+        }
+        return sum;
     });
 }
 
@@ -125,9 +159,12 @@ ExperimentEngine::cellSampledTimed(const EngineWorkload &w,
             hold = prepare(w, cfg);
             prep = hold.get();
         }
+        std::unique_ptr<CellCheckpointClient> client;
+        if (storeFor(cfg.sampling))
+            client = makeCellClient(*store_, key);
         auto t0 = std::chrono::steady_clock::now();
-        SampledStats s =
-            runCellSampled(*w.program, prep, cfg, w.setup, *sum);
+        SampledStats s = runCellSampled(*w.program, prep, cfg, w.setup,
+                                        *sum, client.get());
         return {s, secondsSince(t0)};
     });
 }
@@ -181,10 +218,22 @@ ExperimentEngine::sweep(const SweepSpec &spec)
 
     std::size_t cols = spec.columns.size();
     out.cells.resize(spec.workloads.size() * cols);
+    CheckpointStoreCounters before;
+    if (store_)
+        before = store_->counters();
     ThreadPool::parallelFor(jobs_, out.cells.size(), [&](std::size_t i) {
         out.cells[i] = runOne(spec.workloads[i / cols],
                               spec.columns[i % cols]);
     });
+    if (store_) {
+        CheckpointStoreCounters d = store_->counters() - before;
+        out.storeAttached = true;
+        out.storeHits = d.hits;
+        out.storeMisses = d.misses;
+        out.storeWritebacks = d.writebacks;
+        out.storeCorrupt = d.corrupt;
+        out.storeEvictions = d.evictions;
+    }
     return out;
 }
 

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "engine/artifact_cache.hh"
+#include "engine/checkpoint_store.hh"
 #include "sim/report.hh"
 #include "sim/simulator.hh"
 
@@ -140,10 +141,36 @@ class ExperimentEngine
     int jobs() const { return jobs_; }
     EngineCounters counters() const;
 
+    /**
+     * Attach an on-disk warm-checkpoint store. Sampled warm-through
+     * cells then persist (and restore) their sample summaries,
+     * per-chunk warm state, and discovered violation-pair seeds across
+     * processes, and run the two-pass violation-seeded scheme (see
+     * runCellSampled's store overload). Full-simulation cells,
+     * jump-mode cells, and engines without a store are unaffected —
+     * their results stay bit-identical to a store-less engine. Null
+     * (the default) detaches.
+     */
+    void
+    setCheckpointStore(std::shared_ptr<CheckpointStore> s)
+    {
+        store_ = std::move(s);
+    }
+
+    const std::shared_ptr<CheckpointStore> &
+    checkpointStore() const
+    {
+        return store_;
+    }
+
   private:
     SweepCell runOne(const EngineWorkload &w, const SweepColumn &col);
 
+    /** The store, when it should serve @p sp; else null. */
+    CheckpointStore *storeFor(const SamplingParams &sp) const;
+
     int jobs_;
+    std::shared_ptr<CheckpointStore> store_;
     ArtifactCache<BlockProfile> profiles;
     ArtifactCache<PreparedMg> prepared;
     ArtifactCache<TimedStats> runs;

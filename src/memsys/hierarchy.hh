@@ -44,6 +44,24 @@ struct MemAccess
     bool l2Hit = false;
 };
 
+/**
+ * Complete warm state of the hierarchy: all three tag arrays plus the
+ * bus backlog and DRAM counter. The footprint tracker is *not* part
+ * of it — footprint tracking is a jump-mode diagnostic and the
+ * checkpoint store only operates in warm-through mode.
+ */
+struct HierarchyState
+{
+    CacheState l1i;
+    CacheState l1d;
+    CacheState l2;
+    Cycle busFreeAt = 0;
+    std::uint64_t dramCount = 0;
+
+    void serialize(SerialWriter &w) const;
+    bool deserialize(SerialReader &r);
+};
+
 /** Timed two-level hierarchy. */
 class Hierarchy
 {
@@ -85,6 +103,15 @@ class Hierarchy
 
     /** Total DRAM accesses (for stats). */
     std::uint64_t dramAccesses() const { return dramCount; }
+
+    /** Snapshot the full warm state (checkpoint store). */
+    HierarchyState exportState() const;
+
+    /** @return true when every cache of @p s matches this geometry. */
+    bool stateCompatible(const HierarchyState &s) const;
+
+    /** Replace the warm state with @p s (requires stateCompatible). */
+    void adoptState(const HierarchyState &s);
 
     /**
      * Data-footprint tracking (off by default; zero cost when off).

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/serial.hh"
 #include "common/types.hh"
 
 namespace mg {
@@ -134,6 +135,20 @@ class Memory
         pages.clear();
         invalidateCache();
     }
+
+    /** Append the full image to @p w (sorted pages, raw bytes; the
+     *  checkpoint store compresses whole records, so pages need no
+     *  encoding of their own). */
+    void serialize(SerialWriter &w) const;
+
+    /**
+     * Replace the image with one written by serialize(). On any
+     * malformed input the reader's error latch trips and this memory
+     * is left *empty* (never partially populated); callers check
+     * @p r `.ok()` before trusting the result.
+     * @return r.ok()
+     */
+    bool deserialize(SerialReader &r);
 
   private:
     using Page = std::array<std::uint8_t, pageBytes>;

@@ -192,6 +192,18 @@ sweepJson(const SweepResult &r, const std::string &bench)
         out += (c ? ", " : "") + jsonStr(r.columns[c]);
     out += "],\n";
     out += strfmt("  \"baseline_column\": %d,\n", r.baselineColumn);
+    // Store activity only when a store was attached: store-less
+    // reports stay byte-identical to older engines.
+    if (r.storeAttached) {
+        out += strfmt("  \"checkpoint_store\": {\"hits\": %llu, "
+                      "\"misses\": %llu, \"writebacks\": %llu, "
+                      "\"corrupt\": %llu, \"evictions\": %llu},\n",
+                      static_cast<unsigned long long>(r.storeHits),
+                      static_cast<unsigned long long>(r.storeMisses),
+                      static_cast<unsigned long long>(r.storeWritebacks),
+                      static_cast<unsigned long long>(r.storeCorrupt),
+                      static_cast<unsigned long long>(r.storeEvictions));
+    }
     out += "  \"cells\": [\n";
     for (std::size_t row = 0; row < r.rows.size(); ++row) {
         for (std::size_t col = 0; col < r.columns.size(); ++col) {
@@ -234,6 +246,12 @@ sweepJson(const SweepResult &r, const std::string &bench)
                                       static_cast<unsigned long long>(
                                           c.sampled
                                               .footprintSkippedLines));
+                    }
+                    if (r.storeAttached) {
+                        rec += strfmt(", \"ckpt_restores\": %u, "
+                                      "\"ckpt_writebacks\": %u",
+                                      c.sampled.ckptRestores,
+                                      c.sampled.ckptWritebacks);
                     }
                 }
                 // Throughput only on request: wall-clock is

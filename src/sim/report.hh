@@ -69,6 +69,16 @@ struct SweepResult
      *  (wall-clock is inherently nondeterministic); the benches turn
      *  it on unless invoked with --no-throughput. */
     bool emitThroughput = false;
+    /** Warm-checkpoint-store activity during this sweep (counter
+     *  deltas the engine snapshots around the cell matrix). Absent —
+     *  and absent from the JSON, keeping store-less reports
+     *  byte-identical — unless a store was attached. */
+    bool storeAttached = false;
+    std::uint64_t storeHits = 0;
+    std::uint64_t storeMisses = 0;
+    std::uint64_t storeWritebacks = 0;
+    std::uint64_t storeCorrupt = 0;
+    std::uint64_t storeEvictions = 0;
 
     const SweepCell &at(std::size_t row, std::size_t col) const;
 

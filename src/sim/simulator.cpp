@@ -3,6 +3,7 @@
 #include <array>
 #include <cmath>
 #include <map>
+#include <memory>
 #include <unordered_set>
 
 #include "cfg/liveness.hh"
@@ -173,7 +174,10 @@ collectSampleSummary(const Program &prog, const MgTable *mgt,
         // Once the retention budget is full, only a brand-new cluster
         // could still keep a checkpoint; stop paying for the deep
         // copies and let such rare chunks fast-forward functionally.
-        if (nextCkptChunk >= prefixChunks && sum.ckpts.size() < 48 &&
+        // Warm-through runs never jump, so their summaries skip the
+        // captures (and their deep memory copies) entirely.
+        if (!sp.warmThrough &&
+            nextCkptChunk >= prefixChunks && sum.ckpts.size() < 48 &&
             w >= sp.jumpTarget(nextCkptChunk) &&
             sp.jumpTarget(nextCkptChunk) > 0)
             pending.emplace(nextCkptChunk, emu.checkpoint());
@@ -204,12 +208,102 @@ runCellSampled(const Program &prog, const PreparedMg *prep,
                const SimConfig &cfg, const SetupFn &setup,
                const SampleSummary &sum)
 {
+    return runCellSampled(prog, prep, cfg, setup, sum, nullptr);
+}
+
+SampledStats
+runCellSampled(const Program &prog, const PreparedMg *prep,
+               const SimConfig &cfg, const SetupFn &setup,
+               const SampleSummary &sum, CellCheckpointClient *store)
+{
     const Program &p = prep ? prep->program : prog;
     const MgTable *mgt = prep ? &prep->table : nullptr;
-    Core core(p, mgt, cfg.core);
-    if (setup)
-        setup(core.oracle());
-    return core.runSampled(cfg.sampling, sum, cfg.runBudget);
+    const SamplingParams &sp = cfg.sampling;
+    auto freshCore = [&]() {
+        auto core = std::make_unique<Core>(p, mgt, cfg.core);
+        if (setup)
+            setup(core->oracle());
+        return core;
+    };
+
+    // The store only composes with warm-through sampling; degenerate
+    // parameters run exactly and have no fast-forward gaps to serve.
+    if (!store || !sp.warmThrough || sp.degenerate())
+        return freshCore()->runSampled(sp, sum, cfg.runBudget);
+
+    // Violation-pair seed: stored once per cell by the first session's
+    // discovery pass and never updated (a frozen seed is what makes
+    // every session's returned stats identical).
+    std::vector<std::pair<Addr, Addr>> pairs;
+    bool havePairs = sp.ssShadow && store->loadViolPairs(pairs);
+    if (!havePairs) {
+        // Discovery pass: the storeless trajectory (seed generation
+        // h(empty)), restoring and writing back under that
+        // generation's keys.
+        auto core = freshCore();
+        SampledStats discovery =
+            core->runSampled(sp, sum, cfg.runBudget, store);
+        if (!sp.ssShadow)
+            return discovery;   // pairs cannot seed anything
+        pairs = core->violPairsSorted();
+        store->storeViolPairs(pairs);
+        // No violations discovered (or the run degraded to exact):
+        // the discovery pass *is* the final pass, and later sessions
+        // load the empty set and reproduce it under the same keys.
+        if (pairs.empty() || discovery.exact)
+            return discovery;
+    } else if (pairs.empty()) {
+        // A previous session discovered no violations: a single
+        // unseeded pass replays its records bit-exactly.
+        return freshCore()->runSampled(sp, sum, cfg.runBudget, store);
+    }
+    // Final pass, seeded with the full discovered violation set: the
+    // store-set shadow trains every learned dependence across every
+    // fast-forward gap from work position zero.
+    return freshCore()->runSampled(sp, sum, cfg.runBudget, store,
+                                   &pairs);
+}
+
+void
+serializeSampleSummary(const SampleSummary &sum, SerialWriter &w)
+{
+    w.u64(sum.totalWork);
+    w.u64(sum.totalSlots);
+    w.u32(sum.clusters);
+    w.u64(sum.chunks.size());
+    for (const SampleChunk &c : sum.chunks) {
+        w.u64(c.start);
+        w.u64(c.work);
+        w.u32(c.cluster);
+    }
+    w.vec(sum.footLines);
+    // Checkpoints deliberately elided: a persisted summary only ever
+    // serves warm-through runs (enforced by the engine's key), and
+    // those never jump.
+}
+
+bool
+deserializeSampleSummary(SerialReader &r, SampleSummary &sum)
+{
+    sum = SampleSummary();
+    sum.totalWork = r.u64();
+    sum.totalSlots = r.u64();
+    sum.clusters = r.u32();
+    std::uint64_t n = r.u64();
+    if (n > r.remaining() / 20) {
+        r.fail();
+        return false;
+    }
+    sum.chunks.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+        SampleChunk c;
+        c.start = r.u64();
+        c.work = r.u64();
+        c.cluster = r.u32();
+        sum.chunks.push_back(c);
+    }
+    sum.footLines = r.vec<std::uint64_t>();
+    return r.ok();
 }
 
 CoreStats

@@ -82,6 +82,67 @@ SampledStats runCellSampled(const Program &prog, const PreparedMg *prep,
                             const SimConfig &cfg, const SetupFn &setup,
                             const SampleSummary &sum);
 
+/**
+ * A cell's view of the warm-checkpoint store: the per-chunk warm
+ * records Core::runSampled exchanges (the WarmStoreIf base) plus the
+ * cell's discovered store-set violation pairs. The engine implements
+ * this over the on-disk CheckpointStore with keys derived from the
+ * cell fingerprint.
+ */
+class CellCheckpointClient : public WarmStoreIf
+{
+  public:
+    /** Fetch the cell's discovery-pass violation pairs (sorted).
+     *  @return true when a stored (possibly empty) set exists. */
+    virtual bool
+    loadViolPairs(std::vector<std::pair<Addr, Addr>> &out) = 0;
+
+    /** Persist the discovery-pass violation pairs — written exactly
+     *  once per cell and never updated, so every later session seeds
+     *  the same generation and reproduces the same stats. */
+    virtual void
+    storeViolPairs(const std::vector<std::pair<Addr, Addr>> &pairs) = 0;
+};
+
+/**
+ * Store-backed runCellSampled: two-pass violation-seeded sampling.
+ *
+ * The documented accuracy failure of warm-through sampling
+ * (reed@long/int-mem, ~26% IPC error) is duty-limited store-set
+ * discovery: ordering violations are only observable inside detailed
+ * intervals, so the predictor state the fast-forwarded majority of
+ * the run carries is permanently under-trained. With a store
+ * attached, the cell first runs a *discovery* pass (identical to the
+ * storeless run) to collect the violating pair set V, persists V,
+ * and — when V is nonempty — reruns with the shadow seeded by V.
+ * Seeded pairs start dormant and wake at their first functionally
+ * observed RAW opportunity (Core::ffAliasScan), so fast-forward gaps
+ * train each learned dependence from the position where it first
+ * becomes violable — not from work zero, which would serialize
+ * program phases that predate the dependence. Warm sessions load
+ * V directly and run the seeded pass alone, restoring per-chunk warm
+ * records instead of re-warming: cold and warm sessions return
+ * bit-identical stats (the warm pass replays the exact states the
+ * cold pass wrote).
+ *
+ * A null @p store (or jump-mode / degenerate / shadowless sampling
+ * parameters) reproduces the storeless overload bit-exactly.
+ */
+SampledStats runCellSampled(const Program &prog, const PreparedMg *prep,
+                            const SimConfig &cfg, const SetupFn &setup,
+                            const SampleSummary &sum,
+                            CellCheckpointClient *store);
+
+/** Append @p sum — checkpoints elided — to @p w. Persisted summaries
+ *  serve warm-through runs only, which never consult the checkpoint
+ *  list; the engine keys them by a fingerprint that includes the
+ *  fast-forward mode, so a jump-mode run can never load one. */
+void serializeSampleSummary(const SampleSummary &sum, SerialWriter &w);
+
+/** Parse a serializeSampleSummary record. @return false (leaving
+ *  @p sum unspecified) on malformed input. */
+bool deserializeSampleSummary(SerialReader &r, SampleSummary &sum);
+
 /** One-call flow: returns the end-to-end stats for @p cfg. */
 CoreStats simulate(const Program &prog, const SimConfig &cfg,
                    const SetupFn &setup);

@@ -134,6 +134,8 @@ Core::pullOracle()
             }
             continue;
         }
+        if (ffShadow)
+            ffAliasScan(d->rec);    // early-outs with no dormant edges
         d->pc = d->rec.pc;
         d->insn = *d->rec.insn;
         d->cls = d->rec.cls;        // classified once, at predecode
@@ -799,7 +801,7 @@ Core::executeStore(DynInst *d)
         ++stats_.ordViolations;
         ss.recordViolation(viol->pc, d->pc);
         if (ffShadow)
-            ffViolPairs[viol->pc] = d->pc;
+            ffRecordViolation(viol->pc, d->pc);
         squashFrom(viol->seq);
     }
 }
@@ -1187,13 +1189,23 @@ Core::fastForward(std::uint64_t workTarget, bool warm, double ipcEst)
                 mem.dataAccess(rec.memAddr, rec.memIsStore, now);
             else
                 mem.warmData(rec.memAddr, rec.memIsStore);
-            if (ffShadow && !rec.memIsStore && !ffViolPairs.empty()) {
-                // Store-set shadow: re-merge only exact pairs a
-                // detailed interval of this run has seen violate
-                // (idempotent when the pair is already in one set).
-                auto it = ffViolPairs.find(rec.pc);
-                if (it != ffViolPairs.end())
-                    ss.recordViolation(it->first, it->second);
+            if (ffShadow && !ffViolPairs.empty()) {
+                ffAliasScan(rec);
+                // Store-set shadow: re-merge every *active* pair
+                // (idempotent once the full component is in one
+                // set). All of the load's active partners merge
+                // together so the component — not just one edge of
+                // it — survives jumps and table clears.
+                if (!rec.memIsStore) {
+                    auto it = ffViolPairs.find(rec.pc);
+                    if (it != ffViolPairs.end()) {
+                        for (const FfPartner &p : it->second) {
+                            if (p.active)
+                                ss.recordViolation(it->first,
+                                                   p.storePc);
+                        }
+                    }
+                }
             }
         }
         if (rec.insn->isControl() || rec.insn->isHandle())
@@ -1212,13 +1224,248 @@ Core::restoreOracle(const EmuCheckpoint &c)
     lastFetchLine = ~Addr(0);
 }
 
+namespace {
+
+/** Generation hash of a violation-pair seed set: runs seeded with
+ *  different sets follow different warm-state trajectories, so the
+ *  hash namespaces their store records apart. A null or empty seed
+ *  hashes to the FNV basis (the discovery generation). */
+std::uint64_t
+violSeedHash(const std::vector<std::pair<Addr, Addr>> *seed)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    if (!seed)
+        return h;
+    for (const auto &[loadPc, storePc] : *seed) {
+        std::uint8_t b[16];
+        for (int i = 0; i < 8; ++i) {
+            b[i] = static_cast<std::uint8_t>(loadPc >> (8 * i));
+            b[8 + i] = static_cast<std::uint8_t>(storePc >> (8 * i));
+        }
+        h = fnv1a64(b, sizeof b, h);
+    }
+    return h;
+}
+
+} // namespace
+
+std::vector<std::pair<Addr, Addr>>
+Core::violPairsSorted() const
+{
+    std::vector<std::pair<Addr, Addr>> v;
+    for (const auto &[loadPc, partners] : ffViolPairs) {
+        for (const FfPartner &p : partners)
+            v.emplace_back(loadPc, p.storePc);
+    }
+    std::sort(v.begin(), v.end());
+    return v;
+}
+
+void
+Core::ffRecordViolation(Addr loadPc, Addr storePc)
+{
+    std::vector<FfPartner> &partners = ffViolPairs[loadPc];
+    for (FfPartner &p : partners) {
+        if (p.storePc == storePc) {
+            if (!p.active) {
+                p.active = true;
+                --ffDormantEdges;
+            }
+            return;
+        }
+    }
+    partners.push_back({storePc, true});
+}
+
+void
+Core::ffAliasScan(const ExecRecord &rec)
+{
+    if (ffDormantEdges == 0 || !rec.isMem)
+        return;
+    // Word granularity: the LSQ's violation check is byte-overlap,
+    // but partner pairs that alias at all touch the same words in
+    // practice, and word keys keep the map small.
+    Addr lo = rec.memAddr & ~Addr(7);
+    Addr hi = (rec.memAddr + static_cast<Addr>(
+                   rec.memBytes > 0 ? rec.memBytes - 1 : 0)) &
+        ~Addr(7);
+    if (rec.memIsStore) {
+        if (!ffPartnerStores.count(rec.pc))
+            return;
+        for (Addr wd = lo;; wd += 8) {
+            ffAliasLast[wd] = {rec.pc, emu.dynWork()};
+            if (wd == hi)
+                break;
+        }
+        return;
+    }
+    auto it = ffViolPairs.find(rec.pc);
+    if (it == ffViolPairs.end())
+        return;
+    for (Addr wd = lo;; wd += 8) {
+        auto a = ffAliasLast.find(wd);
+        if (a != ffAliasLast.end() &&
+            emu.dynWork() - a->second.second <= ffAliasSpan) {
+            for (FfPartner &p : it->second) {
+                if (!p.active && p.storePc == a->second.first) {
+                    p.active = true;
+                    --ffDormantEdges;
+                }
+            }
+        }
+        if (wd == hi)
+            break;
+    }
+}
+
+/** Layout version of serializeWarm records (independent of the store's
+ *  file format version: this one tracks the core's state shape). */
+static constexpr std::uint32_t warmStateVersion = 1;
+
+void
+Core::serializeWarm(SerialWriter &w) const
+{
+    w.u32(warmStateVersion);
+    w.u64(now);
+    w.u64(nextSeq);
+    emu.serializeState(w);
+    mem.exportState().serialize(w);
+    bp.exportState().serialize(w);
+    ss.exportState().serialize(w);
+    // Shadow state of the violation-pair seeding: the graph edges
+    // (with activation bits) and the RAW-scan alias map. A restored
+    // record skips the fast-forward gap that built these, so they
+    // ride in the record; canonical sorted order keeps the bytes —
+    // and the store's checksums — session-independent.
+    std::vector<std::tuple<Addr, Addr, std::uint8_t>> edges;
+    for (const auto &[loadPc, partners] : ffViolPairs) {
+        for (const FfPartner &p : partners)
+            edges.emplace_back(loadPc, p.storePc, p.active ? 1 : 0);
+    }
+    std::sort(edges.begin(), edges.end());
+    w.u64(edges.size());
+    for (const auto &[l, s, a] : edges) {
+        w.u64(l);
+        w.u64(s);
+        w.u8(a);
+    }
+    std::vector<std::pair<Addr, std::pair<Addr, std::uint64_t>>> alias(
+        ffAliasLast.begin(), ffAliasLast.end());
+    std::sort(alias.begin(), alias.end());
+    w.u64(alias.size());
+    for (const auto &[wd, last] : alias) {
+        w.u64(wd);
+        w.u64(last.first);
+        w.u64(last.second);
+    }
+}
+
+bool
+Core::tryRestoreWarm(const std::vector<std::uint8_t> &bytes)
+{
+    if (!pipelineEmpty())
+        panic("tryRestoreWarm with a non-empty pipeline");
+    // Parse the whole record into temporaries and validate every
+    // piece before mutating anything: a truncated or incompatible
+    // record must leave the core exactly as it was (the caller then
+    // warms through functionally and the run stays correct).
+    SerialReader r(bytes);
+    if (r.u32() != warmStateVersion)
+        return false;
+    std::uint64_t now_ = r.u64();
+    std::uint64_t nextSeq_ = r.u64();
+    EmuCheckpoint ck;
+    if (!deserializeCheckpoint(r, ck))
+        return false;
+    HierarchyState hs;
+    BranchPredState bs;
+    StoreSetsState sss;
+    if (!hs.deserialize(r) || !bs.deserialize(r) ||
+        !sss.deserialize(r) || !r.ok())
+        return false;
+    std::uint64_t nEdges = r.u64();
+    if (nEdges > r.remaining() / 17)
+        return false;
+    std::unordered_map<Addr, std::vector<FfPartner>> pairs;
+    std::uint64_t dormant = 0;
+    std::unordered_set<Addr> partnerStores;
+    for (std::uint64_t i = 0; i < nEdges; ++i) {
+        Addr l = r.u64();
+        Addr s = r.u64();
+        std::uint8_t a = r.u8();
+        pairs[l].push_back({s, a != 0});
+        if (a == 0) {
+            ++dormant;
+            partnerStores.insert(s);
+        }
+    }
+    std::uint64_t nAlias = r.u64();
+    if (nAlias > r.remaining() / 24)
+        return false;
+    std::unordered_map<Addr, std::pair<Addr, std::uint64_t>> alias;
+    for (std::uint64_t i = 0; i < nAlias; ++i) {
+        Addr wd = r.u64();
+        Addr spc = r.u64();
+        std::uint64_t pos = r.u64();
+        alias[wd] = {spc, pos};
+    }
+    if (!r.ok())
+        return false;
+    if (!emu.checkpointCompatible(ck) || !mem.stateCompatible(hs) ||
+        !bp.stateCompatible(bs) || !ss.stateCompatible(sss))
+        return false;
+    // Records are keyed to positions ahead of the run; never move the
+    // oracle (or the clock) backwards.
+    if (ck.work < emu.dynWork() || now_ < now)
+        return false;
+
+    emu.restore(std::move(ck));
+    now = now_;
+    nextSeq = nextSeq_;
+    mem.adoptState(hs);
+    bp.adoptState(bs);
+    ss.adoptState(sss);
+    ffViolPairs = std::move(pairs);
+    ffPartnerStores = std::move(partnerStores);
+    ffAliasLast = std::move(alias);
+    ffDormantEdges = dormant;
+    lastFetchLine = ~Addr(0);
+    return true;
+}
+
 SampledStats
 Core::runSampled(const SamplingParams &sp, const SampleSummary &sum,
-                 std::uint64_t maxWork)
+                 std::uint64_t maxWork, WarmStoreIf *warmStore,
+                 const std::vector<std::pair<Addr, Addr>> *seedViol)
 {
     stats_ = CoreStats();
     ffShadow = sp.ssShadow;
     ffViolPairs.clear();
+    ffPartnerStores.clear();
+    ffAliasLast.clear();
+    ffDormantEdges = 0;
+    if (seedViol) {
+        // seedViol is violPairsSorted() output: distinct pairs in
+        // (loadPc, storePc) order, so per-load partner lists rebuild
+        // identically in every session (replay order is part of the
+        // cold-vs-warm determinism contract). Seeded edges start
+        // dormant: each waits for this run's functional stream to
+        // show its first violable RAW (ffAliasScan) so the shadow
+        // never serializes program phases before the dependence even
+        // exists.
+        for (const auto &[loadPc, storePc] : *seedViol) {
+            ffViolPairs[loadPc].push_back({storePc, false});
+            ffPartnerStores.insert(storePc);
+            ++ffDormantEdges;
+        }
+    }
+    // Restore-warm only composes with warm-through: a restored record
+    // is the state of a run that warmed every skipped instruction, so
+    // mixing it with checkpoint jumps would interleave two different
+    // state trajectories. Jump mode ignores the store.
+    WarmStoreIf *ws = sp.warmThrough ? warmStore : nullptr;
+    const std::uint64_t seedHash = violSeedHash(seedViol);
+    std::vector<std::uint8_t> wsBytes;
     SampledStats out;
     out.totalWork = std::min(sum.totalWork, maxWork);
 
@@ -1429,29 +1676,52 @@ Core::runSampled(const SamplingParams &sp, const SampleSummary &sum,
         std::uint64_t warmStart = ch->start > sp.warmup
             ? ch->start - sp.warmup : 0;
         if (warmStart > p) {
-            // Warm-through mode skips the jump: the whole gap is
-            // emulated with warming so cumulative cache/predictor
-            // state survives (footprint-bound kernels).
-            const EmuCheckpoint *jump = nullptr;
-            if (!sp.warmThrough) {
-                for (const EmuCheckpoint &c : sum.ckpts) {
-                    if (c.work > warmStart)
-                        break;
-                    if (c.work > p)
-                        jump = &c;   // ascending: keep latest eligible
+            // Restore-warm fast path: a stored record at this chunk's
+            // start (same binary, config, position, and seed
+            // generation) is bit-for-bit the state warming through
+            // this gap would compute — restore it and skip the
+            // functional re-execution entirely. Misses (and corrupt
+            // or incompatible records, rejected by tryRestoreWarm)
+            // fall through to warming and write back the result.
+            bool restored = false;
+            if (ws && ws->loadWarm(ch->start, seedHash, wsBytes) &&
+                tryRestoreWarm(wsBytes)) {
+                restored = true;
+                ++out.ckptRestores;
+            }
+            if (!restored) {
+                // Warm-through mode skips the jump: the whole gap is
+                // emulated with warming so cumulative cache/predictor
+                // state survives (footprint-bound kernels).
+                const EmuCheckpoint *jump = nullptr;
+                if (!sp.warmThrough) {
+                    for (const EmuCheckpoint &c : sum.ckpts) {
+                        if (c.work > warmStart)
+                            break;
+                        if (c.work > p)
+                            jump = &c;  // ascending: keep latest
+                                        // eligible
+                    }
+                }
+                if (jump) {
+                    // The skipped region's time passes on the virtual
+                    // clock too, so time-keyed state (bus occupancy,
+                    // bypass windows) ages as it would have.
+                    if (lastIpc > 0)
+                        now += static_cast<Cycle>(
+                            static_cast<double>(jump->work - p) /
+                            lastIpc);
+                    restoreOracle(*jump);
+                }
+                if (warmStart > emu.dynWork())
+                    fastForward(warmStart, sp.ffWarm > 0, lastIpc);
+                if (ws && !emu.halted()) {
+                    SerialWriter w;
+                    serializeWarm(w);
+                    ws->storeWarm(ch->start, seedHash, w.data());
+                    ++out.ckptWritebacks;
                 }
             }
-            if (jump) {
-                // The skipped region's time passes on the virtual
-                // clock too, so time-keyed state (bus occupancy,
-                // bypass windows) ages as it would have.
-                if (lastIpc > 0)
-                    now += static_cast<Cycle>(
-                        static_cast<double>(jump->work - p) / lastIpc);
-                restoreOracle(*jump);
-            }
-            if (warmStart > emu.dynWork())
-                fastForward(warmStart, sp.ffWarm > 0, lastIpc);
             stats_.cycles = now;   // virtual advances stay unmeasured
         }
         out.ffWork = emu.dynWork() - stats_.committedWork;
@@ -1532,8 +1802,12 @@ Core::runSampled(const SamplingParams &sp, const SampleSummary &sum,
             lastIpc = static_cast<double>(delta.committedWork) /
                 static_cast<double>(delta.cycles);
             a.ipcs.push_back(lastIpc);
-            if (getenv("MG_SAMPLE_DEBUG"))
-                fprintf(stderr, "iv pos=%llu emuPos=%llu cl=%u w=%llu c=%llu ipc=%.3f regFree=%d dram=%llu surp=%llu exp=%llu\n",
+            if (getenv("MG_SAMPLE_DEBUG")) {
+                StoreSetsState sss_ = ss.exportState();
+                std::size_t trained = 0;
+                for (std::int32_t v : sss_.ssit)
+                    trained += v != -1;
+                fprintf(stderr, "iv pos=%llu emuPos=%llu cl=%u w=%llu c=%llu ipc=%.3f regFree=%d dram=%llu surp=%llu exp=%llu regStall=%llu ldRep=%llu viol=%llu ssit=%zu acc=%llu\n",
                         (unsigned long long)ch->start,
                         (unsigned long long)emu.dynWork(),
                         ch->cluster,
@@ -1544,7 +1818,13 @@ Core::runSampled(const SamplingParams &sp, const SampleSummary &sum,
                         (unsigned long long)(mem.footSurprises() -
                                              surpriseBase),
                         (unsigned long long)sum.newLinesIn(
-                            chunkIdxOf(ch)));
+                            chunkIdxOf(ch)),
+                        (unsigned long long)delta.regFullStalls,
+                        (unsigned long long)delta.loadReplays,
+                        (unsigned long long)delta.ordViolations,
+                        trained,
+                        (unsigned long long)sss_.accesses);
+            }
         }
         drainPipeline();
     }

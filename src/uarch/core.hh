@@ -25,6 +25,7 @@
 #include <cmath>
 #include <deque>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "emu/emulator.hh"
@@ -217,6 +218,11 @@ struct SampledStats
     /** Total unique lines the flagged jumps skipped beyond the warm
      *  budget (the magnitude behind footprintWarning). */
     std::uint64_t footprintSkippedLines = 0;
+    /** Warm-checkpoint store traffic of this run: fast-forward gaps
+     *  served by restoring a stored record vs gaps warmed through
+     *  functionally and written back. Zero without a store. */
+    std::uint32_t ckptRestores = 0;
+    std::uint32_t ckptWritebacks = 0;
 };
 
 /** The core. */
@@ -242,10 +248,33 @@ class Core
      * checkpoints fast-forwards jump through; an empty checkpoint list
      * is legal (every fast-forward then steps functionally).
      * Degenerate parameters reproduce run() bit-exactly.
+     *
+     * @p warmStore (warm-through mode only) enables the restore-warm
+     * fast-forward path: each gap first tries to restore the stored
+     * warm state for the coming chunk, falling back to functional
+     * warming — and writing the result back — on a miss. Because a
+     * restored record is exactly the state the writing run computed
+     * at that position, a run served from the store is bit-identical
+     * to the run that populated it.
+     *
+     * @p seedViol pre-seeds the store-set shadow with known
+     * violating (load PC, store PC) pairs (sorted), so dependences a
+     * previous discovery run learned are trained during fast-forward
+     * instead of being duty-limited to detailed intervals. Each
+     * seeded pair lies dormant until the functional stream first
+     * shows it violable (a store->load RAW within a window-sized
+     * span), so training starts where the dependence starts. The
+     * seed set keys the store's record generation.
      */
-    SampledStats runSampled(const SamplingParams &sp,
-                            const SampleSummary &sum,
-                            std::uint64_t maxWork = ~0ull);
+    SampledStats runSampled(
+        const SamplingParams &sp, const SampleSummary &sum,
+        std::uint64_t maxWork = ~0ull, WarmStoreIf *warmStore = nullptr,
+        const std::vector<std::pair<Addr, Addr>> *seedViol = nullptr);
+
+    /** Violating (load PC, store PC) pairs the last sampled run's
+     *  detailed intervals observed, sorted (the discovery-pass output
+     *  that seeds final passes and warm sessions). */
+    std::vector<std::pair<Addr, Addr>> violPairsSorted() const;
 
     /**
      * Functionally execute the oracle until its constituent work
@@ -352,8 +381,48 @@ class Core
     // fast-forward, a load whose PC is a known violator re-merges its
     // recorded store partner, carrying the learned dependence across
     // checkpoint jumps and the predictor's periodic table clears.
-    std::unordered_map<Addr, Addr> ffViolPairs;  ///< loadPc -> storePc
-                                                 ///< (real violations)
+    /** One edge of the violation graph: a store PC some load has
+     *  violated against. Keeping the full partner set (not just the
+     *  latest partner) matters: the predictor's trained behavior is
+     *  the *connected components* of the violation graph, and
+     *  replaying all edges reconstructs the same components in any
+     *  order — a last-partner-only map loses edges and
+     *  under-serializes. Edges recorded by this run's own detailed
+     *  intervals are active immediately; *seeded* edges (prior-run
+     *  discoveries) start dormant and activate only once the
+     *  functional stream shows the pair could violate here — the
+     *  first store->load RAW through memory within a window-sized
+     *  span. Activating on functional evidence instead of at work 0
+     *  keeps a seeded run from serializing program phases the
+     *  discovery run measured as violation-free (the dependence may
+     *  only exist in a later phase), and the evidence is a pure
+     *  function of the instruction stream, so cold and warm sessions
+     *  activate at identical positions. */
+    struct FfPartner
+    {
+        Addr storePc = 0;
+        bool active = true;
+    };
+    std::unordered_map<Addr, std::vector<FfPartner>> ffViolPairs;
+    /** Store PCs appearing in some dormant seeded edge (scan gate). */
+    std::unordered_set<Addr> ffPartnerStores;
+    /** 8-byte-word -> (partner store PC, work position) of the most
+     *  recent partner store touching it; the load side of the RAW
+     *  scan reads this. Serialized with warm records: entries written
+     *  inside a fast-forward gap must survive a restore that skips
+     *  the gap. */
+    std::unordered_map<Addr, std::pair<Addr, std::uint64_t>> ffAliasLast;
+    std::uint64_t ffDormantEdges = 0;
+    /** RAW span (work units) within which a seeded pair counts as
+     *  violable: both ends must plausibly coexist in the instruction
+     *  window, so a couple of ROB depths. */
+    static constexpr std::uint64_t ffAliasSpan = 256;
+    /** Feed one functional record (any mode: fast-forward or the
+     *  detailed oracle) to the seeded-edge RAW scan. */
+    void ffAliasScan(const ExecRecord &rec);
+    /** Record a detailed-interval violation edge (new edges active;
+     *  a dormant seeded edge the machine actually violated wakes). */
+    void ffRecordViolation(Addr loadPc, Addr storePc);
     bool ffShadow = false;      ///< set by runSampled from ssShadow
 
     // --- pipeline stages (called youngest-stage-last each cycle) ---
@@ -380,6 +449,16 @@ class Core
      * still accumulate (one bump per idle cycle, as in stepping).
      */
     Cycle idleSkipTarget(std::uint64_t **stallCounter);
+
+    // --- warm-checkpoint store plumbing ---
+    /** Serialize the complete warm state at a drained-pipeline
+     *  fast-forward boundary: clocks, the functional oracle, and the
+     *  trained hierarchy/predictor/store-set contents. */
+    void serializeWarm(SerialWriter &w) const;
+    /** Parse + validate a serializeWarm record and, only if every
+     *  piece is well-formed and compatible with this configuration,
+     *  atomically adopt it (never partially mutates on failure). */
+    bool tryRestoreWarm(const std::vector<std::uint8_t> &bytes);
 
     // --- helpers ---
     DynInst *pullOracle();

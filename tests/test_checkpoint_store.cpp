@@ -1,0 +1,572 @@
+/**
+ * @file
+ * Warm-checkpoint store battery.
+ *
+ * Three layers, innermost out:
+ *  - serialization round trips for every warmable structure (the
+ *    functional oracle, the cache hierarchy, the branch predictor,
+ *    the store sets), including geometry/shape-mismatch rejection;
+ *  - the on-disk store's file format defenses: truncation, flipped
+ *    bytes, stale version headers, hash-slot collisions, LRU
+ *    eviction, unusable directories, and mid-session write failures
+ *    all degrade to misses — never crash, never return wrong data;
+ *  - end-to-end: a cold sampled session populates the store, a warm
+ *    session restores from it bit-identically; corrupting every
+ *    record between the two sessions forces the warm session back
+ *    onto the recompute path and it must still produce the cold
+ *    session's exact stats (the never-silently-mis-simulate
+ *    contract).
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/serial.hh"
+#include "engine/checkpoint_store.hh"
+#include "engine/engine.hh"
+#include "memsys/hierarchy.hh"
+#include "uarch/branch_pred.hh"
+#include "uarch/store_sets.hh"
+#include "workloads/suites.hh"
+
+using namespace mg;
+namespace fs = std::filesystem;
+
+namespace {
+
+/** Fresh per-test scratch directory (removed on destruction). */
+struct ScratchDir
+{
+    fs::path path;
+
+    explicit ScratchDir(const std::string &tag)
+        : path(fs::temp_directory_path() /
+               ("mg-store-test-" + tag + "-" +
+                std::to_string(::getpid())))
+    {
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~ScratchDir() { fs::remove_all(path); }
+    std::string str() const { return path.string(); }
+};
+
+/** All record files currently in @p dir. */
+std::vector<fs::path>
+recordFiles(const fs::path &dir)
+{
+    std::vector<fs::path> out;
+    for (const auto &e : fs::directory_iterator(dir))
+        if (e.path().extension() == ".mgck")
+            out.push_back(e.path());
+    return out;
+}
+
+/** The key string a record file carries (the collision guard field:
+ *  magic u32, version u32, encoding u8, then a length-prefixed key). */
+std::string
+recordKey(const fs::path &file)
+{
+    std::ifstream in(file, std::ios::binary);
+    std::vector<char> buf(9 + 8);
+    in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+    std::uint64_t len = 0;
+    for (int i = 0; i < 8; ++i)
+        len |= static_cast<std::uint64_t>(
+                   static_cast<unsigned char>(buf[9 + i]))
+            << (8 * i);
+    std::string key(len, '\0');
+    in.read(key.data(), static_cast<std::streamsize>(len));
+    return key;
+}
+
+/** Overwrite one byte at @p off (negative: from the end). */
+void
+flipByte(const fs::path &file, long long off)
+{
+    std::fstream f(file, std::ios::in | std::ios::out | std::ios::binary);
+    if (off < 0)
+        f.seekp(off, std::ios::end);
+    else
+        f.seekp(off, std::ios::beg);
+    char c = 0;
+    f.seekg(f.tellp());
+    f.get(c);
+    f.seekp(-1, std::ios::cur);
+    c = static_cast<char>(c ^ 0x5a);
+    f.put(c);
+}
+
+/** Small-sampling config the unit tier can afford: enough periods on
+ *  a ref-scale kernel to exercise fast-forward gaps and warm records
+ *  without degenerating to an exact run. */
+SimConfig
+sampledSmall(SimConfig cfg)
+{
+    cfg.sampling.enabled = true;
+    cfg.sampling.interval = 200;
+    cfg.sampling.period = 2400;
+    cfg.sampling.warmup = 400;
+    cfg.sampling.ffWarm = 400;
+    return cfg;
+}
+
+} // namespace
+
+// ---------------------------------------------------------- serial layer
+
+TEST(StoreSerial, PrimitivesRoundTripAndTruncationLatches)
+{
+    SerialWriter w;
+    w.u8(0xab);
+    w.u32(0xdeadbeef);
+    w.u64(0x0123456789abcdefull);
+    w.f64(3.25);
+    w.str("warm|key");
+    w.vec(std::vector<std::uint32_t>{1, 2, 3});
+
+    std::vector<std::uint8_t> bytes = w.take();
+    {
+        SerialReader r(bytes);
+        EXPECT_EQ(r.u8(), 0xab);
+        EXPECT_EQ(r.u32(), 0xdeadbeefu);
+        EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+        EXPECT_EQ(r.f64(), 3.25);
+        EXPECT_EQ(r.str(), "warm|key");
+        EXPECT_EQ(r.vec<std::uint32_t>(),
+                  (std::vector<std::uint32_t>{1, 2, 3}));
+        EXPECT_TRUE(r.ok());
+        EXPECT_EQ(r.remaining(), 0u);
+    }
+    // Any truncation point must trip ok(), never read past the end.
+    for (std::size_t cut : {std::size_t(0), bytes.size() / 2,
+                            bytes.size() - 1}) {
+        SerialReader r(bytes.data(), cut);
+        r.u8();
+        r.u32();
+        r.u64();
+        r.f64();
+        r.str();
+        r.vec<std::uint32_t>();
+        EXPECT_FALSE(r.ok()) << "cut at " << cut;
+    }
+}
+
+TEST(StoreSerial, EmuCheckpointRoundTripContinuesIdentically)
+{
+    BoundKernel bk = bindKernel(findKernel("crc"));
+    Emulator a(*bk.program);
+    bk.kernel->setup(a, 0);
+    while (!a.halted() && a.dynInsns() < 3000)
+        a.step();
+
+    SerialWriter w;
+    serializeCheckpoint(a.checkpoint(), w);
+    std::vector<std::uint8_t> bytes = w.take();
+
+    EmuCheckpoint c;
+    {
+        SerialReader r(bytes);
+        ASSERT_TRUE(deserializeCheckpoint(r, c));
+        EXPECT_TRUE(r.ok());
+    }
+    Emulator b(*bk.program);
+    bk.kernel->setup(b, 0);
+    b.restore(std::move(c));
+    EmuResult endA = a.run();
+    EmuResult endB = b.run();
+    EXPECT_EQ(endA.dynWork, endB.dynWork);
+    EXPECT_EQ(a.pc(), b.pc());
+    for (RegId r = 0; r < numArchRegs; ++r)
+        EXPECT_EQ(a.reg(r), b.reg(r)) << "register " << int(r);
+
+    // Every truncation of a checkpoint must be rejected, not adopted.
+    for (std::size_t cut = 0; cut < bytes.size();
+         cut += 1 + bytes.size() / 13) {
+        SerialReader r(bytes.data(), cut);
+        EmuCheckpoint t;
+        EXPECT_FALSE(deserializeCheckpoint(r, t) && r.ok())
+            << "cut at " << cut;
+    }
+}
+
+TEST(StoreSerial, HierarchyRoundTripAndGeometryGuard)
+{
+    HierarchyConfig hc;
+    Hierarchy h(hc);
+    for (Addr a = 0; a < 64 * 1024; a += 24) {
+        h.dataAccess(a, (a / 24) % 3 == 0, a / 8);
+        h.instAccess(0x400000 + a % 4096, a / 8);
+    }
+    HierarchyState st = h.exportState();
+
+    SerialWriter w;
+    st.serialize(w);
+    std::vector<std::uint8_t> bytes = w.take();
+    HierarchyState rt;
+    {
+        SerialReader r(bytes);
+        ASSERT_TRUE(rt.deserialize(r));
+        EXPECT_TRUE(r.ok());
+    }
+
+    Hierarchy h2(hc);
+    ASSERT_TRUE(h2.stateCompatible(rt));
+    h2.adoptState(rt);
+    // Adopted warm state is bit-equal on re-export.
+    SerialWriter w2;
+    h2.exportState().serialize(w2);
+    EXPECT_EQ(bytes, w2.data());
+
+    // A different geometry must refuse the state outright.
+    HierarchyConfig other = hc;
+    other.l1d = CacheGeometry{16 * 1024, 4, 64};
+    EXPECT_FALSE(Hierarchy(other).stateCompatible(rt));
+
+    // Internally inconsistent vector lengths are malformed input.
+    HierarchyState bad = rt;
+    bad.l1d.tags.pop_back();
+    EXPECT_FALSE(Hierarchy(hc).stateCompatible(bad));
+}
+
+TEST(StoreSerial, BranchPredRoundTripAndShapeGuard)
+{
+    BranchPredictor bp;
+    for (Addr pc = 0x1000; pc < 0x3000; pc += 4) {
+        bp.updateDirection(pc, (pc >> 2) % 3 != 0);
+        if ((pc >> 2) % 5 == 0)
+            bp.updateTarget(pc, pc * 2 + 8);
+    }
+    bp.pushReturn(0x7700);
+    BranchPredState st = bp.exportState();
+
+    SerialWriter w;
+    st.serialize(w);
+    BranchPredState rt;
+    {
+        SerialReader r(w.data());
+        ASSERT_TRUE(rt.deserialize(r));
+        EXPECT_TRUE(r.ok());
+    }
+    BranchPredictor bp2;
+    ASSERT_TRUE(bp2.stateCompatible(rt));
+    bp2.adoptState(rt);
+    for (Addr pc = 0x1000; pc < 0x3000; pc += 4) {
+        EXPECT_EQ(bp2.predictDirection(pc), bp.predictDirection(pc));
+        EXPECT_EQ(bp2.predictTarget(pc), bp.predictTarget(pc));
+    }
+    EXPECT_EQ(bp2.popReturn(), 0x7700u);
+
+    BranchPredState bad = rt;
+    bad.gshare.resize(bad.gshare.size() / 2);
+    EXPECT_FALSE(BranchPredictor().stateCompatible(bad));
+}
+
+TEST(StoreSerial, StoreSetsRoundTripAndShapeGuard)
+{
+    StoreSets ss;
+    ss.recordViolation(0x100, 0x200);
+    ss.recordViolation(0x100, 0x300);   // merged set
+    ss.recordViolation(0x500, 0x600);
+    ss.dispatchStore(0x200, 41);
+    StoreSetsState st = ss.exportState();
+
+    SerialWriter w;
+    st.serialize(w);
+    StoreSetsState rt;
+    {
+        SerialReader r(w.data());
+        ASSERT_TRUE(rt.deserialize(r));
+        EXPECT_TRUE(r.ok());
+    }
+    StoreSets ss2;
+    ASSERT_TRUE(ss2.stateCompatible(rt));
+    ss2.adoptState(rt);
+    // The merged set's ordering behavior survives the round trip.
+    EXPECT_EQ(ss2.dispatchLoad(0x100), 41u);
+    EXPECT_EQ(ss2.violations(), 3u);
+
+    StoreSetsState bad = rt;
+    bad.ssit.resize(bad.ssit.size() - 1);
+    EXPECT_FALSE(StoreSets().stateCompatible(bad));
+}
+
+// ------------------------------------------------------------ file layer
+
+TEST(StoreFiles, RoundTripCountersAndPersistence)
+{
+    ScratchDir dir("roundtrip");
+    std::vector<std::uint8_t> payload;
+    for (int i = 0; i < 4096; ++i)
+        payload.push_back(static_cast<std::uint8_t>(i % 11 ? 0 : i));
+
+    {
+        CheckpointStore s({dir.str()});
+        ASSERT_TRUE(s.enabled());
+        std::vector<std::uint8_t> out;
+        EXPECT_FALSE(s.load("warm|a|p0", out));
+        s.store("warm|a|p0", payload);
+        ASSERT_TRUE(s.load("warm|a|p0", out));
+        EXPECT_EQ(out, payload);
+        CheckpointStoreCounters c = s.counters();
+        EXPECT_EQ(c.hits, 1u);
+        EXPECT_EQ(c.misses, 1u);
+        EXPECT_EQ(c.writebacks, 1u);
+        EXPECT_EQ(c.corrupt, 0u);
+    }
+    // A second store instance over the same directory sees the record
+    // (the content-addressed contract: the key, not the session, owns
+    // the data).
+    CheckpointStore s2({dir.str()});
+    std::vector<std::uint8_t> out;
+    ASSERT_TRUE(s2.load("warm|a|p0", out));
+    EXPECT_EQ(out, payload);
+}
+
+TEST(StoreFiles, TruncatedRecordRejectedAndHealedByWriteback)
+{
+    ScratchDir dir("truncate");
+    CheckpointStore s({dir.str()});
+    std::vector<std::uint8_t> payload(1000, 7);
+    s.store("warm|t|p0", payload);
+
+    auto files = recordFiles(dir.path);
+    ASSERT_EQ(files.size(), 1u);
+    fs::resize_file(files[0], fs::file_size(files[0]) / 2);
+
+    std::vector<std::uint8_t> out;
+    EXPECT_FALSE(s.load("warm|t|p0", out));
+    EXPECT_EQ(s.counters().corrupt, 1u);
+    // Defective records are unlinked so the next writeback heals.
+    EXPECT_TRUE(recordFiles(dir.path).empty());
+    s.store("warm|t|p0", payload);
+    EXPECT_TRUE(s.load("warm|t|p0", out));
+    EXPECT_EQ(out, payload);
+}
+
+TEST(StoreFiles, FlippedPayloadByteFailsChecksum)
+{
+    ScratchDir dir("flip");
+    CheckpointStore s({dir.str()});
+    std::vector<std::uint8_t> payload(512);
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<std::uint8_t>(i);
+    s.store("warm|f|p0", payload);
+
+    auto files = recordFiles(dir.path);
+    ASSERT_EQ(files.size(), 1u);
+    flipByte(files[0], -17);    // inside the encoded payload
+
+    std::vector<std::uint8_t> out;
+    EXPECT_FALSE(s.load("warm|f|p0", out));
+    EXPECT_EQ(s.counters().corrupt, 1u);
+}
+
+TEST(StoreFiles, StaleVersionHeaderRejected)
+{
+    ScratchDir dir("stale");
+    CheckpointStore s({dir.str()});
+    s.store("warm|v|p0", std::vector<std::uint8_t>(64, 3));
+
+    auto files = recordFiles(dir.path);
+    ASSERT_EQ(files.size(), 1u);
+    flipByte(files[0], 4);      // the format-version field
+
+    std::vector<std::uint8_t> out;
+    EXPECT_FALSE(s.load("warm|v|p0", out));
+    EXPECT_EQ(s.counters().corrupt, 1u);
+}
+
+TEST(StoreFiles, HashSlotHoldingAnotherKeyReadsAsMiss)
+{
+    ScratchDir dir("collide");
+    CheckpointStore s({dir.str()});
+    s.store("warm|x|p0", std::vector<std::uint8_t>(64, 1));
+    s.store("warm|y|p0", std::vector<std::uint8_t>(64, 2));
+
+    // Simulate an FNV collision: plant x's (well-formed!) record in
+    // y's file slot. The embedded key string must read as a miss for
+    // y — never as x's data.
+    auto files = recordFiles(dir.path);
+    ASSERT_EQ(files.size(), 2u);
+    fs::path xFile =
+        recordKey(files[0]) == "warm|x|p0" ? files[0] : files[1];
+    fs::path yFile = xFile == files[0] ? files[1] : files[0];
+    fs::copy_file(xFile, yFile, fs::copy_options::overwrite_existing);
+
+    std::uint64_t corruptBefore = s.counters().corrupt;
+    std::vector<std::uint8_t> out;
+    EXPECT_FALSE(s.load("warm|y|p0", out));
+    // A key mismatch is a plain miss, not corruption.
+    EXPECT_EQ(s.counters().corrupt, corruptBefore);
+    // x itself still loads.
+    EXPECT_TRUE(s.load("warm|x|p0", out));
+    EXPECT_EQ(out, std::vector<std::uint8_t>(64, 1));
+}
+
+TEST(StoreFiles, CapEvictsLeastRecentlyUsed)
+{
+    ScratchDir dir("evict");
+    // Each record is ~0.5 KiB on disk; cap at ~2 records.
+    CheckpointStore s({dir.str(), 1300});
+    std::vector<std::uint8_t> payload(512);
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<std::uint8_t>(i * 7);
+
+    s.store("warm|e|p0", payload);
+    s.store("warm|e|p1", payload);
+    std::vector<std::uint8_t> out;
+    ASSERT_TRUE(s.load("warm|e|p0", out));  // refresh p0's recency
+    s.store("warm|e|p2", payload);          // must evict p1, not p0
+
+    EXPECT_GT(s.counters().evictions, 0u);
+    EXPECT_TRUE(s.load("warm|e|p2", out));
+    EXPECT_TRUE(s.load("warm|e|p0", out));
+    EXPECT_FALSE(s.load("warm|e|p1", out));
+}
+
+TEST(StoreFiles, UnusableDirectoryDegradesToNoOp)
+{
+    // The directory path runs *through* a regular file: mkdir fails.
+    ScratchDir dir("unwritable");
+    fs::path blocker = dir.path / "blocker";
+    std::ofstream(blocker).put('x');
+    CheckpointStore s({(blocker / "cache").string()});
+    EXPECT_FALSE(s.enabled());
+    EXPECT_FALSE(s.writable());
+
+    // Every operation is a safe no-op.
+    std::vector<std::uint8_t> out;
+    s.store("warm|u|p0", std::vector<std::uint8_t>(8, 1));
+    EXPECT_FALSE(s.load("warm|u|p0", out));
+    EXPECT_EQ(s.counters().writebacks, 0u);
+}
+
+TEST(StoreFiles, WriteFailureMidSessionDegradesWrites)
+{
+    ScratchDir dir("enospc");
+    fs::path sub = dir.path / "cache";
+    fs::create_directories(sub);
+    CheckpointStore s({sub.string()});
+    ASSERT_TRUE(s.enabled());
+    s.store("warm|w|p0", std::vector<std::uint8_t>(128, 9));
+    EXPECT_EQ(s.counters().writebacks, 1u);
+
+    // Yank the directory out from under the store: the next write
+    // cannot create its temp file (the ENOSPC-class failure mode) and
+    // must degrade writes without failing the caller.
+    fs::remove_all(sub);
+    s.store("warm|w|p1", std::vector<std::uint8_t>(128, 9));
+    EXPECT_FALSE(s.writable());
+    EXPECT_EQ(s.counters().writebacks, 1u);
+    // Further stores stay no-ops; the object remains safe to use.
+    s.store("warm|w|p2", std::vector<std::uint8_t>(128, 9));
+    EXPECT_EQ(s.counters().writebacks, 1u);
+}
+
+// ------------------------------------------------------- end-to-end layer
+
+TEST(StoreEndToEnd, ColdPopulatesWarmRestoresBitIdentically)
+{
+    ScratchDir dir("e2e");
+    BoundKernel bk = bindKernel(findKernel("gzip"));
+    EngineWorkload w = workload(bk);
+    SimConfig sc = sampledSmall(SimConfig::intMemMg());
+
+    ExperimentEngine cold(1);
+    cold.setCheckpointStore(
+        std::make_shared<CheckpointStore>(CheckpointStoreConfig{dir.str()}));
+    SampledStats a = cold.cellSampled(w, sc);
+    ASSERT_FALSE(a.exact) << "kernel too small to exercise sampling";
+    EXPECT_GT(a.ckptWritebacks, 0u);
+    EXPECT_EQ(a.ckptRestores, 0u);
+    EXPECT_GT(cold.checkpointStore()->counters().writebacks, 0u);
+
+    ExperimentEngine warm(1);
+    warm.setCheckpointStore(
+        std::make_shared<CheckpointStore>(CheckpointStoreConfig{dir.str()}));
+    SampledStats b = warm.cellSampled(w, sc);
+    EXPECT_GT(b.ckptRestores, 0u);
+    EXPECT_EQ(b.ckptWritebacks, 0u);
+
+    // The warm session is the cold session, bit for bit.
+    EXPECT_EQ(b.est, a.est);
+    EXPECT_EQ(b.intervals, a.intervals);
+    EXPECT_EQ(b.measuredCycles, a.measuredCycles);
+    EXPECT_EQ(b.ipcHat, a.ipcHat);
+    EXPECT_EQ(b.ipcRelCi95, a.ipcRelCi95);
+}
+
+TEST(StoreEndToEnd, CorruptedRecordsFallBackToIdenticalRecompute)
+{
+    ScratchDir dir("e2e-corrupt");
+    BoundKernel bk = bindKernel(findKernel("gzip"));
+    EngineWorkload w = workload(bk);
+    SimConfig sc = sampledSmall(SimConfig::intMemMg());
+
+    ExperimentEngine cold(1);
+    cold.setCheckpointStore(
+        std::make_shared<CheckpointStore>(CheckpointStoreConfig{dir.str()}));
+    SampledStats a = cold.cellSampled(w, sc);
+    ASSERT_FALSE(a.exact);
+    ASSERT_GT(a.ckptWritebacks, 0u);
+
+    // Flip a byte near the end of every record on disk (summary,
+    // violation set, and warm records alike).
+    for (const fs::path &f : recordFiles(dir.path))
+        flipByte(f, -3);
+
+    ExperimentEngine warm(1);
+    warm.setCheckpointStore(
+        std::make_shared<CheckpointStore>(CheckpointStoreConfig{dir.str()}));
+    SampledStats b = warm.cellSampled(w, sc);
+
+    // Nothing restorable: the session must recompute everything and
+    // land on the cold session's exact stats — corruption can cost
+    // time, never correctness.
+    EXPECT_EQ(b.ckptRestores, 0u);
+    EXPECT_EQ(b.est, a.est);
+    EXPECT_EQ(b.intervals, a.intervals);
+    EXPECT_GT(warm.checkpointStore()->counters().corrupt, 0u);
+    // The rejected records were unlinked and rewritten: a third
+    // session restores warm again.
+    ExperimentEngine healed(1);
+    healed.setCheckpointStore(
+        std::make_shared<CheckpointStore>(CheckpointStoreConfig{dir.str()}));
+    SampledStats c = healed.cellSampled(w, sc);
+    EXPECT_GT(c.ckptRestores, 0u);
+    EXPECT_EQ(c.est, a.est);
+}
+
+TEST(StoreEndToEnd, UnusableDirectoryStillSimulatesStoreless)
+{
+    ScratchDir dir("e2e-baddir");
+    fs::path blocker = dir.path / "blocker";
+    std::ofstream(blocker).put('x');
+
+    BoundKernel bk = bindKernel(findKernel("adpcm.enc"));
+    EngineWorkload w = workload(bk);
+    SimConfig sc = sampledSmall(SimConfig::intMemMg());
+
+    ExperimentEngine plain(1);
+    SampledStats ref = plain.cellSampled(w, sc);
+
+    ExperimentEngine broken(1);
+    broken.setCheckpointStore(std::make_shared<CheckpointStore>(
+        CheckpointStoreConfig{(blocker / "cache").string()}));
+    SampledStats got = broken.cellSampled(w, sc);
+
+    // A disabled store must not change a single bit of the result.
+    EXPECT_EQ(got.est, ref.est);
+    EXPECT_EQ(got.intervals, ref.intervals);
+    EXPECT_EQ(got.ckptRestores, 0u);
+    EXPECT_EQ(got.ckptWritebacks, 0u);
+}

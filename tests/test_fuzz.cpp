@@ -16,13 +16,25 @@
  * six executions must retire the same architectural work and leave
  * bit-identical memory, and the per-config retirement checksums
  * (work + final memory image) must agree across configurations.
+ *
+ * StoreBackedSamplingMatchesWarmThrough: the checkpoint-store
+ * serialization leg. Random programs under random sampling grids run
+ * storeless, store-cold, and store-warm; the warm session (which
+ * restores serialized warm records instead of re-warming) must match
+ * the cold session bit for bit.
  */
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
 #include "assembler/assembler.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "engine/checkpoint_store.hh"
 #include "sim/simulator.hh"
 #include "uarch/core.hh"
 
@@ -35,9 +47,9 @@ namespace {
  *  that each do random ALU/memory work, decrement a loop counter, and
  *  branch among themselves until the counter runs out. */
 std::string
-randomProgram(Rng &rng, int blocks)
+randomProgram(Rng &rng, int blocks, int iters = 400)
 {
-    std::string src = ".text\nmain:\n    li r9, 400\n";
+    std::string src = strfmt(".text\nmain:\n    li r9, %d\n", iters);
     // Seed some register values.
     for (int r = 1; r <= 8; ++r)
         src += strfmt("    li r%d, %lld\n", r,
@@ -209,8 +221,77 @@ TEST_P(Fuzz, DifferentialConfigsAgree)
     }
 }
 
+TEST_P(Fuzz, StoreBackedSamplingMatchesWarmThrough)
+{
+    // Serialization leg (every tenth seed): a random program, a
+    // random sampling grid (so warm-record chunk positions vary per
+    // seed), and three sampled runs — storeless, cold-store, and
+    // warm-store over the same directory. The cold and warm store
+    // sessions must agree bit for bit: the warm session replays
+    // serialized warm records instead of re-warming, so any drift
+    // here is a serialization or restore defect.
+    if (GetParam() % 10 != 3)
+        return;
+    Rng rng(0x5e71a1 + static_cast<unsigned>(GetParam()) * 887);
+    // Long enough that the grid below never degenerates to an exact
+    // run (min ~4 work per iteration).
+    Program prog = assemble(randomProgram(rng, 6, 8000),
+                            strfmt("ser%d", GetParam()));
+
+    Emulator ref(prog);
+    EmuResult rr = ref.run(100000000);
+    ASSERT_EQ(rr.stop, StopReason::Halted);
+
+    SimConfig cfg = SimConfig::intMemMg();
+    cfg.sampling.enabled = true;
+    cfg.sampling.interval = 50;
+    cfg.sampling.period = 600 + 60 * (GetParam() % 5);
+    cfg.sampling.warmup = 100;
+    cfg.sampling.ffWarm = 100;
+    PreparedMg prep = prepareMiniGraphs(prog, rr.profile, cfg.policy,
+                                        cfg.machine, cfg.compress);
+    SampleSummary sum = collectSampleSummary(
+        prep.program, &prep.table, nullptr, cfg.sampling);
+
+    SampledStats s0 =
+        runCellSampled(prep.program, &prep, cfg, nullptr, sum);
+    ASSERT_FALSE(s0.exact) << "grid degenerated; widen iters";
+
+    namespace fs = std::filesystem;
+    fs::path dir = fs::temp_directory_path() /
+        strfmt("mg-fuzz-store-%d-%d", GetParam(), ::getpid());
+    fs::remove_all(dir);
+    CheckpointStore store({dir.string()});
+    std::string cellKey = strfmt("fuzz|ser%d", GetParam());
+
+    auto cold = makeCellClient(store, cellKey);
+    SampledStats s1 =
+        runCellSampled(prep.program, &prep, cfg, nullptr, sum,
+                       cold.get());
+    auto warm = makeCellClient(store, cellKey);
+    SampledStats s2 =
+        runCellSampled(prep.program, &prep, cfg, nullptr, sum,
+                       warm.get());
+    fs::remove_all(dir);
+
+    EXPECT_GT(s1.ckptWritebacks, 0u);
+    EXPECT_GT(s2.ckptRestores, 0u);
+    EXPECT_EQ(s2.ckptWritebacks, 0u);
+    // The restore-warm session retires the cold session's stats
+    // exactly (est carries every counter, so == is a checksum of the
+    // whole run).
+    EXPECT_EQ(s2.est, s1.est);
+    EXPECT_EQ(s2.intervals, s1.intervals);
+    EXPECT_EQ(s2.ipcHat, s1.ipcHat);
+    EXPECT_EQ(s2.ipcRelCi95, s1.ipcRelCi95);
+    // And the storeless run shares the same functional ground truth:
+    // identical totals even where the store path reruns seeded.
+    EXPECT_EQ(s1.totalWork, s0.totalWork);
+}
+
 // >= 200 seeds in CI: each seed exercises RewriteEquivalence (random
-// policy) and the three-config differential battery.
+// policy), the three-config differential battery, and (every tenth
+// seed) the checkpoint-store serialization leg.
 INSTANTIATE_TEST_SUITE_P(Random, Fuzz, ::testing::Range(0, 200));
 
 } // namespace
