@@ -61,6 +61,7 @@ main(int argc, char **argv)
     bool schedOnly = cli.has("--sched");
     ExperimentEngine engine(cli.jobs);
     cli.configureStore(engine);
+    cli.configureFaultTolerance(engine);
 
     SweepSpec spec;
     spec.title = "Figure 8 (bottom): bandwidth and scheduling-loop "
@@ -82,8 +83,13 @@ main(int argc, char **argv)
 
     cli.applySampling(spec);
     SweepResult r = engine.sweep(spec);
+    if (r.planOnly)
+        return 0;   // --dry-run: the plan has been printed
     printf("%s\n", sweepTable(r).c_str());
     printf("%s\n", throughputTable(r).c_str());
+    std::string outcomes = outcomeSummary(r);
+    if (!outcomes.empty())
+        printf("%s\n", outcomes.c_str());
     cli.applyReporting(r);
     std::string json =
         writeSweepJson(r, cli.benchName("bandwidth"), cli.jsonPath);

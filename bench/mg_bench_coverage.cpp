@@ -70,6 +70,8 @@ appSpecific(ExperimentEngine &engine, bool memory, const char *title,
                                 false});
     }
     SweepResult r = engine.sweep(spec);
+    if (r.planOnly)
+        return r;   // --dry-run: the plan has been printed
 
     printf("== %s ==\n", spec.title.c_str());
     TextTable t;
@@ -100,6 +102,9 @@ appSpecific(ExperimentEngine &engine, bool memory, const char *title,
         t.row(mean);
     }
     printf("%s\n", t.str().c_str());
+    std::string outcomes = outcomeSummary(r);
+    if (!outcomes.empty())
+        printf("%s\n", outcomes.c_str());
     return r;
 }
 
@@ -242,10 +247,13 @@ main(int argc, char **argv)
     CliOptions cli = parseCli(argc, argv);
     ExperimentEngine engine(cli.jobs);
     cli.configureStore(engine);
+    cli.configureFaultTolerance(engine);
     if (!cli.has("--robustness")) {
         appSpecific(engine, false, "integer", cli.scale);
         SweepResult intMem =
             appSpecific(engine, true, "integer-memory", cli.scale);
+        if (intMem.planOnly)
+            return 0;   // --dry-run: plans printed, nothing simulated
         domainSpecific(engine, cli.scale);
         cli.applyReporting(intMem);
         std::string json = writeSweepJson(intMem, cli.benchName("coverage"),
@@ -253,6 +261,8 @@ main(int argc, char **argv)
         if (!json.empty())
             printf("wrote %s\n", json.c_str());
     }
+    if (cli.dryRun)
+        return 0;   // the non-sweep studies would simulate
     robustness(engine, cli.scale);
     return 0;
 }

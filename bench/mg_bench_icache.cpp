@@ -34,6 +34,7 @@ main(int argc, char **argv)
     CliOptions cli = parseCli(argc, argv);
     ExperimentEngine engine(cli.jobs);
     cli.configureStore(engine);
+    cli.configureFaultTolerance(engine);
 
     SweepSpec spec;
     spec.title = "Section 6.2: icache compression effect (mini-graph "
@@ -61,6 +62,8 @@ main(int argc, char **argv)
 
     cli.applySampling(spec);
     SweepResult r = engine.sweep(spec);
+    if (r.planOnly)
+        return 0;   // --dry-run: the plan has been printed
     // Mini-graph columns are measured against the baseline with the
     // matching icache (column 0 or 3) everywhere, JSON included.
     r.columnBaseline = {0, 0, 0, 3, 3, 3};
@@ -86,6 +89,9 @@ main(int argc, char **argv)
            reportSpeedups(spec.title, names, rows, {"text-ratio"})
                .c_str());
     printf("%s\n", throughputTable(r).c_str());
+    std::string outcomes = outcomeSummary(r);
+    if (!outcomes.empty())
+        printf("%s\n", outcomes.c_str());
     cli.applyReporting(r);
     std::string json =
         writeSweepJson(r, cli.benchName("icache"), cli.jsonPath);

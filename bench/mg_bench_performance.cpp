@@ -25,6 +25,7 @@ main(int argc, char **argv)
     CliOptions cli = parseCli(argc, argv);
     ExperimentEngine engine(cli.jobs);
     cli.configureStore(engine);
+    cli.configureFaultTolerance(engine);
 
     SweepSpec spec;
     spec.title = "Figure 6: mini-graph speedup over the 6-wide baseline";
@@ -33,6 +34,8 @@ main(int argc, char **argv)
     spec.baselineColumn = 0;
     cli.applySampling(spec);
     SweepResult r = engine.sweep(spec);
+    if (r.planOnly)
+        return 0;   // --dry-run: the plan has been printed
 
     // The figure annotates each bar group with int-mem's dynamic
     // coverage (the fraction of work executed inside handles).
@@ -45,6 +48,9 @@ main(int argc, char **argv)
                           {"covg(int-mem)"})
                .c_str());
     printf("%s\n", throughputTable(r).c_str());
+    std::string outcomes = outcomeSummary(r);
+    if (!outcomes.empty())
+        printf("%s\n", outcomes.c_str());
     cli.applyReporting(r);
     std::string json =
         writeSweepJson(r, cli.benchName("performance"), cli.jsonPath);

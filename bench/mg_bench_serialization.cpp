@@ -46,6 +46,7 @@ main(int argc, char **argv)
     bool best = cli.has("--best");
     ExperimentEngine engine(cli.jobs);
     cli.configureStore(engine);
+    cli.configureFaultTolerance(engine);
 
     SweepSpec spec;
     spec.title = "Figure 7: serialization and replay policy isolation "
@@ -65,6 +66,8 @@ main(int argc, char **argv)
 
     cli.applySampling(spec);
     SweepResult r = engine.sweep(spec);
+    if (r.planOnly)
+        return 0;   // --dry-run: the plan has been printed
     std::vector<BenchRow> rows = benchRows(r);
     std::vector<double> bests;
     for (BenchRow &row : rows) {
@@ -81,6 +84,9 @@ main(int argc, char **argv)
                gmean(bests));
     }
     printf("%s\n", throughputTable(r).c_str());
+    std::string outcomes = outcomeSummary(r);
+    if (!outcomes.empty())
+        printf("%s\n", outcomes.c_str());
     cli.applyReporting(r);
     std::string json =
         writeSweepJson(r, cli.benchName("serialization"), cli.jsonPath);

@@ -13,6 +13,7 @@
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "engine/cli.hh"
+#include "sim/report.hh"
 #include "workloads/suites.hh"
 
 using namespace mg;
@@ -65,8 +66,11 @@ main(int argc, char **argv)
 
     ExperimentEngine engine(cli.jobs);
     cli.configureStore(engine);
+    cli.configureFaultTolerance(engine);
     cli.applySampling(spec);
     SweepResult r = engine.sweep(spec);
+    if (r.planOnly)
+        return 0;   // --dry-run: the plan has been printed
 
     const SweepCell &base = r.at(0, 0);
     printf("baseline IPC %.3f over %llu cycles\n\n", base.stats.ipc(),
@@ -83,6 +87,9 @@ main(int argc, char **argv)
                fmtDouble(r.speedup(0, col), 3)});
     }
     printf("%s\n", t.str().c_str());
+    std::string outcomes = outcomeSummary(r);
+    if (!outcomes.empty())
+        printf("%s\n", outcomes.c_str());
 
     EngineCounters ec = engine.counters();
     printf("engine: %d jobs; profiles %llu computed / %llu reused, "

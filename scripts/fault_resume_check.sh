@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+#
+# SIGKILL/resume byte-identity check for the crash-safe sweep journal:
+# a sweep killed mid-run and rerun with the same spec must resume from
+# the journal (re-simulating only unfinished cells) and produce a
+# report byte-identical to an uninterrupted run. Wall-clock fields are
+# off (--no-throughput) — they are nondeterministic across processes
+# by definition, and the journal identity contract is about simulated
+# results.
+#
+# Usage: fault_resume_check.sh [bench-binary] [extra bench args...]
+
+set -euo pipefail
+
+bench="${1:-./build/mg_bench_icache}"
+if [ $# -gt 0 ]; then shift; fi
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+common=(--jobs 1 --no-throughput)
+
+# Uninterrupted reference with a journal attached: the journal block
+# is part of the report, so the reference needs one too.
+"$bench" "${common[@]}" --journal-dir "$work/ref-journal" \
+    --json "$work/ref.json" "$@" > /dev/null
+
+# Start a victim run and SIGKILL it once its journal holds records
+# (i.e. genuinely mid-sweep — no chance to flush or unwind).
+"$bench" "${common[@]}" --journal-dir "$work/victim-journal" \
+    --json "$work/victim.json" "$@" > /dev/null &
+pid=$!
+for _ in $(seq 1 200); do
+    size=$(stat -c%s "$work"/victim-journal/*.mgsj 2>/dev/null || echo 0)
+    [ "$size" -gt 4096 ] && break
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.05
+done
+kill -KILL "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+echo "journal at kill: $(stat -c%s "$work"/victim-journal/*.mgsj \
+    2>/dev/null || echo 0) bytes"
+
+# Resume: finished cells replay from the journal, unfinished ones
+# re-simulate, and the final report must match byte for byte.
+"$bench" "${common[@]}" --journal-dir "$work/victim-journal" \
+    --json "$work/resumed.json" "$@" > /dev/null
+
+cmp "$work/ref.json" "$work/resumed.json"
+echo "OK: resumed report is byte-identical to the uninterrupted run"

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Failure-handling primitives shared by the fault-tolerant engine
+ * layers.
+ *
+ * FailSoftGate is the warn-once fail-soft pattern the checkpoint
+ * store introduced, promoted to a reusable helper: a component that
+ * must never fail the simulation (an on-disk cache, the sweep
+ * journal) latches its first unrecoverable error, warns exactly once,
+ * and silently degrades to a no-op from then on.
+ *
+ * The exception taxonomy drives the engine's per-cell failure
+ * domains: TransientError marks failures worth retrying (I/O
+ * hiccups, injected transient faults); CellTimeout is what the
+ * timing loop throws when its cooperative cancellation flag fires.
+ * Anything else that escapes a cell is treated as a permanent
+ * failure of that cell alone.
+ */
+
+#ifndef MG_COMMON_FAILSOFT_HH
+#define MG_COMMON_FAILSOFT_HH
+
+#include <cstdarg>
+#include <stdexcept>
+
+#include "common/logging.hh"
+
+namespace mg {
+
+/** A retryable failure: the operation may succeed if repeated. */
+class TransientError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Thrown by a cancellation poll point once the cell's wall-clock
+ *  deadline has fired (never retried: a rerun would time out too). */
+class CellTimeout : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Warn-once fail-soft latch. Starts open; the first fail() prints
+ * its message via warn() and closes the gate, later fail()s are
+ * silent. Callers guard their degradable operations with ok().
+ * Not synchronized: callers that share a gate across threads must
+ * hold their own lock (both current users operate under one).
+ */
+class FailSoftGate
+{
+  public:
+    bool ok() const { return ok_; }
+
+    /** Latch failure; the first call warns with @p fmt. */
+    void
+    fail(const char *fmt, ...)
+    {
+        if (ok_) {
+            va_list ap;
+            va_start(ap, fmt);
+            warn("%s", vstrfmt(fmt, ap).c_str());
+            va_end(ap);
+        }
+        ok_ = false;
+    }
+
+  private:
+    bool ok_ = true;
+};
+
+} // namespace mg
+
+#endif // MG_COMMON_FAILSOFT_HH

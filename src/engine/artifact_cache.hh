@@ -53,9 +53,16 @@ class ArtifactCache
             try {
                 mine.set_value(std::make_shared<const T>(make()));
             } catch (...) {
-                // Publish the failure so waiters see the real error
-                // rather than a broken promise (library code normally
-                // exits via fatal() before reaching this).
+                // Un-map the key before publishing the failure: the
+                // exception must not be memoised, or a retried cell
+                // would re-throw the stale error forever instead of
+                // recomputing. Callers already blocked on this future
+                // share the failure (they asked for this attempt);
+                // callers arriving later start a fresh compute.
+                {
+                    std::lock_guard<std::mutex> g(lock);
+                    entries.erase(key);
+                }
                 mine.set_exception(std::current_exception());
                 throw;
             }

@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "common/serial.hh"
+#include "engine/fault_inject.hh"
 #include "sim/simulator.hh"
 
 namespace fs = std::filesystem;
@@ -135,6 +136,10 @@ CheckpointStore::load(const std::string &key,
 {
     if (!dirOk_)
         return false;
+    // Injectable read failure (a TransientError the engine retries);
+    // fires before any store state is touched, like a real I/O error
+    // at the start of the read.
+    faultPoint(FaultSite::StoreRead, key);
     std::lock_guard<std::mutex> lock(mu_);
     std::string path = pathOf(key);
 
@@ -223,12 +228,9 @@ CheckpointStore::touch(const std::string &path)
 void
 CheckpointStore::writeFailed(const char *what, const std::string &path)
 {
-    if (writeOk_) {
-        warn("checkpoint store: %s failed for '%s'; disabling "
-             "writebacks (loads continue, runs stay correct)",
-             what, path.c_str());
-    }
-    writeOk_ = false;
+    writeGate_.fail("checkpoint store: %s failed for '%s'; disabling "
+                    "writebacks (loads continue, runs stay correct)",
+                    what, path.c_str());
     std::error_code ec;
     fs::remove(path, ec);
 }
@@ -237,10 +239,14 @@ void
 CheckpointStore::store(const std::string &key,
                        const std::vector<std::uint8_t> &payload)
 {
-    if (!dirOk_ || !writeOk_)
+    if (!dirOk_ || !writeGate_.ok())
         return;
+    // Injectable write failure, thrown rather than latched: it models
+    // an error that escapes into the cell (the engine retries it),
+    // not one the store fields itself.
+    faultPoint(FaultSite::StoreWrite, key);
     std::lock_guard<std::mutex> lock(mu_);
-    if (!writeOk_)
+    if (!writeGate_.ok())
         return;
     std::string path = pathOf(key);
     std::string tmp = path + ".tmp";

@@ -33,6 +33,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/failsoft.hh"
+
 namespace mg {
 
 class CellCheckpointClient;   // sim/simulator.hh
@@ -92,7 +94,7 @@ class CheckpointStore
     bool enabled() const { return dirOk_; }
 
     /** False after a write error disabled further writebacks. */
-    bool writable() const { return dirOk_ && writeOk_; }
+    bool writable() const { return dirOk_ && writeGate_.ok(); }
 
     const std::string &dir() const { return cfg_.dir; }
 
@@ -113,7 +115,9 @@ class CheckpointStore
 
     CheckpointStoreConfig cfg_;
     bool dirOk_ = false;
-    bool writeOk_ = true;
+    /** Warn-once writeback latch (common/failsoft.hh): the first
+     *  failed write disables further writebacks, loads continue. */
+    FailSoftGate writeGate_;
     mutable std::mutex mu_;
     std::unordered_map<std::string, Entry> index_;  ///< by file path
     std::uint64_t totalBytes_ = 0;

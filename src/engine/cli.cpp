@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/logging.hh"
+#include "engine/fault_inject.hh"
 
 namespace mg {
 
@@ -94,6 +95,27 @@ parseCli(int argc, char **argv)
                                              next(a, i));
             if (opt.checkpointCapMb == 0)
                 fatal("--checkpoint-cap-mb must be positive");
+        } else if (a == "--cell-timeout-s") {
+            const char *v = next(a, i);
+            char *end = nullptr;
+            double s = std::strtod(v, &end);
+            if (!end || *end || s < 0)
+                fatal("bad --cell-timeout-s value '%s'", v);
+            opt.cellTimeoutS = s;
+        } else if (a == "--cell-retries") {
+            opt.cellRetries = static_cast<int>(
+                parseCount("--cell-retries", next(a, i)));
+        } else if (a == "--cell-backoff-ms") {
+            opt.cellBackoffMs = static_cast<int>(
+                parseCount("--cell-backoff-ms", next(a, i)));
+        } else if (a == "--journal-dir") {
+            opt.journalDirOpt = next(a, i);
+        } else if (a == "--no-journal") {
+            opt.journal = false;
+        } else if (a == "--fault-inject") {
+            opt.faultSpec = next(a, i);
+        } else if (a == "--dry-run") {
+            opt.dryRun = true;
         } else {
             opt.rest.push_back(std::move(a));
         }
@@ -134,6 +156,50 @@ CliOptions::configureStore(ExperimentEngine &engine) const
         cfg.capBytes = checkpointCapMb << 20;
     engine.setCheckpointStore(
         std::make_shared<CheckpointStore>(std::move(cfg)));
+}
+
+std::string
+CliOptions::journalDir() const
+{
+    if (!journal)
+        return "";
+    if (!journalDirOpt.empty())
+        return journalDirOpt;
+    const char *env = std::getenv("MG_JOURNAL_DIR");
+    return env && *env ? env : "";
+}
+
+void
+CliOptions::configureFaultTolerance(ExperimentEngine &engine) const
+{
+    FaultPolicy p;
+    if (cellTimeoutS >= 0) {
+        p.cellTimeoutS = cellTimeoutS;
+    } else {
+        // Tier-scaled defaults, generous enough that a healthy cell
+        // never comes close — the deadline exists to catch hangs, not
+        // to race honest work.
+        switch (scale) {
+          case Scale::Ref: p.cellTimeoutS = 600; break;
+          case Scale::Long: p.cellTimeoutS = 3600; break;
+          case Scale::Huge: p.cellTimeoutS = 14400; break;
+        }
+    }
+    p.cellRetries = cellRetries;
+    p.backoffMs = cellBackoffMs;
+    engine.setFaultPolicy(p);
+
+    engine.setJournalDir(journalDir());
+    engine.setDryRun(dryRun);
+
+    std::string spec = faultSpec;
+    if (spec.empty()) {
+        const char *env = std::getenv("MG_FAULT_SPEC");
+        if (env)
+            spec = env;
+    }
+    if (!spec.empty())
+        FaultInjector::global().configure(spec);
 }
 
 void

@@ -18,7 +18,19 @@
  * warm-checkpoint store: `--checkpoint-dir PATH` overrides its
  * location (default `$MG_CHECKPOINT_DIR`, else
  * `.mg-cache/checkpoints`), `--checkpoint-cap-mb N` its LRU size cap,
- * and `--no-checkpoint-store` disables it. Anything unrecognised is
+ * and `--no-checkpoint-store` disables it.
+ *
+ * Fault tolerance (see engine.hh FaultPolicy and engine/journal.hh):
+ * `--cell-timeout-s S` caps each cell attempt's wall clock (default
+ * scales with the tier — 600s ref, 3600s long, 14400s huge; 0
+ * disables), `--cell-retries N` and `--cell-backoff-ms N` shape the
+ * transient-failure retry loop, `--journal-dir PATH` enables the
+ * crash-safe sweep journal (default `$MG_JOURNAL_DIR`, else off;
+ * `--no-journal` forces off), `--fault-inject SPEC` arms the
+ * deterministic fault injector (default `$MG_FAULT_SPEC`; see
+ * engine/fault_inject.hh for the rule grammar), and `--dry-run`
+ * prints the sweep's cell plan — ids, fingerprints, journal
+ * hit/miss — without simulating anything. Anything unrecognised is
  * passed through for bench-specific flags.
  */
 
@@ -57,6 +69,17 @@ struct CliOptions
     bool checkpointStore = true;    ///< --no-checkpoint-store clears it
     std::uint64_t checkpointCapMb = 0;  ///< --checkpoint-cap-mb N
                                         ///< (0 = store default, 2 GiB)
+    double cellTimeoutS = -1;   ///< --cell-timeout-s S (-1 = tier
+                                ///< default, 0 = no deadline)
+    int cellRetries = 2;        ///< --cell-retries N
+    int cellBackoffMs = 20;     ///< --cell-backoff-ms N
+    std::string journalDirOpt;  ///< --journal-dir PATH ("" = env
+                                ///< MG_JOURNAL_DIR, else no journal)
+    bool journal = true;        ///< --no-journal clears it
+    std::string faultSpec;      ///< --fault-inject SPEC ("" = env
+                                ///< MG_FAULT_SPEC, else disarmed)
+    bool dryRun = false;        ///< --dry-run: print the cell plan,
+                                ///< simulate nothing
     std::vector<std::string> rest;  ///< unconsumed arguments
 
     /** @return true when @p flag appears among the leftover args. */
@@ -83,6 +106,19 @@ struct CliOptions
      * store-less builds.
      */
     void configureStore(ExperimentEngine &engine) const;
+
+    /**
+     * Apply the fault-tolerance flags to @p engine: install the
+     * FaultPolicy (tier-scaled default deadline unless
+     * --cell-timeout-s overrides it), enable the sweep journal when a
+     * directory is configured, arm the global fault injector when a
+     * spec is, and propagate --dry-run. Call once per bench, right
+     * after configureStore.
+     */
+    void configureFaultTolerance(ExperimentEngine &engine) const;
+
+    /** The journal directory these flags resolve to ("" = none). */
+    std::string journalDir() const;
 
     /** Apply the throughput-reporting choice to a finished sweep. */
     void

@@ -1,10 +1,18 @@
 #include "engine/engine.hh"
 
 #include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <map>
+#include <mutex>
 #include <thread>
 
+#include "common/failsoft.hh"
 #include "common/logging.hh"
+#include "common/serial.hh"
+#include "engine/fault_inject.hh"
 #include "engine/fingerprint.hh"
+#include "engine/journal.hh"
 #include "engine/thread_pool.hh"
 
 namespace mg {
@@ -21,6 +29,91 @@ secondsSince(std::chrono::steady_clock::time_point t0)
 
 } // namespace
 
+/**
+ * One timer thread enforcing every in-flight cell attempt's deadline.
+ * arm() registers a cancel flag with a deadline; the thread sets the
+ * flag once the deadline passes (the cell's poll points then throw
+ * CellTimeout); disarm() withdraws it. Flags are only ever set under
+ * the watchdog lock, so after disarm() returns the flag — typically a
+ * worker's stack variable — is guaranteed untouched.
+ */
+class DeadlineWatchdog
+{
+  public:
+    DeadlineWatchdog() : th_([this] { loop(); }) {}
+
+    ~DeadlineWatchdog()
+    {
+        {
+            std::lock_guard<std::mutex> g(mu_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        th_.join();
+    }
+
+    std::uint64_t
+    arm(std::atomic<bool> *flag, double seconds)
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        std::uint64_t id = ++seq_;
+        armed_[id] = {std::chrono::steady_clock::now() +
+                          std::chrono::duration_cast<
+                              std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(seconds)),
+                      flag};
+        cv_.notify_all();
+        return id;
+    }
+
+    void
+    disarm(std::uint64_t id)
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        armed_.erase(id);
+    }
+
+  private:
+    struct Entry
+    {
+        std::chrono::steady_clock::time_point deadline;
+        std::atomic<bool> *flag;
+    };
+
+    void
+    loop()
+    {
+        std::unique_lock<std::mutex> g(mu_);
+        while (!stop_) {
+            if (armed_.empty()) {
+                cv_.wait(g);
+                continue;
+            }
+            auto next = armed_.begin()->second.deadline;
+            for (const auto &[id, e] : armed_)
+                next = std::min(next, e.deadline);
+            cv_.wait_until(g, next);
+            auto now = std::chrono::steady_clock::now();
+            for (auto it = armed_.begin(); it != armed_.end();) {
+                if (it->second.deadline <= now) {
+                    it->second.flag->store(true,
+                                           std::memory_order_relaxed);
+                    it = armed_.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+        }
+    }
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::map<std::uint64_t, Entry> armed_;
+    std::uint64_t seq_ = 0;
+    bool stop_ = false;
+    std::thread th_;   ///< last member: starts after the state above
+};
+
 ExperimentEngine::ExperimentEngine(int jobs)
 {
     if (jobs == 0) {
@@ -28,6 +121,16 @@ ExperimentEngine::ExperimentEngine(int jobs)
         jobs = hw ? static_cast<int>(hw) : 1;
     }
     jobs_ = jobs < 1 ? 1 : jobs;
+}
+
+ExperimentEngine::~ExperimentEngine() = default;
+
+void
+ExperimentEngine::setFaultPolicy(const FaultPolicy &p)
+{
+    policy_ = p;
+    if (policy_.cellTimeoutS > 0 && !watchdog_)
+        watchdog_ = std::make_unique<DeadlineWatchdog>();
 }
 
 std::shared_ptr<const BlockProfile>
@@ -59,7 +162,8 @@ ExperimentEngine::cell(const EngineWorkload &w, const SimConfig &cfg)
 }
 
 TimedStats
-ExperimentEngine::cellTimed(const EngineWorkload &w, const SimConfig &cfg)
+ExperimentEngine::cellTimed(const EngineWorkload &w, const SimConfig &cfg,
+                            const std::atomic<bool> *cancel)
 {
     std::string key = cellFingerprint(w.id, cfg);
     return *runs.get(key, [&]() -> TimedStats {
@@ -72,7 +176,7 @@ ExperimentEngine::cellTimed(const EngineWorkload &w, const SimConfig &cfg)
             prep = hold.get();
         }
         auto t0 = std::chrono::steady_clock::now();
-        CoreStats s = runCell(*w.program, prep, cfg, w.setup);
+        CoreStats s = runCell(*w.program, prep, cfg, w.setup, cancel);
         return {s, secondsSince(t0)};
     });
 }
@@ -91,7 +195,8 @@ ExperimentEngine::storeFor(const SamplingParams &sp) const
 }
 
 std::shared_ptr<const SampleSummary>
-ExperimentEngine::summary(const EngineWorkload &w, const SimConfig &cfg)
+ExperimentEngine::summary(const EngineWorkload &w, const SimConfig &cfg,
+                          const std::atomic<bool> *cancel)
 {
     // The summary depends on the executed binary, not on the machine:
     // identify it by the workload plus (for mini-graph configs) the
@@ -130,7 +235,7 @@ ExperimentEngine::summary(const EngineWorkload &w, const SimConfig &cfg)
         }
         SampleSummary sum = collectSampleSummary(*prog, mgt, w.setup,
                                                  cfg.sampling,
-                                                 cfg.runBudget);
+                                                 cfg.runBudget, cancel);
         if (cs) {
             SerialWriter sw;
             serializeSampleSummary(sum, sw);
@@ -148,11 +253,12 @@ ExperimentEngine::cellSampled(const EngineWorkload &w, const SimConfig &cfg)
 
 TimedSampled
 ExperimentEngine::cellSampledTimed(const EngineWorkload &w,
-                                   const SimConfig &cfg)
+                                   const SimConfig &cfg,
+                                   const std::atomic<bool> *cancel)
 {
     std::string key = cellFingerprint(w.id, cfg);
     return *sampledRuns.get(key, [&]() -> TimedSampled {
-        auto sum = summary(w, cfg);
+        auto sum = summary(w, cfg, cancel);
         const PreparedMg *prep = nullptr;
         std::shared_ptr<const PreparedMg> hold;
         if (cfg.useMiniGraphs) {
@@ -164,13 +270,15 @@ ExperimentEngine::cellSampledTimed(const EngineWorkload &w,
             client = makeCellClient(*store_, key);
         auto t0 = std::chrono::steady_clock::now();
         SampledStats s = runCellSampled(*w.program, prep, cfg, w.setup,
-                                        *sum, client.get());
+                                        *sum, client.get(), cancel);
         return {s, secondsSince(t0)};
     });
 }
 
 SweepCell
-ExperimentEngine::runOne(const EngineWorkload &w, const SweepColumn &col)
+ExperimentEngine::computeCell(const EngineWorkload &w,
+                              const SweepColumn &col,
+                              const std::atomic<bool> *cancel)
 {
     SweepCell out;
     if (col.config.useMiniGraphs) {
@@ -183,13 +291,13 @@ ExperimentEngine::runOne(const EngineWorkload &w, const SweepColumn &col)
     }
     if (col.timing) {
         if (col.config.sampling.enabled) {
-            TimedSampled ts = cellSampledTimed(w, col.config);
+            TimedSampled ts = cellSampledTimed(w, col.config, cancel);
             out.sampled = ts.stats;
             out.stats = out.sampled.est;
             out.sampledRun = true;
             out.wallSeconds = ts.seconds;
         } else {
-            TimedStats ts = cellTimed(w, col.config);
+            TimedStats ts = cellTimed(w, col.config, cancel);
             out.stats = ts.stats;
             out.wallSeconds = ts.seconds;
         }
@@ -201,6 +309,88 @@ ExperimentEngine::runOne(const EngineWorkload &w, const SweepColumn &col)
         }
     }
     return out;
+}
+
+SweepCell
+ExperimentEngine::runOne(const EngineWorkload &w, const SweepColumn &col)
+{
+    // Fault-injection sites and retry jitter key on the cell's sweep
+    // identity.
+    const std::string cellKey = w.id + "|" + col.name;
+    for (int attempt = 0;; ++attempt) {
+        // Per-attempt deadline: the watchdog sets the flag, the
+        // timing loop / functional pre-pass polls it and throws
+        // CellTimeout. The flag lives on this frame; the watchdog
+        // never touches it after disarm() returns.
+        std::atomic<bool> cancelFlag{false};
+        std::uint64_t wdId = 0;
+        bool armed = false;
+        if (watchdog_ && policy_.cellTimeoutS > 0) {
+            wdId = watchdog_->arm(&cancelFlag, policy_.cellTimeoutS);
+            armed = true;
+        }
+        auto disarm = [&] {
+            if (armed)
+                watchdog_->disarm(wdId);
+        };
+        try {
+            faultPoint(FaultSite::Stall, cellKey, &cancelFlag);
+            faultPoint(FaultSite::Alloc, cellKey);
+            faultPoint(FaultSite::CellFail, cellKey);
+            faultPoint(FaultSite::Cell, cellKey);
+            SweepCell out = computeCell(w, col, &cancelFlag);
+            disarm();
+            out.retries = static_cast<std::uint32_t>(attempt);
+            return out;
+        } catch (const CellTimeout &e) {
+            // Never retried: a rerun would hit the same deadline.
+            disarm();
+            SweepCell out;
+            out.outcome = CellOutcome::TimedOut;
+            out.error = e.what();
+            out.retries = static_cast<std::uint32_t>(attempt);
+            return out;
+        } catch (const TransientError &e) {
+            disarm();
+            if (attempt >= policy_.cellRetries) {
+                SweepCell out;
+                out.outcome = CellOutcome::Failed;
+                out.error = e.what();
+                out.retries = static_cast<std::uint32_t>(attempt);
+                return out;
+            }
+            // Exponential backoff with deterministic jitter: the
+            // delay depends only on (cell, attempt), never on thread
+            // schedule, so fault runs are reproducible.
+            std::uint64_t base = policy_.backoffMs > 0
+                ? static_cast<std::uint64_t>(policy_.backoffMs)
+                      << attempt
+                : 0;
+            if (base > 0) {
+                std::uint64_t jitter =
+                    fnv1a64(cellKey.data(), cellKey.size(),
+                            0xcbf29ce484222325ull ^
+                                static_cast<std::uint64_t>(attempt)) %
+                    static_cast<std::uint64_t>(policy_.backoffMs);
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(base + jitter));
+            }
+        } catch (const std::exception &e) {
+            disarm();
+            SweepCell out;
+            out.outcome = CellOutcome::Failed;
+            out.error = e.what();
+            out.retries = static_cast<std::uint32_t>(attempt);
+            return out;
+        } catch (...) {
+            disarm();
+            SweepCell out;
+            out.outcome = CellOutcome::Failed;
+            out.error = "unknown exception";
+            out.retries = static_cast<std::uint32_t>(attempt);
+            return out;
+        }
+    }
 }
 
 SweepResult
@@ -218,12 +408,84 @@ ExperimentEngine::sweep(const SweepSpec &spec)
 
     std::size_t cols = spec.columns.size();
     out.cells.resize(spec.workloads.size() * cols);
+
+    // Journal keys: the computation fingerprint (not the display
+    // name) per cell, and a whole-spec fingerprint naming the journal
+    // file — rerunning the same spec resumes its journal, any other
+    // spec gets its own.
+    std::vector<std::uint64_t> fps;
+    std::unique_ptr<SweepJournal> journal;
+    if (!journalDir_.empty() || dryRun_) {
+        fps.resize(out.cells.size());
+        std::uint64_t specFp =
+            fnv1a64(spec.title.data(), spec.title.size());
+        for (std::size_t i = 0; i < out.cells.size(); ++i) {
+            const SweepColumn &col = spec.columns[i % cols];
+            std::string fp =
+                cellFingerprint(spec.workloads[i / cols].id,
+                                col.config) +
+                (col.timing ? "|timed" : "|prepare-only");
+            fps[i] = fnv1a64(fp.data(), fp.size());
+            specFp = fnv1a64(&fps[i], sizeof fps[i], specFp);
+        }
+        if (!journalDir_.empty()) {
+            journal = std::make_unique<SweepJournal>();
+            journal->open(journalDir_, specFp);
+        }
+    }
+
+    if (dryRun_) {
+        // Plan only: report what would run and what the journal
+        // already holds; simulate nothing.
+        out.planOnly = true;
+        std::printf("== sweep plan: %s (%zu cells) ==\n",
+                    spec.title.c_str(), out.cells.size());
+        std::uint64_t hits = 0;
+        for (std::size_t i = 0; i < out.cells.size(); ++i) {
+            SweepCell &cell = out.cells[i];
+            cell.outcome = CellOutcome::Skipped;
+            std::string note;
+            if (journal) {
+                SweepCell j;
+                cell.journalHit = journal->lookup(fps[i], j);
+                hits += cell.journalHit;
+                note = cell.journalHit ? " journal=hit"
+                                       : " journal=miss";
+            }
+            if (!spec.columns[i % cols].timing)
+                note += " prepare-only";
+            std::printf("  %-16s %-24s fp=%016llx%s\n",
+                        spec.workloads[i / cols].id.c_str(),
+                        spec.columns[i % cols].name.c_str(),
+                        static_cast<unsigned long long>(fps[i]),
+                        note.c_str());
+        }
+        if (journal)
+            std::printf("  journal: %llu/%zu cells already recorded "
+                        "in %s\n",
+                        static_cast<unsigned long long>(hits),
+                        out.cells.size(), journal->path().c_str());
+        return out;
+    }
+
     CheckpointStoreCounters before;
     if (store_)
         before = store_->counters();
     ThreadPool::parallelFor(jobs_, out.cells.size(), [&](std::size_t i) {
+        if (journal) {
+            SweepCell hit;
+            if (journal->lookup(fps[i], hit)) {
+                out.cells[i] = std::move(hit);
+                return;
+            }
+        }
         out.cells[i] = runOne(spec.workloads[i / cols],
                               spec.columns[i % cols]);
+        // Only Ok cells are journaled: a failed or timed-out cell
+        // re-simulates on resume, so a resumed sweep converges to
+        // exactly what an uninterrupted one reports.
+        if (journal && out.cells[i].outcome == CellOutcome::Ok)
+            journal->record(fps[i], out.cells[i]);
     });
     if (store_) {
         CheckpointStoreCounters d = store_->counters() - before;
@@ -233,6 +495,10 @@ ExperimentEngine::sweep(const SweepSpec &spec)
         out.storeWritebacks = d.writebacks;
         out.storeCorrupt = d.corrupt;
         out.storeEvictions = d.evictions;
+    }
+    if (journal) {
+        out.journalAttached = true;
+        out.journalRecorded = journal->recorded();
     }
     return out;
 }

@@ -20,6 +20,7 @@
 #ifndef MG_ENGINE_ENGINE_HH
 #define MG_ENGINE_ENGINE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -31,6 +32,8 @@
 #include "sim/simulator.hh"
 
 namespace mg {
+
+class DeadlineWatchdog;   // engine.cpp
 
 /** One unit of work a cell can run: a program plus its inputs. */
 struct EngineWorkload
@@ -78,6 +81,29 @@ struct TimedSampled
     double seconds = 0;
 };
 
+/**
+ * Per-cell failure handling: how long a cell may run, and how
+ * transient failures are retried. The defaults (no deadline, two
+ * retries) keep a policy-less engine byte-identical to the
+ * pre-fault-tolerance one — nothing fires unless something fails.
+ */
+struct FaultPolicy
+{
+    /** Wall-clock deadline per cell attempt in seconds; 0 disables.
+     *  Enforced cooperatively: a watchdog thread sets the attempt's
+     *  cancel flag, the timing loop / functional pre-pass polls it
+     *  and throws CellTimeout (never retried). */
+    double cellTimeoutS = 0;
+    /** Re-executions after a TransientError (I/O hiccups, injected
+     *  transient faults). A retried cell recomputes from scratch —
+     *  the artifact caches drop failed entries — and is bit-identical
+     *  to one that never failed. */
+    int cellRetries = 2;
+    /** Base backoff before retry k: backoffMs << k, plus a
+     *  deterministic jitter hashed from the cell key. */
+    int backoffMs = 20;
+};
+
 /** Cache effectiveness counters for one engine. */
 struct EngineCounters
 {
@@ -101,6 +127,8 @@ class ExperimentEngine
      *         hardware threads. */
     explicit ExperimentEngine(int jobs = 1);
 
+    ~ExperimentEngine();
+
     /** Profile @p w (cached). */
     std::shared_ptr<const BlockProfile>
     profile(const EngineWorkload &w, std::uint64_t budget);
@@ -112,8 +140,11 @@ class ExperimentEngine
     /** End-to-end timing of one cell (cached). */
     CoreStats cell(const EngineWorkload &w, const SimConfig &cfg);
 
-    /** cell() plus the wall-clock seconds its compute took. */
-    TimedStats cellTimed(const EngineWorkload &w, const SimConfig &cfg);
+    /** cell() plus the wall-clock seconds its compute took. A non-null
+     *  @p cancel attaches the per-attempt deadline flag to the compute
+     *  (cache hits never consult it). */
+    TimedStats cellTimed(const EngineWorkload &w, const SimConfig &cfg,
+                         const std::atomic<bool> *cancel = nullptr);
 
     /**
      * Functional sample summary for the binary @p cfg executes on
@@ -122,24 +153,53 @@ class ExperimentEngine
      * fast-forward checkpoints.
      */
     std::shared_ptr<const SampleSummary>
-    summary(const EngineWorkload &w, const SimConfig &cfg);
+    summary(const EngineWorkload &w, const SimConfig &cfg,
+            const std::atomic<bool> *cancel = nullptr);
 
     /** Sampled end-to-end timing of one cell (cached). */
     SampledStats cellSampled(const EngineWorkload &w, const SimConfig &cfg);
 
-    /** cellSampled() plus the wall-clock seconds its compute took. */
+    /** cellSampled() plus the wall-clock seconds its compute took.
+     *  @p cancel as in cellTimed. */
     TimedSampled cellSampledTimed(const EngineWorkload &w,
-                                  const SimConfig &cfg);
+                                  const SimConfig &cfg,
+                                  const std::atomic<bool> *cancel =
+                                      nullptr);
 
     /**
      * Execute the full matrix. Cells are distributed over the worker
      * pool; the result layout and every cell value are independent of
      * the job count.
+     *
+     * Every cell runs inside its own failure domain: an exception
+     * becomes that cell's CellOutcome (Failed/TimedOut) and the sweep
+     * always completes with every other cell intact. Transient
+     * failures retry per the FaultPolicy; a configured journal
+     * replays finished cells from a previous (possibly killed) run of
+     * the same spec and records each Ok cell as it completes; dry-run
+     * mode prints the cell plan and simulates nothing.
      */
     SweepResult sweep(const SweepSpec &spec);
 
     int jobs() const { return jobs_; }
     EngineCounters counters() const;
+
+    /** Install @p p (and start the deadline watchdog it needs). */
+    void setFaultPolicy(const FaultPolicy &p);
+
+    const FaultPolicy &faultPolicy() const { return policy_; }
+
+    /** Journal sweeps under @p dir (one file per sweep spec); "" (the
+     *  default) disables journaling. See engine/journal.hh. */
+    void setJournalDir(std::string dir) { journalDir_ = std::move(dir); }
+
+    const std::string &journalDir() const { return journalDir_; }
+
+    /** Plan-only sweeps: print each cell's identity, fingerprint, and
+     *  journal hit/miss, simulate nothing, return a planOnly result. */
+    void setDryRun(bool on) { dryRun_ = on; }
+
+    bool dryRun() const { return dryRun_; }
 
     /**
      * Attach an on-disk warm-checkpoint store. Sampled warm-through
@@ -164,12 +224,24 @@ class ExperimentEngine
     }
 
   private:
+    /** One cell inside its failure domain: watchdog-armed attempts,
+     *  transient-failure retries with backoff, and exception-to-
+     *  outcome conversion. Never throws. */
     SweepCell runOne(const EngineWorkload &w, const SweepColumn &col);
+
+    /** One attempt's actual compute (the pre-fault-tolerance runOne
+     *  body); throws on failure. */
+    SweepCell computeCell(const EngineWorkload &w, const SweepColumn &col,
+                          const std::atomic<bool> *cancel);
 
     /** The store, when it should serve @p sp; else null. */
     CheckpointStore *storeFor(const SamplingParams &sp) const;
 
     int jobs_;
+    FaultPolicy policy_;
+    std::unique_ptr<DeadlineWatchdog> watchdog_;
+    std::string journalDir_;
+    bool dryRun_ = false;
     std::shared_ptr<CheckpointStore> store_;
     ArtifactCache<BlockProfile> profiles;
     ArtifactCache<PreparedMg> prepared;

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Deterministic, site-addressed fault injection for the sweep
+ * engine's robustness battery (the failure-path counterpart of the
+ * checkpoint store's corruption battery).
+ *
+ * A fault spec — `--fault-inject SPEC` or `$MG_FAULT_SPEC` — is a
+ * comma-separated list of rules:
+ *
+ *     site[@match][:p=P][:count=N][:ms=M][:seed=S]
+ *
+ *   site   where the fault fires and what it does:
+ *            cell         transient exception at cell start (retried)
+ *            fail         permanent exception at cell start
+ *            alloc        std::bad_alloc at cell start
+ *            stall        sleep M ms at cell start (deadline tests)
+ *            store-read   transient error in CheckpointStore::load
+ *            store-write  transient error in CheckpointStore::store
+ *   match  substring the site key must contain (cell sites key on
+ *          "<workload>|<column>", store sites on the record key);
+ *          omitted = every key.
+ *   p      fraction of matching keys the rule arms on, decided by a
+ *          seeded hash of the key — the same keys fault in every run
+ *          and on every retry schedule (default 1.0 = all).
+ *   count  firings per (rule, key) before the fault heals (transient
+ *          faults recover after `count` retries); 0 = never heals
+ *          (default 1).
+ *   ms     stall duration (stall site only, default 1000).
+ *   seed   seed of the p-hash (default 0).
+ *
+ * Everything is deterministic: whether a rule fires depends only on
+ * (spec, site, key, per-key firing count), never on thread schedule
+ * or wall clock, so a faulted sweep is reproducible and a retried
+ * cell re-executes against a healed (or identically faulty) world.
+ */
+
+#ifndef MG_ENGINE_FAULT_INJECT_HH
+#define MG_ENGINE_FAULT_INJECT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mg {
+
+/** Instrumented failure sites. */
+enum class FaultSite : std::uint8_t
+{
+    Cell,        ///< cell-start transient exception
+    CellFail,    ///< cell-start permanent exception
+    Alloc,       ///< cell-start allocation failure
+    Stall,       ///< cell-start wall-clock stall
+    StoreRead,   ///< checkpoint-store load
+    StoreWrite,  ///< checkpoint-store write
+};
+
+/** One parsed spec rule. */
+struct FaultRule
+{
+    FaultSite site = FaultSite::Cell;
+    std::string match;           ///< key substring; empty = all keys
+    double p = 1.0;              ///< key-hash arming fraction
+    std::uint32_t count = 1;     ///< firings per key; 0 = unlimited
+    std::uint32_t stallMs = 1000;
+    std::uint64_t seed = 0;
+};
+
+/** The process-wide injector (disarmed by default: checks cost one
+ *  relaxed atomic load until a spec is configured). */
+class FaultInjector
+{
+  public:
+    /** Parse and install @p spec ("" clears). fatal() on a malformed
+     *  spec. Resets all per-key firing counters. */
+    void configure(const std::string &spec);
+
+    bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+    /**
+     * Fault check for @p site under @p key. Throws the site's
+     * exception when a rule fires; stall sites sleep instead,
+     * polling @p cancel every few ms and throwing CellTimeout when
+     * the deadline watchdog fires mid-stall.
+     */
+    void at(FaultSite site, const std::string &key,
+            const std::atomic<bool> *cancel = nullptr);
+
+    /** Total faults fired since configure() (test assertions). */
+    std::uint64_t fired() const;
+
+    /** The singleton every instrumented site consults. */
+    static FaultInjector &global();
+
+  private:
+    std::atomic<bool> armed_{false};
+    mutable std::mutex mu_;
+    std::vector<FaultRule> rules_;
+    /** "(rule index)|(key)" -> firings so far. */
+    std::unordered_map<std::string, std::uint32_t> firings_;
+    std::uint64_t fired_ = 0;
+};
+
+/** Convenience wrapper over FaultInjector::global().at(). */
+inline void
+faultPoint(FaultSite site, const std::string &key,
+           const std::atomic<bool> *cancel = nullptr)
+{
+    FaultInjector &fi = FaultInjector::global();
+    if (fi.armed())
+        fi.at(site, key, cancel);
+}
+
+} // namespace mg
+
+#endif // MG_ENGINE_FAULT_INJECT_HH

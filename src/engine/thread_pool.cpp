@@ -42,6 +42,11 @@ ThreadPool::wait()
 {
     std::unique_lock<std::mutex> g(lock);
     idle.wait(g, [this] { return inFlight == 0; });
+    if (taskError) {
+        std::exception_ptr e = taskError;
+        taskError = nullptr;
+        std::rethrow_exception(e);
+    }
 }
 
 void
@@ -58,7 +63,16 @@ ThreadPool::workerLoop()
             task = std::move(queue.front());
             queue.pop_front();
         }
-        task();
+        // A leaked exception must not unwind the worker thread
+        // (std::terminate) or silently vanish: capture the first one
+        // for wait() to rethrow and keep draining the queue.
+        try {
+            task();
+        } catch (...) {
+            std::unique_lock<std::mutex> g(lock);
+            if (!taskError)
+                taskError = std::current_exception();
+        }
         {
             std::unique_lock<std::mutex> g(lock);
             if (--inFlight == 0)
@@ -71,26 +85,46 @@ void
 ThreadPool::parallelFor(int jobs, std::size_t n,
                         const std::function<void(std::size_t)> &fn)
 {
+    // Per-index error capture: every index runs no matter what the
+    // others throw, and the lowest throwing index's exception is the
+    // one rethrown — the outcome is a pure function of fn, not of the
+    // thread schedule (and matches the serial path bit for bit).
+    std::mutex errLock;
+    std::size_t errIndex = n;
+    std::exception_ptr err;
+    auto run = [&](std::size_t i) {
+        try {
+            fn(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> g(errLock);
+            if (i < errIndex) {
+                errIndex = i;
+                err = std::current_exception();
+            }
+        }
+    };
+
     if (jobs <= 1 || n <= 1) {
         for (std::size_t i = 0; i < n; ++i)
-            fn(i);
-        return;
+            run(i);
+    } else {
+        ThreadPool pool(static_cast<int>(
+            std::min<std::size_t>(static_cast<std::size_t>(jobs), n)));
+        std::atomic<std::size_t> next{0};
+        for (int w = 0; w < pool.threads(); ++w) {
+            pool.submit([&] {
+                for (;;) {
+                    std::size_t i = next.fetch_add(1);
+                    if (i >= n)
+                        return;
+                    run(i);
+                }
+            });
+        }
+        pool.wait();
     }
-
-    ThreadPool pool(static_cast<int>(
-        std::min<std::size_t>(static_cast<std::size_t>(jobs), n)));
-    std::atomic<std::size_t> next{0};
-    for (int w = 0; w < pool.threads(); ++w) {
-        pool.submit([&] {
-            for (;;) {
-                std::size_t i = next.fetch_add(1);
-                if (i >= n)
-                    return;
-                fn(i);
-            }
-        });
-    }
-    pool.wait();
+    if (err)
+        std::rethrow_exception(err);
 }
 
 } // namespace mg

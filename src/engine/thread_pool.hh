@@ -13,6 +13,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -36,10 +37,13 @@ class ThreadPool
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
-    /** Enqueue @p task for execution on some worker. */
+    /** Enqueue @p task for execution on some worker. A task that
+     *  throws does not kill its worker: the first escaped exception
+     *  is captured and rethrown by the next wait(). */
     void submit(std::function<void()> task);
 
-    /** Block until every submitted task has completed. */
+    /** Block until every submitted task has completed, then rethrow
+     *  the first exception any task leaked (if one did). */
     void wait();
 
     int threads() const { return static_cast<int>(workers.size()); }
@@ -48,8 +52,10 @@ class ThreadPool
      * Run @p fn(0..n-1), spreading indices over @p jobs workers.
      * With jobs <= 1 (or n <= 1) everything runs on the calling
      * thread — the serial reference a parallel sweep must match.
-     * Exceptions escape from index 0 only (workers terminate on
-     * throw; library code reports errors via fatal()).
+     * A throwing index never aborts the loop: every index still runs,
+     * and the exception from the lowest throwing index is rethrown on
+     * the calling thread afterwards — identical behavior at every
+     * jobs count, regardless of thread schedule.
      */
     static void parallelFor(int jobs, std::size_t n,
                             const std::function<void(std::size_t)> &fn);
@@ -64,6 +70,8 @@ class ThreadPool
     std::condition_variable idle;
     std::size_t inFlight = 0;
     bool stopping = false;
+    /** First exception to escape a task; rethrown by wait(). */
+    std::exception_ptr taskError;
 };
 
 } // namespace mg

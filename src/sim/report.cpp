@@ -7,6 +7,18 @@
 
 namespace mg {
 
+const char *
+cellOutcomeName(CellOutcome o)
+{
+    switch (o) {
+      case CellOutcome::Ok: return "ok";
+      case CellOutcome::Failed: return "failed";
+      case CellOutcome::TimedOut: return "timed_out";
+      case CellOutcome::Skipped: return "skipped";
+    }
+    return "unknown";
+}
+
 std::string
 reportSpeedups(const std::string &title,
                const std::vector<std::string> &configs,
@@ -204,6 +216,13 @@ sweepJson(const SweepResult &r, const std::string &bench)
                       static_cast<unsigned long long>(r.storeCorrupt),
                       static_cast<unsigned long long>(r.storeEvictions));
     }
+    // Journal block only when one was attached, and only its
+    // resume-invariant total — a resumed run and an uninterrupted run
+    // must produce byte-identical reports.
+    if (r.journalAttached) {
+        out += strfmt("  \"journal\": {\"recorded\": %llu},\n",
+                      static_cast<unsigned long long>(r.journalRecorded));
+    }
     out += "  \"cells\": [\n";
     for (std::size_t row = 0; row < r.rows.size(); ++row) {
         for (std::size_t col = 0; col < r.columns.size(); ++col) {
@@ -265,9 +284,21 @@ sweepJson(const SweepResult &r, const std::string &bench)
                 }
             }
             rec += ", \"coverage\": " + jsonNum(c.staticCoverage);
-            rec += strfmt(", \"templates\": %llu, \"text_slots\": %llu}",
+            rec += strfmt(", \"templates\": %llu, \"text_slots\": %llu",
                           static_cast<unsigned long long>(c.templates),
                           static_cast<unsigned long long>(c.textSlots));
+            // Failure-domain fields only when non-default: every cell
+            // of a fault-free sweep is Ok with zero retries, and its
+            // record must stay byte-identical to older engines.
+            if (c.outcome != CellOutcome::Ok) {
+                rec += std::string(", \"outcome\": \"") +
+                       cellOutcomeName(c.outcome) + "\"";
+                if (!c.error.empty())
+                    rec += ", \"error\": " + jsonStr(c.error);
+            }
+            if (c.retries > 0)
+                rec += strfmt(", \"retries\": %u", c.retries);
+            rec += "}";
             bool last = row + 1 == r.rows.size() &&
                         col + 1 == r.columns.size();
             out += rec + (last ? "\n" : ",\n");
@@ -278,9 +309,117 @@ sweepJson(const SweepResult &r, const std::string &bench)
 }
 
 std::string
+outcomeSummary(const SweepResult &r)
+{
+    std::uint64_t byOutcome[4] = {0, 0, 0, 0};
+    std::uint64_t retried = 0;
+    for (const SweepCell &c : r.cells) {
+        ++byOutcome[static_cast<std::size_t>(c.outcome) & 3];
+        if (c.retries > 0)
+            ++retried;
+    }
+    std::uint64_t ok = byOutcome[0];
+    if (ok == r.cells.size() && retried == 0)
+        return "";
+    std::string out = strfmt("cell outcomes: %llu ok",
+                             static_cast<unsigned long long>(ok));
+    for (int o = 1; o < 4; ++o) {
+        if (byOutcome[o])
+            out += strfmt(", %llu %s",
+                          static_cast<unsigned long long>(byOutcome[o]),
+                          cellOutcomeName(static_cast<CellOutcome>(o)));
+    }
+    if (retried)
+        out += strfmt(" (%llu retried)",
+                      static_cast<unsigned long long>(retried));
+    return out;
+}
+
+void
+serializeSweepCell(const SweepCell &c, SerialWriter &w)
+{
+#define MG_W(f) w.u64(c.stats.f);
+    MG_CORE_STATS_COUNTERS(MG_W)
+#undef MG_W
+    w.u8(c.timed ? 1 : 0);
+    w.f64(c.staticCoverage);
+    w.u64(c.templates);
+    w.u64(c.textSlots);
+    w.u8(c.sampledRun ? 1 : 0);
+#define MG_W(f) w.u64(c.sampled.est.f);
+    MG_CORE_STATS_COUNTERS(MG_W)
+#undef MG_W
+    w.u64(c.sampled.totalWork);
+    w.u64(c.sampled.prefixWork);
+    w.u64(c.sampled.measuredWork);
+    w.u64(c.sampled.measuredCycles);
+    w.u64(c.sampled.detailedWork);
+    w.u64(c.sampled.ffWork);
+    w.u32(c.sampled.intervals);
+    w.f64(c.sampled.ipcHat);
+    w.f64(c.sampled.ipcRelCi95);
+    w.u8(c.sampled.exact ? 1 : 0);
+    w.u8(c.sampled.footprintWarning ? 1 : 0);
+    w.u64(c.sampled.footprintSkippedLines);
+    w.u32(c.sampled.ckptRestores);
+    w.u32(c.sampled.ckptWritebacks);
+    w.f64(c.wallSeconds);
+    w.f64(c.workPerSec);
+    w.u8(static_cast<std::uint8_t>(c.outcome));
+    w.str(c.error);
+    w.u32(c.retries);
+}
+
+bool
+deserializeSweepCell(SerialReader &r, SweepCell &c)
+{
+    c = SweepCell();
+#define MG_R(f) c.stats.f = r.u64();
+    MG_CORE_STATS_COUNTERS(MG_R)
+#undef MG_R
+    c.timed = r.u8() != 0;
+    c.staticCoverage = r.f64();
+    c.templates = r.u64();
+    c.textSlots = r.u64();
+    c.sampledRun = r.u8() != 0;
+#define MG_R(f) c.sampled.est.f = r.u64();
+    MG_CORE_STATS_COUNTERS(MG_R)
+#undef MG_R
+    c.sampled.totalWork = r.u64();
+    c.sampled.prefixWork = r.u64();
+    c.sampled.measuredWork = r.u64();
+    c.sampled.measuredCycles = r.u64();
+    c.sampled.detailedWork = r.u64();
+    c.sampled.ffWork = r.u64();
+    c.sampled.intervals = r.u32();
+    c.sampled.ipcHat = r.f64();
+    c.sampled.ipcRelCi95 = r.f64();
+    c.sampled.exact = r.u8() != 0;
+    c.sampled.footprintWarning = r.u8() != 0;
+    c.sampled.footprintSkippedLines = r.u64();
+    c.sampled.ckptRestores = r.u32();
+    c.sampled.ckptWritebacks = r.u32();
+    c.wallSeconds = r.f64();
+    c.workPerSec = r.f64();
+    std::uint8_t o = r.u8();
+    if (o > 3) {
+        r.fail();
+        return false;
+    }
+    c.outcome = static_cast<CellOutcome>(o);
+    c.error = r.str();
+    c.retries = r.u32();
+    return r.ok();
+}
+
+std::string
 writeSweepJson(const SweepResult &r, const std::string &bench,
                const std::string &path)
 {
+    // A dry-run plan carries no results; refuse to overwrite a real
+    // report with skipped placeholders.
+    if (r.planOnly)
+        return "";
     std::string file = path.empty() ? "BENCH_" + bench + ".json" : path;
     std::string body = sweepJson(r, bench);
     FILE *f = std::fopen(file.c_str(), "w");

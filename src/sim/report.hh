@@ -13,10 +13,28 @@
 #include <string>
 #include <vector>
 
+#include "common/serial.hh"
 #include "common/stats.hh"
 #include "uarch/core.hh"
 
 namespace mg {
+
+/**
+ * Terminal state of one sweep cell. A sweep always completes and
+ * reports every cell; non-Ok cells carry zeroed stats (timed=false)
+ * plus the error that ended them, so one broken kernel×config pair
+ * costs its own numbers and nothing else.
+ */
+enum class CellOutcome : std::uint8_t
+{
+    Ok = 0,         ///< stats are valid
+    Failed = 1,     ///< permanent error (error holds the message)
+    TimedOut = 2,   ///< cancelled by the per-cell deadline watchdog
+    Skipped = 3,    ///< never executed (dry-run plan)
+};
+
+/** Stable lowercase name ("ok", "failed", "timed_out", "skipped"). */
+const char *cellOutcomeName(CellOutcome o);
 
 /** One benchmark's results across a set of configurations. */
 struct BenchRow
@@ -44,6 +62,16 @@ struct SweepCell
      *  wall-second it implies — the per-cell perf trajectory. */
     double wallSeconds = 0;
     double workPerSec = 0;
+    /** Failure-domain fields. outcome/error/retries are emitted into
+     *  the JSON only when non-default, so fault-free sweeps stay
+     *  byte-identical to pre-fault-tolerance reports. */
+    CellOutcome outcome = CellOutcome::Ok;
+    std::string error;              ///< what ended a non-Ok cell
+    std::uint32_t retries = 0;      ///< transient-failure re-executions
+    /** Replayed from the sweep journal instead of simulated. Runtime
+     *  state only — never serialized or reported, because it differs
+     *  between a resumed and an uninterrupted run. */
+    bool journalHit = false;
 };
 
 /**
@@ -79,6 +107,16 @@ struct SweepResult
     std::uint64_t storeWritebacks = 0;
     std::uint64_t storeCorrupt = 0;
     std::uint64_t storeEvictions = 0;
+    /** Sweep-journal presence and its resume-invariant total: how many
+     *  cells the journal holds after this sweep. Replay/append splits
+     *  are deliberately absent — they differ between a resumed and an
+     *  uninterrupted run, and the JSON must not. Emitted only when a
+     *  journal was attached. */
+    bool journalAttached = false;
+    std::uint64_t journalRecorded = 0;
+    /** Dry-run plan: cells are Skipped placeholders, nothing was
+     *  simulated, and writeSweepJson refuses to write a report. */
+    bool planOnly = false;
 
     const SweepCell &at(std::size_t row, std::size_t col) const;
 
@@ -122,10 +160,27 @@ std::string sweepJson(const SweepResult &r, const std::string &bench);
 /**
  * Write sweepJson to @p path, or to "BENCH_<bench>.json" in the
  * working directory when @p path is empty. @return the path written,
- * or "" on I/O failure (reported via warn()).
+ * or "" on I/O failure (reported via warn()) or when @p r is a
+ * dry-run plan (nothing was simulated, so there is nothing to
+ * report).
  */
 std::string writeSweepJson(const SweepResult &r, const std::string &bench,
                            const std::string &path = "");
+
+/**
+ * One-line cell-outcome digest ("cell outcomes: 44 ok, 1 failed,
+ * 1 timed_out (2 retried)"), or "" when every cell is Ok with no
+ * retries — benches print it only when there is something to say,
+ * keeping fault-free stdout unchanged.
+ */
+std::string outcomeSummary(const SweepResult &r);
+
+/** Append @p c to @p w (journal payloads; journalHit elided). */
+void serializeSweepCell(const SweepCell &c, SerialWriter &w);
+
+/** Parse a serializeSweepCell record. @return false (leaving @p c
+ *  unspecified) on malformed input. */
+bool deserializeSweepCell(SerialReader &r, SweepCell &c);
 
 /**
  * Render rows grouped by suite with per-suite gmean speedup lines,

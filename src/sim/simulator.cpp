@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "cfg/liveness.hh"
+#include "common/failsoft.hh"
 #include "common/rng.hh"
 
 namespace mg {
@@ -47,9 +48,11 @@ prepareMiniGraphs(const Program &prog, const BlockProfile &prof,
 
 CoreStats
 runCore(const Program &prog, const MgTable *mgt, const CoreConfig &coreCfg,
-        const SetupFn &setup, std::uint64_t maxWork)
+        const SetupFn &setup, std::uint64_t maxWork,
+        const std::atomic<bool> *cancel)
 {
     Core core(prog, mgt, coreCfg);
+    core.setCancel(cancel);
     if (setup)
         setup(core.oracle());
     return core.run(maxWork);
@@ -57,12 +60,13 @@ runCore(const Program &prog, const MgTable *mgt, const CoreConfig &coreCfg,
 
 CoreStats
 runCell(const Program &prog, const PreparedMg *prep, const SimConfig &cfg,
-        const SetupFn &setup)
+        const SetupFn &setup, const std::atomic<bool> *cancel)
 {
     if (!cfg.useMiniGraphs)
-        return runCore(prog, nullptr, cfg.core, setup, cfg.runBudget);
+        return runCore(prog, nullptr, cfg.core, setup, cfg.runBudget,
+                       cancel);
     return runCore(prep->program, &prep->table, cfg.core, setup,
-                   cfg.runBudget);
+                   cfg.runBudget, cancel);
 }
 
 namespace {
@@ -83,15 +87,29 @@ sigDistance(const std::array<double, sampleSigDims> &a,
 SampleSummary
 collectSampleSummary(const Program &prog, const MgTable *mgt,
                      const SetupFn &setup, const SamplingParams &sp,
-                     std::uint64_t maxWork)
+                     std::uint64_t maxWork,
+                     const std::atomic<bool> *cancel)
 {
     Emulator emu(prog, mgt);
     if (setup)
         setup(emu);
 
+    // The functional pre-pass can dominate a huge-tier cell's wall
+    // clock, so it honors the same cooperative deadline as the timing
+    // loops (one counter bump per instruction, an atomic load every
+    // 4096).
+    std::uint64_t pollCtr = 0;
+    auto pollCancel = [&] {
+        if (cancel && (++pollCtr & 4095) == 0 &&
+            cancel->load(std::memory_order_relaxed))
+            throw CellTimeout("cell deadline exceeded (functional "
+                              "pre-pass cancelled by watchdog)");
+    };
+
     SampleSummary sum;
     if (sp.degenerate()) {
         while (!emu.halted() && emu.dynWork() < maxWork) {
+            pollCancel();
             if (!emu.step())
                 break;
         }
@@ -168,6 +186,7 @@ collectSampleSummary(const Program &prog, const MgTable *mgt,
 
     ExecRecord rec;
     while (!emu.halted() && emu.dynWork() < maxWork) {
+        pollCancel();
         std::uint64_t w = emu.dynWork();
         while (w >= (chunkIdx + 1) * period)
             finishChunk((chunkIdx + 1) * period);
@@ -206,21 +225,26 @@ collectSampleSummary(const Program &prog, const MgTable *mgt,
 SampledStats
 runCellSampled(const Program &prog, const PreparedMg *prep,
                const SimConfig &cfg, const SetupFn &setup,
-               const SampleSummary &sum)
+               const SampleSummary &sum,
+               const std::atomic<bool> *cancel)
 {
-    return runCellSampled(prog, prep, cfg, setup, sum, nullptr);
+    return runCellSampled(prog, prep, cfg, setup, sum,
+                          static_cast<CellCheckpointClient *>(nullptr),
+                          cancel);
 }
 
 SampledStats
 runCellSampled(const Program &prog, const PreparedMg *prep,
                const SimConfig &cfg, const SetupFn &setup,
-               const SampleSummary &sum, CellCheckpointClient *store)
+               const SampleSummary &sum, CellCheckpointClient *store,
+               const std::atomic<bool> *cancel)
 {
     const Program &p = prep ? prep->program : prog;
     const MgTable *mgt = prep ? &prep->table : nullptr;
     const SamplingParams &sp = cfg.sampling;
     auto freshCore = [&]() {
         auto core = std::make_unique<Core>(p, mgt, cfg.core);
+        core->setCancel(cancel);
         if (setup)
             setup(core->oracle());
         return core;

@@ -8,6 +8,7 @@
 #ifndef MG_SIM_SIMULATOR_HH
 #define MG_SIM_SIMULATOR_HH
 
+#include <atomic>
 #include <functional>
 
 #include "cfg/profile.hh"
@@ -40,10 +41,13 @@ PreparedMg prepareMiniGraphs(const Program &prog,
                              const MgtMachine &machine,
                              bool compress = false);
 
-/** Run the timing core over (@p prog, @p mgt). */
+/** Run the timing core over (@p prog, @p mgt). A non-null @p cancel
+ *  attaches the engine's cooperative deadline flag (Core::setCancel);
+ *  the run then throws CellTimeout once the flag fires. */
 CoreStats runCore(const Program &prog, const MgTable *mgt,
                   const CoreConfig &coreCfg, const SetupFn &setup,
-                  std::uint64_t maxWork = ~0ull);
+                  std::uint64_t maxWork = ~0ull,
+                  const std::atomic<bool> *cancel = nullptr);
 
 /**
  * The experiment engine's single-cell primitive: time one
@@ -52,10 +56,11 @@ CoreStats runCore(const Program &prog, const MgTable *mgt,
  * (@p prog, @p cfg) — its rewritten program and table are what run;
  * for a baseline config @p prep is null and @p prog runs unmodified.
  * Reads only const state, so concurrent cells may share @p prog and
- * @p prep freely.
+ * @p prep freely. @p cancel as in runCore.
  */
 CoreStats runCell(const Program &prog, const PreparedMg *prep,
-                  const SimConfig &cfg, const SetupFn &setup);
+                  const SimConfig &cfg, const SetupFn &setup,
+                  const std::atomic<bool> *cancel = nullptr);
 
 /**
  * Functional pre-pass for sampled cells: run the executed binary (the
@@ -69,7 +74,9 @@ CoreStats runCell(const Program &prog, const PreparedMg *prep,
 SampleSummary collectSampleSummary(const Program &prog, const MgTable *mgt,
                                    const SetupFn &setup,
                                    const SamplingParams &sp,
-                                   std::uint64_t maxWork = ~0ull);
+                                   std::uint64_t maxWork = ~0ull,
+                                   const std::atomic<bool> *cancel =
+                                       nullptr);
 
 /**
  * Sampled counterpart of runCell: alternate checkpoint-jump /
@@ -80,7 +87,8 @@ SampleSummary collectSampleSummary(const Program &prog, const MgTable *mgt,
  */
 SampledStats runCellSampled(const Program &prog, const PreparedMg *prep,
                             const SimConfig &cfg, const SetupFn &setup,
-                            const SampleSummary &sum);
+                            const SampleSummary &sum,
+                            const std::atomic<bool> *cancel = nullptr);
 
 /**
  * A cell's view of the warm-checkpoint store: the per-chunk warm
@@ -131,7 +139,8 @@ class CellCheckpointClient : public WarmStoreIf
 SampledStats runCellSampled(const Program &prog, const PreparedMg *prep,
                             const SimConfig &cfg, const SetupFn &setup,
                             const SampleSummary &sum,
-                            CellCheckpointClient *store);
+                            CellCheckpointClient *store,
+                            const std::atomic<bool> *cancel = nullptr);
 
 /** Append @p sum — checkpoints elided — to @p w. Persisted summaries
  *  serve warm-through runs only, which never consult the checkpoint

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/failsoft.hh"
 #include "common/logging.hh"
 
 namespace mg {
@@ -1076,9 +1077,19 @@ Core::stepCycle()
 }
 
 void
+Core::pollCancel()
+{
+    if (cancel_ && (++cancelPoll_ & cancelPollMask) == 0 &&
+        cancel_->load(std::memory_order_relaxed))
+        throw CellTimeout("cell deadline exceeded (timing loop "
+                          "cancelled by watchdog)");
+}
+
+void
 Core::runDetailedUntil(std::uint64_t targetWork)
 {
     for (;;) {
+        pollCancel();
         stepCycle();
         if (stats_.committedWork >= targetWork)
             break;
@@ -1165,6 +1176,7 @@ Core::fastForward(std::uint64_t workTarget, bool warm, double ipcEst)
     Cycle base = now;
     std::uint64_t work0 = emu.dynWork();
     while (!emu.halted() && emu.dynWork() < workTarget) {
+        pollCancel();
         if (!emu.step(&rec))
             break;
         if (ipcEst > 0) {

@@ -22,6 +22,7 @@
 #ifndef MG_UARCH_CORE_HH
 #define MG_UARCH_CORE_HH
 
+#include <atomic>
 #include <cmath>
 #include <deque>
 #include <unordered_map>
@@ -300,6 +301,16 @@ class Core
     /** Access the oracle (for architectural state checks in tests). */
     Emulator &oracle() { return emu; }
 
+    /**
+     * Attach a cooperative cancellation flag (null detaches). The
+     * run loops poll it every few hundred iterations and throw
+     * CellTimeout once it reads true, abandoning the run — the
+     * engine's watchdog sets it when a cell's wall-clock deadline
+     * fires. A cancelled core is dead: the pipeline is mid-flight,
+     * so the caller must discard it rather than resume.
+     */
+    void setCancel(const std::atomic<bool> *c) { cancel_ = c; }
+
     /** Free physical registers (rename-resource checks in tests). */
     int regFreeCount() const { return regs.freeCount(); }
 
@@ -334,6 +345,14 @@ class Core
     std::uint64_t nextSeq = 1;
     CoreStats stats_;
     int fetchLineShift = -1;    ///< log2(l1i line) when a power of two
+
+    // Cooperative cancellation (per-cell deadlines). The flag is
+    // sampled every pollEvery loop iterations so the hot loop pays
+    // one counter increment, not an atomic load, per cycle.
+    const std::atomic<bool> *cancel_ = nullptr;
+    std::uint32_t cancelPoll_ = 0;
+    static constexpr std::uint32_t cancelPollMask = 1023;
+    void pollCancel();
 
     // Allocation-free instruction lifecycle: every DynInst lives in
     // the slab from fetch to retirement/squash; squashed slots are

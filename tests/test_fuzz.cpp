@@ -22,6 +22,12 @@
  * storeless, store-cold, and store-warm; the warm session (which
  * restores serialized warm records instead of re-warming) must match
  * the cold session bit for bit.
+ *
+ * SweepUnderRandomFaultsMatchesFaultFree: the fault-tolerance leg.
+ * Random engine sweeps run fault-free and again under a random
+ * healing fault spec (seeded arming, firing counts within the retry
+ * budget); the faulted sweep must retry its way to the fault-free
+ * sweep's exact cells.
  */
 
 #include <gtest/gtest.h>
@@ -35,6 +41,8 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "engine/checkpoint_store.hh"
+#include "engine/engine.hh"
+#include "engine/fault_inject.hh"
 #include "sim/simulator.hh"
 #include "uarch/core.hh"
 
@@ -287,6 +295,62 @@ TEST_P(Fuzz, StoreBackedSamplingMatchesWarmThrough)
     // And the storeless run shares the same functional ground truth:
     // identical totals even where the store path reruns seeded.
     EXPECT_EQ(s1.totalWork, s0.totalWork);
+}
+
+TEST_P(Fuzz, SweepUnderRandomFaultsMatchesFaultFree)
+{
+    // Fault-tolerance leg (every tenth seed): a random program swept
+    // through the engine fault-free, then again under a random fault
+    // spec whose per-key firing counts stay within the retry budget —
+    // every fault heals, so the faulted sweep must converge to the
+    // fault-free sweep cell for cell.
+    if (GetParam() % 10 != 6)
+        return;
+    Rng rng(0xfa017 + static_cast<unsigned>(GetParam()) * 769);
+    Program prog = assemble(randomProgram(rng, 6),
+                            strfmt("fault%d", GetParam()));
+
+    SweepSpec spec;
+    spec.title = strfmt("fuzz fault %d", GetParam());
+    EngineWorkload w;
+    w.id = strfmt("fuzz-fault-%d", GetParam());
+    w.suite = "fuzz";
+    w.program = &prog;
+    spec.workloads = {w};
+    spec.columns = {{"baseline", SimConfig::baseline(), true},
+                    {"int-mem", SimConfig::intMemMg(), true}};
+    spec.baselineColumn = 0;
+
+    SweepResult clean = ExperimentEngine(2).sweep(spec);
+
+    // Random healing spec: arming fraction, firing count (within the
+    // retry budget of 2), seed, and optionally a key filter.
+    int count = static_cast<int>(1 + rng.below(2));
+    std::string faultSpec = strfmt(
+        "cell%s:p=0.%d:count=%d:seed=%llu",
+        rng.below(2) ? "@int-mem" : "",
+        static_cast<int>(3 + rng.below(7)), count,
+        static_cast<unsigned long long>(rng.below(1u << 16)));
+    FaultInjector::global().configure(faultSpec);
+    ExperimentEngine engine(2);
+    FaultPolicy policy;
+    policy.backoffMs = 1;
+    engine.setFaultPolicy(policy);
+    SweepResult faulted = engine.sweep(spec);
+    FaultInjector::global().configure("");
+
+    ASSERT_EQ(clean.cells.size(), faulted.cells.size());
+    for (std::size_t i = 0; i < clean.cells.size(); ++i) {
+        const SweepCell &a = clean.cells[i];
+        const SweepCell &b = faulted.cells[i];
+        EXPECT_EQ(b.outcome, CellOutcome::Ok)
+            << "spec " << faultSpec << " cell " << i;
+        EXPECT_EQ(a.stats, b.stats) << "spec " << faultSpec;
+        EXPECT_EQ(a.timed, b.timed);
+        EXPECT_EQ(a.staticCoverage, b.staticCoverage);
+        EXPECT_EQ(a.templates, b.templates);
+        EXPECT_LE(b.retries, 2u);   // healed within the retry budget
+    }
 }
 
 // >= 200 seeds in CI: each seed exercises RewriteEquivalence (random
