@@ -82,6 +82,7 @@ main(int argc, char **argv)
             +[](CoreConfig &c) { c.schedulerCycles = 2; });
 
     cli.applySampling(spec);
+    cli.applyAnalysis(spec);
     SweepResult r = engine.sweep(spec);
     if (r.planOnly)
         return 0;   // --dry-run: the plan has been printed

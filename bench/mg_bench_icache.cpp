@@ -61,6 +61,7 @@ main(int argc, char **argv)
     spec.baselineColumn = 0;
 
     cli.applySampling(spec);
+    cli.applyAnalysis(spec);
     SweepResult r = engine.sweep(spec);
     if (r.planOnly)
         return 0;   // --dry-run: the plan has been printed

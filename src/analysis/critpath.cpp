@@ -1,0 +1,590 @@
+#include "analysis/critpath.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+namespace mg {
+
+const char *
+cpCatName(CpCat c)
+{
+    static const char *names[] = {
+#define MG_CP_NAME(name) #name,
+        MG_CP_CATEGORIES(MG_CP_NAME)
+#undef MG_CP_NAME
+    };
+    int i = static_cast<int>(c);
+    return i >= 0 && i < cpCatCount ? names[i] : "?";
+}
+
+CpParams
+CpParams::fromConfig(const CoreConfig &cfg)
+{
+    CpParams p;
+    p.fetchWidth = cfg.fetchWidth;
+    p.renameWidth = cfg.renameWidth;
+    p.commitWidth = cfg.commitWidth;
+    p.robSize = cfg.robSize;
+    p.fetchQueueSize = cfg.fetchQueueSize;
+    p.frontendDepth = cfg.frontendDepth;
+    p.regReadLat = cfg.regReadLat;
+    p.schedulerCycles = cfg.schedulerCycles;
+    p.l1dLat = static_cast<int>(cfg.mem.l1dLat);
+    p.l1dLatBase = p.l1dLat;
+    return p;
+}
+
+bool
+applyWhatIf(CpParams &p, const std::string &spec, std::string *err)
+{
+    auto fail = [&](const std::string &msg) {
+        if (err)
+            *err = msg;
+        return false;
+    };
+    std::size_t pos = 0;
+    int applied = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string kv = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (kv.empty())
+            continue;
+        std::size_t eq = kv.find('=');
+        if (eq == std::string::npos)
+            return fail("what-if term '" + kv + "' is not key=val");
+        std::string key = kv.substr(0, eq);
+        for (char &ch : key)
+            ch = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(ch)));
+        const char *vs = kv.c_str() + eq + 1;
+        char *end = nullptr;
+        long v = std::strtol(vs, &end, 10);
+        if (!end || *end || end == vs)
+            return fail("bad what-if value in '" + kv + "'");
+        auto setWidth = [&](int &field) {
+            if (v < 1)
+                return fail("what-if '" + key + "' must be >= 1");
+            field = static_cast<int>(v);
+            return true;
+        };
+        auto setLat = [&](int &field) {
+            if (v < 0)
+                return fail("what-if '" + key + "' must be >= 0");
+            field = static_cast<int>(v);
+            return true;
+        };
+        bool ok;
+        if (key == "fetchwidth")
+            ok = setWidth(p.fetchWidth);
+        else if (key == "renamewidth")
+            ok = setWidth(p.renameWidth);
+        else if (key == "commitwidth")
+            ok = setWidth(p.commitWidth);
+        else if (key == "robsize")
+            ok = setWidth(p.robSize);
+        else if (key == "fetchqueue")
+            ok = setWidth(p.fetchQueueSize);
+        else if (key == "frontend")
+            ok = setLat(p.frontendDepth);
+        else if (key == "regreadlat")
+            ok = setLat(p.regReadLat);
+        else if (key == "sched")
+            ok = setLat(p.schedulerCycles);
+        else if (key == "l1dlat")
+            ok = setLat(p.l1dLat);
+        else
+            return fail("unknown what-if key '" + key + "'");
+        if (!ok)
+            return false;
+        ++applied;
+    }
+    if (!applied)
+        return fail("what-if spec '" + spec + "' sets nothing");
+    return true;
+}
+
+namespace {
+
+/** Stage order within one event (walk order and array index). */
+enum Stage : int { StF = 0, StD = 1, StI = 2, StX = 3, StC = 4 };
+
+struct Node
+{
+    std::uint32_t idx;
+    Stage st;
+};
+
+/** One last-arriving candidate: the arrival time the edge imposes and
+ *  the node the backward walk continues from. */
+struct Cand
+{
+    Node cont;
+    std::uint64_t time;
+    CpCat cat;
+};
+
+/** The trace flattened to absolute times plus resolved dependence
+ *  indexes (~invalidIdx = producer outside the traced window). */
+constexpr std::uint32_t invalidIdx = ~0u;
+
+struct Graph
+{
+    std::vector<std::uint64_t> f, d, i, x, c;
+    std::vector<std::uint32_t> src0, src1, dep;
+    std::vector<std::uint32_t> execLat;
+    std::vector<std::uint8_t> flags;
+    std::vector<std::uint16_t> work;
+    std::size_t n = 0;
+
+    bool isLoad(std::size_t k) const
+    {
+        return flags[k] & TraceEvent::FlagLoad;
+    }
+    bool isStore(std::size_t k) const
+    {
+        return flags[k] & TraceEvent::FlagStore;
+    }
+    bool isHandle(std::size_t k) const
+    {
+        return flags[k] & TraceEvent::FlagHandle;
+    }
+    bool mispredicted(std::size_t k) const
+    {
+        return flags[k] & TraceEvent::FlagMispredicted;
+    }
+    bool takenCtrl(std::size_t k) const
+    {
+        return (flags[k] & TraceEvent::FlagCtrl) &&
+            (flags[k] & TraceEvent::FlagTaken);
+    }
+
+    /** Edge-family category of a dependence on producer @p j. */
+    CpCat
+    prodCat(std::size_t j) const
+    {
+        if (isLoad(j))
+            return CpCat::memory;
+        if (isHandle(j))
+            return CpCat::mg;
+        return CpCat::data;
+    }
+
+    /** Execution-edge category of event @p k. */
+    CpCat
+    execCat(std::size_t k) const
+    {
+        if (isHandle(k))
+            return CpCat::mg;
+        if (isLoad(k) || isStore(k))
+            return CpCat::memory;
+        return CpCat::exec;
+    }
+};
+
+Graph
+buildGraph(const TraceBuffer &t)
+{
+    Graph g;
+    g.n = t.size();
+    g.f.resize(g.n);
+    g.d.resize(g.n);
+    g.i.resize(g.n);
+    g.x.resize(g.n);
+    g.c.resize(g.n);
+    g.src0.resize(g.n);
+    g.src1.resize(g.n);
+    g.dep.resize(g.n);
+    g.execLat.resize(g.n);
+    g.flags.resize(g.n);
+    g.work.resize(g.n);
+
+    // Events are pushed at retirement, and retirement is in program
+    // order, so the seq column is strictly increasing: producer
+    // resolution is a binary search over the prefix, no hash map.
+    std::vector<std::uint64_t> seqs(g.n);
+    for (std::size_t k = 0; k < g.n; ++k) {
+        const TraceEvent &e = t.at(k);
+        g.f[k] = e.fetchAt;
+        g.d[k] = e.dispatchAt();
+        g.i[k] = e.issueAt();
+        g.x[k] = e.completeAt();
+        g.c[k] = e.commitAt();
+        g.execLat[k] = static_cast<std::uint32_t>(g.x[k] - g.i[k]);
+        g.flags[k] = e.flags;
+        g.work[k] = e.work;
+        seqs[k] = e.seq;
+        auto resolve = [&](std::uint64_t seq) -> std::uint32_t {
+            if (!seq)
+                return invalidIdx;
+            auto it = std::lower_bound(seqs.begin(),
+                                       seqs.begin() +
+                                           static_cast<std::ptrdiff_t>(k),
+                                       seq);
+            // Producers retire (and are pushed) before consumers, so
+            // a miss means the seq never retired (squashed) or fell
+            // off the ring window — either way there is no edge.
+            return it != seqs.begin() +
+                        static_cast<std::ptrdiff_t>(k) &&
+                    *it == seq
+                ? static_cast<std::uint32_t>(it - seqs.begin())
+                : invalidIdx;
+        };
+        g.src0[k] = resolve(e.srcSeq[0]);
+        g.src1[k] = resolve(e.srcSeq[1]);
+        g.dep[k] = resolve(e.depStoreSeq);
+    }
+    return g;
+}
+
+/** Per-stage time arrays one walk operates on (recorded or modeled). */
+struct Times
+{
+    const std::uint64_t *f;
+    const std::uint64_t *d;
+    const std::uint64_t *i;
+    const std::uint64_t *x;
+    const std::uint64_t *c;
+
+    std::uint64_t
+    at(Node nd) const
+    {
+        switch (nd.st) {
+          case StF: return f[nd.idx];
+          case StD: return d[nd.idx];
+          case StI: return i[nd.idx];
+          case StX: return x[nd.idx];
+          default: return c[nd.idx];
+        }
+    }
+};
+
+/**
+ * Enumerate the modeled in-edges of node (@p k, @p st) against @p tm,
+ * calling add(contIdx, contStage, time, cat) per edge. Every
+ * candidate's continuation strictly precedes the node in (event,
+ * stage) order, so both the backward attribution walk and the forward
+ * in-order propagation share this enumeration. Templated on the sink
+ * so the forward walks — which only need the max time, millions of
+ * nodes per run — fold to a few register max() ops instead of
+ * materializing candidate vectors (the difference between the what-if
+ * walk beating a re-simulation by 2x and by well over 10x).
+ */
+template <class AddFn>
+inline void
+forEachCand(const Graph &g, const CpParams &p, const Times &tm,
+            std::size_t k, Stage st, AddFn &&add)
+{
+    auto idx = static_cast<std::uint32_t>(k);
+    switch (st) {
+      case StF: {
+        if (k > 0) {
+            // Fetch is in-order; a taken branch ends its fetch cycle,
+            // so the next slot starts no earlier than the next cycle.
+            std::uint64_t w = g.takenCtrl(k - 1) ? 1 : 0;
+            add(idx - 1, StF, tm.f[k - 1] + w, CpCat::fetch);
+            // A direction mispredict costs one fetch-block bubble: the
+            // core blocks fetch on the unresolved branch, and the block
+            // clears on the next resolve scan (the branch is still
+            // pre-dispatch), so the next slot fetches one cycle later
+            // whether or not the branch was taken.
+            if (g.mispredicted(k - 1))
+                add(idx - 1, StF, tm.f[k - 1] + 1, CpCat::bpred);
+        }
+        if (k >= static_cast<std::size_t>(p.fetchWidth))
+            add(idx - static_cast<std::uint32_t>(p.fetchWidth), StF,
+                tm.f[k - static_cast<std::size_t>(p.fetchWidth)] + 1,
+                CpCat::fetch);
+        if (k >= static_cast<std::size_t>(p.fetchQueueSize))
+            add(idx - static_cast<std::uint32_t>(p.fetchQueueSize), StD,
+                tm.d[k - static_cast<std::size_t>(p.fetchQueueSize)],
+                CpCat::window);
+        break;
+      }
+      case StD: {
+        add(idx, StF,
+            tm.f[k] + static_cast<std::uint64_t>(p.frontendDepth),
+            CpCat::fetch);
+        if (k > 0)
+            add(idx - 1, StD, tm.d[k - 1], CpCat::window);
+        if (k >= static_cast<std::size_t>(p.renameWidth))
+            add(idx - static_cast<std::uint32_t>(p.renameWidth), StD,
+                tm.d[k - static_cast<std::size_t>(p.renameWidth)] + 1,
+                CpCat::window);
+        if (k >= static_cast<std::size_t>(p.robSize))
+            add(idx - static_cast<std::uint32_t>(p.robSize), StC,
+                tm.c[k - static_cast<std::size_t>(p.robSize)] + 1,
+                CpCat::window);
+        break;
+      }
+      case StI: {
+        add(idx, StD, tm.d[k] + 1,
+            g.isHandle(k) ? CpCat::mg : CpCat::select);
+        auto prod = [&](std::uint32_t j) {
+            if (j == invalidIdx)
+                return;
+            // Producer value-ready: completion minus the register-read
+            // overlap, floored at the scheduler's wakeup latency.
+            std::uint64_t ready = std::max(
+                tm.x[j] > static_cast<std::uint64_t>(p.regReadLat)
+                    ? tm.x[j] - static_cast<std::uint64_t>(p.regReadLat)
+                    : 0,
+                tm.i[j] + static_cast<std::uint64_t>(p.schedulerCycles));
+            add(j, StI, ready, g.prodCat(j));
+        };
+        prod(g.src0[k]);
+        prod(g.src1[k]);
+        if (g.dep[k] != invalidIdx) {
+            // Store-set order: the consumer waits for the predicted
+            // store's memory access to resolve.
+            std::uint32_t j = g.dep[k];
+            add(j, StI, tm.x[j] + 1, CpCat::memory);
+        }
+        break;
+      }
+      case StX: {
+        // Execution latency, re-weighted for loads under an L1-D
+        // latency what-if (clamped so a hit never goes below 1).
+        std::uint64_t lat = g.execLat[k];
+        if (g.isLoad(k) && !g.isStore(k)) {
+            long adj = static_cast<long>(lat) + p.l1dLat -
+                p.l1dLatBase;
+            lat = adj < 1 ? 1 : static_cast<std::uint64_t>(adj);
+        }
+        add(idx, StI, tm.i[k] + lat, g.execCat(k));
+        break;
+      }
+      case StC: {
+        add(idx, StX, tm.x[k], CpCat::commit);
+        if (k > 0)
+            add(idx - 1, StC, tm.c[k - 1], CpCat::commit);
+        if (k >= static_cast<std::size_t>(p.commitWidth))
+            add(idx - static_cast<std::uint32_t>(p.commitWidth), StC,
+                tm.c[k - static_cast<std::size_t>(p.commitWidth)] + 1,
+                CpCat::commit);
+        break;
+      }
+    }
+}
+
+/** Max in-edge time of node (@p k, @p st), or the node's recorded
+ *  fetch anchor when it has no modeled in-edges (only the very first
+ *  fetch). The forward walks' hot primitive. */
+inline std::uint64_t
+maxCandTime(const Graph &g, const CpParams &p, const Times &tm,
+            std::size_t k, Stage st)
+{
+    std::uint64_t t = 0;
+    bool any = false;
+    forEachCand(g, p, tm, k, st,
+                [&](std::uint32_t, Stage, std::uint64_t time, CpCat) {
+                    any = true;
+                    if (time > t)
+                        t = time;
+                });
+    return any ? t : g.f[k];
+}
+
+/** Forward propagation: recompute all node times from the modeled
+ *  edges under @p p. With @p slack non-null, each node additionally
+ *  applies its recorded residual — positive where the machine was
+ *  slower than the modeled in-edges, negative where an edge
+ *  over-predicts the recorded time — which makes the unmodified
+ *  configuration reproduce the recorded times exactly. */
+struct Propagated
+{
+    std::vector<std::uint64_t> f, d, i, x, c;
+};
+
+Propagated
+propagate(const Graph &g, const CpParams &p,
+          const std::vector<std::int64_t> *slack)
+{
+    Propagated o;
+    o.f.resize(g.n);
+    o.d.resize(g.n);
+    o.i.resize(g.n);
+    o.x.resize(g.n);
+    o.c.resize(g.n);
+    Times tm{o.f.data(), o.d.data(), o.i.data(), o.x.data(),
+             o.c.data()};
+    auto node = [&](std::size_t k, Stage st) {
+        std::uint64_t t = maxCandTime(g, p, tm, k, st);
+        if (slack) {
+            std::int64_t a = static_cast<std::int64_t>(t) +
+                slack[st][k];
+            t = a > 0 ? static_cast<std::uint64_t>(a) : 0;
+        }
+        return t;
+    };
+    for (std::size_t k = 0; k < g.n; ++k) {
+        o.f[k] = node(k, StF);
+        o.d[k] = node(k, StD);
+        o.i[k] = node(k, StI);
+        o.x[k] = node(k, StX);
+        o.c[k] = node(k, StC);
+    }
+    return o;
+}
+
+} // namespace
+
+struct CritPathAnalyzer::Impl
+{
+    Graph g;
+    CpParams base;
+    CritPathSummary sum;
+    /** Per-node recorded slack beyond the modeled in-edges, lazily
+     *  filled by the first whatIf() call and reused by every later
+     *  one — it depends only on the recorded times and the traced
+     *  configuration, never on a spec. */
+    std::vector<std::int64_t> slack[5];
+    bool slackReady = false;
+
+    void
+    computeSlack()
+    {
+        Times rec{g.f.data(), g.d.data(), g.i.data(), g.x.data(),
+                  g.c.data()};
+        for (auto &v : slack)
+            v.resize(g.n);
+        auto resid = [&](std::size_t k, Stage st,
+                         std::uint64_t recAt) {
+            // Signed on purpose: a negative residual records a
+            // modeled edge over-predicting this node (a model
+            // mismatch the attribution walk also skips), and
+            // re-applying it is what keeps the identity
+            // configuration bit-exact against the recorded times.
+            slack[st][k] = static_cast<std::int64_t>(recAt) -
+                static_cast<std::int64_t>(
+                    maxCandTime(g, base, rec, k, st));
+        };
+        for (std::size_t k = 0; k < g.n; ++k) {
+            resid(k, StF, g.f[k]);
+            resid(k, StD, g.d[k]);
+            resid(k, StI, g.i[k]);
+            resid(k, StX, g.x[k]);
+            resid(k, StC, g.c[k]);
+        }
+        slackReady = true;
+    }
+};
+
+CritPathAnalyzer::CritPathAnalyzer(const TraceBuffer &trace,
+                                   const CoreConfig &cfg)
+    : impl(std::make_unique<Impl>())
+{
+    Impl &im = *impl;
+    im.g = buildGraph(trace);
+    im.base = CpParams::fromConfig(cfg);
+    const Graph &g = im.g;
+    CritPathSummary &s = im.sum;
+    if (g.n < 2)
+        return;
+    s.present = true;
+    s.tracedSlots = g.n;
+    for (std::size_t k = 0; k < g.n; ++k)
+        s.tracedWork += g.work[k];
+    s.traceWrapped = trace.wrapped();
+    s.actualCycles = g.c[g.n - 1] - g.f[0];
+
+    Times rec{g.f.data(), g.d.data(), g.i.data(), g.x.data(),
+              g.c.data()};
+
+    // 1. Attribution: backward last-arriving walk over the recorded
+    // times. Each step charges the full gap between the node and its
+    // chosen continuation to the winning edge's category; the gaps
+    // telescope from the last commit to the first fetch.
+    Node cur{static_cast<std::uint32_t>(g.n - 1), StC};
+    while (!(cur.idx == 0 && cur.st == StF)) {
+        std::uint64_t here = rec.at(cur);
+        // Only continuations at or before the node's recorded time are
+        // credible last-arrivers; edges whose continuation lands later
+        // are model mismatches, and following one would both break the
+        // telescoping sum and move the walk forward in time. The
+        // in-order previous-stage/previous-slot edge always qualifies,
+        // so a best candidate always exists.
+        bool haveBest = false;
+        Cand best{};
+        std::uint64_t bestCont = 0;
+        forEachCand(g, im.base, rec, cur.idx, cur.st,
+                    [&](std::uint32_t ci, Stage cs, std::uint64_t time,
+                        CpCat cat) {
+                        std::uint64_t contAt = rec.at(Node{ci, cs});
+                        if (contAt > here)
+                            return;
+                        if (!haveBest || time > best.time ||
+                            (time == best.time && contAt > bestCont)) {
+                            haveBest = true;
+                            best = Cand{Node{ci, cs}, time, cat};
+                            bestCont = contAt;
+                        }
+                    });
+        s.breakdown[static_cast<int>(best.cat)] += here - bestCont;
+        cur = best.cont;
+    }
+
+    // 2. Forward model (no residuals): the analyzer's prediction.
+    Propagated pure = propagate(g, im.base, nullptr);
+    s.modeledCycles = pure.c[g.n - 1] - pure.f[0];
+}
+
+CritPathAnalyzer::~CritPathAnalyzer() = default;
+
+const CritPathSummary &
+CritPathAnalyzer::summary() const
+{
+    return impl->sum;
+}
+
+std::uint64_t
+CritPathAnalyzer::whatIf(const std::string &spec, std::string *err)
+{
+    if (err)
+        err->clear();
+    Impl &im = *impl;
+    if (!im.sum.present) {
+        if (err)
+            *err = "critical-path analysis absent (trace too small)";
+        return 0;
+    }
+    CpParams wp = im.base;
+    std::string perr;
+    if (!applyWhatIf(wp, spec, &perr)) {
+        if (err)
+            *err = perr;
+        return 0;
+    }
+    // Residual-anchored forward walk under re-weighted edges: the
+    // residuals make the baseline parameters reproduce the recorded
+    // times exactly, so a re-weighted walk predicts a principled
+    // delta from them.
+    if (!im.slackReady)
+        im.computeSlack();
+    Propagated wi = propagate(im.g, wp, im.slack);
+    return wi.c[im.g.n - 1] - wi.f[0];
+}
+
+CritPathSummary
+analyzeCritPath(const TraceBuffer &trace, const CoreConfig &cfg,
+                const std::string &whatIf)
+{
+    CritPathAnalyzer an(trace, cfg);
+    CritPathSummary s = an.summary();
+    if (s.present && !whatIf.empty()) {
+        s.whatIf = whatIf;
+        std::string err;
+        std::uint64_t cycles = an.whatIf(whatIf, &err);
+        if (!err.empty())
+            s.error = err;
+        else
+            s.whatIfCycles = cycles;
+    }
+    return s;
+}
+
+} // namespace mg

@@ -116,6 +116,16 @@ parseCli(int argc, char **argv)
             opt.faultSpec = next(a, i);
         } else if (a == "--dry-run") {
             opt.dryRun = true;
+        } else if (a == "--critpath") {
+            opt.critpath = true;
+        } else if (a == "--trace") {
+            opt.traceDepth = parseCount("--trace", next(a, i));
+            opt.critpath = true;
+        } else if (a == "--whatif") {
+            opt.whatIf = next(a, i);
+            if (opt.whatIf.empty())
+                fatal("--whatif requires a key=val spec");
+            opt.critpath = true;
         } else {
             opt.rest.push_back(std::move(a));
         }
@@ -211,6 +221,20 @@ CliOptions::applySampling(SweepSpec &spec) const
     for (SweepColumn &col : spec.columns) {
         if (col.timing)
             col.config.sampling = sp;
+    }
+}
+
+void
+CliOptions::applyAnalysis(SweepSpec &spec) const
+{
+    if (!critpath)
+        return;
+    for (SweepColumn &col : spec.columns) {
+        if (col.timing) {
+            col.config.critpath = true;
+            col.config.traceDepth = traceDepth;
+            col.config.whatIf = whatIf;
+        }
     }
 }
 

@@ -30,7 +30,17 @@
  * deterministic fault injector (default `$MG_FAULT_SPEC`; see
  * engine/fault_inject.hh for the rule grammar), and `--dry-run`
  * prints the sweep's cell plan — ids, fingerprints, journal
- * hit/miss — without simulating anything. Anything unrecognised is
+ * hit/miss — without simulating anything.
+ *
+ * Critical-path analysis (see analysis/critpath.hh): `--critpath`
+ * runs every timing cell once more with a retired-event trace
+ * attached and publishes the analyzer's per-kernel breakdown into the
+ * JSON report; `--trace N` bounds the trace ring to N retired events
+ * (implies --critpath; 0 keeps the default ring), and
+ * `--whatif key=val[,key=val...]` additionally predicts the cell's
+ * cycle count under re-weighted edges (implies --critpath). Without
+ * any of the three, no trace is attached and reports are
+ * byte-identical to analyzer-less builds. Anything unrecognised is
  * passed through for bench-specific flags.
  */
 
@@ -80,6 +90,11 @@ struct CliOptions
                                 ///< MG_FAULT_SPEC, else disarmed)
     bool dryRun = false;        ///< --dry-run: print the cell plan,
                                 ///< simulate nothing
+    bool critpath = false;      ///< --critpath (also set by --trace /
+                                ///< --whatif)
+    std::uint64_t traceDepth = 0;   ///< --trace N ring bound (0 =
+                                    ///< default capacity)
+    std::string whatIf;         ///< --whatif key=val[,...] ("" = none)
     std::vector<std::string> rest;  ///< unconsumed arguments
 
     /** @return true when @p flag appears among the leftover args. */
@@ -95,6 +110,12 @@ struct CliOptions
 
     /** Apply samplingParams() to every timed column of @p spec. */
     void applySampling(SweepSpec &spec) const;
+
+    /** Apply the --critpath/--trace/--whatif analysis request to every
+     *  timed column of @p spec (no-op when none was given, keeping the
+     *  spec's fingerprints and report byte-identical). Call after
+     *  applySampling. */
+    void applyAnalysis(SweepSpec &spec) const;
 
     /**
      * Attach the on-disk warm-checkpoint store to @p engine when these

@@ -268,10 +268,40 @@ ExperimentEngine::cellSampledTimed(const EngineWorkload &w,
         std::unique_ptr<CellCheckpointClient> client;
         if (storeFor(cfg.sampling))
             client = makeCellClient(*store_, key);
+        // Measurement-phase salt, derived from the cell fingerprint on
+        // an execution copy: deterministic across sessions (the same
+        // cell always measures the same spans, so warm-store records
+        // and journal replays stay coherent) without being part of the
+        // key itself — the mapping key -> salt is fixed, so keying it
+        // would be redundant. De-correlates measurement placement
+        // from the period grid (the huge-tier jpeg.dct alias).
+        SimConfig run = cfg;
+        std::uint64_t salt = fnv1a64(key.data(), key.size());
+        run.sampling.phaseSalt = salt ? salt : 1;
         auto t0 = std::chrono::steady_clock::now();
-        SampledStats s = runCellSampled(*w.program, prep, cfg, w.setup,
+        SampledStats s = runCellSampled(*w.program, prep, run, w.setup,
                                         *sum, client.get(), cancel);
         return {s, secondsSince(t0)};
+    });
+}
+
+CritPathSummary
+ExperimentEngine::critpathCell(const EngineWorkload &w,
+                               const SimConfig &cfg,
+                               const std::atomic<bool> *cancel)
+{
+    // The key shares the cell fingerprint (which includes the gated
+    // critpath fields), so one traced run serves every sweep cell
+    // with the same (workload, config) identity.
+    std::string key = cellFingerprint(w.id, cfg) + "|critpath";
+    return *critpathRuns.get(key, [&]() -> CritPathSummary {
+        const PreparedMg *prep = nullptr;
+        std::shared_ptr<const PreparedMg> hold;
+        if (cfg.useMiniGraphs) {
+            hold = prepare(w, cfg);
+            prep = hold.get();
+        }
+        return runCellTraced(*w.program, prep, cfg, w.setup, cancel);
     });
 }
 
@@ -307,6 +337,10 @@ ExperimentEngine::computeCell(const EngineWorkload &w,
                 static_cast<double>(out.stats.committedWork) /
                 out.wallSeconds;
         }
+        // Critical-path analysis rides on timing cells only: it is a
+        // separate traced run, so the timed stats above are untouched.
+        if (col.config.critpath)
+            out.critpath = critpathCell(w, col.config, cancel);
     }
     return out;
 }

@@ -237,6 +237,12 @@ class ExperimentEngine
     /** The store, when it should serve @p sp; else null. */
     CheckpointStore *storeFor(const SamplingParams &sp) const;
 
+    /** The cell's critical-path analysis run (cached): one traced
+     *  re-execution plus the analyzer walks (see runCellTraced). */
+    CritPathSummary critpathCell(const EngineWorkload &w,
+                                 const SimConfig &cfg,
+                                 const std::atomic<bool> *cancel);
+
     int jobs_;
     FaultPolicy policy_;
     std::unique_ptr<DeadlineWatchdog> watchdog_;
@@ -248,6 +254,7 @@ class ExperimentEngine
     ArtifactCache<TimedStats> runs;
     ArtifactCache<SampleSummary> summaries;
     ArtifactCache<TimedSampled> sampledRuns;
+    ArtifactCache<CritPathSummary> critpathRuns;
 };
 
 } // namespace mg

@@ -168,6 +168,13 @@ cellFingerprint(const std::string &workload, const SimConfig &cfg)
         fp.add("sampled", true);
         addSampling(fp, cfg.sampling);
     }
+    // Gated for the same reason: analyzer-less keys match the
+    // pre-critpath engine byte-for-byte.
+    if (cfg.critpath) {
+        fp.add("critpath", true)
+            .add("cpDepth", cfg.traceDepth)
+            .add("cpWhatIf", cfg.whatIf);
+    }
     return fp.str();
 }
 

@@ -273,6 +273,45 @@ sweepJson(const SweepResult &r, const std::string &bench)
                                       c.sampled.ckptWritebacks);
                     }
                 }
+                // Critical-path block only when the cell ran the
+                // analyzer (--critpath), so clean-config reports stay
+                // byte-identical to analyzer-less engines.
+                if (c.critpath.present) {
+                    const CritPathSummary &cp = c.critpath;
+                    rec += strfmt(", \"critpath\": {"
+                                  "\"traced_slots\": %llu, "
+                                  "\"traced_work\": %llu, "
+                                  "\"actual_cycles\": %llu, "
+                                  "\"modeled_cycles\": %llu",
+                                  static_cast<unsigned long long>(
+                                      cp.tracedSlots),
+                                  static_cast<unsigned long long>(
+                                      cp.tracedWork),
+                                  static_cast<unsigned long long>(
+                                      cp.actualCycles),
+                                  static_cast<unsigned long long>(
+                                      cp.modeledCycles));
+                    if (cp.traceWrapped)
+                        rec += ", \"trace_wrapped\": true";
+                    rec += ", \"breakdown\": {";
+                    for (int cat = 0; cat < cpCatCount; ++cat) {
+                        rec += strfmt("%s\"%s\": %llu", cat ? ", " : "",
+                                      cpCatName(
+                                          static_cast<CpCat>(cat)),
+                                      static_cast<unsigned long long>(
+                                          cp.breakdown[cat]));
+                    }
+                    rec += "}";
+                    if (!cp.whatIf.empty()) {
+                        rec += ", \"whatif\": " + jsonStr(cp.whatIf);
+                        rec += strfmt(", \"whatif_cycles\": %llu",
+                                      static_cast<unsigned long long>(
+                                          cp.whatIfCycles));
+                    }
+                    if (!cp.error.empty())
+                        rec += ", \"error\": " + jsonStr(cp.error);
+                    rec += "}";
+                }
                 // Throughput only on request: wall-clock is
                 // nondeterministic, and default reports must stay
                 // byte-comparable run to run (and to older engines).
@@ -368,6 +407,22 @@ serializeSweepCell(const SweepCell &c, SerialWriter &w)
     w.u8(static_cast<std::uint8_t>(c.outcome));
     w.str(c.error);
     w.u32(c.retries);
+    // Critical-path fields trail the record. Pre-analyzer journal
+    // records are shorter and fail deserialization cleanly, which the
+    // journal treats as a miss — the cell just recomputes.
+    w.u8(c.critpath.present ? 1 : 0);
+    if (c.critpath.present) {
+        w.u64(c.critpath.tracedSlots);
+        w.u64(c.critpath.tracedWork);
+        w.u8(c.critpath.traceWrapped ? 1 : 0);
+        w.u64(c.critpath.actualCycles);
+        w.u64(c.critpath.modeledCycles);
+        for (int cat = 0; cat < cpCatCount; ++cat)
+            w.u64(c.critpath.breakdown[cat]);
+        w.str(c.critpath.whatIf);
+        w.u64(c.critpath.whatIfCycles);
+        w.str(c.critpath.error);
+    }
 }
 
 bool
@@ -409,6 +464,19 @@ deserializeSweepCell(SerialReader &r, SweepCell &c)
     c.outcome = static_cast<CellOutcome>(o);
     c.error = r.str();
     c.retries = r.u32();
+    c.critpath.present = r.u8() != 0;
+    if (c.critpath.present) {
+        c.critpath.tracedSlots = r.u64();
+        c.critpath.tracedWork = r.u64();
+        c.critpath.traceWrapped = r.u8() != 0;
+        c.critpath.actualCycles = r.u64();
+        c.critpath.modeledCycles = r.u64();
+        for (int cat = 0; cat < cpCatCount; ++cat)
+            c.critpath.breakdown[cat] = r.u64();
+        c.critpath.whatIf = r.str();
+        c.critpath.whatIfCycles = r.u64();
+        c.critpath.error = r.str();
+    }
     return r.ok();
 }
 

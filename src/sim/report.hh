@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/critpath.hh"
 #include "common/serial.hh"
 #include "common/stats.hh"
 #include "uarch/core.hh"
@@ -57,6 +58,10 @@ struct SweepCell
     std::uint64_t textSlots = 0;    ///< program text size (insns)
     SampledStats sampled;           ///< error bounds etc. (sampledRun)
     bool sampledRun = false;        ///< stats were extrapolated
+    /** Critical-path breakdown of the cell's traced analysis run
+     *  (--critpath). present=false — and absent from the JSON — for
+     *  clean configurations. */
+    CritPathSummary critpath;
     /** Simulator throughput: wall-clock of the cell's compute (cache
      *  hits carry the original run's time) and the committed work per
      *  wall-second it implies — the per-cell perf trajectory. */

@@ -69,6 +69,29 @@ runCell(const Program &prog, const PreparedMg *prep, const SimConfig &cfg,
                    cfg.runBudget, cancel);
 }
 
+CritPathSummary
+runCellTraced(const Program &prog, const PreparedMg *prep,
+              const SimConfig &cfg, const SetupFn &setup,
+              const std::atomic<bool> *cancel)
+{
+    const Program *p = &prog;
+    const MgTable *mgt = nullptr;
+    if (cfg.useMiniGraphs) {
+        p = &prep->program;
+        mgt = &prep->table;
+    }
+    Core core(*p, mgt, cfg.core);
+    core.setCancel(cancel);
+    TraceBuffer trace(cfg.traceDepth
+                          ? static_cast<std::size_t>(cfg.traceDepth)
+                          : TraceBuffer::defaultCapacity);
+    core.setTrace(&trace);
+    if (setup)
+        setup(core.oracle());
+    core.run(cfg.runBudget);
+    return analyzeCritPath(trace, cfg.core, cfg.whatIf);
+}
+
 namespace {
 
 /** Normalized-L1 distance between two chunk signatures. */

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <functional>
 
+#include "analysis/critpath.hh"
 #include "cfg/profile.hh"
 #include "mg/rewriter.hh"
 #include "sim/config.hh"
@@ -61,6 +62,19 @@ CoreStats runCore(const Program &prog, const MgTable *mgt,
 CoreStats runCell(const Program &prog, const PreparedMg *prep,
                   const SimConfig &cfg, const SetupFn &setup,
                   const std::atomic<bool> *cancel = nullptr);
+
+/**
+ * Critical-path analysis of one cell: re-run the cell's timing core
+ * with a retired-event trace ring attached (capacity cfg.traceDepth,
+ * 0 = TraceBuffer::defaultCapacity) and run the dependence-graph
+ * analyzer over the captured window, including the cfg.whatIf
+ * re-weighting when set. Trace capture is observational, so the
+ * traced run's CoreStats are bit-identical to runCell's; the ring is
+ * preallocated, so full-length runs stay allocation-free.
+ */
+CritPathSummary runCellTraced(const Program &prog, const PreparedMg *prep,
+                              const SimConfig &cfg, const SetupFn &setup,
+                              const std::atomic<bool> *cancel = nullptr);
 
 /**
  * Functional pre-pass for sampled cells: run the executed binary (the

@@ -427,6 +427,28 @@ Core::doDispatch()
             regs.markPending(np);
         }
 
+        d->dispatchedAt = now;
+        if (trace_) {
+            // Observational producer tracking: the writer table maps
+            // physical registers to the seq that last renamed them, so
+            // the retired trace carries register dependence edges. A
+            // squashed producer's entry is simply overwritten when the
+            // register is reallocated; it never retires, and the
+            // analyzer drops edges whose producer seq is absent.
+            for (int s = 0; s < 2; ++s) {
+                PhysReg p = d->srcPhys[s];
+                d->traceSrcSeq[s] =
+                    p != physNone &&
+                        static_cast<std::size_t>(p) < physWriterSeq_.size()
+                    ? physWriterSeq_[p]
+                    : 0;
+            }
+            if (d->dstPhys != physNone &&
+                static_cast<std::size_t>(d->dstPhys) <
+                    physWriterSeq_.size())
+                physWriterSeq_[d->dstPhys] = d->seq;
+        }
+
         // Memory dependence prediction by (handle) PC.
         if (d->isStoreKind)
             d->depStoreSeq = ss.dispatchStore(d->pc, d->seq);
@@ -862,8 +884,48 @@ Core::doMemAndResolve()
 }
 
 void
+Core::traceRetire(const DynInst *d)
+{
+    auto delta = [&](Cycle at) -> std::uint32_t {
+        if (at <= d->fetchAt)
+            return 0;
+        Cycle v = at - d->fetchAt;
+        return v > 0xffffffffull ? 0xffffffffu
+                                 : static_cast<std::uint32_t>(v);
+    };
+    TraceEvent e;
+    e.seq = d->seq;
+    e.pc = d->pc;
+    e.fetchAt = d->fetchAt;
+    e.dispatchD = delta(d->dispatchedAt);
+    e.issueD = delta(d->issueAt);
+    e.completeD = delta(d->completeAt);
+    e.commitD = delta(now);
+    e.memExecD = (d->isLoadKind || d->isStoreKind)
+        ? delta(d->memExecAt) : 0;
+    e.srcSeq[0] = d->traceSrcSeq[0];
+    e.srcSeq[1] = d->traceSrcSeq[1];
+    e.depStoreSeq = d->depStoreSeq;
+    e.work = static_cast<std::uint16_t>(
+        std::min(d->work, 0xffff));
+    e.handleReplays = static_cast<std::uint16_t>(
+        std::min(d->handleReplays, 0xffff));
+    e.cls = d->cls;
+    e.flags = static_cast<std::uint8_t>(
+        (d->isLoadKind ? TraceEvent::FlagLoad : 0) |
+        (d->isStoreKind ? TraceEvent::FlagStore : 0) |
+        (d->isCtrl ? TraceEvent::FlagCtrl : 0) |
+        (d->isHandle() ? TraceEvent::FlagHandle : 0) |
+        (d->mispredicted ? TraceEvent::FlagMispredicted : 0) |
+        (d->isCtrl && d->rec.taken ? TraceEvent::FlagTaken : 0));
+    trace_->push(e);
+}
+
+void
 Core::retire(DynInst *d)
 {
+    if (trace_)
+        traceRetire(d);
     ++stats_.committedSlots;
     stats_.committedWork += static_cast<std::uint64_t>(d->work);
     if (d->isHandle())
@@ -1629,7 +1691,7 @@ Core::runSampled(const SamplingParams &sp, const SampleSummary &sum,
     }
     std::uint64_t dutyBudget = static_cast<std::uint64_t>(
         sp.maxDuty * static_cast<double>(out.totalWork));
-    auto shouldMeasure = [&](const SampleChunk *c) {
+    auto shouldMeasure = [&](const SampleChunk *c, bool *wholeChunk) {
         const ClusterAgg &a = agg[c->cluster];
         std::size_t oi = occIdxOf[chunkIdxOf(c)];
         auto take = [&](bool yes) {
@@ -1646,11 +1708,18 @@ Core::runSampled(const SamplingParams &sp, const SampleSummary &sum,
             static_cast<double>(postWork ? postWork : 1);
         if (stats_.committedWork >= dutyBudget) {
             // Over budget, only gross non-convergence keeps sampling:
-            // a cheap estimate is worthless if its bound is huge.
-            return take(sp.targetCi > 0 &&
-                        a.ipcs.size() < maxPerCluster &&
-                        oi >= nextEligible[c->cluster] &&
-                        a.relCi() * share > 5 * sp.targetCi);
+            // a cheap estimate is worthless if its bound is huge. Such
+            // a cluster gets the whole chunk, not another floored
+            // span — its variance already survived the normal
+            // refinement budget, so the last samples must average the
+            // chunk's full intra-phase swing instead of re-reading a
+            // fraction of it.
+            bool yes = sp.targetCi > 0 &&
+                a.ipcs.size() < maxPerCluster &&
+                oi >= nextEligible[c->cluster] &&
+                a.relCi() * share > 5 * sp.targetCi;
+            *wholeChunk = yes;
+            return take(yes);
         }
         if (baseMark[chunkIdxOf(c)])
             return take(true);
@@ -1660,8 +1729,40 @@ Core::runSampled(const SamplingParams &sp, const SampleSummary &sum,
             return take(true);
         if (sp.targetCi <= 0 || a.ipcs.size() >= maxPerCluster)
             return false;
+        // Extent-coverage guard (salted placement only): a tiny CI
+        // computed from samples confined to the head of a long
+        // cluster extent is not evidence about its tail. reed@long
+        // turns on store-set serialization mid-run; when the salted
+        // offsets happen to dodge the head's hiccup intervals, the
+        // first two samples agree to 0.4%, the CI gate stops
+        // refinement at the head, and the quantile samples that DO
+        // land past the onset read an untrained (rosy) pipeline
+        // because the onset is discovered at detailed-work rate. The
+        // grid-aligned plan only escaped by luck — its head samples
+        // disagreed enough to keep the stride march going. So under a
+        // salt, keep marching until the measured occurrences span
+        // half the extent; only then is the CI an honest summary of
+        // the cluster.
+        if (sp.phaseSalt && stride[c->cluster] > 1 &&
+            nextEligible[c->cluster] * 2 < occ[c->cluster].size())
+            return take(true);
         return take(a.relCi() * share > sp.targetCi / 2);
     };
+
+    // Settled-measurement sizing (see the measurement loop): the
+    // first interval-worth of work after warmup is discarded as
+    // settling and the measurement averages the following
+    // sub-intervals. The measured span is floored at ~6k work
+    // regardless of the interval size: sub-6k contiguous windows
+    // alias against multi-thousand-work rate oscillations and read a
+    // systematic 2-4% bias on several M-scale kernels (adpcm.dec,
+    // dijkstra, g721.enc — measured in docs/EXPERIMENTS.md) that no
+    // amount of warmup or settling removes, while ~6k windows average
+    // a whole oscillation.
+    constexpr std::uint64_t minMeasuredSpan = 6000;
+    const int measureSubs = static_cast<int>(
+        std::max<std::uint64_t>(
+            3, (minMeasuredSpan + sp.interval - 1) / sp.interval));
 
     double lastIpc = cold.ipc();   // virtual-clock fast-forward rate
     std::uint32_t footIvals = 0;           ///< measurements accounted
@@ -1681,10 +1782,56 @@ Core::runSampled(const SamplingParams &sp, const SampleSummary &sum,
         std::uint64_t p = emu.dynWork();
         if (ch->start <= p)
             continue;
-        if (!shouldMeasure(ch))
+        bool wholeChunk = false;
+        if (!shouldMeasure(ch, &wholeChunk))
             continue;
-        // Fast-forward to the chunk: jump through the checkpoint the
-        // summary captured for it, then functionally warm the tail.
+        // Measurement placement and extent inside the chunk. A
+        // whole-chunk measurement sizes its sub-intervals to cover the
+        // chunk. Otherwise, a phase-salted run starts the measured
+        // span at a deterministic per-chunk offset instead of always
+        // at the chunk start: period-aligned placement samples one
+        // fixed phase of any rate oscillation commensurate with the
+        // period (the huge-tier jpeg.dct alias). Salt zero keeps the
+        // legacy grid-aligned placement bit-exactly.
+        //
+        // The salt dithers what is *measured*, not what is *executed*:
+        // detailed (unmeasured) execution still begins at the chunk
+        // start (see warmStart below), so the offset gap runs through
+        // the cycle-accurate core instead of being fast-forwarded.
+        // One-shot microarchitectural events discovered at
+        // detailed-work rate — reed@long's store-set serialization
+        // onset is a single violation that flips the rest of the run
+        // from IPC 4.9 to 2.65 — land inside the grid span, and a
+        // salt that shifted the detailed region past one would
+        // silently un-discover it (measured: 72% IPC error at a 1%
+        // CI). Keeping the detailed region a superset of the legacy
+        // grid span makes event discovery salt-independent; only the
+        // phase of the measured window moves.
+        int subs = measureSubs;
+        std::uint64_t off = 0;
+        if (wholeChunk) {
+            std::uint64_t ivals = ch->work / sp.interval;
+            if (ivals > static_cast<std::uint64_t>(subs) + 1)
+                subs = static_cast<int>(ivals - 1);
+        } else if (sp.phaseSalt) {
+            std::uint64_t span =
+                (static_cast<std::uint64_t>(measureSubs) + 1) *
+                sp.interval;
+            std::uint64_t maxO = ch->work > span ? ch->work - span : 0;
+            if (maxO) {
+                std::uint64_t h = fnv1a64(&ch->start, sizeof(ch->start),
+                                          sp.phaseSalt);
+                off = h % (maxO + 1);
+            }
+        }
+        const std::uint64_t mstart = ch->start + off;
+        // Fast-forward to the measurement: jump through the checkpoint
+        // the summary captured for the chunk, then functionally warm
+        // the tail. Warmup is anchored at the chunk start, not the
+        // salted measurement start: the offset gap is covered by
+        // detailed execution (see above), and warm-store records —
+        // keyed and serialized at ch->start − warmup — stay valid for
+        // every salt.
         std::uint64_t warmStart = ch->start > sp.warmup
             ? ch->start - sp.warmup : 0;
         if (warmStart > p) {
@@ -1740,31 +1887,22 @@ Core::runSampled(const SamplingParams &sp, const SampleSummary &sum,
         if (emu.halted())
             break;
 
-        // Detailed (unmeasured) warmup up to the chunk start: refills
-        // the pipeline and restores queue back-pressure equilibrium.
+        // Detailed (unmeasured) warmup up to the measurement start:
+        // refills the pipeline and restores queue back-pressure
+        // equilibrium.
         std::uint64_t q = emu.dynWork();
-        if (ch->start > q)
-            runDetailedUntil(stats_.committedWork + (ch->start - q));
+        if (mstart > q)
+            runDetailedUntil(stats_.committedWork + (mstart - q));
 
         // Settled measurement: a drained-then-refilled pipeline can run
         // well above its congested steady state for a while (the
         // window fills slowly when the free register list is the
         // binding resource), so the first interval-worth of work after
         // warmup is discarded as settling and the measurement averages
-        // the following sub-intervals — no convergence test, because
-        // stopping "when two subs agree" preferentially stops on
-        // plateaus of oscillating kernels and biases the sample.
-        // The measured span is floored at ~6k work regardless of the
-        // interval size: sub-6k contiguous windows alias against
-        // multi-thousand-work rate oscillations and read a systematic
-        // 2-4% bias on several M-scale kernels (adpcm.dec, dijkstra,
-        // g721.enc — measured in docs/EXPERIMENTS.md) that no amount
-        // of warmup or settling removes, while ~6k windows average a
-        // whole oscillation.
-        constexpr std::uint64_t minMeasuredSpan = 6000;
-        const int measureSubs = static_cast<int>(
-            std::max<std::uint64_t>(
-                3, (minMeasuredSpan + sp.interval - 1) / sp.interval));
+        // the following sub-intervals (sized above) — no convergence
+        // test, because stopping "when two subs agree" preferentially
+        // stops on plateaus of oscillating kernels and biases the
+        // sample.
         // Sub-interval targets never cross the work cap: a capped run
         // must estimate the capped run, not work beyond it.
         auto boundedTarget = [&]() {
@@ -1775,7 +1913,7 @@ Core::runSampled(const SamplingParams &sp, const SampleSummary &sum,
         std::uint64_t surpriseWorkBase = stats_.committedWork;
         runDetailedUntil(boundedTarget());
         CoreStats delta;
-        for (int s = 0; s < measureSubs && !oracleDone; ++s) {
+        for (int s = 0; s < subs && !oracleDone; ++s) {
             if (stats_.committedWork >= out.totalWork - out.ffWork)
                 break;
             CoreStats b = stats_;

@@ -44,6 +44,7 @@
 #include "uarch/sequencer.hh"
 #include "uarch/sliding_window.hh"
 #include "uarch/store_sets.hh"
+#include "uarch/trace.hh"
 
 namespace mg {
 
@@ -311,6 +312,23 @@ class Core
      */
     void setCancel(const std::atomic<bool> *c) { cancel_ = c; }
 
+    /**
+     * Attach a retired-event trace ring (null detaches). Capture is
+     * observational: timestamps the timing model already computed are
+     * copied into @p t at retirement, so an attached trace never
+     * changes stats() — the determinism contract the critical-path
+     * analyzer relies on. Attach before run(); the producer-tracking
+     * table it enables is maintained from the next dispatch on.
+     */
+    void
+    setTrace(TraceBuffer *t)
+    {
+        trace_ = t;
+        if (t && physWriterSeq_.empty())
+            physWriterSeq_.assign(
+                static_cast<std::size_t>(cfg.physRegs), 0);
+    }
+
     /** Free physical registers (rename-resource checks in tests). */
     int regFreeCount() const { return regs.freeCount(); }
 
@@ -353,6 +371,14 @@ class Core
     std::uint32_t cancelPoll_ = 0;
     static constexpr std::uint32_t cancelPollMask = 1023;
     void pollCancel();
+
+    // Retired-event trace capture (observational; null = off). The
+    // phys-writer table maps each physical register to the seq of the
+    // in-flight slot that produces it, giving the trace its register
+    // dependence edges without touching the rename map's hot path.
+    TraceBuffer *trace_ = nullptr;
+    std::vector<std::uint64_t> physWriterSeq_;
+    void traceRetire(const DynInst *d);
 
     // Allocation-free instruction lifecycle: every DynInst lives in
     // the slab from fetch to retirement/squash; squashed slots are

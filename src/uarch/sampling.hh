@@ -86,6 +86,19 @@ struct SamplingParams
      *  checkpoint-jump fast path; see docs/EXPERIMENTS.md for the
      *  measured trade on both tiers. */
     bool warmThrough = true;
+    /** Measurement-phase perturbation seed (0 = legacy grid-aligned
+     *  placement, bit-exact with salt-less builds). When set, each
+     *  measured chunk's span starts at a deterministic offset hashed
+     *  from (salt, chunk start) instead of always at the chunk start:
+     *  period-aligned placement samples one fixed phase of any rate
+     *  oscillation commensurate with the period, which read a
+     *  systematic ~2% bias on huge-tier jpeg.dct. The engine derives
+     *  the salt from the cell fingerprint, so it is stable across
+     *  sessions (warm-store records and resumed journals stay
+     *  coherent) while de-correlating placement between cells. Not
+     *  part of the cell fingerprint: the same cell key always maps to
+     *  the same salt, so keying it would be redundant. */
+    std::uint64_t phaseSalt = 0;
 
     /** Detailed + functionally-warmed work per period. */
     std::uint64_t

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Compact retired-event trace: one fixed-size record per retired
+ * pipeline slot, carrying the stage timestamps and dependence links
+ * the critical-path analyzer (analysis/critpath.hh) rebuilds its
+ * dependence graph from.
+ *
+ * Capture is strictly observational: the core samples timestamps the
+ * timing model already computed, so attaching a trace never perturbs a
+ * run (stats stay bit-identical with tracing on or off). Events are
+ * written into a caller-owned fixed-capacity ring, so full-length runs
+ * stay allocation-free: once the ring wraps, the oldest events are
+ * overwritten and the analyzer sees the most recent window.
+ *
+ * Timestamps are stored as the absolute fetch cycle plus 32-bit deltas
+ * for the later stages. A slot that sits in the machine for more than
+ * 2^32 cycles is not representable — no realistic configuration comes
+ * within orders of magnitude of that — and the deltas saturate rather
+ * than wrap so a pathological run degrades to clamped attribution, not
+ * garbage.
+ */
+
+#ifndef MG_UARCH_TRACE_HH
+#define MG_UARCH_TRACE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/opcode.hh"
+
+namespace mg {
+
+/** One retired pipeline slot (singleton instruction or handle). */
+struct TraceEvent
+{
+    std::uint64_t seq = 0;        ///< global age (matches DynInst::seq)
+    Addr pc = 0;
+    Cycle fetchAt = 0;            ///< absolute fetch cycle
+
+    // Stage deltas relative to fetchAt (saturating).
+    std::uint32_t dispatchD = 0;  ///< rename/dispatch
+    std::uint32_t issueD = 0;     ///< select/issue
+    std::uint32_t completeD = 0;  ///< execution complete (writeback)
+    std::uint32_t commitD = 0;    ///< retirement
+    std::uint32_t memExecD = 0;   ///< memory access issue (0 = none)
+
+    // Dependence links (0 = none). Producer seqs are recorded per
+    // renamed source operand; the store-set link is the predicted
+    // store dependence the scheduler ordered this slot behind.
+    std::uint64_t srcSeq[2] = {0, 0};
+    std::uint64_t depStoreSeq = 0;
+
+    std::uint16_t work = 1;       ///< constituent instructions
+    std::uint16_t handleReplays = 0;
+    InsnClass cls = InsnClass::Nop;
+    std::uint8_t flags = 0;
+
+    static constexpr std::uint8_t FlagLoad = 1 << 0;
+    static constexpr std::uint8_t FlagStore = 1 << 1;
+    static constexpr std::uint8_t FlagCtrl = 1 << 2;
+    static constexpr std::uint8_t FlagHandle = 1 << 3;
+    static constexpr std::uint8_t FlagMispredicted = 1 << 4;
+    static constexpr std::uint8_t FlagTaken = 1 << 5;
+
+    bool isLoad() const { return flags & FlagLoad; }
+    bool isStore() const { return flags & FlagStore; }
+    bool isCtrl() const { return flags & FlagCtrl; }
+    bool isHandle() const { return flags & FlagHandle; }
+    bool mispredicted() const { return flags & FlagMispredicted; }
+    bool taken() const { return flags & FlagTaken; }
+
+    Cycle dispatchAt() const { return fetchAt + dispatchD; }
+    Cycle issueAt() const { return fetchAt + issueD; }
+    Cycle completeAt() const { return fetchAt + completeD; }
+    Cycle commitAt() const { return fetchAt + commitD; }
+    /** Absolute memory-access cycle; 0 when the slot has none. */
+    Cycle memExecAt() const { return memExecD ? fetchAt + memExecD : 0; }
+};
+
+/**
+ * Fixed-capacity ring of retired events. All storage is reserved up
+ * front; push() never allocates. The ring keeps the @e newest
+ * `capacity()` events and counts everything ever pushed, so consumers
+ * can tell a complete trace (totalPushed() == size()) from a wrapped
+ * window.
+ */
+class TraceBuffer
+{
+  public:
+    /** Default ring capacity: ~256k events (~20 MB) keeps every ref-
+     *  and long-tier kernel complete while bounding huge-tier runs. */
+    static constexpr std::size_t defaultCapacity = 1u << 18;
+
+    explicit TraceBuffer(std::size_t capacity = defaultCapacity)
+        : buf(capacity ? capacity : 1)
+    {
+    }
+
+    void
+    push(const TraceEvent &e)
+    {
+        buf[head % buf.size()] = e;
+        ++head;
+    }
+
+    /** Events currently held (<= capacity). */
+    std::size_t
+    size() const
+    {
+        return head < buf.size() ? static_cast<std::size_t>(head)
+                                 : buf.size();
+    }
+
+    /** Total events ever pushed (retired slots observed). */
+    std::uint64_t totalPushed() const { return head; }
+
+    bool wrapped() const { return head > buf.size(); }
+
+    std::size_t capacity() const { return buf.size(); }
+
+    /** i-th held event, oldest first. */
+    const TraceEvent &
+    at(std::size_t i) const
+    {
+        std::uint64_t base = head < buf.size() ? 0 : head - buf.size();
+        return buf[(base + i) % buf.size()];
+    }
+
+    void
+    clear()
+    {
+        head = 0;
+    }
+
+  private:
+    std::vector<TraceEvent> buf;
+    std::uint64_t head = 0;
+};
+
+} // namespace mg
+
+#endif // MG_UARCH_TRACE_HH

@@ -147,14 +147,15 @@ TEST(HugePerfIdentity, GoldenStatsHashEveryHugeKernelTimesThreeConfigs)
 TEST(HugeStoreSets, ClearIntervalSweepShowsShadowIsNoLongerNeutral)
 {
     // sha re-violates its learned (load PC, store PC) pairs after
-    // every store-set table clear. At the production clear interval
-    // (262144 accesses) a sampled run's detailed spans never cross a
-    // clear, so the shadow is neutral — on- and off-shadow runs are
-    // bit-identical. Shrink the interval until clears fire inside the
-    // detailed spans of a 10M-unit run and the shadow becomes
-    // measurably non-neutral: it re-trains violated pairs across
-    // fast-forward gaps, suppressing re-discovery violations inside
-    // measurement intervals and cutting the IPC error.
+    // every store-set table clear. Under grid-aligned placement at
+    // the production clear interval (262144 accesses) a sampled run's
+    // detailed spans never cross a clear, so the shadow is neutral —
+    // on- and off-shadow runs are bit-identical. Shrink the interval
+    // until clears fire inside the detailed spans of a 10M-unit run
+    // and the shadow becomes measurably non-neutral: it re-trains
+    // violated pairs across fast-forward gaps, suppressing
+    // re-discovery violations inside measurement intervals and
+    // cutting the IPC error.
     BoundKernel bk = bindKernel(findKernel("sha"), Scale::Huge);
     EngineWorkload w = workload(bk);
 
@@ -171,11 +172,33 @@ TEST(HugeStoreSets, ClearIntervalSweepShowsShadowIsNoLongerNeutral)
         return eng.cellSampled(w, sc);
     };
 
-    // Production interval: neutral, bit for bit.
-    SampledStats defOn = runAt(262144, true, nullptr);
-    SampledStats defOff = runAt(262144, false, nullptr);
-    EXPECT_EQ(defOn.est, defOff.est)
-        << "shadow unexpectedly active at the production clear interval";
+    // Production interval: neutral, bit for bit. Pinned under
+    // explicit grid-aligned (salt-zero) placement through the sim
+    // layer: the engine's phase-salted placement can legitimately
+    // move a detailed span onto a clear boundary — exactly the
+    // regime the shrunk-interval half below exercises on purpose —
+    // so the controlled no-clears-in-span claim belongs to the grid.
+    {
+        SimConfig cfg = SimConfig::intMemMg();
+        cfg.core.ss.clearInterval = 262144;
+        BlockProfile prof = collectProfile(*bk.program, bk.setup,
+                                           cfg.profileBudget);
+        PreparedMg prep = prepareMiniGraphs(
+            *bk.program, prof, cfg.policy, cfg.machine, cfg.compress);
+        SimConfig sc = cfg;
+        sc.sampling.enabled = true;
+        SampleSummary sum = collectSampleSummary(
+            prep.program, &prep.table, bk.setup, sc.sampling);
+        sc.sampling.ssShadow = true;
+        SampledStats defOn =
+            runCellSampled(prep.program, &prep, sc, bk.setup, sum);
+        sc.sampling.ssShadow = false;
+        SampledStats defOff =
+            runCellSampled(prep.program, &prep, sc, bk.setup, sum);
+        EXPECT_EQ(defOn.est, defOff.est)
+            << "shadow unexpectedly active at the production clear "
+               "interval under grid placement";
+    }
 
     // Clears inside the detailed spans: the shadow must change the
     // estimate (non-neutral), suppress violations, and not hurt the
@@ -213,11 +236,22 @@ TEST(HugeSampling, WarmThroughAccuracyAndFastForwardDominance)
         ASSERT_GT(full, 0.0);
         EXPECT_FALSE(s.exact) << w.id;
         EXPECT_FALSE(s.footprintWarning) << w.id;   // warm-through
-        // Measured worst case is 1.99% (jpeg.dct, whose 16k-work
-        // block period aliases against the measurement grid); 3%
-        // trips loudly on a regression without pinning the alias.
-        EXPECT_LE(std::abs(s.est.ipc() - full) / full, 0.03)
+        double err = std::abs(s.est.ipc() - full) / full;
+        // Historic worst case was 1.99% (jpeg.dct, whose 16k-work
+        // block period aliases against a grid-aligned measurement
+        // placement); 3% trips loudly on a regression of the tier.
+        EXPECT_LE(err, 0.03)
             << w.id << " sampled " << s.est.ipc() << " vs full " << full;
+        // The salted measurement phase (SamplingParams::phaseSalt,
+        // derived per cell by the engine) de-aliases that bias:
+        // jpeg.dct measured 0.93% salted. Pin the cell that motivated
+        // the fix under 1% so a placement regression re-announces
+        // itself here, not in a figure.
+        if (w.id.find("jpeg.dct") != std::string::npos) {
+            EXPECT_LT(err, 0.01)
+                << w.id << " sampling alias is back: sampled "
+                << s.est.ipc() << " vs full " << full;
+        }
         // At 10M units the duty cap dominates: the overwhelming share
         // of the run is fast-forwarded, not simulated in detail.
         EXPECT_GT(s.ffWork, (8 * s.totalWork) / 10) << w.id;

@@ -93,8 +93,9 @@ TEST(LongSampling, StoreBackedReedAccuracyAndCrossSessionDeterminism)
     // The loud cell of the storeless battery above, with the
     // warm-checkpoint store attached. The two-pass violation seeding
     // must pull reed/int-mem from ~26% IPC error to inside 4%
-    // (measured 0.55% — the bound leaves room for grid drift, not
-    // for a regression of the mechanism), and a second session
+    // (measured 1.87% under salted placement — the bound leaves room
+    // for placement drift, not for a regression of the mechanism),
+    // and a second session
     // against the same store directory must reproduce the first
     // session's stats bit for bit while restoring — not recomputing
     // — its warm state.
@@ -129,6 +130,38 @@ TEST(LongSampling, StoreBackedReedAccuracyAndCrossSessionDeterminism)
     EXPECT_EQ(b.intervals, a.intervals);
     EXPECT_EQ(b.ipcHat, a.ipcHat);
     EXPECT_EQ(b.ipcRelCi95, a.ipcRelCi95);
+
+    fs::remove_all(dir);
+}
+
+TEST(LongSampling, StoreBackedWorstCellStaysInsideDocumentedBound)
+{
+    // Satellite bound for the measurement-phase salt: the worst
+    // store-enabled long-tier cell on record was gzip/int-mem at
+    // 2.21% (docs/EXPERIMENTS.md) under grid-aligned placement; the
+    // salted placement measured 0.77% on it. The documented historic
+    // worst is the regression ceiling — the fix must never be the
+    // thing that pushes a store-enabled cell past it.
+    namespace fs = std::filesystem;
+    fs::path dir = fs::temp_directory_path() /
+        ("mg-long-worst-" + std::to_string(::getpid()));
+    fs::remove_all(dir);
+
+    EngineWorkload w =
+        workload(bindKernel(findKernel("gzip"), Scale::Long));
+    SimConfig cfg = SimConfig::intMemMg();
+    double full = ExperimentEngine(1).cell(w, cfg).ipc();
+    SimConfig sc = cfg;
+    sc.sampling.enabled = true;
+
+    ExperimentEngine eng(1);
+    eng.setCheckpointStore(std::make_shared<CheckpointStore>(
+        CheckpointStoreConfig{dir.string()}));
+    SampledStats s = eng.cellSampled(w, sc);
+    EXPECT_FALSE(s.exact);
+    EXPECT_LE(std::abs(s.est.ipc() - full) / full, 0.0221)
+        << "store-enabled gzip/int-mem error beyond the documented "
+           "worst: sampled " << s.est.ipc() << " vs full " << full;
 
     fs::remove_all(dir);
 }

@@ -9,8 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
+#include "assembler/assembler.hh"
 #include "engine/engine.hh"
 #include "workloads/suites.hh"
 
@@ -25,6 +27,45 @@ sampled(SimConfig cfg)
     cfg.sampling.enabled = true;
     return cfg;
 }
+
+/** Phase-mixed synthetic kernel, ~617k work units: long enough to
+ *  sample genuinely (the short-run degrade threshold at default
+ *  parameters is ~400k) and heterogeneous enough — an ALU burst and a
+ *  store-walk per outer iteration — that per-interval IPC carries
+ *  real variance for the CI machinery to chew on. */
+const Program &
+syntheticLongProgram()
+{
+    static Program p = assemble(R"(
+        .text
+main:
+        li r20, 900
+outer:
+        li r1, 120
+alu:
+        addq r2, 1, r2
+        mulq r2, 3, r3
+        subq r1, 1, r1
+        bgt r1, alu
+        lda r5, sbuf
+        li r6, 40
+memp:
+        ldq r7, 0(r5)
+        addq r7, 1, r7
+        stq r7, 0(r5)
+        addq r5, 64, r5
+        subq r6, 1, r6
+        bgt r6, memp
+        subq r20, 1, r20
+        bgt r20, outer
+        halt
+        .data
+sbuf:   .space 2560
+    )");
+    return p;
+}
+
+const SetupFn noSetup = [](Emulator &) {};
 
 } // namespace
 
@@ -185,4 +226,77 @@ TEST(Sampling, SweepReportsSamplingMetadata)
     std::string json = sweepJson(r, "sampling_meta");
     EXPECT_NE(json.find("\"sampled\": true"), std::string::npos);
     EXPECT_NE(json.find("\"ipc_ci95_rel\""), std::string::npos);
+}
+
+TEST(Sampling, MeasurementPhaseSaltIsDeterministicAndAccurate)
+{
+    // The sampling-alias fix: grid-aligned measurement spans sample
+    // one fixed phase of any rate oscillation commensurate with the
+    // period (the jpeg.dct@huge ~2% systematic bias). A non-zero
+    // phaseSalt hashes a per-chunk span offset instead. Contract:
+    // salt 0 is the legacy placement, any fixed salt is fully
+    // deterministic, and no salt choice may push this kernel outside
+    // the stated 2% bound.
+    const Program &p = syntheticLongProgram();
+    SimConfig cfg = SimConfig::baseline();
+    CoreStats full = runCell(p, nullptr, cfg, noSetup);
+
+    SimConfig sc = sampled(cfg);
+    SampleSummary sum = collectSampleSummary(p, nullptr, noSetup,
+                                             sc.sampling);
+    auto runAt = [&](std::uint64_t salt) {
+        SimConfig c = sc;
+        c.sampling.phaseSalt = salt;
+        return runCellSampled(p, nullptr, c, noSetup, sum);
+    };
+
+    SampledStats legacy = runAt(0);
+    SampledStats a = runAt(0x9e3779b97f4a7c15ull);
+    SampledStats a2 = runAt(0x9e3779b97f4a7c15ull);
+    SampledStats b = runAt(0x5bf03635ull);
+
+    EXPECT_FALSE(legacy.exact);
+    EXPECT_EQ(a.est, a2.est) << "salted placement not deterministic";
+    EXPECT_EQ(a.intervals, a2.intervals);
+
+    double fullIpc = full.ipc();
+    ASSERT_GT(fullIpc, 0.0);
+    for (const SampledStats *s : {&legacy, &a, &b}) {
+        EXPECT_LE(std::abs(s->est.ipc() - fullIpc) / fullIpc, 0.02)
+            << "salt variant missed the accuracy bound: sampled "
+            << s->est.ipc() << " vs full " << fullIpc;
+        EXPECT_EQ(s->est.committedWork, full.committedWork);
+    }
+}
+
+TEST(Sampling, ExhaustedDutyBudgetFallsBackToWholeChunks)
+{
+    // The CI-refinement fix: when the duty budget runs out before a
+    // cluster's error bound converges, the run used to just stop
+    // sampling it — freezing a bad estimate made from floored spans.
+    // Now a grossly unconverged cluster keeps sampling past the
+    // budget with *whole-chunk* measurements (averaging the chunk's
+    // full intra-phase swing). An unreachable targetCi plus a starved
+    // duty budget forces that path: the run must keep refining well
+    // beyond the base plan and still land inside the bound.
+    const Program &p = syntheticLongProgram();
+    SimConfig cfg = SimConfig::baseline();
+    CoreStats full = runCell(p, nullptr, cfg, noSetup);
+
+    SimConfig sc = sampled(cfg);
+    sc.sampling.targetCi = 1e-9;    // never converges
+    sc.sampling.maxDuty = 0.08;     // budget gone after the base plan
+    SampleSummary sum = collectSampleSummary(p, nullptr, noSetup,
+                                             sc.sampling);
+    SampledStats s = runCellSampled(p, nullptr, sc, noSetup, sum);
+
+    EXPECT_FALSE(s.exact);
+    // Base plan alone is three quantile samples per cluster; the
+    // over-budget whole-chunk fallback must have kept going.
+    EXPECT_GE(s.intervals, 10u)
+        << "over-budget refinement never fired";
+    double fullIpc = full.ipc();
+    ASSERT_GT(fullIpc, 0.0);
+    EXPECT_LE(std::abs(s.est.ipc() - fullIpc) / fullIpc, 0.025)
+        << "sampled " << s.est.ipc() << " vs full " << fullIpc;
 }
