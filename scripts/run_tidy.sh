@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Run the clang-tidy baseline (.clang-tidy at the repo root) over the
+# src/ tree, the same way the `clang-tidy` CI job does.
+#
+#   scripts/run_tidy.sh [BUILD_DIR] [-- extra clang-tidy args]
+#
+# Needs a build directory with compile_commands.json; one is created
+# (config-only, no compile) at build-tidy/ when the default is absent.
+# Exits 0 when clang-tidy is not installed — local trees without LLVM
+# stay usable; CI installs clang-tidy explicitly and so does enforce.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+    echo "run_tidy.sh: $TIDY not installed; skipping (CI enforces)" >&2
+    exit 0
+fi
+
+BUILD_DIR="${1:-build-tidy}"
+if [ $# -gt 0 ]; then shift; fi
+EXTRA=()
+if [ "${1:-}" = "--" ]; then shift; EXTRA=("$@"); fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    cmake -B "$BUILD_DIR" -S . \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+        -DMG_BUILD_TESTS=OFF -DMG_BUILD_BENCHES=OFF \
+        -DMG_BUILD_EXAMPLES=OFF >/dev/null
+fi
+
+# Deterministic file order; failures accumulate rather than stopping
+# at the first file so one run reports everything.
+mapfile -t FILES < <(find src -name '*.cpp' | sort)
+status=0
+for f in "${FILES[@]}"; do
+    echo "== $f"
+    "$TIDY" -p "$BUILD_DIR" --quiet "${EXTRA[@]}" "$f" || status=1
+done
+exit $status

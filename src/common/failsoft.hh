@@ -20,6 +20,7 @@
 #ifndef MG_COMMON_FAILSOFT_HH
 #define MG_COMMON_FAILSOFT_HH
 
+#include <atomic>
 #include <cstdarg>
 #include <stdexcept>
 
@@ -46,29 +47,36 @@ class CellTimeout : public std::runtime_error
  * Warn-once fail-soft latch. Starts open; the first fail() prints
  * its message via warn() and closes the gate, later fail()s are
  * silent. Callers guard their degradable operations with ok().
- * Not synchronized: callers that share a gate across threads must
- * hold their own lock (both current users operate under one).
+ *
+ * Thread-safe: the latch is an atomic flag, so ok() may be polled
+ * without the owner's lock (the checkpoint store reads it on its
+ * store() fast path before locking) and concurrent fail()s elect
+ * exactly one warner via exchange().
  */
 class FailSoftGate
 {
   public:
-    bool ok() const { return ok_; }
+    // Relaxed is enough: the flag is a monotonic advisory latch, it
+    // guards no other memory — whoever observes it closed only skips
+    // work, and the mutex of the owning component orders the data.
+    bool ok() const { return ok_.load(std::memory_order_relaxed); }
 
-    /** Latch failure; the first call warns with @p fmt. */
+    /** Latch failure; exactly one call warns with @p fmt. */
     void
     fail(const char *fmt, ...)
     {
-        if (ok_) {
+        // exchange() makes close-and-test one atomic step: among
+        // racing fail()s only the one that flips true->false warns.
+        if (ok_.exchange(false, std::memory_order_relaxed)) {
             va_list ap;
             va_start(ap, fmt);
             warn("%s", vstrfmt(fmt, ap).c_str());
             va_end(ap);
         }
-        ok_ = false;
     }
 
   private:
-    bool ok_ = true;
+    std::atomic<bool> ok_{true};
 };
 
 } // namespace mg

@@ -36,6 +36,8 @@ fatal(const char *fmt, ...)
     std::string s = vstrfmt(fmt, ap);
     va_end(ap);
     std::fprintf(stderr, "fatal: %s\n", s.c_str());
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): fatal() is terminal by
+    // contract; no cleanup ordering is promised past this point
     std::exit(1);
 }
 

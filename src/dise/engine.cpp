@@ -100,6 +100,8 @@ DiseEngine::expandProgram(const Program &prog) const
             out.text.push_back(in);
         }
     }
+    // Result is order-independent: no output or serialization here.
+    // mglint:allow(unordered-iter): map-to-map relink, order-free
     for (const auto &[name, a] : prog.symbols)
         out.symbols[name] = relink(a);
     out.entry = relink(prog.entry);

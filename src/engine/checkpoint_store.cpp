@@ -299,6 +299,8 @@ CheckpointStore::evictUnderLock()
         return;
     std::vector<std::pair<std::uint64_t, std::string>> byAge;
     byAge.reserve(index_.size());
+    // Eviction order is stamp order, never hash order.
+    // mglint:allow(unordered-iter): pairs copied then sorted below
     for (const auto &[path, e] : index_)
         byAge.emplace_back(e.stamp, path);
     std::sort(byAge.begin(), byAge.end());

@@ -66,6 +66,8 @@ parseCli(int argc, char **argv)
             opt.scale = parseScale(next(a, i));
         } else if (a == "--list-kernels") {
             fputs(kernelListing().c_str(), stdout);
+            // NOLINTNEXTLINE(concurrency-mt-unsafe): CLI parse runs
+            // single-threaded, before any worker exists
             exit(0);
         } else if (a == "--sample-interval") {
             opt.sampleInterval = parseCount("--sample-interval",
@@ -159,6 +161,7 @@ CliOptions::configureStore(ExperimentEngine &engine) const
     CheckpointStoreConfig cfg;
     cfg.dir = checkpointDir;
     if (cfg.dir.empty()) {
+        // NOLINTNEXTLINE(concurrency-mt-unsafe): read at startup only
         const char *env = std::getenv("MG_CHECKPOINT_DIR");
         cfg.dir = env && *env ? env : ".mg-cache/checkpoints";
     }
@@ -175,6 +178,7 @@ CliOptions::journalDir() const
         return "";
     if (!journalDirOpt.empty())
         return journalDirOpt;
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read at startup only
     const char *env = std::getenv("MG_JOURNAL_DIR");
     return env && *env ? env : "";
 }
@@ -204,6 +208,7 @@ CliOptions::configureFaultTolerance(ExperimentEngine &engine) const
 
     std::string spec = faultSpec;
     if (spec.empty()) {
+        // NOLINTNEXTLINE(concurrency-mt-unsafe): read at startup only
         const char *env = std::getenv("MG_FAULT_SPEC");
         if (env)
             spec = env;

@@ -10,6 +10,7 @@ void
 Memory::copyPages(const Memory &other)
 {
     pages.reserve(other.pages.size());
+    // mglint:allow(unordered-iter): deep copy map-to-map, order-free
     for (const auto &[idx, page] : other.pages)
         pages.emplace(idx, std::make_unique<Page>(*page));
 }
@@ -84,6 +85,7 @@ Memory::serialize(SerialWriter &w) const
     // is a canonical function of the image, not of hash-map layout.
     std::vector<Addr> idxs;
     idxs.reserve(pages.size());
+    // mglint:allow(unordered-iter): keys copied then sorted below
     for (const auto &[idx, page] : pages)
         idxs.push_back(idx);
     std::sort(idxs.begin(), idxs.end());

@@ -77,6 +77,8 @@ rewriteCompress(const Program &prog, const Selection &sel,
 
     RewriteResult out;
     out.program.data = prog.data;
+    // Result is order-independent: no output or serialization here.
+    // mglint:allow(unordered-iter): map-to-map relink, order-free
     for (const auto &[name, a] : prog.symbols)
         out.program.symbols[name] = relink(a);
     out.program.entry = relink(prog.entry);

@@ -1327,6 +1327,7 @@ std::vector<std::pair<Addr, Addr>>
 Core::violPairsSorted() const
 {
     std::vector<std::pair<Addr, Addr>> v;
+    // mglint:allow(unordered-iter): edges copied then sorted below
     for (const auto &[loadPc, partners] : ffViolPairs) {
         for (const FfPartner &p : partners)
             v.emplace_back(loadPc, p.storePc);
@@ -1412,6 +1413,7 @@ Core::serializeWarm(SerialWriter &w) const
     // ride in the record; canonical sorted order keeps the bytes —
     // and the store's checksums — session-independent.
     std::vector<std::tuple<Addr, Addr, std::uint8_t>> edges;
+    // mglint:allow(unordered-iter): edges copied then sorted below
     for (const auto &[loadPc, partners] : ffViolPairs) {
         for (const FfPartner &p : partners)
             edges.emplace_back(loadPc, p.storePc, p.active ? 1 : 0);
@@ -1424,7 +1426,8 @@ Core::serializeWarm(SerialWriter &w) const
         w.u8(a);
     }
     std::vector<std::pair<Addr, std::pair<Addr, std::uint64_t>>> alias(
-        ffAliasLast.begin(), ffAliasLast.end());
+        ffAliasLast.begin(),   // mglint:allow(unordered-iter): sorted below
+        ffAliasLast.end());
     std::sort(alias.begin(), alias.end());
     w.u64(alias.size());
     for (const auto &[wd, last] : alias) {
@@ -1460,14 +1463,14 @@ Core::tryRestoreWarm(const std::vector<std::uint8_t> &bytes)
     std::uint64_t nEdges = r.u64();
     if (nEdges > r.remaining() / 17)
         return false;
-    std::unordered_map<Addr, std::vector<FfPartner>> pairs;
+    std::unordered_map<Addr, std::vector<FfPartner>> edgesByLoad;
     std::uint64_t dormant = 0;
     std::unordered_set<Addr> partnerStores;
     for (std::uint64_t i = 0; i < nEdges; ++i) {
         Addr l = r.u64();
         Addr s = r.u64();
         std::uint8_t a = r.u8();
-        pairs[l].push_back({s, a != 0});
+        edgesByLoad[l].push_back({s, a != 0});
         if (a == 0) {
             ++dormant;
             partnerStores.insert(s);
@@ -1476,12 +1479,12 @@ Core::tryRestoreWarm(const std::vector<std::uint8_t> &bytes)
     std::uint64_t nAlias = r.u64();
     if (nAlias > r.remaining() / 24)
         return false;
-    std::unordered_map<Addr, std::pair<Addr, std::uint64_t>> alias;
+    std::unordered_map<Addr, std::pair<Addr, std::uint64_t>> aliasByWord;
     for (std::uint64_t i = 0; i < nAlias; ++i) {
         Addr wd = r.u64();
         Addr spc = r.u64();
         std::uint64_t pos = r.u64();
-        alias[wd] = {spc, pos};
+        aliasByWord[wd] = {spc, pos};
     }
     if (!r.ok())
         return false;
@@ -1499,9 +1502,9 @@ Core::tryRestoreWarm(const std::vector<std::uint8_t> &bytes)
     mem.adoptState(hs);
     bp.adoptState(bs);
     ss.adoptState(sss);
-    ffViolPairs = std::move(pairs);
+    ffViolPairs = std::move(edgesByLoad);
     ffPartnerStores = std::move(partnerStores);
-    ffAliasLast = std::move(alias);
+    ffAliasLast = std::move(aliasByWord);
     ffDormantEdges = dormant;
     lastFetchLine = ~Addr(0);
     return true;

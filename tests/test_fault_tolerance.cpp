@@ -411,7 +411,11 @@ TEST(FaultSweep, StallTimesOutUnderDeadline)
     SweepSpec spec = testSpec();
     FaultArm arm("stall@crc:ms=10000");
     ExperimentEngine engine(2);
-    engine.setFaultPolicy(fastRetry(0.05));
+    // The deadline must be long enough that the healthy cells always
+    // finish inside it — including under TSan's ~10x slowdown (the
+    // stalled cells still cancel ~2ms past the deadline, so the test
+    // pays the deadline, not the 10s stall).
+    engine.setFaultPolicy(fastRetry(1.0));
     SweepResult r = engine.sweep(spec);
 
     for (std::size_t col = 0; col < r.columns.size(); ++col) {

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Self-test for mglint, the determinism-contract linter.
+ *
+ * Links the rule engine (mglint_core) directly and lints the committed
+ * fixture corpus under tools/mglint/fixtures: every known-bad fixture
+ * must be flagged at the expected line by the expected rule, the
+ * known-good fixture must pass, allow annotations must suppress (and
+ * be counted), and the serialize/deserialize parity rule must catch
+ * the deliberately drifted fixture. Finally the live src/ tree must
+ * lint clean — that last check IS the determinism contract's
+ * enforcement point, so it runs in the unit tier.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+namespace {
+
+std::string
+fixture(const std::string &name)
+{
+    return std::string(MGLINT_FIXTURE_DIR) + "/" + name;
+}
+
+mglint::LintResult
+lintFixture(const std::string &name)
+{
+    return mglint::lintFiles({fixture(name)});
+}
+
+/// Findings for one rule, as (basename suffix match) line numbers.
+std::vector<int>
+linesFor(const mglint::LintResult &r, const std::string &rule)
+{
+    std::vector<int> lines;
+    for (const mglint::Finding &f : r.findings)
+        if (f.rule == rule)
+            lines.push_back(f.line);
+    return lines;
+}
+
+TEST(MglintCatalog, HasAllFiveRules)
+{
+    auto cat = mglint::ruleCatalog();
+    std::vector<std::string> ids;
+    for (const auto &[id, desc] : cat) {
+        ids.push_back(id);
+        EXPECT_FALSE(desc.empty()) << id;
+    }
+    std::vector<std::string> want = {"banned-rand", "ptr-key",
+                                     "unordered-iter", "serial-parity",
+                                     "format-version"};
+    for (const std::string &w : want)
+        EXPECT_NE(std::find(ids.begin(), ids.end(), w), ids.end())
+            << "missing rule " << w;
+    EXPECT_EQ(ids.size(), want.size());
+}
+
+TEST(MglintBad, RandFixtureFlagsEveryBannedSource)
+{
+    auto r = lintFixture("bad_rand.cc");
+    // std::random_device, rand(), srand(), time(), clock() — one
+    // finding per line, nothing else.
+    EXPECT_EQ(linesFor(r, "banned-rand"),
+              (std::vector<int>{9, 10, 11, 12, 13}));
+    EXPECT_EQ(r.findings.size(), 5u);
+    EXPECT_EQ(r.suppressed, 0);
+}
+
+TEST(MglintBad, PtrKeyFixtureFlagsMapAndSet)
+{
+    auto r = lintFixture("bad_ptrkey.cc");
+    EXPECT_EQ(linesFor(r, "ptr-key"), (std::vector<int>{12, 13}));
+    EXPECT_EQ(r.findings.size(), 2u);
+}
+
+TEST(MglintBad, UnorderedIterFixtureFlagsRangeForAndIteratorWalk)
+{
+    auto r = lintFixture("bad_unordered_iter.cc");
+    EXPECT_EQ(linesFor(r, "unordered-iter"), (std::vector<int>{17, 19}));
+    EXPECT_EQ(r.findings.size(), 2u);
+}
+
+TEST(MglintBad, SerialParityCatchesDriftedRecord)
+{
+    auto r = lintFixture("bad_serial_drift.cc");
+    ASSERT_EQ(r.findings.size(), 1u);
+    const mglint::Finding &f = r.findings[0];
+    EXPECT_EQ(f.rule, "serial-parity");
+    // Both directions of drift are named: a member serialized but
+    // never restored, and one restored but never serialized. The
+    // clean SteadyRecord pair in the same file must NOT fire.
+    EXPECT_NE(f.message.find("DriftRecord"), std::string::npos);
+    EXPECT_NE(f.message.find("epoch"), std::string::npos);
+    EXPECT_NE(f.message.find("spare"), std::string::npos);
+    EXPECT_EQ(f.message.find("SteadyRecord"), std::string::npos);
+}
+
+TEST(MglintBad, FormatVersionRequiredNextToRecordMagic)
+{
+    auto r = lintFixture("bad_format_version.cc");
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].rule, "format-version");
+    EXPECT_EQ(r.findings[0].line, 5);
+    EXPECT_NE(r.findings[0].message.find("blobMagic"),
+              std::string::npos);
+}
+
+TEST(MglintGood, IdiomaticFixturePassesClean)
+{
+    // good.cc exercises the sorted-view idiom, a value-keyed ordered
+    // map, a magic WITH a format version, and one annotated
+    // container-copy — zero findings, exactly one suppression.
+    auto r = lintFixture("good.cc");
+    EXPECT_TRUE(r.findings.empty());
+    EXPECT_EQ(r.suppressed, 1);
+}
+
+TEST(MglintAllow, AnnotationsSuppressAndAreCounted)
+{
+    // allowed.cc holds one violation per annotatable rule, each with
+    // an allow comment: zero findings, three suppressions.
+    auto r = lintFixture("allowed.cc");
+    EXPECT_TRUE(r.findings.empty());
+    EXPECT_EQ(r.suppressed, 3);
+}
+
+TEST(MglintCorpus, CrossFileStateCoversWholeFixtureSet)
+{
+    // Lint the whole fixture directory in one call, the way the CLI
+    // does: per-fixture counts must add up (11 findings, 4
+    // suppressions over 7 files), and the report must be sorted by
+    // (file, line) so reruns diff clean.
+    auto files = mglint::collectSources({MGLINT_FIXTURE_DIR});
+    EXPECT_EQ(files.size(), 7u);
+    EXPECT_TRUE(std::is_sorted(files.begin(), files.end()));
+    auto r = mglint::lintFiles(files);
+    EXPECT_EQ(r.filesScanned, 7);
+    EXPECT_EQ(r.findings.size(), 11u);
+    EXPECT_EQ(r.suppressed, 4);
+    auto byPos = [](const mglint::Finding &a, const mglint::Finding &b) {
+        return std::tie(a.file, a.line) <= std::tie(b.file, b.line);
+    };
+    for (std::size_t i = 1; i < r.findings.size(); ++i)
+        EXPECT_TRUE(byPos(r.findings[i - 1], r.findings[i]));
+}
+
+TEST(MglintJson, ReportCarriesCountsAndFindings)
+{
+    auto r = lintFixture("bad_format_version.cc");
+    std::string j = mglint::findingsJson(r);
+    EXPECT_NE(j.find("\"files_scanned\": 1"), std::string::npos);
+    EXPECT_NE(j.find("\"rule\": \"format-version\""), std::string::npos);
+    EXPECT_NE(j.find("\"line\": 5"), std::string::npos);
+}
+
+TEST(MglintContract, LiveSourceTreeLintsClean)
+{
+    // The enforcement point: the shipped src/ tree must carry zero
+    // unsuppressed findings. If this fails, either fix the new code
+    // or annotate it with a justified mglint:allow.
+    auto files = mglint::collectSources({MGLINT_SRC_DIR});
+    ASSERT_GT(files.size(), 10u);
+    auto r = mglint::lintFiles(files);
+    for (const mglint::Finding &f : r.findings)
+        ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule
+                      << "] " << f.message;
+}
+
+} // namespace

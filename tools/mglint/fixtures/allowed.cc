@@ -1,0 +1,31 @@
+// mglint fixture: every violation here carries an allow annotation —
+// the linter must report zero findings and count the suppressions.
+#include <cstdlib>
+#include <map>
+#include <unordered_map>
+
+int
+seeded()
+{
+    // mglint:allow(banned-rand): fixture exercising suppression
+    return rand();
+}
+
+struct Blob
+{
+    int tag = 0;
+};
+
+// mglint:allow(ptr-key): identity map local to one pass, never iterated
+std::map<Blob *, int> identity;
+
+std::unordered_map<int, int> sums;
+
+int
+drain()
+{
+    int s = 0;
+    for (const auto &[k, v] : sums)   // mglint:allow(unordered-iter): commutative sum, order-free
+        s += v;
+    return s;
+}

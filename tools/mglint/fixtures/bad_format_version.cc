@@ -1,0 +1,11 @@
+// mglint fixture: a record magic with no format version anywhere in
+// the file — stale layouts would read as garbage instead of a miss.
+#include <cstdint>
+
+constexpr std::uint32_t blobMagic = 0x424f4c42;   // finding: format-version
+
+std::uint32_t
+header()
+{
+    return blobMagic;
+}

@@ -1,0 +1,15 @@
+// mglint fixture: pointer-keyed ordered containers are flagged;
+// value-keyed ones are not.
+#include <map>
+#include <set>
+#include <string>
+
+struct Node
+{
+    int id = 0;
+};
+
+std::map<Node *, int> byAddress;          // finding: ptr-key
+std::set<const Node *> seen;              // finding: ptr-key
+std::map<std::string, Node *> byName;     // clean: pointer is the value
+std::set<int> ids;                        // clean

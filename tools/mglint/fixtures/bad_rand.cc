@@ -1,0 +1,28 @@
+// mglint fixture: every banned nondeterminism source must be flagged.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int
+entropySoup()
+{
+    std::random_device rd;                 // finding: banned-rand
+    int a = rand();                        // finding: banned-rand
+    srand(42);                             // finding: banned-rand
+    long t = time(nullptr);                // finding: banned-rand
+    long c = clock();                      // finding: banned-rand
+    return a + static_cast<int>(t + c) + static_cast<int>(rd());
+}
+
+struct Timer
+{
+    // Member calls named like banned functions are someone else's
+    // API, not libc: must NOT be flagged.
+    long time() const { return 0; }
+};
+
+long
+notBanned(const Timer &tm)
+{
+    return tm.time();   // clean: member call, not ::time()
+}

@@ -1,0 +1,29 @@
+// mglint fixture: iterating a std::unordered_* container is flagged
+// (range-for and explicit begin() walks); lookups are not.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Agg
+{
+    std::unordered_map<std::string, int> counts;
+    std::unordered_set<int> live;
+};
+
+int
+total(const Agg &agg)
+{
+    int sum = 0;
+    for (const auto &[k, v] : agg.counts)   // finding: unordered-iter
+        sum += v;
+    for (auto it = agg.live.begin();        // finding: unordered-iter
+         it != agg.live.end(); ++it)
+        sum += *it;
+    return sum;
+}
+
+bool
+lookupOnly(const Agg &agg, const std::string &k)
+{
+    return agg.counts.find(k) != agg.counts.end();   // clean
+}

@@ -1,0 +1,36 @@
+// mglint fixture: idiomatic deterministic code — must produce zero
+// findings.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+constexpr std::uint32_t goodMagic = 0x474f4f44;
+constexpr std::uint32_t goodFormatVersion = 1;
+
+struct Tally
+{
+    std::unordered_map<std::string, std::uint64_t> counts;
+};
+
+/** The sorted-view idiom: snapshot, sort, then emit. */
+std::vector<std::pair<std::string, std::uint64_t>>
+sortedView(const Tally &t)
+{
+    std::vector<std::pair<std::string, std::uint64_t>> v(
+        t.counts.begin(), t.counts.end());   // mglint:allow(unordered-iter): copied then sorted below
+    std::sort(v.begin(), v.end());
+    return v;
+}
+
+std::map<std::string, int> ordered;   // value-keyed: deterministic
+
+std::uint64_t
+lookup(const Tally &t, const std::string &k)
+{
+    auto it = t.counts.find(k);
+    return it == t.counts.end() ? 0 : it->second + goodMagic +
+                                          goodFormatVersion;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * mglint CLI. Usage:
+ *
+ *   mglint [--json REPORT] [--quiet] [--list-rules] PATH...
+ *
+ * PATHs are files or directories (recursed for .cpp/.cc/.hh/.h).
+ * Exit status: 0 clean, 1 unsuppressed findings, 2 usage error.
+ * CI runs `mglint --json mglint.json src` and fails on exit 1.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> roots;
+    std::string jsonPath;
+    bool quiet = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--json") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "mglint: --json needs a path\n");
+                return 2;
+            }
+            jsonPath = argv[++i];
+        } else if (a == "--quiet") {
+            quiet = true;
+        } else if (a == "--list-rules") {
+            for (const auto &[id, desc] : mglint::ruleCatalog())
+                std::printf("%-16s %s\n", id.c_str(), desc.c_str());
+            return 0;
+        } else if (a == "--help" || a == "-h") {
+            std::printf("usage: mglint [--json REPORT] [--quiet] "
+                        "[--list-rules] PATH...\n");
+            return 0;
+        } else if (a.size() > 1 && a[0] == '-') {
+            std::fprintf(stderr, "mglint: unknown flag '%s'\n",
+                         a.c_str());
+            return 2;
+        } else {
+            roots.push_back(std::move(a));
+        }
+    }
+    if (roots.empty()) {
+        std::fprintf(stderr,
+                     "mglint: no paths given (try `mglint src`)\n");
+        return 2;
+    }
+
+    std::vector<std::string> files = mglint::collectSources(roots);
+    mglint::LintResult r = mglint::lintFiles(files);
+
+    if (!quiet) {
+        for (const mglint::Finding &f : r.findings)
+            std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                        f.rule.c_str(), f.message.c_str());
+        std::printf("mglint: %d file%s, %zu finding%s, %d suppressed\n",
+                    r.filesScanned, r.filesScanned == 1 ? "" : "s",
+                    r.findings.size(), r.findings.size() == 1 ? "" : "s",
+                    r.suppressed);
+    }
+    if (!jsonPath.empty()) {
+        std::ofstream out(jsonPath, std::ios::binary);
+        out << mglint::findingsJson(r);
+        if (!out) {
+            std::fprintf(stderr, "mglint: cannot write '%s'\n",
+                         jsonPath.c_str());
+            return 2;
+        }
+    }
+    return r.findings.empty() ? 0 : 1;
+}
